@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baselines Drtree Filter Geometry Harness Hashtbl List Option Printf Queue Rtree Sim Stats Sys Workload

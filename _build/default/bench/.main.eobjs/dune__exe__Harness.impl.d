@@ -1,0 +1,1 @@
+bench/harness.ml: Drtree Format Geometry List Sim String Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Drtree Format Geometry Hashtbl Instance List Measure Printf Rtree Sim Staged Stats Test Time Toolkit

@@ -1,0 +1,91 @@
+(* Shared machinery for the experiment harness: overlay construction
+   from workloads, accuracy/cost accumulation over event batches, and
+   a tiny experiment registry. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Rng = Sim.Rng
+
+let space = Workload.Space.default
+
+(* Build an overlay from a subscription workload and stabilize it. *)
+let build_overlay ?(cfg = Drtree.Config.default) ~seed rects =
+  let ov = O.create ~cfg ~seed () in
+  List.iter (fun r -> ignore (O.join ov r)) rects;
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  ov
+
+type accuracy = {
+  events : int;
+  fp_total : int;
+  fn_total : int;
+  fp_rate : float;  (** false positives / (events × subscribers) *)
+  delivery_total : int;
+  msgs_per_event : float;
+  mean_hops : float;
+  max_hops : int;
+}
+
+(* Publish a batch of events from random publishers and accumulate
+   accuracy and cost. *)
+let run_events ov ~rng points =
+  let ids = O.alive_ids ov in
+  let n = List.length ids in
+  let fp = ref 0 and fn = ref 0 and msgs = ref 0 in
+  let hops_sum = ref 0 and hops_max = ref 0 and delivered = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun p ->
+      let from = Rng.pick rng ids in
+      let report = O.publish ov ~from p in
+      incr count;
+      fp := !fp + report.O.false_positives;
+      fn := !fn + report.O.false_negatives;
+      msgs := !msgs + report.O.messages;
+      hops_sum := !hops_sum + report.O.max_hops;
+      hops_max := max !hops_max report.O.max_hops;
+      delivered := !delivered + Sim.Node_id.Set.cardinal report.O.delivered)
+    points;
+  let events = !count in
+  {
+    events;
+    fp_total = !fp;
+    fn_total = !fn;
+    fp_rate =
+      (if events = 0 || n = 0 then 0.0
+       else float_of_int !fp /. float_of_int (events * n));
+    delivery_total = !delivered;
+    msgs_per_event =
+      (if events = 0 then 0.0 else float_of_int !msgs /. float_of_int events);
+    mean_hops =
+      (if events = 0 then 0.0
+       else float_of_int !hops_sum /. float_of_int events);
+    max_hops = !hops_max;
+  }
+
+let pct x = 100.0 *. x
+
+(* --- Experiment registry -------------------------------------------------- *)
+
+type experiment = { id : string; title : string; run : unit -> unit }
+
+let registry : experiment list ref = ref []
+let register id title run = registry := { id; title; run } :: !registry
+let all () = List.rev !registry
+
+let run_selected ids =
+  let selected =
+    match ids with
+    | [] -> all ()
+    | ids ->
+        List.filter
+          (fun e -> List.mem (String.lowercase_ascii e.id) ids)
+          (all ())
+  in
+  List.iter
+    (fun e ->
+      Format.printf "@.=== %s: %s ===@.@." e.id e.title;
+      e.run ())
+    selected

@@ -1,0 +1,22 @@
+(* Experiment harness entry point.
+
+   Usage:
+     dune exec bench/main.exe              # run every experiment
+     dune exec bench/main.exe -- E5 E9     # run a subset
+     dune exec bench/main.exe -- micro     # only the micro-benchmarks
+
+   Each experiment regenerates one table of EXPERIMENTS.md. *)
+
+let () =
+  Experiments.register ();
+  let args =
+    List.map String.lowercase_ascii (List.tl (Array.to_list Sys.argv))
+  in
+  let run_micro = args = [] || List.mem "micro" args || List.mem "e12" args in
+  let experiment_ids =
+    List.filter (fun a -> a <> "micro" && a <> "e12") args
+  in
+  if experiment_ids <> [] || args = [] || List.mem "all" args then
+    Harness.run_selected
+      (if List.mem "all" args then [] else experiment_ids);
+  if run_micro then Micro.run ()

@@ -1,0 +1,274 @@
+(* Command-line driver for the DR-tree library.
+
+   Subcommands:
+     build     build an overlay from a workload and print its shape
+     publish   build, publish events, report accuracy/cost
+     churn     build, apply faults, watch stabilization repair
+     inspect   dump the tree structure of a small overlay
+
+   Examples:
+     drtree_cli build -n 512 --workload clustered
+     drtree_cli publish -n 256 --events 500 --event-workload hotspot
+     drtree_cli churn -n 200 --crash 0.2 --corrupt 0.1
+     drtree_cli inspect -n 20 *)
+
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+module St = Drtree.State
+module Rng = Sim.Rng
+open Cmdliner
+
+let space = Workload.Space.default
+
+(* --- Common options --------------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let size_t =
+  Arg.(
+    value & opt int 256
+    & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of subscribers.")
+
+let workload_t =
+  let names = List.map fst Workload.Subscription_gen.catalog in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) "uniform"
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Subscription workload (%s)."
+             (String.concat ", " names)))
+
+let min_fill_t =
+  Arg.(value & opt int 2 & info [ "m"; "min-fill" ] ~docv:"M" ~doc:"Minimum children per node (m).")
+
+let max_fill_t =
+  Arg.(value & opt int 4 & info [ "M"; "max-fill" ] ~docv:"M" ~doc:"Maximum children per node (M).")
+
+let split_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("linear", Rtree.Split.Linear); ("quadratic", Rtree.Split.Quadratic);
+             ("rstar", Rtree.Split.Rstar) ])
+        Rtree.Split.Quadratic
+    & info [ "split" ] ~docv:"KIND" ~doc:"Split policy (linear, quadratic, rstar).")
+
+let make_cfg min_fill max_fill split = Cfg.make ~min_fill ~max_fill ~split ()
+
+let build_overlay ~cfg ~seed ~n ~workload =
+  let rng = Rng.make (seed * 31) in
+  let gen = List.assoc workload Workload.Subscription_gen.catalog in
+  let rects = gen space rng n in
+  let ov = O.create ~cfg ~seed () in
+  List.iter (fun r -> ignore (O.join ov r)) rects;
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  (ov, rng)
+
+let print_shape ov =
+  Printf.printf "subscribers : %d\n" (O.size ov);
+  Printf.printf "height      : %d\n" (O.height ov);
+  Printf.printf "max degree  : %d\n" (Inv.max_degree ov);
+  Printf.printf "max memory  : %d words/node\n" (Inv.max_memory_words ov);
+  Printf.printf "mean memory : %.1f words/node\n" (Inv.mean_memory_words ov);
+  Printf.printf "legal state : %b\n" (Inv.is_legal ov);
+  Printf.printf "weak containment violations : %d\n"
+    (Inv.weak_containment_violations ov)
+
+(* --- build ------------------------------------------------------------------- *)
+
+let build_cmd =
+  let run seed n workload min_fill max_fill split =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    Format.printf "config: %a@." Cfg.pp cfg;
+    print_shape ov
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t)
+
+(* --- publish ----------------------------------------------------------------- *)
+
+let publish_cmd =
+  let events_t =
+    Arg.(value & opt int 200 & info [ "events" ] ~docv:"COUNT" ~doc:"Events to publish.")
+  in
+  let event_workload_t =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", "uniform"); ("hotspot", "hotspot"); ("zipf", "zipf"); ("targeted", "targeted") ]) "uniform"
+      & info [ "event-workload" ] ~docv:"NAME" ~doc:"Event distribution.")
+  in
+  let run seed n workload min_fill max_fill split events event_workload =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    let rects =
+      List.filter_map
+        (fun id ->
+          Option.map St.filter (O.state ov id))
+        (O.alive_ids ov)
+    in
+    let gen =
+      List.assoc event_workload (Workload.Event_gen.catalog ~subscriptions:rects)
+    in
+    let points = gen space rng events in
+    let ids = O.alive_ids ov in
+    let fp = ref 0 and fn = ref 0 and msgs = ref 0 and hops = ref 0 in
+    let delivered = ref 0 in
+    List.iter
+      (fun p ->
+        let report = O.publish ov ~from:(Rng.pick rng ids) p in
+        fp := !fp + report.O.false_positives;
+        fn := !fn + report.O.false_negatives;
+        msgs := !msgs + report.O.messages;
+        hops := max !hops report.O.max_hops;
+        delivered := !delivered + Sim.Node_id.Set.cardinal report.O.delivered)
+      points;
+    print_shape ov;
+    Printf.printf "\nevents      : %d (%s)\n" events event_workload;
+    Printf.printf "deliveries  : %d\n" !delivered;
+    Printf.printf "false neg   : %d\n" !fn;
+    Printf.printf "false pos   : %.2f%% of subscribers per event\n"
+      (100.0 *. float_of_int !fp /. float_of_int (events * n));
+    Printf.printf "msgs/event  : %.1f (flooding: %d)\n"
+      (float_of_int !msgs /. float_of_int events)
+      (n - 1);
+    Printf.printf "max hops    : %d\n" !hops
+  in
+  Cmd.v (Cmd.info "publish" ~doc:"Publish events and report accuracy/cost.")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t $ events_t $ event_workload_t)
+
+(* --- churn ------------------------------------------------------------------- *)
+
+let churn_cmd =
+  let crash_t =
+    Arg.(value & opt float 0.0 & info [ "crash" ] ~docv:"FRAC" ~doc:"Fraction of nodes to crash.")
+  in
+  let corrupt_t =
+    Arg.(value & opt float 0.0 & info [ "corrupt" ] ~docv:"FRAC" ~doc:"Fraction of nodes to corrupt.")
+  in
+  let leave_t =
+    Arg.(value & opt float 0.0 & info [ "leave" ] ~docv:"FRAC" ~doc:"Fraction of controlled departures.")
+  in
+  let run seed n workload min_fill max_fill split crash corrupt leave =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    Printf.printf "before faults:\n";
+    print_shape ov;
+    if leave > 0.0 then
+      List.iter (fun v -> O.leave ov v)
+        (Drtree.Corrupt.random_victims ov rng ~fraction:leave);
+    if crash > 0.0 then
+      List.iter (fun v -> O.crash ov v)
+        (Drtree.Corrupt.random_victims ov rng ~fraction:crash);
+    if corrupt > 0.0 then
+      List.iter (fun v -> ignore (Drtree.Corrupt.any ov rng v))
+        (Drtree.Corrupt.random_victims ov rng ~fraction:corrupt);
+    let violations = List.length (Inv.check ov) in
+    Printf.printf "\nafter faults: %d violations\n" violations;
+    Sim.Engine.reset_counters (O.engine ov);
+    (match O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov with
+    | Some rounds ->
+        Printf.printf "repaired in %d rounds, %d repair messages\n\n" rounds
+          (Sim.Engine.messages_sent (O.engine ov))
+    | None -> Printf.printf "NOT repaired within 200 rounds\n\n");
+    Printf.printf "after repair:\n";
+    print_shape ov
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Apply faults and watch stabilization repair them.")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t $ crash_t $ corrupt_t $ leave_t)
+
+(* --- inspect ----------------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run seed n workload min_fill max_fill split =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    print_shape ov;
+    Printf.printf "\n";
+    (* Print the tree from the root downward. *)
+    (match O.find_root ov with
+    | None -> Printf.printf "(empty)\n"
+    | Some root ->
+        let rec show id h indent =
+          match O.state ov id with
+          | None -> ()
+          | Some s ->
+              let mbr =
+                match St.mbr_at s h with
+                | Some r -> Geometry.Rect.to_string r
+                | None -> "?"
+              in
+              Printf.printf "%s- n%d@h%d %s\n" indent id h mbr;
+              if h >= 1 then
+                match St.level s h with
+                | Some l ->
+                    Sim.Node_id.Set.iter
+                      (fun c ->
+                        if Sim.Node_id.equal c id then
+                          show id (h - 1) (indent ^ "  ")
+                        else show c (h - 1) (indent ^ "  "))
+                      l.St.children
+                | None -> ()
+        in
+        (match O.state ov root with
+        | Some s -> show root (St.top s) ""
+        | None -> ()));
+    ()
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Dump the logical tree of a (small) overlay.")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t)
+
+(* --- export ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("dot", `Dot); ("ascii", `Ascii); ("edges", `Edges);
+               ("svg", `Svg) ])
+          `Dot
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: dot, ascii, edges or svg.")
+  in
+  let run seed n workload min_fill max_fill split format =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    match format with
+    | `Dot -> print_string (Drtree.Export.to_dot ov)
+    | `Ascii -> print_string (Drtree.Export.to_ascii ov)
+    | `Svg -> print_string (Drtree.Export.to_svg ov)
+    | `Edges ->
+        List.iter
+          (fun (a, b) -> Printf.printf "n%d -- n%d\n" a b)
+          (Drtree.Export.adjacency ov)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the overlay structure (GraphViz dot, ascii or edge list).")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t $ format_t)
+
+let () =
+  let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in
+  let info = Cmd.info "drtree_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ build_cmd; publish_cmd; churn_cmd; inspect_cmd; export_cmd ]))

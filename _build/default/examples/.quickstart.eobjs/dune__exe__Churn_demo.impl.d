@@ -1,0 +1,1 @@
+examples/churn_demo.ml: Drtree Format Geometry List Printf Sim

@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Buffer Drtree Filename Filter Geometry List Printf Rtree Sim String

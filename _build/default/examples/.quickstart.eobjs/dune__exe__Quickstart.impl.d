@@ -1,0 +1,1 @@
+examples/quickstart.ml: Drtree Filter List Printf Sim String

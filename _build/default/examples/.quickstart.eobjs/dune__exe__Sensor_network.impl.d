@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Drtree Float Geometry List Printf Sim

@@ -1,0 +1,1 @@
+examples/spatial_index.ml: Geometry List Printf Rtree Sim

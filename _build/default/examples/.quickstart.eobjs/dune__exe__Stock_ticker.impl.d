@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Drtree Filter Float Geometry List Printf Sim

@@ -1,0 +1,100 @@
+(* Churn & corruption demo: watch the five stabilization modules
+   (CHECK_MBR / CHECK_PARENT / CHECK_CHILDREN / CHECK_COVER /
+   CHECK_STRUCTURE, Figs. 10-14 of the paper) repair the overlay after
+   every class of fault, round by round.
+
+   Run with: dune exec examples/churn_demo.exe *)
+
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module R = Geometry.Rect
+module Rng = Sim.Rng
+
+let random_rect rng =
+  let x0 = Rng.range rng 0.0 90.0 and y0 = Rng.range rng 0.0 90.0 in
+  let w = Rng.range rng 1.0 10.0 and h = Rng.range rng 1.0 10.0 in
+  R.make2 ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h)
+
+let show_violations ov =
+  match Inv.check ov with
+  | [] -> Printf.printf "  state: LEGAL\n"
+  | vs ->
+      Printf.printf "  state: %d violations, e.g.:\n" (List.length vs);
+      List.iteri
+        (fun i v ->
+          if i < 4 then Format.printf "    - %a@." Inv.pp_violation v)
+        vs
+
+let repair ov =
+  let rounds = ref 0 in
+  while not (Inv.is_legal ov) && !rounds < 50 do
+    O.stabilize_round ov;
+    incr rounds;
+    Printf.printf "  round %d:\n" !rounds;
+    show_violations ov
+  done;
+  if Inv.is_legal ov then
+    Printf.printf "  => repaired in %d round(s)\n\n" !rounds
+  else Printf.printf "  => NOT repaired within 50 rounds\n\n"
+
+let () =
+  let rng = Rng.make 5 in
+  let ov = O.create ~seed:1 () in
+  Printf.printf "=== building a 120-subscriber DR-tree ===\n";
+  for _ = 1 to 120 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  Printf.printf "height=%d max_degree=%d max_memory=%d words\n\n"
+    (O.height ov) (Inv.max_degree ov) (Inv.max_memory_words ov);
+
+  let crng = Rng.make 77 in
+
+  Printf.printf "=== fault 1: silent crash of the root ===\n";
+  (match O.find_root ov with
+  | Some root ->
+      Printf.printf "  killing root n%d\n" root;
+      O.crash ov root
+  | None -> ());
+  show_violations ov;
+  repair ov;
+
+  Printf.printf "=== fault 2: 15%% of nodes crash simultaneously ===\n";
+  let victims = Drtree.Corrupt.random_victims ov crng ~fraction:0.15 in
+  Printf.printf "  killing %d nodes\n" (List.length victims);
+  List.iter (fun v -> O.crash ov v) victims;
+  show_violations ov;
+  repair ov;
+
+  Printf.printf "=== fault 3: parent pointers corrupted at 20%% of nodes ===\n";
+  let victims = Drtree.Corrupt.random_victims ov crng ~fraction:0.2 in
+  List.iter (fun v -> ignore (Drtree.Corrupt.parent ov crng v)) victims;
+  show_violations ov;
+  repair ov;
+
+  Printf.printf "=== fault 4: children sets scrambled at 20%% of nodes ===\n";
+  let victims = Drtree.Corrupt.random_victims ov crng ~fraction:0.2 in
+  List.iter (fun v -> ignore (Drtree.Corrupt.children ov crng v)) victims;
+  show_violations ov;
+  repair ov;
+
+  Printf.printf "=== fault 5: MBRs and flags corrupted everywhere ===\n";
+  List.iter
+    (fun v ->
+      ignore (Drtree.Corrupt.mbr ov crng v);
+      ignore (Drtree.Corrupt.underloaded ov crng v))
+    (O.alive_ids ov);
+  show_violations ov;
+  repair ov;
+
+  Printf.printf "=== final: publish 50 events through the repaired overlay ===\n";
+  let ids = O.alive_ids ov in
+  let fn = ref 0 in
+  for _ = 1 to 50 do
+    let p =
+      Geometry.Point.make2 (Rng.range rng 0.0 100.0) (Rng.range rng 0.0 100.0)
+    in
+    let report = O.publish ov ~from:(Rng.pick rng ids) p in
+    fn := !fn + report.O.false_negatives
+  done;
+  Printf.printf "false negatives after all that: %d\n" !fn

@@ -1,0 +1,85 @@
+(* Sensor network: monitoring stations subscribe to geographic
+   regions; sensors publish readings tagged with their position.
+   Stations crash and recover; the overlay keeps routing readings to
+   whoever watches that patch of ground.
+
+   Run with: dune exec examples/sensor_network.exe *)
+
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module R = Geometry.Rect
+module P = Geometry.Point
+module Rng = Sim.Rng
+
+let stations = 200
+let readings_per_phase = 150
+
+(* Monitoring regions: clustered around a few facilities (dams,
+   refineries, substations...). *)
+let region rng =
+  let facilities = [ (20.0, 20.0); (70.0, 30.0); (40.0, 80.0); (85.0, 85.0) ] in
+  let fx, fy = List.nth facilities (Rng.int rng 4) in
+  let cx = fx +. Rng.gaussian rng ~mean:0.0 ~stddev:8.0 in
+  let cy = fy +. Rng.gaussian rng ~mean:0.0 ~stddev:8.0 in
+  let w = Rng.range rng 2.0 12.0 and h = Rng.range rng 2.0 12.0 in
+  let clamp v = Float.max 0.0 (Float.min 100.0 v) in
+  R.make2
+    ~x0:(clamp (cx -. w))
+    ~y0:(clamp (cy -. h))
+    ~x1:(clamp (cx +. w))
+    ~y1:(clamp (cy +. h))
+
+let reading rng =
+  (* Readings cluster near facilities too. *)
+  let facilities = [ (20.0, 20.0); (70.0, 30.0); (40.0, 80.0); (85.0, 85.0) ] in
+  let fx, fy = List.nth facilities (Rng.int rng 4) in
+  let clamp v = Float.max 0.0 (Float.min 100.0 v) in
+  P.make2
+    (clamp (fx +. Rng.gaussian rng ~mean:0.0 ~stddev:12.0))
+    (clamp (fy +. Rng.gaussian rng ~mean:0.0 ~stddev:12.0))
+
+let measure_phase name ov rng =
+  let ids = O.alive_ids ov in
+  let fp = ref 0 and fn = ref 0 and msgs = ref 0 and delivered = ref 0 in
+  for _ = 1 to readings_per_phase do
+    let report = O.publish ov ~from:(Rng.pick rng ids) (reading rng) in
+    fp := !fp + report.O.false_positives;
+    fn := !fn + report.O.false_negatives;
+    msgs := !msgs + report.O.messages;
+    delivered := !delivered + Sim.Node_id.Set.cardinal report.O.delivered
+  done;
+  Printf.printf
+    "%-22s stations=%-4d height=%d  deliveries=%-5d fn=%d fp/reading=%.1f msgs/reading=%.1f\n"
+    name (List.length ids) (O.height ov) !delivered !fn
+    (float_of_int !fp /. float_of_int readings_per_phase)
+    (float_of_int !msgs /. float_of_int readings_per_phase)
+
+let () =
+  let rng = Rng.make 11 in
+  let ov = O.create ~seed:3 () in
+  for _ = 1 to stations do
+    ignore (O.join ov (region rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  Printf.printf "deployed %d monitoring stations (tree height %d, max %d words/node)\n\n"
+    stations (O.height ov)
+    (Inv.max_memory_words ov);
+
+  measure_phase "steady state" ov rng;
+
+  (* A storm takes out a fifth of the stations, silently. *)
+  let victims = Drtree.Corrupt.random_victims ov (Rng.make 99) ~fraction:0.2 in
+  List.iter (fun v -> O.crash ov v) victims;
+  Printf.printf "\nstorm: %d stations lost, repairing...\n" (List.length victims);
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some rounds -> Printf.printf "overlay legal again after %d rounds\n\n" rounds
+  | None -> Printf.printf "repair incomplete!\n\n");
+  measure_phase "after storm" ov rng;
+
+  (* Replacements come online. *)
+  for _ = 1 to List.length victims do
+    ignore (O.join ov (region rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  Printf.printf "\nreplacements joined\n\n";
+  measure_phase "after redeployment" ov rng

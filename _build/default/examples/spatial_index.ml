@@ -1,0 +1,67 @@
+(* Spatial index: the sequential R-tree substrate on its own — bulk
+   loading, window queries, k-nearest-neighbour search, and a
+   comparison of the three split policies' tree quality. This is the
+   centralized machinery the distributed DR-tree mirrors.
+
+   Run with: dune exec examples/spatial_index.exe *)
+
+module T = Rtree.Tree
+module S = Rtree.Split
+module R = Geometry.Rect
+module P = Geometry.Point
+module Rng = Sim.Rng
+
+let n = 2000
+
+(* Points of interest in a city: clustered around a few centres. *)
+let pois rng =
+  let centres = [ (25.0, 25.0); (70.0, 40.0); (45.0, 80.0) ] in
+  List.init n (fun i ->
+      let cx, cy = List.nth centres (Rng.int rng 3) in
+      let x = Rng.gaussian rng ~mean:cx ~stddev:10.0 in
+      let y = Rng.gaussian rng ~mean:cy ~stddev:10.0 in
+      let r = R.make2 ~x0:x ~y0:y ~x1:(x +. 0.2) ~y1:(y +. 0.2) in
+      (r, i))
+
+let () =
+  let rng = Rng.make 7 in
+  let entries = pois rng in
+
+  (* Bulk loading packs the tree tighter than incremental insertion. *)
+  let cfg = T.config ~min_fill:2 ~max_fill:8 ~split:S.Rstar () in
+  let packed = T.bulk_load cfg entries in
+  let incremental = T.create cfg in
+  List.iter (fun (r, i) -> T.insert incremental r i) entries;
+  let sp = T.stats packed and si = T.stats incremental in
+  Printf.printf "index of %d points of interest\n" n;
+  Printf.printf "  bulk-loaded : height %d, %d nodes, coverage %.0f\n"
+    (T.height packed) sp.T.node_count sp.T.total_coverage;
+  Printf.printf "  incremental : height %d, %d nodes, coverage %.0f\n\n"
+    (T.height incremental) si.T.node_count si.T.total_coverage;
+
+  (* Window query: everything in a map viewport. *)
+  let viewport = R.make2 ~x0:20.0 ~y0:20.0 ~x1:32.0 ~y1:32.0 in
+  let visible = T.search_rect packed viewport in
+  Printf.printf "viewport %s contains %d POIs\n" (R.to_string viewport)
+    (List.length visible);
+
+  (* k-nearest-neighbour: "what is near me?" *)
+  let me = P.make2 50.0 50.0 in
+  let nearby = T.nearest packed me ~k:5 in
+  Printf.printf "5 nearest to %s:\n" (P.to_string me);
+  List.iter
+    (fun (d, r, i) ->
+      Printf.printf "  poi #%d at %s (distance %.2f)\n" i (R.to_string r) d)
+    nearby;
+
+  (* Split policy quality on the same data. *)
+  Printf.printf "\nsplit policy quality (incremental build, m=2 M=8):\n";
+  List.iter
+    (fun split ->
+      let t = T.create (T.config ~min_fill:2 ~max_fill:8 ~split ()) in
+      List.iter (fun (r, i) -> T.insert t r i) entries;
+      let st = T.stats t in
+      Printf.printf "  %-9s : %4d nodes, overlap %8.1f, coverage %8.0f\n"
+        (S.kind_to_string split) st.T.node_count st.T.total_overlap
+        st.T.total_coverage)
+    [ S.Linear; S.Quadratic; S.Rstar ]

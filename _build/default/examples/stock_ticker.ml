@@ -1,0 +1,108 @@
+(* Stock ticker: hundreds of traders with overlapping price/volume
+   range filters, a skewed stream of quotes, and accuracy accounting —
+   the selective-dissemination scenario that motivates the paper's
+   introduction.
+
+   Run with: dune exec examples/stock_ticker.exe *)
+
+module Ps = Drtree.Pubsub
+module Sub = Filter.Subscription
+module Ev = Filter.Event
+module Pred = Filter.Predicate
+module V = Filter.Value
+module Rng = Sim.Rng
+
+let n_traders = 300
+let n_quotes = 400
+
+(* Trader archetypes: each translates to a price × volume rectangle. *)
+let trader_subscription rng =
+  match Rng.int rng 4 with
+  | 0 ->
+      (* Bargain hunter: cheap stocks, any volume. *)
+      let cap = Rng.range rng 5.0 30.0 in
+      Sub.make [ Pred.make "price" Pred.Le (V.float cap) ]
+  | 1 ->
+      (* Momentum trader: heavy volume in a price band. *)
+      let lo = Rng.range rng 20.0 120.0 in
+      Sub.make
+        [
+          Pred.between "price" (V.float lo) (V.float (lo +. Rng.range rng 5.0 25.0));
+          Pred.make "volume" Pred.Ge (V.float (Rng.range rng 5e5 2e6));
+        ]
+  | 2 ->
+      (* Blue-chip watcher: expensive, moderate volume. *)
+      Sub.make
+        [
+          Pred.make "price" Pred.Ge (V.float (Rng.range rng 100.0 160.0));
+          Pred.between "volume" (V.float 1e4) (V.float 1e6);
+        ]
+  | _ ->
+      (* Narrow band scalper. *)
+      let lo = Rng.range rng 10.0 150.0 in
+      let vlo = Rng.range rng 1e4 1e6 in
+      Sub.make
+        [
+          Pred.between "price" (V.float lo) (V.float (lo +. 3.0));
+          Pred.between "volume" (V.float vlo) (V.float (vlo *. 2.0));
+        ]
+
+(* Quotes: prices log-normal-ish around 40, volumes heavy-tailed. *)
+let quote rng =
+  let price = Float.min 200.0 (Float.abs (Rng.gaussian rng ~mean:40.0 ~stddev:30.0)) in
+  let volume = Float.min 5e6 (Rng.exponential rng ~rate:(1.0 /. 4e5)) in
+  Ev.make [ ("price", V.float price); ("volume", V.float volume) ]
+
+let () =
+  let schema = Filter.Schema.make [ "price"; "volume" ] in
+  (* Declare the attribute domain: one-sided filters ("price <= 30")
+     then clip to finite rectangles, which keeps the tree's MBRs
+     tight. *)
+  let domain = Geometry.Rect.make2 ~x0:0.0 ~y0:0.0 ~x1:200.0 ~y1:5e6 in
+  let ps = Ps.create ~schema ~domain ~seed:7 () in
+  let rng = Rng.make 2024 in
+  let traders = List.init n_traders (fun _ -> Ps.subscribe ps (trader_subscription rng)) in
+  Printf.printf "market open: %d traders subscribed, overlay height %d\n"
+    (Ps.size ps)
+    (Drtree.Overlay.height (Ps.overlay ps));
+
+  let deliveries = ref 0 and fp = ref 0 and fn = ref 0 in
+  let messages = ref 0 and hops = ref 0 in
+  for _ = 1 to n_quotes do
+    let from = Rng.pick rng traders in
+    let report = Ps.publish ps ~from (quote rng) in
+    deliveries := !deliveries + Sim.Node_id.Set.cardinal report.Ps.delivered;
+    fp := !fp + report.Ps.false_positives;
+    fn := !fn + report.Ps.false_negatives;
+    messages := !messages + report.Ps.messages;
+    hops := max !hops report.Ps.max_hops
+  done;
+
+  Printf.printf "after %d quotes:\n" n_quotes;
+  Printf.printf "  deliveries            : %d\n" !deliveries;
+  Printf.printf "  false negatives       : %d (the DR-tree guarantees 0)\n" !fn;
+  Printf.printf "  false positive rate   : %.2f%% of subscribers per quote\n"
+    (100.0 *. float_of_int !fp /. float_of_int (n_quotes * n_traders));
+  Printf.printf "  messages per quote    : %.1f (flooding would use %d)\n"
+    (float_of_int !messages /. float_of_int n_quotes)
+    (n_traders - 1);
+  Printf.printf "  max delivery path     : %d hops\n" !hops;
+
+  (* Intra-day churn: a tenth of the traders disconnect, new ones
+     join; accuracy must survive. *)
+  List.iteri
+    (fun i id -> if i mod 10 = 0 then Ps.unsubscribe ps id)
+    traders;
+  let newcomers = List.init 30 (fun _ -> Ps.subscribe ps (trader_subscription rng)) in
+  ignore (Ps.stabilize ps);
+  let survivors =
+    List.filter (fun id -> Drtree.Overlay.is_alive (Ps.overlay ps) id) traders
+    @ newcomers
+  in
+  let fn_after = ref 0 in
+  for _ = 1 to 100 do
+    let report = Ps.publish ps ~from:(Rng.pick rng survivors) (quote rng) in
+    fn_after := !fn_after + report.Ps.false_negatives
+  done;
+  Printf.printf "after churn (%d traders): false negatives in 100 quotes = %d\n"
+    (Ps.size ps) !fn_after

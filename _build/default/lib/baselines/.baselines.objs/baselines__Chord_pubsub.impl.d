@@ -1,0 +1,1 @@
+lib/baselines/chord_pubsub.ml: Chord Geometry Hashtbl List Report Zorder

@@ -1,0 +1,1 @@
+lib/baselines/chord_pubsub.mli: Geometry Report

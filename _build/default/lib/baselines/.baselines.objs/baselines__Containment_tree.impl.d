@@ -1,0 +1,1 @@
+lib/baselines/containment_tree.ml: Geometry Hashtbl Report

@@ -1,0 +1,1 @@
+lib/baselines/dht_rendezvous.ml: Float Geometry Hashtbl List Report Zorder

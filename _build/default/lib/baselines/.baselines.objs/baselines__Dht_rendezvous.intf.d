@@ -1,0 +1,1 @@
+lib/baselines/dht_rendezvous.mli: Geometry Report

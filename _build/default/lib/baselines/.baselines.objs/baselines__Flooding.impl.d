@@ -1,0 +1,1 @@
+lib/baselines/flooding.ml: Geometry Hashtbl Report

@@ -1,0 +1,1 @@
+lib/baselines/flooding.mli: Geometry Report

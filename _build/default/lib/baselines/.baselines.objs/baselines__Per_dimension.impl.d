@@ -1,0 +1,1 @@
+lib/baselines/per_dimension.ml: Array Float Geometry Hashtbl Report

@@ -1,0 +1,1 @@
+lib/baselines/per_dimension.mli: Geometry Report

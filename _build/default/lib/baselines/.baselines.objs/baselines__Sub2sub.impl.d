@@ -1,0 +1,1 @@
+lib/baselines/sub2sub.ml: Geometry Hashtbl List Queue Report Sim

@@ -1,0 +1,1 @@
+lib/baselines/sub2sub.mli: Geometry Report

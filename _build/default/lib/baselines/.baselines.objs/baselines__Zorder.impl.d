@@ -1,0 +1,1 @@
+lib/baselines/zorder.ml: Array Float Geometry

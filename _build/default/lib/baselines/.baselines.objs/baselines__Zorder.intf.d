@@ -1,0 +1,1 @@
+lib/baselines/zorder.mli: Geometry

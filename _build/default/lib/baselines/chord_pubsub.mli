@@ -1,0 +1,49 @@
+(** Rendezvous publish/subscribe over a {e real} Chord ring
+    (Meghdoot-style, §4).
+
+    Unlike {!Dht_rendezvous} — a closed-form cost model — every
+    operation here is routed hop by hop through {!Chord.Ring}:
+    subscriptions travel one routed lookup per overlapped grid cell,
+    publications one routed lookup to the event's cell plus one
+    message per registrant. Rendezvous state lives at the ring node
+    owning the cell's key; when churn moves ownership, registrations
+    left on the old owner become unreachable until re-registration —
+    the DHT fragility the paper's §4 cites ("limited scalability and
+    low resistance to churn"), measured in experiment E19. *)
+
+type t
+
+val create :
+  ?bits_per_dim:int ->
+  ?exact:bool ->
+  space:Geometry.Rect.t ->
+  seed:int ->
+  unit ->
+  t
+(** Same grid semantics as {!Dht_rendezvous}; [exact] (default false)
+    filters at the rendezvous. *)
+
+val join_subscriber : t -> Geometry.Rect.t -> int
+(** Add a ring node owning this subscription and register the
+    subscription on every cell it overlaps (routed). Returns the
+    subscriber id. *)
+
+val crash : t -> int -> unit
+(** The ring node crashes; its rendezvous state is lost. *)
+
+val repair : t -> unit
+(** Run Chord stabilization until the ring is consistent, then
+    re-register every live subscription (the application-level
+    recovery a real deployment needs). *)
+
+val size : t -> int
+
+val publish : t -> from:int -> Geometry.Point.t -> Report.t
+(** Route the event to its cell's owner and forward to registrants.
+    When routing fails (mid-churn) nobody is reached — the false
+    negatives E19 measures. *)
+
+val messages_sent : t -> int
+val reset_counters : t -> unit
+
+val ring_consistent : t -> bool

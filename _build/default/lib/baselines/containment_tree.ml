@@ -1,0 +1,155 @@
+module Rect = Geometry.Rect
+module Point = Geometry.Point
+module Int_set = Report.Int_set
+
+type node = {
+  id : int;
+  rect : Rect.t;
+  mutable parent : int option;  (** [None] = child of the virtual root *)
+  mutable children : Int_set.t;
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable top : Int_set.t;  (** children of the virtual root *)
+  mutable next : int;
+}
+
+let create () = { nodes = Hashtbl.create 64; top = Int_set.empty; next = 0 }
+let size t = Hashtbl.length t.nodes
+
+let strictly_contains outer inner =
+  Rect.contains outer inner && not (Rect.equal outer inner)
+
+(* The smallest strict container of [r] among current nodes. *)
+let smallest_container t r =
+  Hashtbl.fold
+    (fun _ node acc ->
+      if strictly_contains node.rect r then
+        match acc with
+        | Some best when Rect.area best.rect <= Rect.area node.rect -> acc
+        | _ -> Some node
+      else acc)
+    t.nodes None
+
+let add t r =
+  let id = t.next in
+  t.next <- id + 1;
+  let node = { id; rect = r; parent = None; children = Int_set.empty } in
+  (match smallest_container t r with
+  | Some parent ->
+      node.parent <- Some parent.id;
+      parent.children <- Int_set.add id parent.children
+  | None -> t.top <- Int_set.add id t.top);
+  (* Existing nodes strictly inside [r] whose parent does not separate
+     them from [r] re-attach under it. *)
+  Hashtbl.iter
+    (fun _ other ->
+      if other.id <> id && strictly_contains r other.rect then begin
+        let better =
+          match other.parent with
+          | None -> true
+          | Some pid -> (
+              match Hashtbl.find_opt t.nodes pid with
+              | Some p -> Rect.area r < Rect.area p.rect
+              | None -> true)
+        in
+        if better then begin
+          (match other.parent with
+          | Some pid -> (
+              match Hashtbl.find_opt t.nodes pid with
+              | Some p -> p.children <- Int_set.remove other.id p.children
+              | None -> ())
+          | None -> t.top <- Int_set.remove other.id t.top);
+          other.parent <- Some id;
+          node.children <- Int_set.add other.id node.children
+        end
+      end)
+    t.nodes;
+  Hashtbl.replace t.nodes id node;
+  id
+
+let remove t id =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> ()
+  | Some node ->
+      Hashtbl.remove t.nodes id;
+      (match node.parent with
+      | Some pid -> (
+          match Hashtbl.find_opt t.nodes pid with
+          | Some p -> p.children <- Int_set.remove id p.children
+          | None -> ())
+      | None -> t.top <- Int_set.remove id t.top);
+      Int_set.iter
+        (fun cid ->
+          match Hashtbl.find_opt t.nodes cid with
+          | None -> ()
+          | Some child -> (
+              child.parent <- node.parent;
+              match node.parent with
+              | Some pid -> (
+                  match Hashtbl.find_opt t.nodes pid with
+                  | Some p -> p.children <- Int_set.add cid p.children
+                  | None -> t.top <- Int_set.add cid t.top)
+              | None -> t.top <- Int_set.add cid t.top))
+        node.children
+
+let depth_of t id =
+  let rec climb id acc =
+    if acc > Hashtbl.length t.nodes then acc (* cycle guard *)
+    else
+      match Hashtbl.find_opt t.nodes id with
+      | None -> acc
+      | Some { parent = Some pid; _ } -> climb pid (acc + 1)
+      | Some { parent = None; _ } -> acc + 1
+  in
+  climb id 0
+
+let publish t ~from point =
+  let matched =
+    Hashtbl.fold
+      (fun id node acc ->
+        if Rect.contains_point node.rect point then Int_set.add id acc else acc)
+      t.nodes Int_set.empty
+  in
+  let received = ref Int_set.empty in
+  let messages = ref 0 in
+  let max_hops = ref 0 in
+  let rec down id hops =
+    match Hashtbl.find_opt t.nodes id with
+    | None -> ()
+    | Some node ->
+        if Rect.contains_point node.rect point then begin
+          received := Int_set.add id !received;
+          if hops > !max_hops then max_hops := hops;
+          Int_set.iter
+            (fun cid ->
+              incr messages;
+              down cid (hops + 1))
+            node.children
+        end
+  in
+  (* Up to the virtual root... *)
+  let up_hops = depth_of t from in
+  messages := !messages + up_hops;
+  (* ...then down every matching top-level subtree. *)
+  Int_set.iter
+    (fun id ->
+      match Hashtbl.find_opt t.nodes id with
+      | Some node when Rect.contains_point node.rect point ->
+          incr messages;
+          down id (up_hops + 1)
+      | Some _ | None -> ())
+    t.top;
+  received := Int_set.add from !received;
+  Report.make ~matched ~received:!received ~publisher:from ~messages:!messages
+    ~max_hops:!max_hops
+
+let max_degree t =
+  Hashtbl.fold
+    (fun _ node acc -> max acc (Int_set.cardinal node.children))
+    t.nodes
+    (Int_set.cardinal t.top)
+
+let depth t =
+  Hashtbl.fold (fun id _ acc -> max acc (depth_of t id)) t.nodes 0

@@ -1,0 +1,37 @@
+(** Baseline: direct mapping of the containment graph to a tree
+    (the semantic overlay of Chand & Felber [11], as discussed in
+    §3.1).
+
+    Every subscriber's parent is its smallest strict container (ties
+    by insertion order); subscribers contained in nothing hang off a
+    virtual root. Dissemination walks from the virtual root down every
+    child whose filter matches the event, so there are no false
+    positives and no false negatives {e by construction} — the
+    weaknesses the paper points out are structural: the virtual root's
+    degree grows with the number of uncontained filters, and the tree
+    depth follows the containment chains (§3.1: "the resulting tree
+    might be heavily unbalanced with a high variance in the degrees of
+    internal nodes"). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Geometry.Rect.t -> int
+(** Register a subscriber; returns its id. O(n) containment scans. *)
+
+val remove : t -> int -> unit
+(** Unregister; its children re-attach to its parent. *)
+
+val size : t -> int
+
+val publish : t -> from:int -> Geometry.Point.t -> Report.t
+(** Dissemination cost model: the event travels from the publisher up
+    to the virtual root ([depth from] hops) and down every matching
+    path; one message per edge walked. *)
+
+val max_degree : t -> int
+(** Largest fan-out, virtual root included. *)
+
+val depth : t -> int
+(** Longest root-to-leaf path. *)

@@ -1,0 +1,29 @@
+module Rect = Geometry.Rect
+module Int_set = Report.Int_set
+
+type t = { rects : (int, Rect.t) Hashtbl.t; mutable next : int }
+
+let create () = { rects = Hashtbl.create 64; next = 0 }
+
+let add t r =
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.rects id r;
+  id
+
+let remove t id = Hashtbl.remove t.rects id
+let size t = Hashtbl.length t.rects
+
+let publish t ~from point =
+  let matched =
+    Hashtbl.fold
+      (fun id r acc ->
+        if Rect.contains_point r point then Int_set.add id acc else acc)
+      t.rects Int_set.empty
+  in
+  let received =
+    Hashtbl.fold (fun id _ acc -> Int_set.add id acc) t.rects Int_set.empty
+  in
+  Report.make ~matched ~received ~publisher:from
+    ~messages:(max 0 (Hashtbl.length t.rects - 1))
+    ~max_hops:1

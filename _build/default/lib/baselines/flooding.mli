@@ -1,0 +1,14 @@
+(** Baseline: broadcast flooding.
+
+    Every event reaches every subscriber (the degenerate upper bound
+    §3.1 warns about: "the propagation of an event may degenerate into
+    a broadcast"). Zero false negatives, maximal false positives,
+    [N - 1] messages per event. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Geometry.Rect.t -> int
+val remove : t -> int -> unit
+val size : t -> int
+val publish : t -> from:int -> Geometry.Point.t -> Report.t

@@ -1,0 +1,176 @@
+module Rect = Geometry.Rect
+module Point = Geometry.Point
+module Int_set = Report.Int_set
+
+type interval = { lo : float; hi : float }
+
+type node = {
+  id : int;
+  iv : interval;
+  mutable parent : int option;
+  mutable children : Int_set.t;
+}
+
+type dim_tree = {
+  nodes : (int, node) Hashtbl.t;
+  mutable top : Int_set.t;
+}
+
+type t = {
+  dims : int;
+  trees : dim_tree array;
+  rects : (int, Rect.t) Hashtbl.t;
+  mutable next : int;
+}
+
+let create ~dims =
+  if dims < 1 then invalid_arg "Per_dimension.create: dims < 1";
+  {
+    dims;
+    trees =
+      Array.init dims (fun _ ->
+          { nodes = Hashtbl.create 64; top = Int_set.empty });
+    rects = Hashtbl.create 64;
+    next = 0;
+  }
+
+let size t = Hashtbl.length t.rects
+
+let iv_contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+let iv_equal a b = Float.equal a.lo b.lo && Float.equal a.hi b.hi
+let iv_strictly_contains outer inner =
+  iv_contains outer inner && not (iv_equal outer inner)
+let iv_width iv = iv.hi -. iv.lo
+
+let constrained r i =
+  Float.is_finite (Rect.low r i) || Float.is_finite (Rect.high r i)
+
+let tree_add tree id iv =
+  let node = { id; iv; parent = None; children = Int_set.empty } in
+  let container =
+    Hashtbl.fold
+      (fun _ other acc ->
+        if iv_strictly_contains other.iv iv then
+          match acc with
+          | Some best when iv_width best.iv <= iv_width other.iv -> acc
+          | _ -> Some other
+        else acc)
+      tree.nodes None
+  in
+  (match container with
+  | Some parent ->
+      node.parent <- Some parent.id;
+      parent.children <- Int_set.add id parent.children
+  | None -> tree.top <- Int_set.add id tree.top);
+  Hashtbl.iter
+    (fun _ other ->
+      if other.id <> id && iv_strictly_contains iv other.iv then begin
+        let better =
+          match other.parent with
+          | None -> true
+          | Some pid -> (
+              match Hashtbl.find_opt tree.nodes pid with
+              | Some p -> iv_width iv < iv_width p.iv
+              | None -> true)
+        in
+        if better then begin
+          (match other.parent with
+          | Some pid -> (
+              match Hashtbl.find_opt tree.nodes pid with
+              | Some p -> p.children <- Int_set.remove other.id p.children
+              | None -> ())
+          | None -> tree.top <- Int_set.remove other.id tree.top);
+          other.parent <- Some id;
+          node.children <- Int_set.add other.id node.children
+        end
+      end)
+    tree.nodes;
+  Hashtbl.replace tree.nodes id node
+
+let tree_remove tree id =
+  match Hashtbl.find_opt tree.nodes id with
+  | None -> ()
+  | Some node ->
+      Hashtbl.remove tree.nodes id;
+      (match node.parent with
+      | Some pid -> (
+          match Hashtbl.find_opt tree.nodes pid with
+          | Some p -> p.children <- Int_set.remove id p.children
+          | None -> ())
+      | None -> tree.top <- Int_set.remove id tree.top);
+      Int_set.iter
+        (fun cid ->
+          match Hashtbl.find_opt tree.nodes cid with
+          | None -> ()
+          | Some child -> (
+              child.parent <- node.parent;
+              match node.parent with
+              | Some pid -> (
+                  match Hashtbl.find_opt tree.nodes pid with
+                  | Some p -> p.children <- Int_set.add cid p.children
+                  | None -> tree.top <- Int_set.add cid tree.top)
+              | None -> tree.top <- Int_set.add cid tree.top))
+        node.children
+
+let add t r =
+  if Rect.dims r <> t.dims then invalid_arg "Per_dimension.add: wrong dims";
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.rects id r;
+  for i = 0 to t.dims - 1 do
+    if constrained r i then
+      tree_add t.trees.(i) id { lo = Rect.low r i; hi = Rect.high r i }
+  done;
+  id
+
+let remove t id =
+  Hashtbl.remove t.rects id;
+  Array.iter (fun tree -> tree_remove tree id) t.trees
+
+let publish t ~from point =
+  let matched =
+    Hashtbl.fold
+      (fun id r acc ->
+        if Rect.contains_point r point then Int_set.add id acc else acc)
+      t.rects Int_set.empty
+  in
+  let received = ref (Int_set.singleton from) in
+  let messages = ref 0 in
+  let max_hops = ref 0 in
+  for i = 0 to t.dims - 1 do
+    let tree = t.trees.(i) in
+    let x = Point.coord point i in
+    let rec down id hops =
+      match Hashtbl.find_opt tree.nodes id with
+      | None -> ()
+      | Some node ->
+          if node.iv.lo <= x && x <= node.iv.hi then begin
+            received := Int_set.add id !received;
+            if hops > !max_hops then max_hops := hops;
+            Int_set.iter
+              (fun cid ->
+                incr messages;
+                down cid (hops + 1))
+              node.children
+          end
+    in
+    Int_set.iter
+      (fun id ->
+        match Hashtbl.find_opt tree.nodes id with
+        | Some node when node.iv.lo <= x && x <= node.iv.hi ->
+            incr messages;
+            down id 1
+        | Some _ | None -> ())
+      tree.top
+  done;
+  Report.make ~matched ~received:!received ~publisher:from ~messages:!messages
+    ~max_hops:!max_hops
+
+let max_degree t =
+  Array.fold_left
+    (fun acc tree ->
+      Hashtbl.fold
+        (fun _ node acc -> max acc (Int_set.cardinal node.children))
+        tree.nodes
+        (max acc (Int_set.cardinal tree.top)))
+    0 t.trees

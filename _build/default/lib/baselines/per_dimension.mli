@@ -1,0 +1,29 @@
+(** Baseline: one containment tree per dimension (Anceaume et al. [3],
+    as discussed in §3.1).
+
+    A subscription joins, for every dimension it constrains, a tree
+    ordered by {e interval} containment on that dimension. An event is
+    routed down each tree by single-dimension matching, so a
+    subscriber whose interval matches in one dimension receives the
+    event even when its full filter does not — the per-dimension trees
+    "tend to produce flat trees with high fan-out and may generate a
+    significant number of false positives" (§3.1). Delivery uses the
+    exact filter, so there are no false negatives. *)
+
+type t
+
+val create : dims:int -> t
+(** @raise Invalid_argument if [dims < 1]. *)
+
+val add : t -> Geometry.Rect.t -> int
+val remove : t -> int -> unit
+val size : t -> int
+
+val publish : t -> from:int -> Geometry.Point.t -> Report.t
+(** An event enters every dimension tree at its top and flows down
+    matching intervals; one message per edge walked, deduplicated
+    receipt per subscriber. *)
+
+val max_degree : t -> int
+(** Largest fan-out across all dimension trees (top levels
+    included). *)

@@ -1,0 +1,25 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  matched : Int_set.t;
+  delivered : Int_set.t;
+  received : Int_set.t;
+  false_positives : int;
+  false_negatives : int;
+  messages : int;
+  max_hops : int;
+}
+
+let make ~matched ~received ~publisher ~messages ~max_hops =
+  let delivered = Int_set.inter received matched in
+  let spurious = Int_set.remove publisher (Int_set.diff received matched) in
+  let missed = Int_set.diff matched delivered in
+  {
+    matched;
+    delivered;
+    received;
+    false_positives = Int_set.cardinal spurious;
+    false_negatives = Int_set.cardinal missed;
+    messages;
+    max_hops;
+  }

@@ -1,0 +1,27 @@
+(** Common accuracy/cost report for baseline routers.
+
+    Mirrors [Drtree.Overlay.publish_report] so experiment E9 can put
+    the DR-tree and every baseline in one table. Subscriber ids are
+    ints local to each baseline. *)
+
+module Int_set : Set.S with type elt = int
+
+type t = {
+  matched : Int_set.t;  (** ground truth: filters containing the event *)
+  delivered : Int_set.t;
+  received : Int_set.t;
+  false_positives : int;
+  false_negatives : int;
+  messages : int;
+  max_hops : int;
+}
+
+val make :
+  matched:Int_set.t ->
+  received:Int_set.t ->
+  publisher:int ->
+  messages:int ->
+  max_hops:int ->
+  t
+(** Derives [delivered = received ∩ matched] and the error counts
+    (the publisher is not counted as a false positive). *)

@@ -1,0 +1,206 @@
+module Rect = Geometry.Rect
+module Point = Geometry.Point
+module Int_set = Report.Int_set
+module Rng = Sim.Rng
+
+type node = {
+  rect : Rect.t;
+  mutable view : Int_set.t;  (** semantic neighbors *)
+  mutable randoms : Int_set.t;  (** peer-sampling links *)
+}
+
+type t = {
+  view_size : int;
+  random_size : int;
+  nodes : (int, node) Hashtbl.t;
+  rng : Rng.t;
+  mutable next : int;
+}
+
+let create ?(view_size = 8) ?(random_size = 3) ~seed () =
+  if view_size < 1 then invalid_arg "Sub2sub.create: view_size < 1";
+  if random_size < 0 then invalid_arg "Sub2sub.create: random_size < 0";
+  { view_size; random_size; nodes = Hashtbl.create 64; rng = Rng.make seed;
+    next = 0 }
+
+let size t = Hashtbl.length t.nodes
+
+let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let add t rect =
+  let id = t.next in
+  t.next <- id + 1;
+  let node = { rect; view = Int_set.empty; randoms = Int_set.empty } in
+  (* Bootstrap with a couple of random contacts. *)
+  (match ids t with
+  | [] -> ()
+  | existing ->
+      for _ = 1 to min 3 (List.length existing) do
+        node.randoms <- Int_set.add (Rng.pick t.rng existing) node.randoms
+      done);
+  Hashtbl.replace t.nodes id node;
+  id
+
+let remove t id =
+  Hashtbl.remove t.nodes id;
+  Hashtbl.iter
+    (fun _ n ->
+      n.view <- Int_set.remove id n.view;
+      n.randoms <- Int_set.remove id n.randoms)
+    t.nodes
+
+(* Similarity: overlap area, then (negated) center distance so
+   near-but-disjoint interests still rank above distant ones. *)
+let similarity a b =
+  let overlap = Rect.intersection_area a b in
+  if overlap > 0.0 then (1, overlap)
+  else (0, -.Point.distance (Rect.center a) (Rect.center b))
+
+let better_sim a b = compare a b > 0
+
+let trim_view t node =
+  let scored =
+    Int_set.fold
+      (fun peer acc ->
+        match Hashtbl.find_opt t.nodes peer with
+        | Some pn -> (similarity node.rect pn.rect, peer) :: acc
+        | None -> acc)
+      node.view []
+  in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> if better_sim a b then -1 else 1) scored
+  in
+  node.view <-
+    List.fold_left
+      (fun acc (_, peer) -> Int_set.add peer acc)
+      Int_set.empty
+      (List.filteri (fun i _ -> i < t.view_size) sorted)
+
+let gossip_round t =
+  let all = ids t in
+  if all <> [] then begin
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt t.nodes id with
+        | None -> ()
+        | Some node ->
+            (* pick a partner from the merged views, else any node *)
+            let contacts =
+              Int_set.elements (Int_set.union node.view node.randoms)
+              |> List.filter (fun p -> p <> id && Hashtbl.mem t.nodes p)
+            in
+            let partner =
+              match contacts with
+              | [] ->
+                  let others = List.filter (fun p -> p <> id) all in
+                  if others = [] then None else Some (Rng.pick t.rng others)
+              | cs -> Some (Rng.pick t.rng cs)
+            in
+            (match partner with
+            | None -> ()
+            | Some pid -> (
+                match Hashtbl.find_opt t.nodes pid with
+                | None -> ()
+                | Some pnode ->
+                    (* push-pull: both sides absorb the union *)
+                    let union =
+                      Int_set.union
+                        (Int_set.union node.view pnode.view)
+                        (Int_set.union node.randoms pnode.randoms)
+                    in
+                    node.view <-
+                      Int_set.remove id (Int_set.add pid (Int_set.union node.view union));
+                    pnode.view <-
+                      Int_set.remove pid (Int_set.add id (Int_set.union pnode.view union));
+                    trim_view t node;
+                    trim_view t pnode));
+            (* refresh random links (peer-sampling service) *)
+            let others = List.filter (fun p -> p <> id) all in
+            if others <> [] then begin
+              node.randoms <- Int_set.empty;
+              for _ = 1 to min t.random_size (List.length others) do
+                node.randoms <- Int_set.add (Rng.pick t.rng others) node.randoms
+              done
+            end)
+      all
+  end
+
+let gossip t ~rounds =
+  for _ = 1 to rounds do
+    gossip_round t
+  done
+
+let publish t ~from point =
+  let matched =
+    Hashtbl.fold
+      (fun id n acc ->
+        if Rect.contains_point n.rect point then Int_set.add id acc else acc)
+      t.nodes Int_set.empty
+  in
+  let received = ref Int_set.empty in
+  let messages = ref 0 in
+  let max_hops = ref 0 in
+  let queue = Queue.create () in
+  let enqueue id hops =
+    if not (Int_set.mem id !received) then begin
+      received := Int_set.add id !received;
+      if hops > !max_hops then max_hops := hops;
+      Queue.add (id, hops) queue
+    end
+  in
+  (match Hashtbl.find_opt t.nodes from with
+  | None -> ()
+  | Some n ->
+      received := Int_set.add from !received;
+      (* The publisher hands the event to its whole view. *)
+      Int_set.iter
+        (fun peer ->
+          if Hashtbl.mem t.nodes peer then begin
+            incr messages;
+            enqueue peer 1
+          end)
+        (Int_set.union n.view n.randoms));
+  while not (Queue.is_empty queue) do
+    let id, hops = Queue.pop queue in
+    match Hashtbl.find_opt t.nodes id with
+    | None -> ()
+    | Some n ->
+        (* Matching nodes flood their whole view (traversing the
+           interest community); non-matching relays forward only
+           toward neighbors that match (the semantic navigation
+           Sub-2-Sub's structures provide). *)
+        let self_matches = Rect.contains_point n.rect point in
+        Int_set.iter
+          (fun peer ->
+            match Hashtbl.find_opt t.nodes peer with
+            | Some pn
+              when (self_matches || Rect.contains_point pn.rect point)
+                   && not (Int_set.mem peer !received) ->
+                incr messages;
+                enqueue peer (hops + 1)
+            | Some _ | None -> ())
+          (Int_set.union n.view n.randoms)
+  done;
+  Report.make ~matched ~received:!received ~publisher:from
+    ~messages:!messages ~max_hops:!max_hops
+
+let mean_view_overlap t =
+  let total = ref 0.0 and count = ref 0 in
+  Hashtbl.iter
+    (fun _ n ->
+      let k = Int_set.cardinal n.view in
+      if k > 0 then begin
+        let overlapping =
+          Int_set.fold
+            (fun peer acc ->
+              match Hashtbl.find_opt t.nodes peer with
+              | Some pn when Rect.intersection_area n.rect pn.rect > 0.0 ->
+                  acc + 1
+              | Some _ | None -> acc)
+            n.view 0
+        in
+        total := !total +. (float_of_int overlapping /. float_of_int k);
+        incr count
+      end)
+    t.nodes;
+  if !count = 0 then 0.0 else !total /. float_of_int !count

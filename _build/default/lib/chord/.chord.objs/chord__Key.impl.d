@@ -1,0 +1,1 @@
+lib/chord/key.ml: Format

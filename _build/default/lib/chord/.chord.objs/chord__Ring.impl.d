@@ -1,0 +1,1 @@
+lib/chord/ring.ml: Array Hashtbl Int Key List Option Sim

@@ -1,0 +1,36 @@
+let bits = 24
+let space = 1 lsl bits
+
+type t = int
+
+let of_int x =
+  let r = x mod space in
+  if r < 0 then r + space else r
+
+(* splitmix-style mixing so consecutive node ids scatter uniformly. *)
+let hash_node id =
+  let x = ref (id * 0x9e3779b9) in
+  x := (!x lxor (!x lsr 16)) * 0x85ebca6b;
+  x := (!x lxor (!x lsr 13)) * 0xc2b2ae35;
+  x := !x lxor (!x lsr 16);
+  of_int !x
+
+let add_pow2 k i = of_int (k + (1 lsl i))
+
+let distance a b =
+  let d = (b - a) mod space in
+  if d < 0 then d + space else d
+
+let in_open k ~lo ~hi =
+  if lo = hi then k <> lo
+  else
+    let dk = distance lo k and dhi = distance lo hi in
+    dk > 0 && dk < dhi
+
+let in_half_open k ~lo ~hi =
+  if lo = hi then true
+  else
+    let dk = distance lo k and dhi = distance lo hi in
+    dk > 0 && dk <= dhi
+
+let pp ppf k = Format.fprintf ppf "k%06x" k

@@ -1,0 +1,36 @@
+(** Chord identifier circle.
+
+    Keys live on a ring of size [2^bits] (24 bits here: ample for the
+    simulated populations). All interval tests are circular. *)
+
+val bits : int
+(** Number of bits of the identifier space (24). *)
+
+val space : int
+(** [2^bits]. *)
+
+type t = int
+(** A key in [0, space). *)
+
+val of_int : int -> t
+(** Reduce modulo the key space (negative inputs allowed). *)
+
+val hash_node : int -> t
+(** Deterministic, well-mixed key for a node id. *)
+
+val add_pow2 : t -> int -> t
+(** [add_pow2 k i] is [k + 2^i mod space] — the [i]-th finger start. *)
+
+val in_open : t -> lo:t -> hi:t -> bool
+(** [in_open k ~lo ~hi]: is [k] in the circular open interval
+    (lo, hi)? Empty when [lo = hi]... except the full circle reading:
+    following Chord's convention, when [lo = hi] the interval is the
+    whole ring minus the endpoint. *)
+
+val in_half_open : t -> lo:t -> hi:t -> bool
+(** [(lo, hi]] circularly; when [lo = hi] it is the full ring. *)
+
+val distance : t -> t -> int
+(** Clockwise distance from the first key to the second. *)
+
+val pp : Format.formatter -> t -> unit

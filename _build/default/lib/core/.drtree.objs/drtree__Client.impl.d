@@ -1,0 +1,1 @@
+lib/core/client.ml: Filter Hashtbl List Option Overlay Pubsub Sim

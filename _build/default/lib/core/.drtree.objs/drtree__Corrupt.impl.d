@@ -1,0 +1,1 @@
+lib/core/corrupt.ml: Geometry List Overlay Sim State

@@ -1,0 +1,1 @@
+lib/core/corrupt.mli: Overlay Sim

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Float Geometry List Overlay Printf Set Sim State

@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Config Format Geometry List Overlay Sim State

@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Config Float Geometry Hashtbl List Logs Message Rtree Sim State

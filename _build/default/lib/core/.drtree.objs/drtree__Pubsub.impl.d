@@ -1,0 +1,1 @@
+lib/core/pubsub.ml: Filter Geometry Invariant List Overlay Sim

@@ -1,0 +1,1 @@
+lib/core/pubsub.mli: Config Filter Geometry Overlay Sim

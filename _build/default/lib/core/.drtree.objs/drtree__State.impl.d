@@ -1,0 +1,1 @@
+lib/core/state.ml: Format Geometry Hashtbl Option Sim

@@ -1,0 +1,114 @@
+module Node_id = Sim.Node_id
+
+type client = int
+
+type client_state = {
+  cname : string;
+  mutable procs : Node_id.Set.t;
+}
+
+type t = {
+  pubsub : Pubsub.t;
+  clients : (client, client_state) Hashtbl.t;
+  owners : client Node_id.Table.t;
+  mutable next : client;
+}
+
+let create pubsub =
+  { pubsub; clients = Hashtbl.create 32; owners = Node_id.Table.create 64;
+    next = 0 }
+
+let register t name =
+  let id = t.next in
+  t.next <- id + 1;
+  Hashtbl.replace t.clients id { cname = name; procs = Node_id.Set.empty };
+  id
+
+let get t c =
+  match Hashtbl.find_opt t.clients c with
+  | Some st -> st
+  | None -> invalid_arg "Client: unknown client"
+
+let name t c = Option.map (fun st -> st.cname) (Hashtbl.find_opt t.clients c)
+
+let subscribe t c sub =
+  let st = get t c in
+  let proc = Pubsub.subscribe t.pubsub sub in
+  st.procs <- Node_id.Set.add proc st.procs;
+  Node_id.Table.replace t.owners proc c;
+  proc
+
+let unsubscribe t c proc =
+  match Hashtbl.find_opt t.clients c with
+  | None -> ()
+  | Some st ->
+      if Node_id.Set.mem proc st.procs then begin
+        st.procs <- Node_id.Set.remove proc st.procs;
+        Node_id.Table.remove t.owners proc;
+        Pubsub.unsubscribe t.pubsub proc
+      end
+
+let unsubscribe_all t c =
+  match Hashtbl.find_opt t.clients c with
+  | None -> ()
+  | Some st ->
+      Node_id.Set.iter (fun proc -> unsubscribe t c proc) st.procs
+
+let subscriptions t c =
+  let st = get t c in
+  Node_id.Set.fold
+    (fun proc acc ->
+      match Pubsub.subscription t.pubsub proc with
+      | Some sub -> (proc, sub) :: acc
+      | None -> acc)
+    st.procs []
+  |> List.rev
+
+let owner t proc = Node_id.Table.find_opt t.owners proc
+
+type report = {
+  event : Filter.Event.t;
+  interested : client list;
+  delivered : client list;
+  spurious : client list;
+  false_negatives : int;
+  messages : int;
+}
+
+let clients_of t procs =
+  Node_id.Set.fold
+    (fun proc acc ->
+      match owner t proc with
+      | Some c -> if List.mem c acc then acc else c :: acc
+      | None -> acc)
+    procs []
+  |> List.sort compare
+
+let publish t ~from event =
+  let st = get t from in
+  let origin =
+    match Node_id.Set.min_elt_opt st.procs with
+    | Some proc -> proc
+    | None -> (
+        match Overlay.find_root (Pubsub.overlay t.pubsub) with
+        | Some root -> root
+        | None -> invalid_arg "Client.publish: empty overlay")
+  in
+  let raw = Pubsub.publish t.pubsub ~from:origin event in
+  let interested = clients_of t raw.Pubsub.interested in
+  let delivered = clients_of t raw.Pubsub.delivered in
+  let received = clients_of t raw.Pubsub.received in
+  let spurious =
+    List.filter
+      (fun c -> (not (List.mem c delivered)) && c <> from)
+      received
+  in
+  let missed = List.filter (fun c -> not (List.mem c delivered)) interested in
+  {
+    event;
+    interested;
+    delivered;
+    spurious;
+    false_negatives = List.length missed;
+    messages = raw.Pubsub.messages;
+  }

@@ -1,0 +1,54 @@
+(** Clients holding several subscriptions.
+
+    §2.1 notes "each node in the system has associated a {e set} of
+    subscriptions or content-based filters. For the sake of simplicity,
+    we initially assume that this set contains a single element." This
+    module implements the general case the way the DR-tree model
+    accommodates it: a client owning [k] filters occupies [k] leaf
+    processes (one per filter, so every leaf MBR stays tight), and
+    deliveries are de-duplicated per client. *)
+
+type t
+(** A client registry bound to a {!Pubsub.t}. *)
+
+type client = int
+(** Client identifier. *)
+
+val create : Pubsub.t -> t
+
+val register : t -> string -> client
+(** [register t name] creates a client. Names are for display only. *)
+
+val name : t -> client -> string option
+
+val subscribe : t -> client -> Filter.Subscription.t -> Sim.Node_id.t
+(** Add one filter to the client's set; returns the overlay process
+    carrying it. @raise Invalid_argument on an unknown client. *)
+
+val unsubscribe : t -> client -> Sim.Node_id.t -> unit
+(** Remove one filter (its process departs). Unknown pairs are
+    ignored. *)
+
+val unsubscribe_all : t -> client -> unit
+
+val subscriptions : t -> client -> (Sim.Node_id.t * Filter.Subscription.t) list
+
+val owner : t -> Sim.Node_id.t -> client option
+(** The client owning the given overlay process, if any. *)
+
+type report = {
+  event : Filter.Event.t;
+  interested : client list;  (** clients with ≥1 matching filter *)
+  delivered : client list;   (** clients that received the event with a
+                                 matching filter (deduplicated) *)
+  spurious : client list;    (** clients woken only by non-matching
+                                 receipts *)
+  false_negatives : int;     (** |interested \ delivered| *)
+  messages : int;
+}
+
+val publish : t -> from:client -> Filter.Event.t -> report
+(** Publish through one of the client's processes (or the overlay
+    root when the client has no subscription).
+    @raise Invalid_argument on an unknown client or when the overlay
+    is empty. *)

@@ -1,0 +1,35 @@
+(** DR-tree configuration.
+
+    [min_fill] and [max_fill] are the paper's [m] and [M]: every
+    non-root interior instance keeps between [m] and [M] children, and
+    [M >= 2m] so splits can produce two legal groups (§3.2). *)
+
+type oracle =
+  | Root_oracle  (** the contact node is the current root (§3.2: "the
+                     odds of finding a good position are best when
+                     starting from the root") *)
+  | Random_oracle  (** a uniformly random live node; the join is then
+                      redirected upward to the root as per §3.2 *)
+
+type t = {
+  min_fill : int;  (** m *)
+  max_fill : int;  (** M *)
+  split : Rtree.Split.kind;  (** children-set split policy (§3.2) *)
+  oracle : oracle;
+}
+
+val default : t
+(** [m = 2], [M = 4], quadratic split, root oracle. *)
+
+val make :
+  ?min_fill:int ->
+  ?max_fill:int ->
+  ?split:Rtree.Split.kind ->
+  ?oracle:oracle ->
+  unit ->
+  t
+(** @raise Invalid_argument if [min_fill < 2] or
+    [max_fill < 2 * min_fill]. ([m >= 2] keeps interior nodes binary
+    or wider, matching the R-tree root rule.) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+module Node_id = Sim.Node_id
+module Rect = Geometry.Rect
+
+let instance_name id h = Printf.sprintf "\"n%d@%d\"" id h
+
+let to_dot ov =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph drtree {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  Overlay.iter_states ov (fun id s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_n%d {\n    style=dashed; label=\"n%d\";\n" id id);
+      for h = 0 to State.top s do
+        match State.level s h with
+        | None -> ()
+        | Some l ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s [label=\"n%d@h%d\\n%s\"];\n"
+                 (instance_name id h) id h
+                 (Rect.to_string l.State.mbr))
+      done;
+      Buffer.add_string buf "  }\n");
+  (* Parent/child edges: from each interior instance to its members. *)
+  Overlay.iter_states ov (fun id s ->
+      for h = 1 to State.top s do
+        match State.level s h with
+        | None -> ()
+        | Some l ->
+            Node_id.Set.iter
+              (fun c ->
+                if Overlay.is_alive ov c || Node_id.equal c id then
+                  Buffer.add_string buf
+                    (Printf.sprintf "  %s -> %s;\n" (instance_name id h)
+                       (instance_name c (h - 1))))
+              l.State.children
+      done);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_ascii ov =
+  let buf = Buffer.create 4096 in
+  (match Overlay.find_root ov with
+  | None -> Buffer.add_string buf "(empty)\n"
+  | Some root ->
+      let rec show id h indent =
+        match Overlay.state ov id with
+        | None -> ()
+        | Some s ->
+            let mbr =
+              match State.mbr_at s h with
+              | Some r -> Rect.to_string r
+              | None -> "?"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s- n%d@h%d %s\n" indent id h mbr);
+            if h >= 1 then
+              match State.level s h with
+              | Some l ->
+                  Node_id.Set.iter
+                    (fun c -> show c (h - 1) (indent ^ "  "))
+                    l.State.children
+              | None -> ()
+      in
+      (match Overlay.state ov root with
+      | Some s -> show root (State.top s) ""
+      | None -> ()));
+  Buffer.contents buf
+
+(* Distinct stroke colours per height, cycling. *)
+let level_colors =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let to_svg ?(width = 640) ov =
+  let margin = 10.0 in
+  let wf = float_of_int width in
+  (* Viewport: union of all finite leaf filters. *)
+  let bounds = ref None in
+  Overlay.iter_states ov (fun _ s ->
+      let f = State.filter s in
+      if Rect.dims f <> 2 then
+        invalid_arg "Export.to_svg: only 2-D overlays can be rendered";
+      if Float.is_finite (Rect.area f) then
+        bounds :=
+          Some (match !bounds with None -> f | Some b -> Rect.union b f));
+  let buf = Buffer.create 8192 in
+  let finish () =
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+  in
+  match !bounds with
+  | None ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+            height=\"%d\">\n"
+           width width);
+      finish ()
+  | Some view ->
+      let x0 = Rect.low view 0 and y0 = Rect.low view 1 in
+      let w = Float.max 1e-9 (Rect.extent view 0) in
+      let h = Float.max 1e-9 (Rect.extent view 1) in
+      let scale = (wf -. (2.0 *. margin)) /. Float.max w h in
+      let height_px = int_of_float ((h *. scale) +. (2.0 *. margin)) in
+      let tx x = margin +. ((x -. x0) *. scale) in
+      (* SVG's y axis grows downward; flip so the rendering matches the
+         paper's figures. *)
+      let ty y = float_of_int height_px -. margin -. ((y -. y0) *. scale) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+            height=\"%d\">\n"
+           width height_px);
+      let emit_rect r ~stroke ~fill ~stroke_width ~opacity =
+        if Float.is_finite (Rect.area r) then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+                fill=\"%s\" fill-opacity=\"%.2f\" stroke=\"%s\" \
+                stroke-width=\"%.1f\"/>\n"
+               (tx (Rect.low r 0))
+               (ty (Rect.high r 1))
+               (Rect.extent r 0 *. scale)
+               (Rect.extent r 1 *. scale)
+               fill opacity stroke stroke_width)
+      in
+      (* Interior MBRs, deepest heights last so leaves stay visible. *)
+      let levels = ref [] in
+      Overlay.iter_states ov (fun _ s ->
+          for hh = State.top s downto 1 do
+            match State.level s hh with
+            | Some l -> levels := (hh, l.State.mbr) :: !levels
+            | None -> ()
+          done);
+      List.iter
+        (fun (hh, mbr) ->
+          let color = level_colors.(hh mod Array.length level_colors) in
+          emit_rect mbr ~stroke:color ~fill:"none" ~stroke_width:1.5
+            ~opacity:0.0)
+        (List.sort (fun (a, _) (b, _) -> compare b a) !levels);
+      (* Leaf filters. *)
+      Overlay.iter_states ov (fun _ s ->
+          emit_rect (State.filter s) ~stroke:"#333333" ~fill:"#77aadd"
+            ~stroke_width:0.5 ~opacity:0.35);
+      finish ()
+
+let adjacency ov =
+  let module Pair_set = Set.Make (struct
+    type t = Node_id.t * Node_id.t
+
+    let compare = compare
+  end) in
+  let edges = ref Pair_set.empty in
+  let add a b =
+    if not (Node_id.equal a b) then
+      edges := Pair_set.add (min a b, max a b) !edges
+  in
+  Overlay.iter_states ov (fun id s ->
+      for h = 0 to State.top s do
+        match State.level s h with
+        | None -> ()
+        | Some l ->
+            if Overlay.is_alive ov l.State.parent then add id l.State.parent;
+            Node_id.Set.iter
+              (fun c -> if Overlay.is_alive ov c then add id c)
+              l.State.children
+      done);
+  Pair_set.elements !edges

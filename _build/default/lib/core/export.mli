@@ -1,0 +1,24 @@
+(** Structure export for inspection and visualization. *)
+
+val to_dot : Overlay.t -> string
+(** GraphViz rendering of the logical DR-tree: one box per instance
+    (process × height), labelled with its MBR; solid edges for
+    parent/child links, dashed boxes grouping each process's
+    self-chain. Crashed processes are omitted. *)
+
+val to_ascii : Overlay.t -> string
+(** Indented textual rendering from the root downward (the format the
+    CLI's [inspect] command prints). *)
+
+val to_svg : ?width:int -> Overlay.t -> string
+(** Spatial rendering in the style of the paper's Figure 3 (for 2-D
+    filters): subscription rectangles filled, interior-instance MBRs
+    as nested outlines colored by height. The viewport is the root
+    MBR. @raise Invalid_argument when the overlay's filters are not
+    2-dimensional. Empty overlays render an empty canvas. *)
+
+val adjacency : Overlay.t -> (Sim.Node_id.t * Sim.Node_id.t) list
+(** The physical communication graph (Fig. 5 of the paper): an edge
+    per pair of distinct processes connected by at least one
+    parent/child link at any level. Each undirected edge appears once,
+    smaller id first. *)

@@ -1,0 +1,89 @@
+module Node_id = Sim.Node_id
+
+type level_snapshot = {
+  height : int;
+  mbr : Geometry.Rect.t;
+  parent : Node_id.t;
+  children : Node_id.Set.t;
+}
+
+type snapshot = {
+  responder : Node_id.t;
+  top : int;
+  filter : Geometry.Rect.t;
+  levels : level_snapshot list;
+}
+
+type t =
+  | Query of { asker : Node_id.t }
+  | Report of { snapshot : snapshot }
+  | Join of {
+      joiner : Node_id.t;
+      mbr : Geometry.Rect.t;
+      height : int;
+      phase : [ `Up | `Down of int ];
+      hops : int;
+    }
+  | Add_child of {
+      child : Node_id.t;
+      mbr : Geometry.Rect.t;
+      height : int;
+      hops : int;
+    }
+  | Leave of { who : Node_id.t; height : int }
+  | Check_mbr of int
+  | Check_parent of int
+  | Check_children of int
+  | Check_cover of int
+  | Check_structure of int
+  | Cover_sweep of int
+  | Initiate_new_connection of int
+  | Publish of {
+      event_id : int;
+      point : Geometry.Point.t;
+      at : int;
+      from_child : Node_id.t option;
+      going_up : bool;
+      hops : int;
+    }
+
+let tag = function
+  | Query _ -> "QUERY"
+  | Report _ -> "REPORT"
+  | Join _ -> "JOIN"
+  | Add_child _ -> "ADD_CHILD"
+  | Leave _ -> "LEAVE"
+  | Check_mbr _ -> "CHECK_MBR"
+  | Check_parent _ -> "CHECK_PARENT"
+  | Check_children _ -> "CHECK_CHILDREN"
+  | Check_cover _ -> "CHECK_COVER"
+  | Check_structure _ -> "CHECK_STRUCTURE"
+  | Cover_sweep _ -> "COVER_SWEEP"
+  | Initiate_new_connection _ -> "INITIATE_NEW_CONNECTION"
+  | Publish _ -> "PUBLISH"
+
+let pp ppf = function
+  | Query { asker } -> Format.fprintf ppf "QUERY(from %a)" Node_id.pp asker
+  | Report { snapshot } ->
+      Format.fprintf ppf "REPORT(%a,top=%d)" Node_id.pp snapshot.responder
+        snapshot.top
+  | Join { joiner; height; phase; hops; _ } ->
+      Format.fprintf ppf "JOIN(%a,h%d,%s,hops=%d)" Node_id.pp joiner height
+        (match phase with `Up -> "up" | `Down at -> "down@" ^ string_of_int at)
+        hops
+  | Add_child { child; height; hops; _ } ->
+      Format.fprintf ppf "ADD_CHILD(%a,h%d,hops=%d)" Node_id.pp child height hops
+  | Leave { who; height } ->
+      Format.fprintf ppf "LEAVE(%a,h%d)" Node_id.pp who height
+  | Check_mbr h -> Format.fprintf ppf "CHECK_MBR(h%d)" h
+  | Check_parent h -> Format.fprintf ppf "CHECK_PARENT(h%d)" h
+  | Check_children h -> Format.fprintf ppf "CHECK_CHILDREN(h%d)" h
+  | Check_cover h -> Format.fprintf ppf "CHECK_COVER(h%d)" h
+  | Check_structure h -> Format.fprintf ppf "CHECK_STRUCTURE(h%d)" h
+  | Cover_sweep h -> Format.fprintf ppf "COVER_SWEEP(h%d)" h
+  | Initiate_new_connection h ->
+      Format.fprintf ppf "INITIATE_NEW_CONNECTION(h%d)" h
+  | Publish { event_id; at; going_up; hops; _ } ->
+      Format.fprintf ppf "PUBLISH(e%d,h%d,%s,hops=%d)" event_id at
+        (if going_up then "up" else "down")
+        hops

@@ -1,0 +1,82 @@
+(** DR-tree protocol messages.
+
+    Heights follow the leaf-based convention of {!State}. Messages that
+    the paper's pseudocode names are kept one-to-one: [Join]/[Add_child]
+    (Fig. 8), [Leave] (Fig. 9), the five [Check_*] stabilization
+    triggers (Figs. 10–14), [Initiate_new_connection] (Fig. 14), plus
+    the dissemination message [Publish] (§3, "Selective Data
+    Dissemination"). *)
+
+type level_snapshot = {
+  height : int;
+  mbr : Geometry.Rect.t;
+  parent : Sim.Node_id.t;
+  children : Sim.Node_id.Set.t;
+}
+(** One level of a state snapshot, as carried by [Report]. *)
+
+type snapshot = {
+  responder : Sim.Node_id.t;
+  top : int;
+  filter : Geometry.Rect.t;
+  levels : level_snapshot list;
+}
+(** A node's full per-level state at reply time. The message-passing
+    stabilization mode ({!Overlay.stabilize_round_mp}) replaces the
+    shared-state model's neighbor reads with one [Query]/[Report]
+    round trip per neighbor per round. *)
+
+type t =
+  | Query of { asker : Sim.Node_id.t }
+      (** please send me your state snapshot *)
+  | Report of { snapshot : snapshot }
+  | Join of {
+      joiner : Sim.Node_id.t;
+      mbr : Geometry.Rect.t;  (** MBR of the joining (sub)tree root *)
+      height : int;  (** height of the joining instance; [0] for a new
+                         subscriber, [> 0] when a subtree rejoins *)
+      phase : [ `Up | `Down of int ];
+          (** [`Up]: redirected toward the root. [`Down at]: descending,
+              currently at the receiving process's instance at height
+              [at]. *)
+      hops : int;
+    }
+  | Add_child of {
+      child : Sim.Node_id.t;
+      mbr : Geometry.Rect.t;
+      height : int;  (** the child instance's height; it is to enter
+                         the receiver's children set at [height + 1] *)
+      hops : int;
+    }
+  | Leave of { who : Sim.Node_id.t; height : int }
+      (** controlled departure of [who]'s topmost instance (at
+          [height]); sent to its parent *)
+  | Check_mbr of int
+  | Check_parent of int
+  | Check_children of int
+  | Check_cover of int
+  | Check_structure of int
+      (** the payload is the children-set height the module operates
+          on *)
+  | Cover_sweep of int
+      (** run CHECK_COVER at the given height, then forward one level
+          up — issued after a join so the MBR growth along the descent
+          path cannot leave a better-covering member behind
+          (Lemma 3.2's legitimacy after joins) *)
+  | Initiate_new_connection of int
+      (** dissolve the subtree below the receiver's instance at the
+          given height; leaves rejoin individually *)
+  | Publish of {
+      event_id : int;
+      point : Geometry.Point.t;
+      at : int;  (** height of the receiving instance *)
+      from_child : Sim.Node_id.t option;
+          (** for upward steps: the child the event came from (its
+              subtree is already covered) *)
+      going_up : bool;
+      hops : int;
+    }
+
+val pp : Format.formatter -> t -> unit
+val tag : t -> string
+(** Constructor name, for tracing and per-kind counters. *)

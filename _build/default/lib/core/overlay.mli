@@ -1,0 +1,167 @@
+(** The DR-tree overlay (§3 of the paper).
+
+    Subscribers self-organize into a balanced virtual R-tree according
+    to the spatial relations of their filters. Joins (Fig. 8) and
+    controlled departures (Fig. 9) travel as messages through the
+    simulator; the five stabilization modules (Figs. 10–14) execute as
+    atomic actions over the state of the nodes involved — the paper's
+    own presentation ("upon receive CHECK_X at node p" bodies that read
+    and write neighbor variables), i.e. the shared-state model usual in
+    self-stabilization. Reads of a {e crashed} node's state are
+    impossible; its neighbors observe it as unreachable and repair.
+
+    All randomness flows from the creation seed; runs are
+    deterministic. *)
+
+type t
+
+val create : ?cfg:Config.t -> ?drop_rate:float -> seed:int -> unit -> t
+(** [drop_rate] loses that fraction of inter-process messages
+    (default 0): joins and publications may then fail transiently and
+    are healed by the stabilization rounds — see the message-loss
+    tests and experiment E18. *)
+
+val cfg : t -> Config.t
+val engine : t -> Message.t Sim.Engine.t
+
+(** {2 Membership} *)
+
+val join : t -> Geometry.Rect.t -> Sim.Node_id.t
+(** [join t filter] spawns a subscriber process with the given
+    (constant) filter and runs the join protocol to completion
+    (drains the engine). The very first subscriber becomes the root. *)
+
+val join_async : t -> Geometry.Rect.t -> Sim.Node_id.t
+(** Like {!join} but does not run the engine: the JOIN message is only
+    queued. Use for concurrent-join experiments. *)
+
+val leave : t -> Sim.Node_id.t -> unit
+(** Controlled departure (Fig. 9): notifies the parent of the topmost
+    instance, then the process disappears. Runs the engine. The
+    subtree below it is repaired by the stabilization modules (the
+    paper's "for simplicity" variant). *)
+
+val leave_reconnect : t -> Sim.Node_id.t -> unit
+(** The efficient controlled-departure variant §3.2 mentions ("the
+    leave module drives the repair process and reconnects whole
+    subtrees"): before departing, the node re-joins each subtree it
+    was responsible for (the non-self members of its children sets)
+    through its surviving parent, so the overlay heals without waiting
+    for stabilization rounds. Compare with {!leave} in experiment
+    E13. *)
+
+val crash : t -> Sim.Node_id.t -> unit
+(** Uncontrolled departure: the process dies silently. No messages.
+    Stabilization must detect and repair. *)
+
+(** {2 State access (read-only views; for checkers, metrics, fault
+    injection)} *)
+
+val state : t -> Sim.Node_id.t -> State.t option
+(** The process state, whether alive or crashed ([None] if the id was
+    never spawned). Protocol handlers use an internal accessor that
+    refuses crashed nodes; checker code may want both views. *)
+
+val is_alive : t -> Sim.Node_id.t -> bool
+val alive_ids : t -> Sim.Node_id.t list
+val size : t -> int
+(** Number of live subscribers. *)
+
+val find_root : t -> Sim.Node_id.t option
+(** The unique live process whose topmost instance is its own parent,
+    if the overlay is in a sane-enough state to have one; resolves by
+    walking parents from a live node with a cycle guard. *)
+
+val height : t -> int
+(** Height of the tree: the root's topmost instance height ([0] for a
+    single node; [-1] when empty/rootless). *)
+
+(** {2 Publication (§3, selective dissemination)} *)
+
+type publish_report = {
+  event_id : int;
+  matched : Sim.Node_id.Set.t;
+      (** subscribers whose filter contains the event (ground truth by
+          exhaustive matching) *)
+  delivered : Sim.Node_id.Set.t;
+      (** subscribers that received the event and match it *)
+  received : Sim.Node_id.Set.t;  (** every process the event touched *)
+  false_positives : int;  (** |received \ matched| *)
+  false_negatives : int;  (** |matched \ delivered| *)
+  messages : int;  (** inter-process messages used *)
+  max_hops : int;  (** longest delivery path *)
+}
+
+val publish : t -> from:Sim.Node_id.t -> Geometry.Point.t -> publish_report
+(** [publish t ~from p] disseminates the event [p] produced by [from]
+    through the tree (up to the root, down every sibling subtree whose
+    MBR contains [p]) and reports accuracy and cost. Runs the engine.
+    @raise Invalid_argument if [from] is not alive. *)
+
+(** {2 Stabilization} *)
+
+val stabilize_round : t -> unit
+(** One round: every live process triggers, at every active height,
+    CHECK_MBR (bottom-up), CHECK_CHILDREN, CHECK_PARENT, CHECK_COVER
+    and CHECK_STRUCTURE, in deterministic id order, then the engine
+    drains (re-joins triggered by repairs complete). *)
+
+val stabilize : ?max_rounds:int -> legal:(t -> bool) -> t -> int option
+(** [stabilize ~legal ov] runs {!stabilize_round} until [legal ov]
+    holds (pass [Invariant.is_legal]). Returns the number of rounds
+    taken ([Some 0] when already legal), or [None] if [max_rounds]
+    (default 50) was not enough. *)
+
+val stabilize_round_mp : t -> unit
+(** The message-passing variant of {!stabilize_round}: each node
+    queries every neighbor once (QUERY/REPORT messages through the
+    engine, counted), then runs the four local repair modules using
+    {e only} the received reports and its own state. Neighbors that do
+    not report are treated as dead. Multi-party transactions (cover
+    exchange, compaction, root handover) remain atomic locked
+    exchanges. Convergence may need more rounds than the shared-state
+    mode — each round acts on start-of-round snapshots. Compare both
+    in experiment E7b. *)
+
+val stabilize_mp : ?max_rounds:int -> legal:(t -> bool) -> t -> int option
+(** {!stabilize} using {!stabilize_round_mp}. *)
+
+val run : t -> unit
+(** Drain the engine ([Engine.run] with default limits). *)
+
+(** {2 Operation metrics} *)
+
+val last_join_hops : t -> int
+(** Inter-process hops of the most recently completed join. *)
+
+val new_event_id : t -> int
+(** Fresh event identifier (used internally by {!publish}; exposed for
+    tests that hand-craft dissemination). *)
+
+(** {2 Internal hooks} *)
+
+val iter_states : t -> (Sim.Node_id.t -> State.t -> unit) -> unit
+(** Iterate over live processes in id order. *)
+
+val enable_logging : t -> unit
+(** Install an engine tracer that reports every message delivery on
+    the library's [Logs] source ("drtree", debug level). Useful with
+    [Logs.set_level (Some Logs.Debug)] when debugging a scenario. *)
+
+val log_src : Logs.src
+(** The library's log source. *)
+
+val state_probes : t -> int
+(** Cumulative count of remote state reads performed by module bodies
+    (the shared-state model's implicit communication): each would be a
+    query/reply round trip in a purely message-passing implementation.
+    E7 reports these alongside the explicit protocol messages. *)
+
+val reset_state_probes : t -> unit
+
+val fp_swap_round : t -> int
+(** Dynamic reorganization of §3.2: every interior instance compares
+    its accumulated false-positive count with what each child would
+    have experienced in its place, and swaps roles with the best child
+    when beneficial. Clears the counters. Returns the number of swaps
+    performed. *)

@@ -1,0 +1,127 @@
+module Node_id = Sim.Node_id
+
+type t = {
+  schema : Filter.Schema.t;
+  overlay : Overlay.t;
+  domain : Geometry.Rect.t option;
+  subscriptions : Filter.Subscription.t list Node_id.Table.t;
+}
+
+let create ?cfg ?domain ~schema ~seed () =
+  (match domain with
+  | Some d when Geometry.Rect.dims d <> Filter.Schema.dims schema ->
+      invalid_arg "Pubsub.create: domain dimensionality mismatch"
+  | Some _ | None -> ());
+  let overlay =
+    match cfg with
+    | Some cfg -> Overlay.create ~cfg ~seed ()
+    | None -> Overlay.create ~seed ()
+  in
+  { schema; overlay; domain; subscriptions = Node_id.Table.create 256 }
+
+(* Clip a subscription rectangle to the domain; a filter entirely
+   outside the domain can never match a (domain-bounded) event, so it
+   collapses to the domain's lower corner. *)
+let clip t r =
+  match t.domain with
+  | None -> r
+  | Some d -> (
+      match Geometry.Rect.intersection d r with
+      | Some clipped -> clipped
+      | None ->
+          Geometry.Rect.of_point
+            (Geometry.Point.make (Geometry.Rect.lows d)))
+
+let schema t = t.schema
+let overlay t = t.overlay
+
+let subscribe t sub =
+  let rect = clip t (Filter.Subscription.rect t.schema sub) in
+  let id = Overlay.join t.overlay rect in
+  Node_id.Table.replace t.subscriptions id [ sub ];
+  id
+
+let subscribe_set t subs =
+  if subs = [] then invalid_arg "Pubsub.subscribe_set: empty filter set";
+  let rect =
+    clip t
+      (Geometry.Rect.union_many
+         (List.map (Filter.Subscription.rect t.schema) subs))
+  in
+  let id = Overlay.join t.overlay rect in
+  Node_id.Table.replace t.subscriptions id subs;
+  id
+
+let unsubscribe t id = Overlay.leave t.overlay id
+
+let resubscribe t id sub =
+  if not (Overlay.is_alive t.overlay id) then
+    invalid_arg "Pubsub.resubscribe: unknown subscriber";
+  unsubscribe t id;
+  Node_id.Table.remove t.subscriptions id;
+  let rect = clip t (Filter.Subscription.rect t.schema sub) in
+  let fresh = Overlay.join t.overlay rect in
+  Node_id.Table.replace t.subscriptions fresh [ sub ];
+  fresh
+let crash t id = Overlay.crash t.overlay id
+let subscription t id =
+  match Node_id.Table.find_opt t.subscriptions id with
+  | Some [ sub ] -> Some sub
+  | Some _ | None -> None
+
+let subscription_set t id =
+  match Node_id.Table.find_opt t.subscriptions id with
+  | Some subs -> subs
+  | None -> []
+
+type report = {
+  event : Filter.Event.t;
+  interested : Node_id.Set.t;
+  delivered : Node_id.Set.t;
+  received : Node_id.Set.t;
+  false_positives : int;
+  false_negatives : int;
+  messages : int;
+  max_hops : int;
+}
+
+let publish t ~from event =
+  let point = Filter.Event.to_point t.schema event in
+  (match t.domain with
+  | Some d when not (Geometry.Rect.contains_point d point) ->
+      invalid_arg "Pubsub.publish: event outside the declared domain"
+  | Some _ | None -> ());
+  let raw = Overlay.publish t.overlay ~from point in
+  let matches id =
+    match Node_id.Table.find_opt t.subscriptions id with
+    | Some subs ->
+        List.exists (fun sub -> Filter.Subscription.matches sub event) subs
+    | None -> false
+  in
+  let interested =
+    List.fold_left
+      (fun acc id -> if matches id then Node_id.Set.add id acc else acc)
+      Node_id.Set.empty
+      (Overlay.alive_ids t.overlay)
+  in
+  let delivered = Node_id.Set.filter matches raw.Overlay.received in
+  let spurious =
+    Node_id.Set.remove from
+      (Node_id.Set.filter (fun id -> not (matches id)) raw.Overlay.received)
+  in
+  let missed = Node_id.Set.diff interested delivered in
+  {
+    event;
+    interested;
+    delivered;
+    received = raw.Overlay.received;
+    false_positives = Node_id.Set.cardinal spurious;
+    false_negatives = Node_id.Set.cardinal missed;
+    messages = raw.Overlay.messages;
+    max_hops = raw.Overlay.max_hops;
+  }
+
+let stabilize ?max_rounds t =
+  Overlay.stabilize ?max_rounds ~legal:Invariant.is_legal t.overlay
+
+let size t = Overlay.size t.overlay

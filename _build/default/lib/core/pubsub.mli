@@ -1,0 +1,89 @@
+(** Content-based publish/subscribe over the DR-tree (§1, §3).
+
+    This is the user-facing API: typed subscriptions (conjunctions of
+    predicates) and events (attribute/value maps) under a fixed
+    schema. Routing uses the spatial embedding (closed rectangles and
+    points); delivery accuracy is reported against the {e exact}
+    predicate semantics, so strict bounds over-approximated by the
+    embedding show up as (boundary) false positives rather than lost
+    events. *)
+
+type t
+
+val create :
+  ?cfg:Config.t ->
+  ?domain:Geometry.Rect.t ->
+  schema:Filter.Schema.t ->
+  seed:int ->
+  unit ->
+  t
+(** [domain] bounds the attribute space. One-sided and unconstrained
+    predicates embed as {e unbounded} rectangles, whose infinite MBRs
+    make cover comparisons degenerate and routing coarse; clipping
+    every subscription rectangle to a finite domain restores tight
+    MBRs. Every published event must lie inside the domain
+    ({!publish} raises otherwise) — this keeps the zero-false-negative
+    guarantee intact.
+    @raise Invalid_argument if the domain dimensionality differs from
+    the schema's. *)
+
+val schema : t -> Filter.Schema.t
+val overlay : t -> Overlay.t
+(** The underlying overlay, for invariant checks and fault
+    injection. *)
+
+val subscribe : t -> Filter.Subscription.t -> Sim.Node_id.t
+(** Register a subscriber; runs the join protocol to completion. *)
+
+val subscribe_set : t -> Filter.Subscription.t list -> Sim.Node_id.t
+(** Register one subscriber carrying a {e set} of filters (§2.1's
+    general model, folded into a single leaf): the process's leaf
+    rectangle is the bounding box of all its filters, and it is
+    "interested" in an event iff {e some} filter matches exactly.
+    Trade-off versus one process per filter ({!Client}): one join and
+    one tree slot instead of [k], but the bounding box of disjoint
+    interests adds dead space — more false positives (experiment
+    E21 quantifies this). @raise Invalid_argument on []. *)
+
+val unsubscribe : t -> Sim.Node_id.t -> unit
+(** Controlled departure. *)
+
+val resubscribe : t -> Sim.Node_id.t -> Filter.Subscription.t -> Sim.Node_id.t
+(** [resubscribe t id sub] replaces subscriber [id]'s filter with
+    [sub]. Filters are constant in the paper's model, so this is
+    modeled faithfully as a controlled departure followed by a fresh
+    join; the returned id is the {e new} process carrying the updated
+    subscription. @raise Invalid_argument if [id] is not alive. *)
+
+val crash : t -> Sim.Node_id.t -> unit
+(** Uncontrolled departure. *)
+
+val subscription : t -> Sim.Node_id.t -> Filter.Subscription.t option
+(** The subscriber's filter, when it carries exactly one ([None] for
+    set subscribers — use {!subscription_set}). *)
+
+val subscription_set : t -> Sim.Node_id.t -> Filter.Subscription.t list
+(** All filters the subscriber carries ([[]] for unknown ids). *)
+
+type report = {
+  event : Filter.Event.t;
+  interested : Sim.Node_id.Set.t;
+      (** exact-matching live subscribers (ground truth) *)
+  delivered : Sim.Node_id.Set.t;  (** received and exactly matching *)
+  received : Sim.Node_id.Set.t;
+  false_positives : int;
+      (** received but not exactly matching (publisher excluded) *)
+  false_negatives : int;  (** interested but not delivered *)
+  messages : int;
+  max_hops : int;
+}
+
+val publish : t -> from:Sim.Node_id.t -> Filter.Event.t -> report
+(** Disseminate an event produced by subscriber [from].
+    @raise Invalid_argument if [from] is dead or the event misses a
+    schema attribute. *)
+
+val stabilize : ?max_rounds:int -> t -> int option
+(** {!Overlay.stabilize} with the {!Invariant.is_legal} predicate. *)
+
+val size : t -> int

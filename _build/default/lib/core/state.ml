@@ -1,0 +1,98 @@
+module Rect = Geometry.Rect
+module Node_id = Sim.Node_id
+
+type level = {
+  mutable children : Node_id.Set.t;
+  mutable mbr : Rect.t;
+  mutable parent : Node_id.t;
+  mutable underloaded : bool;
+}
+
+type t = {
+  id : Node_id.t;
+  filter : Rect.t;
+  levels : (int, level) Hashtbl.t;
+  mutable top : int;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let fresh_level ~id ~filter =
+  { children = Node_id.Set.empty; mbr = filter; parent = id;
+    underloaded = false }
+
+let create ~id ~filter =
+  let levels = Hashtbl.create 4 in
+  Hashtbl.replace levels 0 (fresh_level ~id ~filter);
+  { id; filter; levels; top = 0; seen = Hashtbl.create 16 }
+
+let id s = s.id
+let filter s = s.filter
+let top s = s.top
+let is_active s h = h >= 0 && h <= s.top && Hashtbl.mem s.levels h
+let level s h = if h < 0 then None else Hashtbl.find_opt s.levels h
+
+let level_exn s h =
+  match level s h with
+  | Some l -> l
+  | None ->
+      invalid_arg
+        (Format.asprintf "State.level_exn: %a inactive at height %d"
+           Node_id.pp s.id h)
+
+let activate s h =
+  if h < 0 then invalid_arg "State.activate: negative height";
+  for h' = 0 to h do
+    if not (Hashtbl.mem s.levels h') then
+      Hashtbl.replace s.levels h' (fresh_level ~id:s.id ~filter:s.filter)
+  done;
+  if h > s.top then s.top <- h;
+  Hashtbl.find s.levels h
+
+let deactivate_above s h =
+  let h = max h 0 in
+  for h' = h + 1 to s.top do
+    Hashtbl.remove s.levels h'
+  done;
+  if s.top > h then s.top <- h
+
+let is_root s h =
+  h = s.top
+  &&
+  match level s h with
+  | Some l -> Node_id.equal l.parent s.id
+  | None -> false
+
+let mbr_at s h = Option.map (fun l -> l.mbr) (level s h)
+
+let memory_words s =
+  let per_level _h l acc =
+    acc + Node_id.Set.cardinal l.children + 4 (* mbr bounds *) + 1 (* parent *)
+    + 1 (* flag *)
+  in
+  Hashtbl.fold per_level s.levels 0
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>%a filter=%a top=%d" Node_id.pp s.id Rect.pp
+    s.filter s.top;
+  for h = 0 to s.top do
+    match level s h with
+    | None -> Format.fprintf ppf "@,  h%d: <missing>" h
+    | Some l ->
+        Format.fprintf ppf "@,  h%d: parent=%a mbr=%a children={%a}%s" h
+          Node_id.pp l.parent Rect.pp l.mbr
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+             Node_id.pp)
+          (Node_id.Set.elements l.children)
+          (if l.underloaded then " underloaded" else "")
+  done;
+  Format.fprintf ppf "@]"
+
+let mark_seen s event_id =
+  if Hashtbl.mem s.seen event_id then false
+  else begin
+    Hashtbl.replace s.seen event_id ();
+    true
+  end
+
+let clear_seen s = Hashtbl.reset s.seen

@@ -1,0 +1,1 @@
+lib/filter/containment.ml: Array Geometry List

@@ -1,0 +1,1 @@
+lib/filter/event.ml: Array Format Geometry Hashtbl List Schema Value

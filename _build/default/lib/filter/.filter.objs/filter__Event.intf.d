@@ -1,0 +1,1 @@
+lib/filter/event.mli: Format Geometry Schema Value

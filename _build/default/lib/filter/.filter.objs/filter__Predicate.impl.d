@@ -1,0 +1,1 @@
+lib/filter/predicate.ml: Format Option String Value

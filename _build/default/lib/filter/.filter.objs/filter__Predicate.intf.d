@@ -1,0 +1,1 @@
+lib/filter/predicate.mli: Format Value

@@ -1,0 +1,1 @@
+lib/filter/schema.ml: Array Format Hashtbl String

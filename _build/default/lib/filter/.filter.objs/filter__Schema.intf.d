@@ -1,0 +1,1 @@
+lib/filter/schema.mli: Format

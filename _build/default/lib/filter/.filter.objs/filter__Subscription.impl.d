@@ -1,0 +1,1 @@
+lib/filter/subscription.ml: Array Event Float Format Geometry Hashtbl List Predicate Schema String Value

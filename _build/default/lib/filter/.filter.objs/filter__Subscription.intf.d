@@ -1,0 +1,1 @@
+lib/filter/subscription.mli: Event Format Geometry Predicate Schema

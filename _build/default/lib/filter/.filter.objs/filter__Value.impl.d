@@ -1,0 +1,1 @@
+lib/filter/value.ml: Char Float Format Int String

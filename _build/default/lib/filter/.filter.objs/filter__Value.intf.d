@@ -1,0 +1,1 @@
+lib/filter/value.mli: Format

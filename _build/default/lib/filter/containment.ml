@@ -1,0 +1,75 @@
+type 'a t = {
+  elems : 'a array;
+  strictly_contains : bool array array;
+      (* [strictly_contains.(i).(j)]: i is a strict container of j in the
+         order used for the reduction (geometric containment, equal
+         rectangles resolved by insertion order). *)
+  direct_parents : int list array;
+  direct_children : int list array;
+}
+
+let build ~rect items =
+  let elems = Array.of_list items in
+  let n = Array.length elems in
+  let rects = Array.map rect elems in
+  let strictly_contains = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Geometry.Rect.contains rects.(i) rects.(j) then
+        if Geometry.Rect.equal rects.(i) rects.(j) then
+          (* Equal rectangles: earlier item is the container. *)
+          strictly_contains.(i).(j) <- i < j
+        else strictly_contains.(i).(j) <- true
+    done
+  done;
+  let direct_parents = Array.make n [] in
+  let direct_children = Array.make n [] in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if strictly_contains.(i).(j) then begin
+        (* i is a direct parent of j iff no k with i > k > j. *)
+        let direct = ref true in
+        for k = 0 to n - 1 do
+          if strictly_contains.(i).(k) && strictly_contains.(k).(j) then
+            direct := false
+        done;
+        if !direct then begin
+          direct_parents.(j) <- i :: direct_parents.(j);
+          direct_children.(i) <- j :: direct_children.(i)
+        end
+      end
+    done
+  done;
+  Array.iteri (fun j ps -> direct_parents.(j) <- List.rev ps) direct_parents;
+  Array.iteri (fun i cs -> direct_children.(i) <- List.rev cs) direct_children;
+  { elems; strictly_contains; direct_parents; direct_children }
+
+let items g = Array.to_list g.elems
+let size g = Array.length g.elems
+
+let check_index g i =
+  if i < 0 || i >= size g then invalid_arg "Containment: index out of range"
+
+let item g i =
+  check_index g i;
+  g.elems.(i)
+
+let contains g i j =
+  check_index g i;
+  check_index g j;
+  i = j || g.strictly_contains.(i).(j)
+
+let parents g j =
+  check_index g j;
+  g.direct_parents.(j)
+
+let children g i =
+  check_index g i;
+  g.direct_children.(i)
+
+let roots g =
+  let acc = ref [] in
+  for j = size g - 1 downto 0 do
+    if g.direct_parents.(j) = [] then acc := j :: !acc
+  done;
+  !acc

@@ -1,0 +1,42 @@
+(** Subscription containment graphs.
+
+    The containment relation between subscriptions is a partial order
+    (§2.1, Figure 1 right). This module materializes it for a finite
+    set of labeled rectangles: the full relation, its transitive
+    reduction (Hasse diagram / "containment graph"), and the maximal
+    (uncontained) elements. Used by the containment-tree baseline and
+    by the containment-awareness experiments (E11). *)
+
+type 'a t
+(** A containment graph over items of type ['a]. *)
+
+val build : rect:('a -> Geometry.Rect.t) -> 'a list -> 'a t
+(** [build ~rect items] computes the containment graph. Two items with
+    equal rectangles contain each other; ties are broken by list order
+    so the reduction stays acyclic (the earlier item is treated as the
+    container). O(n² · d) for n items in d dimensions. *)
+
+val items : 'a t -> 'a list
+(** The items, in insertion order. *)
+
+val contains : 'a t -> int -> int -> bool
+(** [contains g i j] is true iff item [i] (by insertion index)
+    contains item [j] in the full (transitive) relation. [contains g
+    i i] is true. *)
+
+val parents : 'a t -> int -> int list
+(** [parents g j] are the direct containers of [j] in the transitive
+    reduction: containers of [j] that contain no other container of
+    [j] strictly. *)
+
+val children : 'a t -> int -> int list
+(** Direct containees in the transitive reduction. *)
+
+val roots : 'a t -> int list
+(** Items contained by no other item (the maximal elements). *)
+
+val size : 'a t -> int
+
+val item : 'a t -> int -> 'a
+(** [item g i] is the item with insertion index [i].
+    @raise Invalid_argument if out of range. *)

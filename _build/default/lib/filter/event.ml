@@ -1,0 +1,52 @@
+type t = (string * Value.t) list
+
+let make bindings =
+  if bindings = [] then invalid_arg "Event.make: empty event";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Event.make: duplicate attribute " ^ name);
+      Hashtbl.add seen name ())
+    bindings;
+  bindings
+
+let of_point schema p =
+  if Geometry.Point.dims p <> Schema.dims schema then
+    invalid_arg "Event.of_point: dimension mismatch";
+  List.mapi
+    (fun i name -> (name, Value.float (Geometry.Point.coord p i)))
+    (Schema.attributes schema)
+
+let value e attr = List.assoc_opt attr e
+let attributes e = List.map fst e
+let bindings e = e
+
+let to_point schema e =
+  let coords =
+    Array.init (Schema.dims schema) (fun i ->
+        let name = Schema.attribute schema i in
+        match value e name with
+        | Some v -> Value.to_float v
+        | None ->
+            invalid_arg ("Event.to_point: missing attribute " ^ name))
+  in
+  Geometry.Point.make coords
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (name, v) ->
+         match List.assoc_opt name b with
+         | Some w -> Value.equal v w
+         | None -> false)
+       a
+
+let pp ppf e =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s=%a" name Value.pp v))
+    e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,34 @@
+(** Events (publications).
+
+    An event specifies a value for each attribute and corresponds
+    geometrically to a point (§2.1). *)
+
+type t
+
+val make : (string * Value.t) list -> t
+(** [make bindings] is the event with the given attribute/value
+    bindings. @raise Invalid_argument on duplicate attributes or the
+    empty list. *)
+
+val of_point : Schema.t -> Geometry.Point.t -> t
+(** [of_point schema p] binds each schema attribute to the matching
+    coordinate of [p] (as a [Float]). @raise Invalid_argument on
+    dimension mismatch. *)
+
+val value : t -> string -> Value.t option
+(** [value e attr] is the value bound to [attr], if any. *)
+
+val attributes : t -> string list
+(** Attribute names carried by the event (in binding order). *)
+
+val bindings : t -> (string * Value.t) list
+
+val to_point : Schema.t -> t -> Geometry.Point.t
+(** [to_point schema e] is the spatial embedding of [e].
+    @raise Invalid_argument if the event misses a schema attribute
+    (the model requires events to specify a value for each
+    attribute). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

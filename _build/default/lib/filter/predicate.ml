@@ -1,0 +1,73 @@
+type op = Eq | Lt | Gt | Le | Ge | Between
+
+type t = { attr : string; op : op; v1 : Value.t; v2 : Value.t option }
+
+let is_string = function Value.String _ -> true | Value.Int _ | Value.Float _ -> false
+
+let make attr op v =
+  (match op with
+  | Between -> invalid_arg "Predicate.make: use Predicate.between"
+  | Lt | Gt | Le | Ge ->
+      if is_string v then
+        invalid_arg "Predicate.make: order comparison on string value"
+  | Eq -> ());
+  { attr; op; v1 = v; v2 = None }
+
+let between attr lo hi =
+  if is_string lo || is_string hi then
+    invalid_arg "Predicate.between: string bound";
+  if Value.to_float lo > Value.to_float hi then
+    invalid_arg "Predicate.between: lo > hi";
+  { attr; op = Between; v1 = lo; v2 = Some hi }
+
+let attr p = p.attr
+let op p = p.op
+
+let eval p v =
+  match p.op with
+  | Eq -> (
+      match Value.compare_numeric v p.v1 with
+      | Some c -> c = 0
+      | None -> Value.equal v p.v1)
+  | Lt -> ( match Value.compare_numeric v p.v1 with Some c -> c < 0 | None -> false)
+  | Gt -> ( match Value.compare_numeric v p.v1 with Some c -> c > 0 | None -> false)
+  | Le -> ( match Value.compare_numeric v p.v1 with Some c -> c <= 0 | None -> false)
+  | Ge -> ( match Value.compare_numeric v p.v1 with Some c -> c >= 0 | None -> false)
+  | Between -> (
+      match (Value.compare_numeric v p.v1, p.v2) with
+      | Some c1, Some hi -> (
+          match Value.compare_numeric v hi with
+          | Some c2 -> c1 >= 0 && c2 <= 0
+          | None -> false)
+      | _, _ -> false)
+
+let interval p =
+  let f = Value.to_float p.v1 in
+  match p.op with
+  | Eq -> (f, f)
+  | Lt | Le -> (neg_infinity, f)
+  | Gt | Ge -> (f, infinity)
+  | Between -> (
+      match p.v2 with
+      | Some hi -> (f, Value.to_float hi)
+      | None -> assert false)
+
+let equal a b =
+  String.equal a.attr b.attr && a.op = b.op && Value.equal a.v1 b.v1
+  && Option.equal Value.equal a.v2 b.v2
+
+let op_symbol = function
+  | Eq -> "="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Between -> "between"
+
+let pp ppf p =
+  match (p.op, p.v2) with
+  | Between, Some hi ->
+      Format.fprintf ppf "%a <= %s <= %a" Value.pp p.v1 p.attr Value.pp hi
+  | _, _ -> Format.fprintf ppf "%s %s %a" p.attr (op_symbol p.op) Value.pp p.v1
+
+let to_string p = Format.asprintf "%a" pp p

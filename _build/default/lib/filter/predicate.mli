@@ -1,0 +1,47 @@
+(** Atomic predicates over a single attribute.
+
+    A content-based filter is a conjunction of predicates
+    [S = f1 ∧ ... ∧ fj] where each [fi = (name op value)] (§2.1). *)
+
+type op =
+  | Eq  (** [attr = v] *)
+  | Lt  (** [attr < v] *)
+  | Gt  (** [attr > v] *)
+  | Le  (** [attr <= v] *)
+  | Ge  (** [attr >= v] *)
+  | Between  (** [lo <= attr <= hi] (inclusive range) *)
+
+type t
+(** A predicate over one named attribute. *)
+
+val make : string -> op -> Value.t -> t
+(** [make attr op v] is the predicate [attr op v].
+    @raise Invalid_argument if [op] is [Between] (use {!between}), or
+    if [op] is an order comparison and [v] is a string. *)
+
+val between : string -> Value.t -> Value.t -> t
+(** [between attr lo hi] is [lo <= attr <= hi].
+    @raise Invalid_argument if [lo] or [hi] is a string or
+    [lo > hi]. *)
+
+val attr : t -> string
+(** The attribute name the predicate constrains. *)
+
+val op : t -> op
+
+val eval : t -> Value.t -> bool
+(** [eval p v] is the exact truth value of the predicate on value [v].
+    Order comparisons on strings are false; [Eq] uses structural
+    equality with numeric coercion ([Int 1] equals [Float 1.]). *)
+
+val interval : t -> float * float
+(** [interval p] is the closed interval [lo, hi] of the spatial
+    embedding of [p]. Strict bounds ([Lt]/[Gt]) are embedded as their
+    closed counterparts: the rectangle over-approximates the predicate
+    (routing stays false-negative-free; exactness is restored at
+    delivery time by {!eval}). Unbounded sides are
+    [neg_infinity]/[infinity]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

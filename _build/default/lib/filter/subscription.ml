@@ -1,0 +1,91 @@
+type t = Predicate.t list
+(* Normalized: sorted by attribute name, at most one interval-shaped
+   constraint kept per attribute for embedding, but all original
+   predicates retained for exact [matches]. *)
+
+let make = function
+  | [] -> invalid_arg "Subscription.make: empty conjunction"
+  | preds ->
+      (* Detect contradictory conjunctions per attribute: the spatial
+         intersection of the intervals must be non-empty. *)
+      let by_attr = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          let lo, hi = Predicate.interval p in
+          let lo', hi' =
+            match Hashtbl.find_opt by_attr (Predicate.attr p) with
+            | None -> (lo, hi)
+            | Some (l, h) -> (Float.max l lo, Float.min h hi)
+          in
+          if lo' > hi' then
+            invalid_arg
+              ("Subscription.make: contradictory predicates on "
+              ^ Predicate.attr p);
+          Hashtbl.replace by_attr (Predicate.attr p) (lo', hi'))
+        preds;
+      List.sort (fun a b -> String.compare (Predicate.attr a) (Predicate.attr b)) preds
+
+let of_rect schema r =
+  if Geometry.Rect.dims r <> Schema.dims schema then
+    invalid_arg "Subscription.of_rect: dimension mismatch";
+  let preds = ref [] in
+  for i = Schema.dims schema - 1 downto 0 do
+    let name = Schema.attribute schema i in
+    let lo = Geometry.Rect.low r i and hi = Geometry.Rect.high r i in
+    let p =
+      if Float.is_finite lo && Float.is_finite hi then
+        Some (Predicate.between name (Value.float lo) (Value.float hi))
+      else if Float.is_finite lo then
+        Some (Predicate.make name Predicate.Ge (Value.float lo))
+      else if Float.is_finite hi then
+        Some (Predicate.make name Predicate.Le (Value.float hi))
+      else None
+    in
+    match p with Some p -> preds := p :: !preds | None -> ()
+  done;
+  match !preds with
+  | [] ->
+      (* Fully unbounded filter: keep a vacuous range on the first
+         attribute so the conjunction is non-empty. *)
+      make
+        [ Predicate.between
+            (Schema.attribute schema 0)
+            (Value.float neg_infinity) (Value.float infinity) ]
+  | ps -> make ps
+
+let predicates s = s
+
+let rect schema s =
+  let n = Schema.dims schema in
+  let lo = Array.make n neg_infinity and hi = Array.make n infinity in
+  List.iter
+    (fun p ->
+      match Schema.dimension schema (Predicate.attr p) with
+      | None -> () (* attribute outside the schema: no spatial constraint *)
+      | Some i ->
+          let l, h = Predicate.interval p in
+          lo.(i) <- Float.max lo.(i) l;
+          hi.(i) <- Float.min hi.(i) h)
+    s;
+  Geometry.Rect.make ~low:lo ~high:hi
+
+let matches s e =
+  List.for_all
+    (fun p ->
+      match Event.value e (Predicate.attr p) with
+      | Some v -> Predicate.eval p v
+      | None -> false)
+    s
+
+let contains schema s1 s2 = Geometry.Rect.contains (rect schema s1) (rect schema s2)
+
+let equal a b = List.length a = List.length b && List.for_all2 Predicate.equal a b
+
+let pp ppf s =
+  Format.fprintf ppf "%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " && ")
+       Predicate.pp)
+    s
+
+let to_string s = Format.asprintf "%a" pp s

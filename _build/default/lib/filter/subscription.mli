@@ -1,0 +1,44 @@
+(** Subscriptions (content-based filters).
+
+    A subscription is a conjunction of predicates (§2.1). Under a
+    schema it embeds into a poly-space rectangle: the conjunction of
+    the per-attribute intervals, unbounded in any dimension whose
+    attribute the filter leaves unconstrained. *)
+
+type t
+
+val make : Predicate.t list -> t
+(** [make preds] is the conjunction of [preds]. Multiple predicates on
+    the same attribute intersect. @raise Invalid_argument on the empty
+    list or if two predicates on one attribute are contradictory
+    (empty spatial intersection). *)
+
+val of_rect : Schema.t -> Geometry.Rect.t -> t
+(** [of_rect schema r] is the subscription whose predicate on each
+    schema attribute is the (possibly one-sided or unbounded) range
+    given by [r]'s corresponding dimension. Fully unbounded dimensions
+    yield no predicate; if every dimension is unbounded the result is
+    a single always-true [Between] over the first attribute.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val predicates : t -> Predicate.t list
+(** The conjuncts, in normalized attribute order. *)
+
+val rect : Schema.t -> t -> Geometry.Rect.t
+(** [rect schema s] is the spatial embedding of [s]: the minimal
+    closed rectangle containing all points satisfying [s]. *)
+
+val matches : t -> Event.t -> bool
+(** [matches s e] is the exact filter semantics: every predicate of
+    [s] holds on [e]. An event lacking a constrained attribute does
+    not match. *)
+
+val contains : Schema.t -> t -> t -> bool
+(** [contains schema s1 s2] is the subscription containment relation
+    [s1 ⊒ s2] of §2.1, decided geometrically: the rectangle of [s1]
+    encloses the rectangle of [s2]. Reflexive and transitive (a
+    partial order up to rectangle equality). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+type t = Int of int | Float of float | String of string
+
+let int n = Int n
+let float f = Float f
+let string s = String s
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | (Int _ | Float _ | String _), _ -> false
+
+let compare_numeric a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | String _, _ | _, String _ -> None
+
+(* FNV-1a, folded to [0, 1e9): stable across runs, unlike
+   [Hashtbl.hash] with randomization enabled. *)
+let fnv1a s =
+  (* 0xcbf29ce484222325 does not fit OCaml's 63-bit int; the truncated
+     offset basis keeps the same mixing behaviour. *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | String s -> Float.of_int (fnv1a s mod 1_000_000_000)
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,30 @@
+(** Attribute values.
+
+    Events carry a value per attribute (§2.1). Values are typed; for
+    spatial embedding every value maps to a float coordinate. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+      (** Strings only support equality predicates; they embed into the
+          spatial domain through a stable hash (see {!to_float}). *)
+
+val int : int -> t
+val float : float -> t
+val string : string -> t
+
+val equal : t -> t -> bool
+(** Structural equality. [Int 1] and [Float 1.] are {e not} equal. *)
+
+val compare_numeric : t -> t -> int option
+(** [compare_numeric a b] is the numeric order of [a] and [b] when both
+    are numeric ([Int] or [Float]); [None] if either is a string. *)
+
+val to_float : t -> float
+(** Spatial embedding: [Int n] is [float_of_int n]; [Float f] is [f];
+    [String s] is a stable hash of [s] folded into [0, 1e9). Strings
+    hash deterministically across runs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,68 @@
+type t = float array
+
+let check_coords coords =
+  if Array.length coords = 0 then invalid_arg "Point.make: empty coordinates";
+  Array.iter
+    (fun c ->
+      if Float.is_nan c then invalid_arg "Point.make: NaN coordinate")
+    coords
+
+let make coords =
+  check_coords coords;
+  Array.copy coords
+
+let of_list cs = make (Array.of_list cs)
+let make2 x y = make [| x; y |]
+let dims p = Array.length p
+
+let coord p i =
+  if i < 0 || i >= Array.length p then invalid_arg "Point.coord: out of bounds";
+  p.(i)
+
+let coords p = Array.copy p
+
+let equal p q =
+  Array.length p = Array.length q
+  && Array.for_all2 (fun a b -> Float.equal a b) p q
+
+let compare p q =
+  let c = Int.compare (Array.length p) (Array.length q) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i >= Array.length p then 0
+      else
+        let c = Float.compare p.(i) q.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let check_same_dims name p q =
+  if Array.length p <> Array.length q then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let distance_sq p q =
+  check_same_dims "Point.distance_sq" p q;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let d = p.(i) -. q.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let distance p q = sqrt (distance_sq p q)
+
+let map2 f p q =
+  check_same_dims "Point.map2" p q;
+  Array.map2 f p q
+
+let fold f init p = Array.fold_left f init p
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%g" c))
+    p
+
+let to_string p = Format.asprintf "%a" pp p

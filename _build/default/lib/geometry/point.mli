@@ -1,0 +1,55 @@
+(** n-dimensional points.
+
+    A point is an immutable array of float coordinates. Events of the
+    publish/subscribe model (a value per attribute) are represented as
+    points; subscriptions are rectangles ({!Rect}). *)
+
+type t
+(** An n-dimensional point. *)
+
+val make : float array -> t
+(** [make coords] is the point with the given coordinates. The array is
+    copied. @raise Invalid_argument if the array is empty or any
+    coordinate is NaN. *)
+
+val of_list : float list -> t
+(** [of_list cs] is {!make} on the list converted to an array. *)
+
+val make2 : float -> float -> t
+(** [make2 x y] is the two-dimensional point [(x, y)]. *)
+
+val dims : t -> int
+(** [dims p] is the number of dimensions of [p]. *)
+
+val coord : t -> int -> float
+(** [coord p i] is the [i]-th coordinate. @raise Invalid_argument if
+    [i] is out of bounds. *)
+
+val coords : t -> float array
+(** [coords p] is a fresh copy of the coordinate array. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same dimensionality, same coordinates). *)
+
+val compare : t -> t -> int
+(** Total order (lexicographic); consistent with {!equal}. *)
+
+val distance : t -> t -> float
+(** Euclidean distance. @raise Invalid_argument on dimension
+    mismatch. *)
+
+val distance_sq : t -> t -> float
+(** Squared Euclidean distance (no square root). *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** [map2 f p q] applies [f] coordinate-wise. @raise Invalid_argument
+    on dimension mismatch. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+(** Left fold over coordinates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer, e.g. [(1.0, 2.5)]. *)
+
+val to_string : t -> string
+(** [to_string p] is [Format.asprintf "%a" pp p]. *)

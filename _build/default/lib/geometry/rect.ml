@@ -1,0 +1,181 @@
+type t = { lo : float array; hi : float array }
+
+let check name lo hi =
+  let n = Array.length lo in
+  if n = 0 then invalid_arg (name ^ ": empty bounds");
+  if Array.length hi <> n then invalid_arg (name ^ ": bound lengths differ");
+  for i = 0 to n - 1 do
+    if Float.is_nan lo.(i) || Float.is_nan hi.(i) then
+      invalid_arg (name ^ ": NaN bound");
+    if lo.(i) > hi.(i) then invalid_arg (name ^ ": low > high")
+  done
+
+let make ~low ~high =
+  check "Rect.make" low high;
+  { lo = Array.copy low; hi = Array.copy high }
+
+let make2 ~x0 ~y0 ~x1 ~y1 =
+  let lo = [| Float.min x0 x1; Float.min y0 y1 |] in
+  let hi = [| Float.max x0 x1; Float.max y0 y1 |] in
+  { lo; hi }
+
+let of_point p =
+  let cs = Point.coords p in
+  { lo = cs; hi = Array.copy cs }
+
+let universe n =
+  if n <= 0 then invalid_arg "Rect.universe: non-positive dimension";
+  { lo = Array.make n neg_infinity; hi = Array.make n infinity }
+
+let dims r = Array.length r.lo
+
+let low r i =
+  if i < 0 || i >= dims r then invalid_arg "Rect.low: out of bounds";
+  r.lo.(i)
+
+let high r i =
+  if i < 0 || i >= dims r then invalid_arg "Rect.high: out of bounds";
+  r.hi.(i)
+
+let lows r = Array.copy r.lo
+let highs r = Array.copy r.hi
+
+let equal r s =
+  dims r = dims s
+  && Array.for_all2 Float.equal r.lo s.lo
+  && Array.for_all2 Float.equal r.hi s.hi
+
+let compare r s =
+  let c = Int.compare (dims r) (dims s) in
+  if c <> 0 then c
+  else
+    let rec loop arr_r arr_s i =
+      if i >= Array.length arr_r then 0
+      else
+        let c = Float.compare arr_r.(i) arr_s.(i) in
+        if c <> 0 then c else loop arr_r arr_s (i + 1)
+    in
+    let c = loop r.lo s.lo 0 in
+    if c <> 0 then c else loop r.hi s.hi 0
+
+let check_same_dims name r s =
+  if dims r <> dims s then invalid_arg (name ^ ": dimension mismatch")
+
+let extent r i = r.hi.(i) -. r.lo.(i)
+
+let area r =
+  (* Multiply extents, treating 0 * infinity as 0 (a degenerate slab
+     covers no area even if unbounded in another dimension). *)
+  let acc = ref 1.0 in
+  for i = 0 to dims r - 1 do
+    let e = extent r i in
+    if e = 0.0 then acc := 0.0
+    else if !acc <> 0.0 then acc := !acc *. e
+  done;
+  !acc
+
+let margin r =
+  let acc = ref 0.0 in
+  for i = 0 to dims r - 1 do
+    acc := !acc +. extent r i
+  done;
+  !acc
+
+let center r =
+  let n = dims r in
+  let cs =
+    Array.init n (fun i ->
+        let l = r.lo.(i) and h = r.hi.(i) in
+        if Float.is_finite l && Float.is_finite h then (l +. h) /. 2.0
+        else if Float.is_finite l then l
+        else if Float.is_finite h then h
+        else 0.0)
+  in
+  Point.make cs
+
+let contains_point r p =
+  if Point.dims p <> dims r then
+    invalid_arg "Rect.contains_point: dimension mismatch";
+  let rec loop i =
+    i >= dims r
+    || (r.lo.(i) <= Point.coord p i && Point.coord p i <= r.hi.(i) && loop (i + 1))
+  in
+  loop 0
+
+let contains outer inner =
+  check_same_dims "Rect.contains" outer inner;
+  let rec loop i =
+    i >= dims outer
+    || (outer.lo.(i) <= inner.lo.(i) && inner.hi.(i) <= outer.hi.(i)
+        && loop (i + 1))
+  in
+  loop 0
+
+let intersects r s =
+  check_same_dims "Rect.intersects" r s;
+  let rec loop i =
+    i >= dims r || (r.lo.(i) <= s.hi.(i) && s.lo.(i) <= r.hi.(i) && loop (i + 1))
+  in
+  loop 0
+
+let intersection r s =
+  check_same_dims "Rect.intersection" r s;
+  if not (intersects r s) then None
+  else
+    let n = dims r in
+    let lo = Array.init n (fun i -> Float.max r.lo.(i) s.lo.(i)) in
+    let hi = Array.init n (fun i -> Float.min r.hi.(i) s.hi.(i)) in
+    Some { lo; hi }
+
+let intersection_area r s =
+  match intersection r s with None -> 0.0 | Some x -> area x
+
+let union r s =
+  check_same_dims "Rect.union" r s;
+  let n = dims r in
+  let lo = Array.init n (fun i -> Float.min r.lo.(i) s.lo.(i)) in
+  let hi = Array.init n (fun i -> Float.max r.hi.(i) s.hi.(i)) in
+  { lo; hi }
+
+let union_many = function
+  | [] -> invalid_arg "Rect.union_many: empty list"
+  | r :: rs -> List.fold_left union r rs
+
+let of_points = function
+  | [] -> invalid_arg "Rect.of_points: empty list"
+  | ps -> union_many (List.map of_point ps)
+
+let enlargement r s =
+  let before = area r and after = area (union r s) in
+  if Float.is_finite after then after -. before
+  else if Float.is_finite before then infinity
+  else 0.0
+
+let distance_sq_to_point r p =
+  if Point.dims p <> dims r then
+    invalid_arg "Rect.distance_sq_to_point: dimension mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to dims r - 1 do
+    let x = Point.coord p i in
+    let d =
+      if x < r.lo.(i) then r.lo.(i) -. x
+      else if x > r.hi.(i) then x -. r.hi.(i)
+      else 0.0
+    in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let waste r s =
+  let u = area (union r s) in
+  if Float.is_finite u then u -. area r -. area s
+  else if Float.is_finite (area r) && Float.is_finite (area s) then infinity
+  else 0.0
+
+let pp ppf r =
+  for i = 0 to dims r - 1 do
+    if i > 0 then Format.fprintf ppf "x";
+    Format.fprintf ppf "[%g,%g]" r.lo.(i) r.hi.(i)
+  done
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,121 @@
+(** n-dimensional (poly-space) rectangles.
+
+    A rectangle is an axis-aligned box given by a lower and an upper
+    corner. Subscriptions of the publish/subscribe model (conjunctions
+    of range predicates, §2.1 of the paper) are rectangles; a dimension
+    left unconstrained by a filter is unbounded
+    ([neg_infinity .. infinity]) in that dimension.
+
+    Rectangles are immutable. All binary operations require equal
+    dimensionality and raise [Invalid_argument] otherwise. *)
+
+type t
+(** An n-dimensional rectangle. Invariant: for every dimension [i],
+    [low i <= high i], and no bound is NaN. *)
+
+val make : low:float array -> high:float array -> t
+(** [make ~low ~high] is the rectangle spanning [low.(i) .. high.(i)]
+    in every dimension [i]. Arrays are copied.
+    @raise Invalid_argument if arrays are empty, lengths differ, any
+    bound is NaN, or [low.(i) > high.(i)] for some [i]. *)
+
+val make2 : x0:float -> y0:float -> x1:float -> y1:float -> t
+(** [make2 ~x0 ~y0 ~x1 ~y1] is the 2-D rectangle
+    [[x0,x1] × [y0,y1]]. Bounds may be given in any order; they are
+    normalized so the invariant holds. *)
+
+val of_point : Point.t -> t
+(** [of_point p] is the degenerate rectangle containing exactly [p]. *)
+
+val of_points : Point.t list -> t
+(** [of_points ps] is the minimum bounding rectangle of [ps].
+    @raise Invalid_argument on the empty list or mixed dimensions. *)
+
+val universe : int -> t
+(** [universe n] is the n-dimensional rectangle unbounded in every
+    dimension. *)
+
+val dims : t -> int
+(** Number of dimensions. *)
+
+val low : t -> int -> float
+(** [low r i] is the lower bound in dimension [i]. *)
+
+val high : t -> int -> float
+(** [high r i] is the upper bound in dimension [i]. *)
+
+val lows : t -> float array
+(** Fresh copy of all lower bounds. *)
+
+val highs : t -> float array
+(** Fresh copy of all upper bounds. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** Total order (lexicographic on bounds); consistent with {!equal}. *)
+
+val extent : t -> int -> float
+(** [extent r i] is [high r i -. low r i] (may be [infinity]). *)
+
+val area : t -> float
+(** [area r] is the product of extents: the coverage measure used for
+    root election and split heuristics. Degenerate rectangles have
+    area [0.]; rectangles unbounded in some dimension have area
+    [infinity] (unless another extent is [0.]). *)
+
+val margin : t -> float
+(** [margin r] is the sum of extents (the R*-tree margin measure). *)
+
+val center : t -> Point.t
+(** Center point. For an unbounded dimension the center coordinate is
+    [0.] if both sides are unbounded, otherwise the finite bound. *)
+
+val contains_point : t -> Point.t -> bool
+(** [contains_point r p] is true iff [p] lies inside [r]
+    (bounds inclusive). *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]: geometric enclosure (bounds inclusive).
+    This is the subscription-containment relation of §2.1: a filter
+    [S1] contains [S2] iff [contains (rect S1) (rect S2)]. *)
+
+val intersects : t -> t -> bool
+(** [intersects r s] is true iff the rectangles share at least one
+    point. *)
+
+val intersection : t -> t -> t option
+(** [intersection r s] is the common region, if any. *)
+
+val intersection_area : t -> t -> float
+(** [intersection_area r s] is the area of the overlap
+    ([0.] when disjoint). *)
+
+val union : t -> t -> t
+(** [union r s] is the minimum bounding rectangle of [r] and [s]
+    (the MBR operation of the paper, written [mbr ∪ mbr']). *)
+
+val union_many : t list -> t
+(** [union_many rs] folds {!union}. @raise Invalid_argument on []. *)
+
+val enlargement : t -> t -> float
+(** [enlargement r s] is [area (union r s) -. area r]: how much [r]
+    must grow to accommodate [s]. This drives [Choose_Best_Child].
+    When both areas are infinite the result is [0.] (no growth
+    measurable); when only the union is infinite it is [infinity]. *)
+
+val distance_sq_to_point : t -> Point.t -> float
+(** [distance_sq_to_point r p] is the squared Euclidean distance from
+    [p] to the closest point of [r]; [0.] when [p] lies inside. The
+    branch-and-bound lower bound for nearest-neighbor search. *)
+
+val waste : t -> t -> float
+(** [waste r s] is [area (union r s) -. area r -. area s], the dead
+    space created by putting [r] and [s] together (Guttman's linear
+    and quadratic split seed criterion). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer, e.g. [[0,1]x[2,3]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rtree/split.ml: Array Float Format Geometry List String

@@ -1,0 +1,1 @@
+lib/rtree/split.mli: Format Geometry

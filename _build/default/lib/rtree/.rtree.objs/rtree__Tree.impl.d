@@ -1,0 +1,1 @@
+lib/rtree/tree.ml: Array Float Format Geometry List Option Queue Split

@@ -1,0 +1,292 @@
+module Rect = Geometry.Rect
+
+type kind = Linear | Quadratic | Rstar
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "linear" -> Some Linear
+  | "quadratic" -> Some Quadratic
+  | "rstar" | "r*" -> Some Rstar
+  | _ -> None
+
+let kind_to_string = function
+  | Linear -> "linear"
+  | Quadratic -> "quadratic"
+  | Rstar -> "rstar"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let group_mbr = function
+  | [] -> invalid_arg "Split.group_mbr: empty group"
+  | (r, _) :: rest -> List.fold_left (fun acc (s, _) -> Rect.union acc s) r rest
+
+let check_args name min_fill entries =
+  if min_fill < 1 then invalid_arg (name ^ ": min_fill < 1");
+  if List.length entries < 2 * min_fill then
+    invalid_arg (name ^ ": fewer than 2 * min_fill entries")
+
+(* Finite surrogate for comparisons among values that may be [infinity]:
+   treat an infinite quantity as larger than any finite one, and two
+   infinite ones as equal. Using [Float.compare] directly does this. *)
+
+(* --- Guttman's linear split ------------------------------------------- *)
+
+(* Pick seeds: for each dimension, find the entry with the highest low
+   side and the one with the lowest high side; normalize their
+   separation by the total width; take the dimension with greatest
+   normalized separation. *)
+let linear_seeds entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let d = Rect.dims (fst arr.(0)) in
+  let best = ref (0, if n > 1 then 1 else 0) in
+  let best_sep = ref neg_infinity in
+  for dim = 0 to d - 1 do
+    let lowest_high = ref 0 and highest_low = ref 0 in
+    let min_low = ref infinity and max_high = ref neg_infinity in
+    for i = 0 to n - 1 do
+      let r = fst arr.(i) in
+      if Rect.high r dim < Rect.high (fst arr.(!lowest_high)) dim then
+        lowest_high := i;
+      if Rect.low r dim > Rect.low (fst arr.(!highest_low)) dim then
+        highest_low := i;
+      min_low := Float.min !min_low (Rect.low r dim);
+      max_high := Float.max !max_high (Rect.high r dim)
+    done;
+    let width = !max_high -. !min_low in
+    let sep =
+      Rect.low (fst arr.(!highest_low)) dim
+      -. Rect.high (fst arr.(!lowest_high)) dim
+    in
+    let norm =
+      if Float.is_finite width && width > 0.0 then sep /. width else sep
+    in
+    if !highest_low <> !lowest_high && norm > !best_sep then begin
+      best_sep := norm;
+      best := (!highest_low, !lowest_high)
+    end
+  done;
+  let i, j = !best in
+  if i = j then (0, 1) else (i, j)
+
+(* Distribute the remaining entries to the group whose MBR grows least;
+   once a group must absorb everything left to reach min_fill, it
+   does. *)
+let distribute ~min_fill total seed1 seed2 rest =
+  let g1 = ref [ seed1 ] and g2 = ref [ seed2 ] in
+  let n1 = ref 1 and n2 = ref 1 in
+  let mbr1 = ref (fst seed1) and mbr2 = ref (fst seed2) in
+  let remaining = ref (List.length rest) in
+  List.iter
+    (fun ((r, _) as e) ->
+      let must_g1 = !n1 + !remaining <= min_fill in
+      let must_g2 = !n2 + !remaining <= min_fill in
+      let to_g1 =
+        if must_g1 then true
+        else if must_g2 then false
+        else
+          let e1 = Rect.enlargement !mbr1 r
+          and e2 = Rect.enlargement !mbr2 r in
+          let c = Float.compare e1 e2 in
+          if c <> 0 then c < 0
+          else
+            let c = Float.compare (Rect.area !mbr1) (Rect.area !mbr2) in
+            if c <> 0 then c < 0 else !n1 <= !n2
+      in
+      if to_g1 then begin
+        g1 := e :: !g1;
+        incr n1;
+        mbr1 := Rect.union !mbr1 r
+      end
+      else begin
+        g2 := e :: !g2;
+        incr n2;
+        mbr2 := Rect.union !mbr2 r
+      end;
+      decr remaining)
+    rest;
+  ignore total;
+  (List.rev !g1, List.rev !g2)
+
+let linear ~min_fill entries =
+  check_args "Split.linear" min_fill entries;
+  let arr = Array.of_list entries in
+  let i, j = linear_seeds entries in
+  let seed1 = arr.(i) and seed2 = arr.(j) in
+  let rest =
+    List.filteri (fun k _ -> k <> i && k <> j) entries
+  in
+  distribute ~min_fill (Array.length arr) seed1 seed2 rest
+
+(* --- Guttman's quadratic split ---------------------------------------- *)
+
+let quadratic ~min_fill entries =
+  check_args "Split.quadratic" min_fill entries;
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  (* Seeds: the pair wasting the most area if grouped together. *)
+  let best = ref (0, 1) and best_waste = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let w = Rect.waste (fst arr.(i)) (fst arr.(j)) in
+      if w > !best_waste then begin
+        best_waste := w;
+        best := (i, j)
+      end
+    done
+  done;
+  let si, sj = !best in
+  let assigned = Array.make n false in
+  assigned.(si) <- true;
+  assigned.(sj) <- true;
+  let g1 = ref [ arr.(si) ] and g2 = ref [ arr.(sj) ] in
+  let n1 = ref 1 and n2 = ref 1 in
+  let mbr1 = ref (fst arr.(si)) and mbr2 = ref (fst arr.(sj)) in
+  let remaining = ref (n - 2) in
+  while !remaining > 0 do
+    if !n1 + !remaining <= min_fill then begin
+      (* everything left must go to group 1 *)
+      for k = 0 to n - 1 do
+        if not assigned.(k) then begin
+          assigned.(k) <- true;
+          g1 := arr.(k) :: !g1;
+          incr n1;
+          mbr1 := Rect.union !mbr1 (fst arr.(k))
+        end
+      done;
+      remaining := 0
+    end
+    else if !n2 + !remaining <= min_fill then begin
+      for k = 0 to n - 1 do
+        if not assigned.(k) then begin
+          assigned.(k) <- true;
+          g2 := arr.(k) :: !g2;
+          incr n2;
+          mbr2 := Rect.union !mbr2 (fst arr.(k))
+        end
+      done;
+      remaining := 0
+    end
+    else begin
+      (* Pick the unassigned entry maximizing |d1 - d2| where di is the
+         enlargement of group i's MBR. *)
+      let pick = ref (-1) and pick_diff = ref neg_infinity in
+      let pick_d1 = ref 0.0 and pick_d2 = ref 0.0 in
+      for k = 0 to n - 1 do
+        if not assigned.(k) then begin
+          let d1 = Rect.enlargement !mbr1 (fst arr.(k)) in
+          let d2 = Rect.enlargement !mbr2 (fst arr.(k)) in
+          let diff = Float.abs (d1 -. d2) in
+          let diff = if Float.is_nan diff then 0.0 else diff in
+          if diff > !pick_diff then begin
+            pick_diff := diff;
+            pick := k;
+            pick_d1 := d1;
+            pick_d2 := d2
+          end
+        end
+      done;
+      let k = !pick in
+      assigned.(k) <- true;
+      let to_g1 =
+        let c = Float.compare !pick_d1 !pick_d2 in
+        if c <> 0 then c < 0
+        else
+          let c = Float.compare (Rect.area !mbr1) (Rect.area !mbr2) in
+          if c <> 0 then c < 0 else !n1 <= !n2
+      in
+      if to_g1 then begin
+        g1 := arr.(k) :: !g1;
+        incr n1;
+        mbr1 := Rect.union !mbr1 (fst arr.(k))
+      end
+      else begin
+        g2 := arr.(k) :: !g2;
+        incr n2;
+        mbr2 := Rect.union !mbr2 (fst arr.(k))
+      end;
+      decr remaining
+    end
+  done;
+  (List.rev !g1, List.rev !g2)
+
+(* --- R* topological split --------------------------------------------- *)
+
+let sum_f f xs = List.fold_left (fun acc x -> acc +. f x) 0.0 xs
+
+(* All distributions of a sorted entry array into a prefix of size
+   [min_fill + k] and the remaining suffix, for
+   k = 0 .. M - 2*min_fill + 1. *)
+let distributions ~min_fill arr =
+  let n = Array.length arr in
+  let acc = ref [] in
+  for split_at = min_fill to n - min_fill do
+    let left = Array.to_list (Array.sub arr 0 split_at) in
+    let right = Array.to_list (Array.sub arr split_at (n - split_at)) in
+    acc := (left, right) :: !acc
+  done;
+  List.rev !acc
+
+let rstar ~min_fill entries =
+  check_args "Split.rstar" min_fill entries;
+  let d = Rect.dims (fst (List.hd entries)) in
+  (* Choose split axis: minimize the margin sum over all distributions
+     of both sortings (by lower and by upper bound). *)
+  let margin_of (left, right) =
+    Rect.margin (group_mbr left) +. Rect.margin (group_mbr right)
+  in
+  let sortings_for_axis axis =
+    let by_low =
+      List.stable_sort
+        (fun (r, _) (s, _) -> Float.compare (Rect.low r axis) (Rect.low s axis))
+        entries
+    and by_high =
+      List.stable_sort
+        (fun (r, _) (s, _) ->
+          Float.compare (Rect.high r axis) (Rect.high s axis))
+        entries
+    in
+    [ Array.of_list by_low; Array.of_list by_high ]
+  in
+  let best_axis = ref 0 and best_margin = ref infinity in
+  for axis = 0 to d - 1 do
+    let m =
+      sum_f
+        (fun arr -> sum_f margin_of (distributions ~min_fill arr))
+        (sortings_for_axis axis)
+    in
+    if m < !best_margin then begin
+      best_margin := m;
+      best_axis := axis
+    end
+  done;
+  (* On the chosen axis: minimize overlap, ties broken by area. *)
+  let candidates =
+    List.concat_map
+      (fun arr -> distributions ~min_fill arr)
+      (sortings_for_axis !best_axis)
+  in
+  let score (left, right) =
+    let ml = group_mbr left and mr = group_mbr right in
+    (Rect.intersection_area ml mr, Rect.area ml +. Rect.area mr)
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        match acc with
+        | None -> Some (cand, score cand)
+        | Some (_, (bo, ba)) ->
+            let o, a = score cand in
+            if o < bo || (Float.equal o bo && a < ba) then Some (cand, (o, a))
+            else acc)
+      None candidates
+  in
+  match best with
+  | Some (cand, _) -> cand
+  | None -> assert false (* distributions is never empty *)
+
+let split kind ~min_fill entries =
+  match kind with
+  | Linear -> linear ~min_fill entries
+  | Quadratic -> quadratic ~min_fill entries
+  | Rstar -> rstar ~min_fill entries

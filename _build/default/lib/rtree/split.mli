@@ -1,0 +1,50 @@
+(** Node-splitting policies.
+
+    When a node overflows (more than M entries) its entry set is
+    divided into two groups of at least [min_fill] entries each. The
+    three policies the paper supports (§3.2) are implemented over
+    generic [rect × payload] entries so both the sequential R-tree and
+    the DR-tree children-set split reuse them:
+
+    - {!linear} — Guttman's linear-time split,
+    - {!quadratic} — Guttman's quadratic-time split,
+    - {!rstar} — the R*-tree topological split (Beckmann et al.),
+      minimizing margin then overlap.
+
+    All functions expect at least [2 * min_fill] entries and
+    [min_fill >= 1], and guarantee both groups have at least
+    [min_fill] elements; they raise [Invalid_argument] otherwise. *)
+
+type kind = Linear | Quadratic | Rstar
+
+val kind_of_string : string -> kind option
+(** Parses ["linear"], ["quadratic"], ["rstar"] / ["r*"]. *)
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val linear :
+  min_fill:int ->
+  (Geometry.Rect.t * 'a) list ->
+  (Geometry.Rect.t * 'a) list * (Geometry.Rect.t * 'a) list
+
+val quadratic :
+  min_fill:int ->
+  (Geometry.Rect.t * 'a) list ->
+  (Geometry.Rect.t * 'a) list * (Geometry.Rect.t * 'a) list
+
+val rstar :
+  min_fill:int ->
+  (Geometry.Rect.t * 'a) list ->
+  (Geometry.Rect.t * 'a) list * (Geometry.Rect.t * 'a) list
+
+val split :
+  kind ->
+  min_fill:int ->
+  (Geometry.Rect.t * 'a) list ->
+  (Geometry.Rect.t * 'a) list * (Geometry.Rect.t * 'a) list
+(** Dispatch on {!kind}. *)
+
+val group_mbr : (Geometry.Rect.t * 'a) list -> Geometry.Rect.t
+(** MBR of a non-empty entry group. @raise Invalid_argument on []. *)

@@ -1,0 +1,606 @@
+module Rect = Geometry.Rect
+module Point = Geometry.Point
+
+type config = {
+  min_fill : int;
+  max_fill : int;
+  split : Split.kind;
+  forced_reinsert : bool;
+}
+
+let default_config =
+  { min_fill = 2; max_fill = 4; split = Split.Quadratic; forced_reinsert = false }
+
+let config ?(min_fill = default_config.min_fill)
+    ?(max_fill = default_config.max_fill) ?(split = default_config.split)
+    ?(forced_reinsert = default_config.forced_reinsert) () =
+  if min_fill < 1 then invalid_arg "Rtree.config: min_fill < 1";
+  if max_fill < 2 * min_fill then
+    invalid_arg "Rtree.config: max_fill < 2 * min_fill";
+  { min_fill; max_fill; split; forced_reinsert }
+
+type 'a node = { mutable mbr : Rect.t; mutable kind : 'a kind }
+and 'a kind = Leaf of (Rect.t * 'a) list | Node of 'a node list
+
+type 'a t = {
+  cfg : config;
+  mutable root : 'a node option;
+  mutable count : int;
+}
+
+let create cfg =
+  if cfg.min_fill < 1 || cfg.max_fill < 2 * cfg.min_fill then
+    invalid_arg "Rtree.create: invalid config";
+  { cfg; root = None; count = 0 }
+
+let size t = t.count
+
+let height t =
+  let rec depth node =
+    match node.kind with
+    | Leaf _ -> 1
+    | Node (c :: _) -> 1 + depth c
+    | Node [] -> 1
+  in
+  match t.root with None -> 0 | Some root -> depth root
+
+let node_occupancy node =
+  match node.kind with Leaf es -> List.length es | Node cs -> List.length cs
+
+let recompute_mbr node =
+  match node.kind with
+  | Leaf [] | Node [] -> ()
+  | Leaf ((r, _) :: rest) ->
+      node.mbr <- List.fold_left (fun acc (s, _) -> Rect.union acc s) r rest
+  | Node (c :: rest) ->
+      node.mbr <- List.fold_left (fun acc n -> Rect.union acc n.mbr) c.mbr rest
+
+(* --- ChooseSubtree ----------------------------------------------------- *)
+
+let child_is_leaf = function
+  | { kind = Leaf _; _ } -> true
+  | { kind = Node _; _ } -> false
+
+(* R* overlap-enlargement criterion, used when inserting into a node
+   whose children are leaves and the split policy is R*. *)
+let overlap_enlargement children child r =
+  let grown = Rect.union child.mbr r in
+  List.fold_left
+    (fun acc sib ->
+      if sib == child then acc
+      else
+        acc
+        +. (Rect.intersection_area grown sib.mbr
+           -. Rect.intersection_area child.mbr sib.mbr))
+    0.0 children
+
+let choose_subtree cfg children r =
+  match children with
+  | [] -> invalid_arg "Rtree: internal node without children"
+  | first :: _ ->
+      let use_overlap = cfg.split = Split.Rstar && child_is_leaf first in
+      let better cand best =
+        if use_overlap then begin
+          let oc = overlap_enlargement children cand r
+          and ob = overlap_enlargement children best r in
+          let c = Float.compare oc ob in
+          if c <> 0 then c < 0
+          else
+            let c =
+              Float.compare (Rect.enlargement cand.mbr r)
+                (Rect.enlargement best.mbr r)
+            in
+            if c <> 0 then c < 0
+            else Rect.area cand.mbr < Rect.area best.mbr
+        end
+        else
+          let c =
+            Float.compare (Rect.enlargement cand.mbr r)
+              (Rect.enlargement best.mbr r)
+          in
+          if c <> 0 then c < 0
+          else
+            let c = Float.compare (Rect.area cand.mbr) (Rect.area best.mbr) in
+            if c <> 0 then c < 0 else node_occupancy cand < node_occupancy best
+      in
+      List.fold_left
+        (fun best cand -> if better cand best then cand else best)
+        first (List.tl children)
+
+(* --- Insertion --------------------------------------------------------- *)
+
+let split_leaf cfg node entries =
+  let g1, g2 = Split.split cfg.split ~min_fill:cfg.min_fill entries in
+  node.kind <- Leaf g1;
+  recompute_mbr node;
+  { mbr = Split.group_mbr g2; kind = Leaf g2 }
+
+let split_internal cfg node children =
+  let entries = List.map (fun c -> (c.mbr, c)) children in
+  let g1, g2 = Split.split cfg.split ~min_fill:cfg.min_fill entries in
+  node.kind <- Node (List.map snd g1);
+  recompute_mbr node;
+  let sibling = { mbr = Split.group_mbr g2; kind = Node (List.map snd g2) } in
+  sibling
+
+(* [do_insert] returns a split sibling to hook into the parent, if the
+   insertion overflowed [node]. [pending] collects entries evicted by
+   forced reinsertion; [reinserted] guards one reinsertion per
+   operation. *)
+let rec do_insert cfg ~is_root ~pending ~reinserted node r x =
+  node.mbr <- Rect.union node.mbr r;
+  match node.kind with
+  | Leaf entries ->
+      let entries = (r, x) :: entries in
+      node.kind <- Leaf entries;
+      if List.length entries <= cfg.max_fill then None
+      else if cfg.forced_reinsert && (not is_root) && not !reinserted then begin
+        reinserted := true;
+        (* Evict the ~30% of entries whose centers lie farthest from the
+           node center, to be reinserted from the top (R* OverflowTreatment). *)
+        let center = Rect.center node.mbr in
+        let scored =
+          List.map
+            (fun ((er, _) as e) ->
+              (Point.distance_sq (Rect.center er) center, e))
+            entries
+        in
+        let sorted =
+          List.stable_sort (fun (a, _) (b, _) -> Float.compare b a) scored
+        in
+        let k = max 1 (List.length entries * 3 / 10) in
+        let evicted = List.filteri (fun i _ -> i < k) sorted in
+        let kept = List.filteri (fun i _ -> i >= k) sorted in
+        node.kind <- Leaf (List.map snd kept);
+        recompute_mbr node;
+        List.iter (fun (_, e) -> Queue.add e pending) evicted;
+        None
+      end
+      else Some (split_leaf cfg node entries)
+  | Node children ->
+      let child = choose_subtree cfg children r in
+      let split_child =
+        do_insert cfg ~is_root:false ~pending ~reinserted child r x
+      in
+      (* Forced reinsertion may have shrunk [child]; keep our MBR exact. *)
+      recompute_mbr node;
+      (match split_child with
+      | None -> None
+      | Some sibling ->
+          let children = sibling :: children in
+          node.kind <- Node children;
+          node.mbr <- Rect.union node.mbr sibling.mbr;
+          if List.length children <= cfg.max_fill then None
+          else Some (split_internal cfg node children))
+
+let insert_entry t r x =
+  let pending = Queue.create () in
+  Queue.add (r, x) pending;
+  let reinserted = ref false in
+  while not (Queue.is_empty pending) do
+    let er, ex = Queue.pop pending in
+    match t.root with
+    | None -> t.root <- Some { mbr = er; kind = Leaf [ (er, ex) ] }
+    | Some root -> (
+        match
+          do_insert t.cfg ~is_root:true ~pending ~reinserted root er ex
+        with
+        | None -> ()
+        | Some sibling ->
+            let new_root =
+              { mbr = Rect.union root.mbr sibling.mbr;
+                kind = Node [ root; sibling ] }
+            in
+            t.root <- Some new_root)
+  done
+
+let insert t r x =
+  insert_entry t r x;
+  t.count <- t.count + 1
+
+(* --- Deletion ---------------------------------------------------------- *)
+
+let rec collect_entries node acc =
+  match node.kind with
+  | Leaf es -> List.rev_append es acc
+  | Node cs -> List.fold_left (fun acc c -> collect_entries c acc) acc cs
+
+(* Returns [true] when the entry was found and removed beneath [node];
+   underfull children are dissolved into [orphans] (their leaf entries
+   are reinserted by the caller). *)
+let rec do_remove cfg node r equal x orphans =
+  match node.kind with
+  | Leaf entries ->
+      let found = ref false in
+      let entries' =
+        List.filter
+          (fun (er, ex) ->
+            if (not !found) && Rect.equal er r && equal x ex then begin
+              found := true;
+              false
+            end
+            else true)
+          entries
+      in
+      if !found then begin
+        node.kind <- Leaf entries';
+        recompute_mbr node
+      end;
+      !found
+  | Node children ->
+      let rec try_children = function
+        | [] -> false
+        | child :: rest ->
+            if
+              Rect.contains child.mbr r
+              && do_remove cfg child r equal x orphans
+            then begin
+              if node_occupancy child < cfg.min_fill then begin
+                node.kind <-
+                  Node (List.filter (fun c -> not (c == child)) children);
+                orphans := collect_entries child !orphans
+              end;
+              recompute_mbr node;
+              true
+            end
+            else try_children rest
+      in
+      try_children children
+
+let remove t r ~equal x =
+  match t.root with
+  | None -> false
+  | Some root ->
+      let orphans = ref [] in
+      if not (do_remove t.cfg root r equal x orphans) then false
+      else begin
+        t.count <- t.count - 1;
+        (* Shrink the root: an internal root with one child hands over;
+           an empty leaf root empties the tree. *)
+        let rec normalize_root () =
+          match t.root with
+          | Some { kind = Node [ only ]; _ } ->
+              t.root <- Some only;
+              normalize_root ()
+          | Some { kind = Leaf []; _ } | Some { kind = Node []; _ } ->
+              t.root <- None
+          | Some _ | None -> ()
+        in
+        normalize_root ();
+        List.iter (fun (er, ex) -> insert_entry t er ex) !orphans;
+        true
+      end
+
+(* --- Bulk loading (Sort-Tile-Recursive) -------------------------------- *)
+
+(* Pack a list of (mbr, payload-ish) items into groups of [cap],
+   sorting by center along [axis] and tiling into sqrt-ish slabs so
+   groups stay square rather than striped. *)
+let rec str_tile ~cap ~min_fill ~dims ~axis ~center items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n <= cap then [ Array.to_list arr ]
+  else begin
+    let node_count = (n + cap - 1) / cap in
+    let slabs =
+      if axis + 1 >= dims then 1
+        (* last axis: one run, chopped directly below *)
+      else
+        max 1
+          (int_of_float
+             (Float.ceil
+                (float_of_int node_count
+                ** (1.0 /. float_of_int (dims - axis)))))
+    in
+    let per_slab = (n + slabs - 1) / slabs in
+    Array.sort
+      (fun a b -> Float.compare (center axis a) (center axis b))
+      arr;
+    let groups = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let len = min per_slab (n - !i) in
+      (* Absorb a sub-min_fill tail into this slab rather than leaving
+         it to form an underfull group. *)
+      let len = if n - !i - len < min_fill then n - !i else len in
+      let slab = Array.sub arr !i len in
+      if axis + 1 < dims then begin
+        (* Recurse on the next axis within the slab. *)
+        let sub =
+          str_tile ~cap ~min_fill ~dims ~axis:(axis + 1) ~center
+            (Array.to_list slab)
+        in
+        groups := List.rev_append sub !groups
+      end
+      else begin
+        (* Last axis: chop into final groups, borrowing so no group
+           falls under the minimum fill. *)
+        let j = ref 0 in
+        while !j < len do
+          let rest = len - !j in
+          let glen =
+            if rest <= cap then rest
+            else if rest - cap > 0 && rest - cap < min_fill then
+              (* leave enough for a legal last group *)
+              max min_fill (rest - min_fill)
+            else cap
+          in
+          let glen = min glen rest in
+          groups := Array.to_list (Array.sub slab !j glen) :: !groups;
+          j := !j + glen
+        done
+      end;
+      i := !i + len
+    done;
+    List.rev !groups
+  end
+
+let bulk_load cfg entries =
+  if cfg.min_fill < 1 || cfg.max_fill < 2 * cfg.min_fill then
+    invalid_arg "Rtree.bulk_load: invalid config";
+  match entries with
+  | [] -> create cfg
+  | _ :: _ ->
+      let dims = Rect.dims (fst (List.hd entries)) in
+      let center_of_rect axis r =
+        let lo = Rect.low r axis and hi = Rect.high r axis in
+        if Float.is_finite lo && Float.is_finite hi then (lo +. hi) /. 2.0
+        else if Float.is_finite lo then lo
+        else if Float.is_finite hi then hi
+        else 0.0
+      in
+      (* Leaves. *)
+      let leaf_groups =
+        str_tile ~cap:cfg.max_fill ~min_fill:cfg.min_fill ~dims ~axis:0
+          ~center:(fun axis (r, _) -> center_of_rect axis r)
+          entries
+      in
+      let leaves =
+        List.map
+          (fun g -> { mbr = Split.group_mbr g; kind = Leaf g })
+          leaf_groups
+      in
+      (* Upper levels. *)
+      let rec pack nodes =
+        match nodes with
+        | [ root ] -> root
+        | _ ->
+            let groups =
+              str_tile ~cap:cfg.max_fill ~min_fill:cfg.min_fill ~dims ~axis:0
+                ~center:(fun axis n -> center_of_rect axis n.mbr)
+                nodes
+            in
+            let parents =
+              List.map
+                (fun g ->
+                  match g with
+                  | [] -> assert false
+                  | first :: rest ->
+                      let mbr =
+                        List.fold_left
+                          (fun acc n -> Rect.union acc n.mbr)
+                          first.mbr rest
+                      in
+                      { mbr; kind = Node g })
+                groups
+            in
+            pack parents
+      in
+      let root = pack leaves in
+      { cfg; root = Some root; count = List.length entries }
+
+(* --- Nearest neighbours (best-first branch and bound) ------------------- *)
+
+let nearest t p ~k =
+  if k <= 0 then invalid_arg "Rtree.nearest: k <= 0";
+  match t.root with
+  | None -> []
+  | Some root ->
+      let module H = struct
+        (* A tiny mutable binary min-heap over (priority, item). *)
+        type 'b t = { mutable data : (float * 'b) array; mutable size : int }
+
+        let create () = { data = [||]; size = 0 }
+
+        let push h prio item =
+          if h.size >= Array.length h.data then begin
+            let cap = max 16 (2 * Array.length h.data) in
+            let data = Array.make cap (prio, item) in
+            Array.blit h.data 0 data 0 h.size;
+            h.data <- data
+          end;
+          h.data.(h.size) <- (prio, item);
+          h.size <- h.size + 1;
+          let i = ref h.size in
+          decr i;
+          while
+            !i > 0 && fst h.data.(!i) < fst h.data.((!i - 1) / 2)
+          do
+            let parent = (!i - 1) / 2 in
+            let tmp = h.data.(!i) in
+            h.data.(!i) <- h.data.(parent);
+            h.data.(parent) <- tmp;
+            i := parent
+          done
+
+        let pop h =
+          if h.size = 0 then None
+          else begin
+            let top = h.data.(0) in
+            h.size <- h.size - 1;
+            if h.size > 0 then begin
+              h.data.(0) <- h.data.(h.size);
+              let i = ref 0 in
+              let continue = ref true in
+              while !continue do
+                let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+                let m = ref !i in
+                if l < h.size && fst h.data.(l) < fst h.data.(!m) then m := l;
+                if r < h.size && fst h.data.(r) < fst h.data.(!m) then m := r;
+                if !m <> !i then begin
+                  let tmp = h.data.(!i) in
+                  h.data.(!i) <- h.data.(!m);
+                  h.data.(!m) <- tmp;
+                  i := !m
+                end
+                else continue := false
+              done
+            end;
+            Some top
+          end
+      end in
+      let frontier = H.create () in
+      H.push frontier (Rect.distance_sq_to_point root.mbr p) (`Node root);
+      let results = ref [] in
+      let found = ref 0 in
+      let continue = ref true in
+      while !continue && !found < k do
+        match H.pop frontier with
+        | None -> continue := false
+        | Some (d, `Entry (r, x)) ->
+            results := (sqrt d, r, x) :: !results;
+            incr found
+        | Some (_, `Node node) -> (
+            match node.kind with
+            | Leaf es ->
+                List.iter
+                  (fun (r, x) ->
+                    H.push frontier (Rect.distance_sq_to_point r p)
+                      (`Entry (r, x)))
+                  es
+            | Node cs ->
+                List.iter
+                  (fun c ->
+                    H.push frontier
+                      (Rect.distance_sq_to_point c.mbr p)
+                      (`Node c))
+                  cs)
+      done;
+      List.rev !results
+
+(* --- Queries ----------------------------------------------------------- *)
+
+let search_point t p =
+  let rec go node acc =
+    if Rect.contains_point node.mbr p then
+      match node.kind with
+      | Leaf es ->
+          List.fold_left
+            (fun acc (r, x) -> if Rect.contains_point r p then x :: acc else acc)
+            acc es
+      | Node cs -> List.fold_left (fun acc c -> go c acc) acc cs
+    else acc
+  in
+  match t.root with None -> [] | Some root -> go root []
+
+let search_rect t window =
+  let rec go node acc =
+    if Rect.intersects node.mbr window then
+      match node.kind with
+      | Leaf es ->
+          List.fold_left
+            (fun acc (r, x) -> if Rect.intersects r window then x :: acc else acc)
+            acc es
+      | Node cs -> List.fold_left (fun acc c -> go c acc) acc cs
+    else acc
+  in
+  match t.root with None -> [] | Some root -> go root []
+
+let fold f init t =
+  let rec go node acc =
+    match node.kind with
+    | Leaf es -> List.fold_left (fun acc (r, x) -> f acc r x) acc es
+    | Node cs -> List.fold_left (fun acc c -> go c acc) acc cs
+  in
+  match t.root with None -> init | Some root -> go root init
+
+let entries t = fold (fun acc r x -> (r, x) :: acc) [] t
+let mbr t = Option.map (fun n -> n.mbr) t.root
+
+(* --- Statistics -------------------------------------------------------- *)
+
+type stats = {
+  node_count : int;
+  leaf_count : int;
+  total_coverage : float;
+  total_overlap : float;
+}
+
+let stats t =
+  let nodes = ref 0 and leaves = ref 0 in
+  let coverage = ref 0.0 and overlap = ref 0.0 in
+  let pairwise_overlap children =
+    let arr = Array.of_list children in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        overlap := !overlap +. Rect.intersection_area arr.(i).mbr arr.(j).mbr
+      done
+    done
+  in
+  let rec go ~is_root node =
+    incr nodes;
+    if not is_root then coverage := !coverage +. Rect.area node.mbr;
+    match node.kind with
+    | Leaf _ -> incr leaves
+    | Node cs ->
+        pairwise_overlap cs;
+        List.iter (go ~is_root:false) cs
+  in
+  (match t.root with None -> () | Some root -> go ~is_root:true root);
+  { node_count = !nodes; leaf_count = !leaves;
+    total_coverage = !coverage; total_overlap = !overlap }
+
+(* --- Invariants -------------------------------------------------------- *)
+
+let check_invariants t =
+  let cfg = t.cfg in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec leaf_depth node =
+    match node.kind with Leaf _ -> 1 | Node (c :: _) -> 1 + leaf_depth c | Node [] -> 1
+  in
+  let rec check ~is_root ~depth ~expect node =
+    let occ = node_occupancy node in
+    let min_ok =
+      if is_root then
+        match node.kind with Leaf _ -> true | Node _ -> occ >= 2
+      else occ >= cfg.min_fill
+    in
+    if not min_ok then
+      fail "node at depth %d underfull (%d < %d)" depth occ cfg.min_fill
+    else if occ > cfg.max_fill then
+      fail "node at depth %d overfull (%d > %d)" depth occ cfg.max_fill
+    else
+      match node.kind with
+      | Leaf es ->
+          if depth <> expect then
+            fail "leaf at depth %d, expected %d (unbalanced)" depth expect
+          else if es = [] && not is_root then fail "empty non-root leaf"
+          else if
+            es <> []
+            && not
+                 (Rect.equal node.mbr
+                    (Split.group_mbr es))
+          then fail "leaf MBR at depth %d is not the union of its entries" depth
+          else Ok ()
+      | Node cs ->
+          let union =
+            match cs with
+            | [] -> None
+            | c :: rest ->
+                Some
+                  (List.fold_left (fun acc n -> Rect.union acc n.mbr) c.mbr rest)
+          in
+          if union <> None && not (Rect.equal node.mbr (Option.get union)) then
+            fail "interior MBR at depth %d is not the union of children" depth
+          else
+            List.fold_left
+              (fun acc c ->
+                match acc with
+                | Error _ as e -> e
+                | Ok () -> check ~is_root:false ~depth:(depth + 1) ~expect c)
+              (Ok ()) cs
+  in
+  match t.root with
+  | None -> Ok ()
+  | Some root ->
+      check ~is_root:true ~depth:1 ~expect:(leaf_depth root) root

@@ -1,0 +1,104 @@
+(** Sequential R-tree (Guttman 1984, with optional R* improvements).
+
+    A height-balanced tree over [rect × payload] entries supporting
+    insertion, deletion, point and window queries. Every node except
+    the root holds between [min_fill] and [max_fill] entries; the root
+    holds at least 2 (unless the tree has fewer entries). The paper
+    uses this classical structure (§2.2) as the shape the DR-tree
+    overlay maintains in distributed form; here it also serves as a
+    centralized baseline and as the testbed for the three split
+    policies. *)
+
+type config = {
+  min_fill : int;  (** m: minimum entries per node ([>= 1]) *)
+  max_fill : int;  (** M: maximum entries per node ([>= 2 * min_fill]) *)
+  split : Split.kind;
+  forced_reinsert : bool;
+      (** R*-style forced reinsertion on first overflow per level
+          (only meaningful with [split = Rstar], allowed with any). *)
+}
+
+val default_config : config
+(** [{min_fill = 2; max_fill = 4; split = Quadratic;
+     forced_reinsert = false}]. *)
+
+val config :
+  ?min_fill:int ->
+  ?max_fill:int ->
+  ?split:Split.kind ->
+  ?forced_reinsert:bool ->
+  unit ->
+  config
+(** Build a config from {!default_config}.
+    @raise Invalid_argument if constraints are violated. *)
+
+type 'a t
+(** A mutable R-tree with payloads of type ['a]. *)
+
+val create : config -> 'a t
+(** An empty tree. *)
+
+val bulk_load : config -> (Geometry.Rect.t * 'a) list -> 'a t
+(** Sort-Tile-Recursive packing (Leutenegger et al.): sorts entries by
+    center along alternating dimensions, tiles them into full nodes
+    bottom-up. Produces a tree with near-100% node utilization —
+    better query performance than repeated {!insert}, at the price of
+    not supporting increments. The resulting tree supports all normal
+    operations afterwards. *)
+
+val size : 'a t -> int
+(** Number of stored entries. O(1). *)
+
+val height : 'a t -> int
+(** Number of node levels; [0] for the empty tree, [1] for a single
+    leaf. *)
+
+val insert : 'a t -> Geometry.Rect.t -> 'a -> unit
+(** [insert t r x] adds the entry [(r, x)]. Duplicates allowed. *)
+
+val remove : 'a t -> Geometry.Rect.t -> equal:('a -> 'a -> bool) -> 'a -> bool
+(** [remove t r ~equal x] deletes one entry whose rectangle equals [r]
+    and whose payload satisfies [equal x]. Returns [false] when no
+    such entry exists. Underfull nodes are condensed and their
+    remaining entries reinserted (Guttman's CondenseTree). *)
+
+val search_point : 'a t -> Geometry.Point.t -> 'a list
+(** Payloads of all entries whose rectangle contains the point. *)
+
+val search_rect : 'a t -> Geometry.Rect.t -> 'a list
+(** Payloads of all entries whose rectangle intersects the window. *)
+
+val nearest : 'a t -> Geometry.Point.t -> k:int -> (float * Geometry.Rect.t * 'a) list
+(** [nearest t p ~k] is the [k] entries with the smallest distance from
+    [p] to their rectangle (distance, rectangle, payload), closest
+    first. Branch-and-bound best-first search. Fewer than [k] results
+    when the tree is smaller. @raise Invalid_argument if [k <= 0]. *)
+
+val fold : ('acc -> Geometry.Rect.t -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over all entries (unspecified order). *)
+
+val entries : 'a t -> (Geometry.Rect.t * 'a) list
+(** All entries. *)
+
+val mbr : 'a t -> Geometry.Rect.t option
+(** Root MBR; [None] when empty. *)
+
+(** {2 Shape statistics (experiment E6)} *)
+
+type stats = {
+  node_count : int;      (** internal + leaf nodes *)
+  leaf_count : int;
+  total_coverage : float;  (** sum of node MBR areas (excl. root) *)
+  total_overlap : float;   (** sum of pairwise sibling MBR overlaps *)
+}
+
+val stats : 'a t -> stats
+
+(** {2 Structural invariants (Definition of §2.2)} *)
+
+val check_invariants : 'a t -> (unit, string) result
+(** Verifies: all leaves at the same depth; node occupancy within
+    [min_fill .. max_fill] (root exempt below, but root has >= 2
+    children when internal); every interior MBR is exactly the union
+    of its children's MBRs. Returns a description of the first
+    violation. *)

@@ -1,0 +1,148 @@
+type latency = Fixed of float | Uniform of float * float
+
+type 'm delivery = { src : Node_id.t option; dst : Node_id.t; msg : 'm }
+
+type 'm t = {
+  rng : Rng.t;
+  latency : latency;
+  drop_rate : float;
+  queue : 'm delivery Heap.t;
+  handlers : ('m ctx -> 'm -> unit) option Node_id.Table.t;
+  mutable next_id : int;
+  mutable time : float;
+  mutable seq : int;
+  mutable alive : int;
+  mutable sent : int;
+  mutable selfs : int;
+  mutable dropped : int;
+  mutable lost : int;
+  mutable processed : int;
+  mutable tracer :
+    (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) option;
+}
+
+and 'm ctx = { eng : 'm t; id : Node_id.t }
+
+let create ?(latency = Fixed 1.0) ?(drop_rate = 0.0) ~seed () =
+  (match latency with
+  | Fixed l when l < 0.0 -> invalid_arg "Engine.create: negative latency"
+  | Uniform (lo, hi) when lo < 0.0 || hi < lo ->
+      invalid_arg "Engine.create: bad latency range"
+  | Fixed _ | Uniform _ -> ());
+  if drop_rate < 0.0 || drop_rate >= 1.0 then
+    invalid_arg "Engine.create: drop_rate outside [0, 1)";
+  {
+    rng = Rng.make seed;
+    latency;
+    drop_rate;
+    queue = Heap.create ();
+    handlers = Node_id.Table.create 256;
+    next_id = 0;
+    time = 0.0;
+    seq = 0;
+    alive = 0;
+    sent = 0;
+    selfs = 0;
+    dropped = 0;
+    lost = 0;
+    processed = 0;
+    tracer = None;
+  }
+
+let rng t = t.rng
+let now t = t.time
+
+let spawn t handler =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Node_id.Table.replace t.handlers id (Some handler);
+  t.alive <- t.alive + 1;
+  id
+
+let is_alive t id =
+  match Node_id.Table.find_opt t.handlers id with
+  | Some (Some _) -> true
+  | Some None | None -> false
+
+let kill t id =
+  if is_alive t id then begin
+    Node_id.Table.replace t.handlers id None;
+    t.alive <- t.alive - 1
+  end
+
+let alive_nodes t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if is_alive t id then acc := id :: !acc
+  done;
+  !acc
+
+let alive_count t = t.alive
+let spawned_count t = t.next_id
+
+let sample_latency t =
+  match t.latency with
+  | Fixed l -> l
+  | Uniform (lo, hi) -> Rng.range t.rng lo hi
+
+let enqueue t src dst msg =
+  let is_self =
+    match src with Some s -> Node_id.equal s dst | None -> false
+  in
+  (match src with
+  | Some s when Node_id.equal s dst -> t.selfs <- t.selfs + 1
+  | Some _ | None -> t.sent <- t.sent + 1);
+  (* Self-messages model local computation and are never lost. *)
+  if (not is_self) && t.drop_rate > 0.0 && Rng.float t.rng 1.0 < t.drop_rate
+  then t.lost <- t.lost + 1
+  else begin
+    let delay = sample_latency t in
+    t.seq <- t.seq + 1;
+    Heap.add t.queue ~priority:(t.time +. delay) ~seq:t.seq { src; dst; msg }
+  end
+
+let inject t ~dst msg = enqueue t None dst msg
+
+let self ctx = ctx.id
+let engine ctx = ctx.eng
+let send ctx dst msg = enqueue ctx.eng (Some ctx.id) dst msg
+
+let deliver t { src; dst; msg } =
+  match Node_id.Table.find_opt t.handlers dst with
+  | Some (Some handler) ->
+      (match t.tracer with
+      | Some trace -> trace t.time ~src ~dst msg
+      | None -> ());
+      handler { eng = t; id = dst } msg
+  | Some None | None -> t.dropped <- t.dropped + 1
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, delivery) ->
+      t.time <- Float.max t.time time;
+      t.processed <- t.processed + 1;
+      deliver t delivery;
+      true
+
+let run ?(max_events = 10_000_000) t =
+  let rec loop budget =
+    if budget <= 0 then `Limit else if step t then loop (budget - 1) else `Quiescent
+  in
+  loop max_events
+
+let pending t = Heap.length t.queue
+let messages_sent t = t.sent
+let self_messages t = t.selfs
+let messages_dropped t = t.dropped
+let messages_lost t = t.lost
+let events_processed t = t.processed
+
+let reset_counters t =
+  t.sent <- 0;
+  t.selfs <- 0;
+  t.dropped <- 0;
+  t.lost <- 0;
+  t.processed <- 0
+
+let set_tracer t tracer = t.tracer <- Some tracer

@@ -1,0 +1,103 @@
+(** Deterministic discrete-event message-passing engine.
+
+    Processes are spawned with a message handler; messages between
+    processes are delivered after a (configurable) latency, in
+    deterministic (time, sequence) order. The engine is the system
+    model of §2.1 of the paper: a finite, unbounded set of processes
+    that can join, leave and crash at any time; the overlay protocols
+    are pure message handlers on top.
+
+    Self-messages are free (a process consulting its own state); only
+    messages between distinct processes count toward the message
+    complexity counters. *)
+
+type 'm t
+(** An engine carrying messages of type ['m]. *)
+
+type 'm ctx
+(** Handler context: the receiving process's view of the engine. *)
+
+type latency =
+  | Fixed of float  (** every link takes exactly this long *)
+  | Uniform of float * float
+      (** per-message latency uniform on [lo, hi) — models jitter *)
+
+val create : ?latency:latency -> ?drop_rate:float -> seed:int -> unit -> 'm t
+(** [create ~seed ()] is an empty engine at time [0.]. Default latency
+    is [Fixed 1.]. [drop_rate] (default [0.]) silently loses that
+    fraction of inter-process messages at send time (self-messages are
+    never dropped — a process always hears itself); lost messages are
+    counted in {!messages_lost}. Protocols built on this engine must
+    tolerate loss through their periodic repair — exactly what the
+    DR-tree's stabilization provides.
+    @raise Invalid_argument if outside [0, 1). *)
+
+val rng : 'm t -> Rng.t
+(** The engine's own random stream (latency jitter; also convenient
+    for experiment scripts). *)
+
+val now : 'm t -> float
+(** Current virtual time. *)
+
+val spawn : 'm t -> ('m ctx -> 'm -> unit) -> Node_id.t
+(** [spawn t handler] creates a live process and returns its id. *)
+
+val kill : 'm t -> Node_id.t -> unit
+(** Crash a process: it stops handling messages; in-flight and future
+    messages to it are dropped (and counted). Idempotent. *)
+
+val is_alive : 'm t -> Node_id.t -> bool
+val alive_nodes : 'm t -> Node_id.t list
+(** Live processes in spawn order. *)
+
+val alive_count : 'm t -> int
+val spawned_count : 'm t -> int
+
+val inject : 'm t -> dst:Node_id.t -> 'm -> unit
+(** Message from the environment (no source process): delivered after
+    the link latency. Used to start joins, publications, and
+    stabilization rounds. Counted as a message. *)
+
+val run : ?max_events:int -> 'm t -> [ `Quiescent | `Limit ]
+(** Process queued events until none remain ([`Quiescent]) or
+    [max_events] have fired ([`Limit], default 10 million — a runaway
+    guard, not a tuning knob). *)
+
+val step : 'm t -> bool
+(** Process exactly one event; [false] when the queue is empty. *)
+
+val pending : 'm t -> int
+(** Number of queued events. *)
+
+(** {2 Handler context} *)
+
+val self : 'm ctx -> Node_id.t
+val engine : 'm ctx -> 'm t
+
+val send : 'm ctx -> Node_id.t -> 'm -> unit
+(** [send ctx dst m] delivers [m] to [dst] after the link latency.
+    Sending to oneself is free (see counters) but still deferred, so
+    handlers never re-enter. *)
+
+(** {2 Counters}
+
+    Counters accumulate until {!reset_counters}. *)
+
+val messages_sent : 'm t -> int
+(** Messages between distinct processes (the paper's message
+    complexity measure), including environment injections. *)
+
+val self_messages : 'm t -> int
+val messages_dropped : 'm t -> int
+(** Messages whose destination was dead at delivery time. *)
+
+val messages_lost : 'm t -> int
+(** Messages lost to the [drop_rate] at send time. *)
+
+val events_processed : 'm t -> int
+val reset_counters : 'm t -> unit
+
+val set_tracer :
+  'm t -> (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) -> unit
+(** Invoked at each delivery (before the handler). For debugging and
+    the examples' narration. *)

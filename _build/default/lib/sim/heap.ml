@@ -1,0 +1,72 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let lt a b = a.prio < b.prio || (Float.equal a.prio b.prio && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let add h ~priority ~seq value =
+  let entry = { prio = priority; seq; value } in
+  grow h entry;
+  let i = ref h.size in
+  h.data.(!i) <- entry;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.prio, e.seq, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.prio, top.seq, top.value)
+  end
+
+let clear h = h.size <- 0

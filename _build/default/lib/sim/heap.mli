@@ -1,0 +1,22 @@
+(** Binary min-heap, keyed by float priority with an integer tiebreak.
+
+    The simulator's event queue: events fire in (time, sequence) order,
+    so simultaneous events are processed in insertion order and runs
+    are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> seq:int -> 'a -> unit
+(** Insert with the given priority and tiebreak sequence number. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** The minimum element without removing it. *)
+
+val clear : 'a t -> unit

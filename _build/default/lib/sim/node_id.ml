@@ -1,0 +1,17 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash x = x
+let pp ppf id = Format.fprintf ppf "n%d" id
+let to_string id = Format.asprintf "%a" pp id
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

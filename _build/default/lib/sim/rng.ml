@@ -1,0 +1,84 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5eed; seed lxor 0x2b992ddf |]
+let split rng = Random.State.make [| Random.State.bits rng; Random.State.bits rng |]
+let copy = Random.State.copy
+
+let int rng n =
+  if n <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int rng n
+
+let float rng x = Random.State.float rng x
+let bool rng = Random.State.bool rng
+let range rng lo hi = lo +. Random.State.float rng (hi -. lo)
+
+let pick rng = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int rng (List.length xs))
+
+let pick_array rng arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick_array: empty array";
+  arr.(int rng (Array.length arr))
+
+let shuffle rng xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: non-positive rate";
+  let u = 1.0 -. Random.State.float rng 1.0 (* u in (0, 1] *) in
+  -.log u /. rate
+
+let gaussian rng ~mean ~stddev =
+  let u1 = 1.0 -. Random.State.float rng 1.0 in
+  let u2 = Random.State.float rng 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let poisson rng ~mean =
+  if mean < 0.0 then invalid_arg "Rng.poisson: negative mean";
+  if mean > 500.0 then
+    (* Normal approximation for large means. *)
+    max 0 (int_of_float (Float.round (gaussian rng ~mean ~stddev:(sqrt mean))))
+  else begin
+    let limit = exp (-.mean) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      p := !p *. Random.State.float rng 1.0;
+      if !p <= limit then continue := false else incr k
+    done;
+    !k
+  end
+
+(* Rejection-inversion sampling for the Zipf distribution
+   (W. Hörmann, G. Derflinger, 1996). Exact and O(1) amortized per
+   draw, no per-(n,s) table needed. *)
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
+  if s < 0.0 then invalid_arg "Rng.zipf: negative exponent";
+  if n = 1 then 1
+  else if s = 0.0 then 1 + int rng n
+  else begin
+    let nf = float_of_int n in
+    let h x = if Float.abs (1.0 -. s) < 1e-12 then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
+    let h_inv y =
+      if Float.abs (1.0 -. s) < 1e-12 then exp y
+      else ((1.0 -. s) *. y) ** (1.0 /. (1.0 -. s))
+    in
+    let hx0 = h 0.5 -. (1.0 /. (0.5 ** s)) in
+    let hn = h (nf +. 0.5) in
+    let rec draw () =
+      let u = hx0 +. Random.State.float rng (hn -. hx0) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = Float.max 1.0 (Float.min nf k) in
+      if u >= h (k +. 0.5) -. (1.0 /. (k ** s)) then int_of_float k else draw ()
+    in
+    draw ()
+  end

@@ -1,0 +1,55 @@
+(** Deterministic random number generation.
+
+    Every stochastic choice in the simulator and the workload
+    generators draws from an explicit [Rng.t], so a run is a pure
+    function of its seed. *)
+
+type t
+
+val make : int -> t
+(** [make seed] is a generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split rng] is a new generator whose stream is derived from (and
+    independent of subsequent draws on) [rng]. Use it to give
+    subsystems their own streams. *)
+
+val copy : t -> t
+(** An independent generator in the same state. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform on [0, n). @raise Invalid_argument if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform on [0, x). *)
+
+val bool : t -> bool
+
+val range : t -> float -> float -> float
+(** [range rng lo hi] is uniform on [lo, hi). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on []. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates permutation. *)
+
+val exponential : t -> rate:float -> float
+(** Sample of an exponential distribution with the given [rate]
+    (mean [1/rate]). Inter-arrival times of a Poisson process. *)
+
+val poisson : t -> mean:float -> int
+(** Sample of a Poisson distribution (Knuth's method for small means,
+    normal approximation above 500). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller sample. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf rng ~n ~s] samples a rank in [1, n] under a Zipf law with
+    exponent [s] (by inverse transform on the precomputed CDF would be
+    costly to rebuild per draw; this uses rejection-inversion, cheap
+    and exact). *)

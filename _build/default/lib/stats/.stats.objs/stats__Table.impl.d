@@ -1,0 +1,1 @@
+lib/stats/table.ml: Buffer Filename Format List Printf String Sys

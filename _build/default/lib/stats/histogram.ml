@@ -1,0 +1,49 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0; total = 0 }
+
+let add h x =
+  let bins = Array.length h.counts in
+  let i =
+    if x < h.lo then 0
+    else if x >= h.hi then bins - 1
+    else
+      let i = int_of_float ((x -. h.lo) /. h.width) in
+      min i (bins - 1)
+  in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1
+
+let add_many h xs = List.iter (add h) xs
+let count h = h.total
+
+let bucket_count h i =
+  if i < 0 || i >= Array.length h.counts then
+    invalid_arg "Histogram.bucket_count: out of range";
+  h.counts.(i)
+
+let bucket_bounds h i =
+  if i < 0 || i >= Array.length h.counts then
+    invalid_arg "Histogram.bucket_bounds: out of range";
+  (h.lo +. (float_of_int i *. h.width), h.lo +. (float_of_int (i + 1) *. h.width))
+
+let pp ppf h =
+  let peak = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bucket_bounds h i in
+        let bar = String.make (max 1 (c * 40 / peak)) '#' in
+        Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@." lo hi c bar
+      end)
+    h.counts

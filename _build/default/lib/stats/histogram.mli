@@ -1,0 +1,23 @@
+(** Fixed-width histograms. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal buckets;
+    samples outside the range land in saturating edge buckets.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float list -> unit
+
+val count : t -> int
+(** Total number of samples. *)
+
+val bucket_count : t -> int -> int
+(** [bucket_count h i] is the number of samples in bucket [i].
+    @raise Invalid_argument if out of range. *)
+
+val bucket_bounds : t -> int -> float * float
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per non-empty bucket. *)

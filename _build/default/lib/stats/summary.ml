@@ -1,0 +1,57 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Summary.mean: empty sample"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> invalid_arg "Summary.stddev: empty sample"
+  | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q outside [0,1]";
+  if n = 1 then sorted.(0)
+  else
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let of_list xs =
+  if xs = [] then invalid_arg "Summary.of_list: empty sample";
+  let sorted = Array.of_list xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+let of_ints xs = of_list (List.map float_of_int xs)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); [0.] if n < 2 *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val of_ints : int list -> t
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0, 1]: linear interpolation
+    between closest ranks. The array must be sorted ascending.
+    @raise Invalid_argument on empty array or [q] outside [0, 1]. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- cells :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let pp ppf t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let total =
+    List.fold_left ( + ) 0 widths + (3 * List.length widths) + 1
+  in
+  let hline = String.make total '-' in
+  let render_row cells =
+    Format.fprintf ppf "|";
+    List.iter2
+      (fun cell width -> Format.fprintf ppf " %*s |" width cell)
+      cells widths;
+    Format.fprintf ppf "@."
+  in
+  Format.fprintf ppf "%s@." t.title;
+  Format.fprintf ppf "%s@." hline;
+  render_row t.columns;
+  Format.fprintf ppf "%s@." hline;
+  List.iter render_row rows;
+  Format.fprintf ppf "%s@." hline
+
+let csv_cell cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.columns;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    (String.lowercase_ascii title)
+
+let print t =
+  Format.printf "%a@." pp t;
+  (* Opt-in machine-readable mirror of every printed table. *)
+  match Sys.getenv_opt "DRTREE_CSV_DIR" with
+  | None | Some "" -> ()
+  | Some dir ->
+      let keep = min 60 (String.length t.title) in
+      let path =
+        Filename.concat dir (slug (String.sub t.title 0 keep) ^ ".csv")
+      in
+      let oc = open_out path in
+      output_string oc (to_csv t);
+      close_out oc
+

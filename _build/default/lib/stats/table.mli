@@ -1,0 +1,25 @@
+(** ASCII table rendering for the experiment harness.
+
+    Every experiment prints its results as one of these tables, so
+    bench output is uniform and diffable. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats one string and splits it on ['|']
+    into cells — convenient for mixed-type rows:
+    [add_rowf t "%d|%.2f|%s" n x s]. *)
+
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+(** [pp] on [stdout], followed by a blank line. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish rendering: header row then data rows; cells
+    containing commas, quotes or newlines are quoted. *)

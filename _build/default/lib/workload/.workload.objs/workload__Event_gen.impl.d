@@ -1,0 +1,1 @@
+lib/workload/event_gen.ml: Array Geometry List Option Sim Space

@@ -1,0 +1,1 @@
+lib/workload/event_gen.mli: Geometry Sim Space

@@ -1,0 +1,1 @@
+lib/workload/space.ml: Array Float Geometry Sim

@@ -1,0 +1,1 @@
+lib/workload/space.mli: Geometry Sim

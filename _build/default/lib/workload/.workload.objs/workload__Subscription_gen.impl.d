@@ -1,0 +1,1 @@
+lib/workload/subscription_gen.ml: Array Float Geometry List Option Sim Space

@@ -1,0 +1,1 @@
+lib/workload/subscription_gen.mli: Geometry Sim Space

@@ -1,0 +1,66 @@
+module Point = Geometry.Point
+module Rect = Geometry.Rect
+module Rng = Sim.Rng
+
+type gen = Space.t -> Rng.t -> int -> Point.t list
+
+let uniform space rng count =
+  List.init count (fun _ -> Space.random_point space rng)
+
+let hotspot ?(fraction = 0.8) ?radius () space rng count =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Event_gen.hotspot: fraction outside [0, 1]";
+  let radius = Option.value radius ~default:(0.1 *. Space.width space) in
+  let hot =
+    Array.init space.Space.dims (fun _ ->
+        Rng.range rng space.Space.lo space.Space.hi)
+  in
+  List.init count (fun _ ->
+      if Rng.float rng 1.0 < fraction then
+        Point.make
+          (Array.map
+             (fun x ->
+               Space.clamp space (x +. Rng.range rng (-.radius) radius))
+             hot)
+      else Space.random_point space rng)
+
+let zipf_grid ?(cells = 10) ?(s = 1.0) () space rng count =
+  if cells < 1 then invalid_arg "Event_gen.zipf_grid: cells < 1";
+  let d = space.Space.dims in
+  let total = int_of_float (float_of_int cells ** float_of_int d) in
+  let cell_width = Space.width space /. float_of_int cells in
+  List.init count (fun _ ->
+      let rank = Rng.zipf rng ~n:total ~s - 1 in
+      let coords = Array.make d 0.0 in
+      let rem = ref rank in
+      for i = 0 to d - 1 do
+        let idx = !rem mod cells in
+        rem := !rem / cells;
+        let lo = space.Space.lo +. (float_of_int idx *. cell_width) in
+        coords.(i) <- lo +. Rng.float rng cell_width
+      done;
+      Point.make coords)
+
+let targeted subs ~hit_rate space rng count =
+  if subs = [] then invalid_arg "Event_gen.targeted: no subscriptions";
+  if hit_rate < 0.0 || hit_rate > 1.0 then
+    invalid_arg "Event_gen.targeted: hit_rate outside [0, 1]";
+  let subs = Array.of_list subs in
+  List.init count (fun _ ->
+      if Rng.float rng 1.0 < hit_rate then begin
+        let r = subs.(Rng.int rng (Array.length subs)) in
+        let d = Rect.dims r in
+        Point.make
+          (Array.init d (fun i ->
+               let lo = Rect.low r i and hi = Rect.high r i in
+               if hi > lo then Rng.range rng lo hi else lo))
+      end
+      else Space.random_point space rng)
+
+let catalog ~subscriptions =
+  [
+    ("uniform", uniform);
+    ("hotspot", hotspot ());
+    ("zipf", zipf_grid ());
+    ("targeted", targeted subscriptions ~hit_rate:0.7);
+  ]

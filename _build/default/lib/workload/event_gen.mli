@@ -1,0 +1,34 @@
+(** Event (point) workloads.
+
+    Generators of publication points. [targeted] and [hotspot] model
+    the biased workloads of §3.2 ("Dynamic Reorganizations"): events
+    concentrate where some subscribers are interested, so routing
+    accuracy differences show. *)
+
+type gen = Space.t -> Sim.Rng.t -> int -> Geometry.Point.t list
+
+val uniform : gen
+(** Uniform over the universe. *)
+
+val hotspot : ?fraction:float -> ?radius:float -> unit -> gen
+(** [fraction] (default 0.8) of events fall within a ball of [radius]
+    (default 10% of width) around one random hot point; the rest are
+    uniform. *)
+
+val zipf_grid : ?cells:int -> ?s:float -> unit -> gen
+(** The universe is divided into [cells × ... × cells] buckets
+    (default 10 per dimension) ranked in row-major order; events pick
+    a bucket by a Zipf law with exponent [s] (default 1.0) and a
+    uniform point inside it. *)
+
+val targeted : Geometry.Rect.t list -> hit_rate:float -> gen
+(** [targeted subs ~hit_rate]: with probability [hit_rate] the event
+    falls uniformly inside a random subscription rectangle (a
+    deliverable event); otherwise uniformly in the universe.
+    @raise Invalid_argument if [subs] is empty or [hit_rate] outside
+    [0, 1]. *)
+
+val catalog :
+  subscriptions:Geometry.Rect.t list -> (string * gen) list
+(** uniform, hotspot, zipf and targeted(0.7) over the given
+    subscription set — the event sides of experiment E5. *)

@@ -1,0 +1,18 @@
+type t = { dims : int; lo : float; hi : float }
+
+let default = { dims = 2; lo = 0.0; hi = 100.0 }
+
+let make ?(dims = default.dims) ?(lo = default.lo) ?(hi = default.hi) () =
+  if dims < 1 then invalid_arg "Space.make: dims < 1";
+  if hi <= lo then invalid_arg "Space.make: hi <= lo";
+  { dims; lo; hi }
+
+let width s = s.hi -. s.lo
+
+let rect s =
+  Geometry.Rect.make ~low:(Array.make s.dims s.lo) ~high:(Array.make s.dims s.hi)
+
+let random_point s rng =
+  Geometry.Point.make (Array.init s.dims (fun _ -> Sim.Rng.range rng s.lo s.hi))
+
+let clamp s x = Float.max s.lo (Float.min s.hi x)

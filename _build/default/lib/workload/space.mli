@@ -1,0 +1,24 @@
+(** The attribute space experiments run in.
+
+    All generators draw from a bounded universe; [0, 100]^d by
+    default, matching the two-attribute examples of the paper's
+    Figure 1. *)
+
+type t = { dims : int; lo : float; hi : float }
+
+val default : t
+(** [{dims = 2; lo = 0.; hi = 100.}] *)
+
+val make : ?dims:int -> ?lo:float -> ?hi:float -> unit -> t
+(** @raise Invalid_argument if [dims < 1] or [hi <= lo]. *)
+
+val width : t -> float
+
+val rect : t -> Geometry.Rect.t
+(** The universe as a rectangle. *)
+
+val random_point : t -> Sim.Rng.t -> Geometry.Point.t
+(** Uniform point in the universe. *)
+
+val clamp : t -> float -> float
+(** Clamp a coordinate into the universe. *)

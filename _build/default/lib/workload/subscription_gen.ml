@@ -1,0 +1,126 @@
+module Rect = Geometry.Rect
+module Rng = Sim.Rng
+
+type gen = Space.t -> Rng.t -> int -> Rect.t list
+
+let rect_around space center extents =
+  let d = space.Space.dims in
+  let low =
+    Array.init d (fun i -> Space.clamp space (center.(i) -. (extents.(i) /. 2.0)))
+  in
+  let high =
+    Array.init d (fun i ->
+        Float.max low.(i)
+          (Space.clamp space (center.(i) +. (extents.(i) /. 2.0))))
+  in
+  Rect.make ~low ~high
+
+let uniform ?min_extent ?max_extent () space rng count =
+  let w = Space.width space in
+  let min_extent = Option.value min_extent ~default:(0.01 *. w) in
+  let max_extent = Option.value max_extent ~default:(0.1 *. w) in
+  List.init count (fun _ ->
+      let center =
+        Array.init space.Space.dims (fun _ ->
+            Rng.range rng space.Space.lo space.Space.hi)
+      in
+      let extents =
+        Array.init space.Space.dims (fun _ ->
+            Rng.range rng min_extent max_extent)
+      in
+      rect_around space center extents)
+
+let clustered ?(clusters = 5) ?spread ?max_extent () space rng count =
+  if clusters < 1 then invalid_arg "Subscription_gen.clustered: clusters < 1";
+  let w = Space.width space in
+  let spread = Option.value spread ~default:(0.05 *. w) in
+  let max_extent = Option.value max_extent ~default:(0.08 *. w) in
+  let centers =
+    Array.init clusters (fun _ ->
+        Array.init space.Space.dims (fun _ ->
+            Rng.range rng space.Space.lo space.Space.hi))
+  in
+  List.init count (fun _ ->
+      let c = centers.(Rng.int rng clusters) in
+      let center =
+        Array.map
+          (fun x -> Space.clamp space (Rng.gaussian rng ~mean:x ~stddev:spread))
+          c
+      in
+      let extents =
+        Array.init space.Space.dims (fun _ ->
+            Rng.range rng (0.005 *. w) max_extent)
+      in
+      rect_around space center extents)
+
+let containment ?(roots = 8) ?(shrink = 0.6) () space rng count =
+  if roots < 1 then invalid_arg "Subscription_gen.containment: roots < 1";
+  if shrink <= 0.0 || shrink >= 1.0 then
+    invalid_arg "Subscription_gen.containment: shrink outside (0, 1)";
+  let w = Space.width space in
+  let acc = ref [] in
+  let made = ref 0 in
+  while !made < count do
+    let r =
+      if !made < roots || !acc = [] then begin
+        (* A fresh large root region. *)
+        let center =
+          Array.init space.Space.dims (fun _ ->
+              Rng.range rng space.Space.lo space.Space.hi)
+        in
+        let extents =
+          Array.init space.Space.dims (fun _ -> Rng.range rng (0.2 *. w) (0.45 *. w))
+        in
+        rect_around space center extents
+      end
+      else begin
+        (* Nest inside a random earlier filter. *)
+        let parent = Rng.pick rng !acc in
+        let d = Rect.dims parent in
+        let low = Array.make d 0.0 and high = Array.make d 0.0 in
+        for i = 0 to d - 1 do
+          let plo = Rect.low parent i and phi = Rect.high parent i in
+          let extent = (phi -. plo) *. shrink in
+          let slack = (phi -. plo) -. extent in
+          let off = if slack > 0.0 then Rng.float rng slack else 0.0 in
+          low.(i) <- plo +. off;
+          high.(i) <- plo +. off +. extent
+        done;
+        Rect.make ~low ~high
+      end
+    in
+    acc := r :: !acc;
+    incr made
+  done;
+  List.rev !acc
+
+let pareto rng ~alpha ~scale =
+  let u = 1.0 -. Rng.float rng 1.0 in
+  scale /. (u ** (1.0 /. alpha))
+
+let skewed ?(alpha = 1.5) () space rng count =
+  if alpha <= 0.0 then invalid_arg "Subscription_gen.skewed: alpha <= 0";
+  let w = Space.width space in
+  List.init count (fun _ ->
+      let center =
+        Array.init space.Space.dims (fun _ ->
+            Rng.range rng space.Space.lo space.Space.hi)
+      in
+      let extents =
+        Array.init space.Space.dims (fun _ ->
+            Float.min (0.9 *. w) (pareto rng ~alpha ~scale:(0.005 *. w)))
+      in
+      rect_around space center extents)
+
+let point_interests space rng count =
+  List.init count (fun _ ->
+      Rect.of_point (Space.random_point space rng))
+
+let catalog =
+  [
+    ("uniform", uniform ());
+    ("clustered", clustered ());
+    ("containment", containment ());
+    ("skewed", skewed ());
+    ("points", point_interests);
+  ]

@@ -1,0 +1,37 @@
+(** Subscription (filter rectangle) workloads.
+
+    Each generator produces [count] filter rectangles inside a
+    {!Space.t}. The catalog covers the workload classes relevant to the
+    paper's claims: uniform interests, clustered communities of
+    interest, containment-rich hierarchies (where Properties 3.1/3.2
+    bite), and size-skewed mixtures. *)
+
+type gen = Space.t -> Sim.Rng.t -> int -> Geometry.Rect.t list
+
+val uniform : ?min_extent:float -> ?max_extent:float -> unit -> gen
+(** Centers uniform in the universe; each extent uniform in
+    [min_extent, max_extent) (defaults: 1% and 10% of the universe
+    width). *)
+
+val clustered : ?clusters:int -> ?spread:float -> ?max_extent:float -> unit -> gen
+(** Interests gather around [clusters] (default 5) uniformly-placed
+    hot centers with Gaussian [spread] (default 5% of width). Models
+    semantic communities (§1). *)
+
+val containment : ?roots:int -> ?shrink:float -> unit -> gen
+(** Containment-chain workload: [roots] (default 8) large rectangles;
+    each subsequent filter nests inside a random earlier one, scaled
+    by [shrink] (default 0.6). Produces a deep containment partial
+    order, like Figure 1. *)
+
+val skewed : ?alpha:float -> unit -> gen
+(** Pareto-distributed extents (shape [alpha], default 1.5): a few
+    subscribers watch huge regions, most watch tiny ones — the regime
+    where largest-MBR root election matters. *)
+
+val point_interests : gen
+(** Degenerate rectangles (equality filters only). *)
+
+val catalog : (string * gen) list
+(** The named workloads used by experiment E5:
+    uniform, clustered, containment, skewed, points. *)

@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Baselines Chord Geometry List Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_dissemination.ml: Alcotest Drtree Filter Geometry List Printf Sim

@@ -1,0 +1,1 @@
+test/test_drtree.ml: Alcotest Drtree Format Geometry List Option Printf Rtree Sim String Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Drtree Filter Float Fun Geometry List Option Printf QCheck2 QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Bool Filter Fun Geometry List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Bool Float Geometry List QCheck2 QCheck_alcotest

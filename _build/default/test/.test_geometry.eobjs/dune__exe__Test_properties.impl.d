@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Drtree Fun Geometry List QCheck2 QCheck_alcotest Rtree Sim

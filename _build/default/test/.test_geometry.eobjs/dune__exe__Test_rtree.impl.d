@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Float Fun Geometry Int List Printf QCheck2 QCheck_alcotest Rtree Sim

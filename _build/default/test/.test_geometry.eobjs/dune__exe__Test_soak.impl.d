@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Drtree Geometry List Printf Sim

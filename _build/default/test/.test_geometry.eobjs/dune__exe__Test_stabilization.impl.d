@@ -1,0 +1,1 @@
+test/test_stabilization.ml: Alcotest Drtree Format Geometry List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Geometry Hashtbl List Option Printf Sim Workload

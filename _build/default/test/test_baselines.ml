@@ -1,0 +1,331 @@
+(* Tests for the baseline routers used in experiment E9. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module Ct = Baselines.Containment_tree
+module Pd = Baselines.Per_dimension
+module Fl = Baselines.Flooding
+module Dht = Baselines.Dht_rendezvous
+module Int_set = Baselines.Report.Int_set
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rect x0 y0 x1 y1 = R.make2 ~x0 ~y0 ~x1 ~y1
+
+let random_rect rng =
+  let x0 = Sim.Rng.range rng 0.0 90.0 and y0 = Sim.Rng.range rng 0.0 90.0 in
+  let w = Sim.Rng.range rng 1.0 10.0 and h = Sim.Rng.range rng 1.0 10.0 in
+  rect x0 y0 (x0 +. w) (y0 +. h)
+
+let random_point rng =
+  P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0)
+
+(* --- Containment tree ------------------------------------------------------- *)
+
+let test_ct_structure () =
+  let t = Ct.create () in
+  let big = Ct.add t (rect 0.0 0.0 10.0 10.0) in
+  let mid = Ct.add t (rect 1.0 1.0 6.0 6.0) in
+  let small = Ct.add t (rect 2.0 2.0 4.0 4.0) in
+  let far = Ct.add t (rect 50.0 50.0 60.0 60.0) in
+  ignore (big, mid, small, far);
+  check_int "size" 4 (Ct.size t);
+  check_int "depth 3" 3 (Ct.depth t);
+  check_bool "degree small" true (Ct.max_degree t <= 2)
+
+let test_ct_exact () =
+  let rng = Sim.Rng.make 1 in
+  let t = Ct.create () in
+  let entries = List.init 100 (fun _ ->
+      let r = random_rect rng in
+      (Ct.add t r, r)) in
+  for _ = 1 to 50 do
+    let p = random_point rng in
+    let from = fst (List.hd entries) in
+    let rep = Ct.publish t ~from p in
+    check_int "no FP" 0 rep.Baselines.Report.false_positives;
+    check_int "no FN" 0 rep.Baselines.Report.false_negatives
+  done
+
+let test_ct_insert_order_independent_accuracy () =
+  (* Insert the containee before the container: accuracy must hold. *)
+  let t = Ct.create () in
+  let small = Ct.add t (rect 2.0 2.0 4.0 4.0) in
+  let big = Ct.add t (rect 0.0 0.0 10.0 10.0) in
+  let rep = Ct.publish t ~from:big (P.make2 3.0 3.0) in
+  check_bool "both matched" true
+    (Int_set.equal rep.Baselines.Report.matched (Int_set.of_list [ small; big ]));
+  check_int "no FN" 0 rep.Baselines.Report.false_negatives
+
+let test_ct_remove () =
+  let t = Ct.create () in
+  let big = Ct.add t (rect 0.0 0.0 10.0 10.0) in
+  let mid = Ct.add t (rect 1.0 1.0 6.0 6.0) in
+  let small = Ct.add t (rect 2.0 2.0 4.0 4.0) in
+  Ct.remove t mid;
+  check_int "size" 2 (Ct.size t);
+  let rep = Ct.publish t ~from:big (P.make2 3.0 3.0) in
+  check_bool "small still reachable" true
+    (Int_set.mem small rep.Baselines.Report.delivered);
+  check_int "no FN after removal" 0 rep.Baselines.Report.false_negatives
+
+let test_ct_virtual_root_degree () =
+  (* Disjoint filters all hang off the virtual root: the degree
+     pathology the paper describes. *)
+  let t = Ct.create () in
+  for i = 0 to 19 do
+    let o = 5.0 *. float_of_int i in
+    ignore (Ct.add t (rect o 0.0 (o +. 2.0) 2.0))
+  done;
+  check_int "virtual root fan-out" 20 (Ct.max_degree t)
+
+(* --- Per-dimension trees ------------------------------------------------------ *)
+
+let test_pd_no_fn_and_fp_exist () =
+  let rng = Sim.Rng.make 2 in
+  let t = Pd.create ~dims:2 in
+  let ids = List.init 150 (fun _ -> Pd.add t (random_rect rng)) in
+  let fp_total = ref 0 in
+  for _ = 1 to 60 do
+    let p = random_point rng in
+    let rep = Pd.publish t ~from:(List.hd ids) p in
+    check_int "no FN" 0 rep.Baselines.Report.false_negatives;
+    fp_total := !fp_total + rep.Baselines.Report.false_positives
+  done;
+  (* Single-dimension matching necessarily over-delivers on this
+     workload. *)
+  check_bool "per-dimension produces false positives" true (!fp_total > 0)
+
+let test_pd_dimension_trees () =
+  let t = Pd.create ~dims:2 in
+  (* A filter constraining only x joins only the x tree; an event
+     far away in x must not reach it. *)
+  let xonly =
+    Pd.add t
+      (R.make ~low:[| 10.0; neg_infinity |] ~high:[| 20.0; infinity |])
+  in
+  let other = Pd.add t (rect 0.0 0.0 5.0 5.0) in
+  let rep = Pd.publish t ~from:other (P.make2 50.0 1.0) in
+  check_bool "xonly spared" true
+    (not (Int_set.mem xonly rep.Baselines.Report.received))
+
+let test_pd_remove () =
+  let rng = Sim.Rng.make 3 in
+  let t = Pd.create ~dims:2 in
+  let ids = List.init 30 (fun _ -> Pd.add t (random_rect rng)) in
+  List.iteri (fun i id -> if i mod 2 = 0 then Pd.remove t id) ids;
+  check_int "half left" 15 (Pd.size t);
+  let p = random_point rng in
+  let rep = Pd.publish t ~from:(List.nth ids 1) p in
+  check_int "no FN after removals" 0 rep.Baselines.Report.false_negatives
+
+(* --- Flooding ------------------------------------------------------------------- *)
+
+let test_flooding () =
+  let rng = Sim.Rng.make 4 in
+  let t = Fl.create () in
+  let ids = List.init 50 (fun _ -> Fl.add t (random_rect rng)) in
+  let p = random_point rng in
+  let rep = Fl.publish t ~from:(List.hd ids) p in
+  check_int "messages = n-1" 49 rep.Baselines.Report.messages;
+  check_int "everyone receives" 50
+    (Int_set.cardinal rep.Baselines.Report.received);
+  check_int "no FN" 0 rep.Baselines.Report.false_negatives;
+  check_int "fp = n - matched - publisher?" rep.Baselines.Report.false_positives
+    (50
+    - Int_set.cardinal rep.Baselines.Report.matched
+    - (if Int_set.mem (List.hd ids) rep.Baselines.Report.matched then 0 else 1));
+  Fl.remove t (List.hd ids);
+  check_int "size" 49 (Fl.size t)
+
+(* --- DHT rendezvous ---------------------------------------------------------------- *)
+
+let space = rect 0.0 0.0 100.0 100.0
+
+let test_dht_no_fn () =
+  let rng = Sim.Rng.make 5 in
+  let t = Dht.create ~space () in
+  let ids = List.init 100 (fun _ -> Dht.add t (random_rect rng)) in
+  for _ = 1 to 60 do
+    let p = random_point rng in
+    let rep = Dht.publish t ~from:(List.hd ids) p in
+    check_int "no FN" 0 rep.Baselines.Report.false_negatives
+  done
+
+let test_dht_cell_granularity_fp () =
+  let t = Dht.create ~bits_per_dim:2 ~space () in
+  (* 4x4 grid of 25-wide cells: two disjoint filters in one cell. *)
+  let a = Dht.add t (rect 0.0 0.0 5.0 5.0) in
+  let b = Dht.add t (rect 20.0 20.0 24.0 24.0) in
+  ignore b;
+  (* An event in the same cell but matching only b. *)
+  let rep = Dht.publish t ~from:b (P.make2 22.0 22.0) in
+  check_bool "a receives spuriously" true
+    (Int_set.mem a rep.Baselines.Report.received);
+  check_bool "fp > 0" true (rep.Baselines.Report.false_positives > 0);
+  (* exact mode filters at the rendezvous *)
+  let te = Dht.create ~bits_per_dim:2 ~exact:true ~space () in
+  let a' = Dht.add te (rect 0.0 0.0 5.0 5.0) in
+  let b' = Dht.add te (rect 20.0 20.0 24.0 24.0) in
+  ignore a';
+  let rep' = Dht.publish te ~from:b' (P.make2 22.0 22.0) in
+  check_int "exact mode no fp" 0 rep'.Baselines.Report.false_positives
+
+let test_dht_registration_cost_grows_with_extent () =
+  let t = Dht.create ~space () in
+  ignore (Dht.add t (rect 0.0 0.0 2.0 2.0));
+  let small_cost = Dht.registration_messages t in
+  let t2 = Dht.create ~space () in
+  ignore (Dht.add t2 (rect 0.0 0.0 80.0 80.0));
+  let big_cost = Dht.registration_messages t2 in
+  check_bool "wide filters register on many cells" true (big_cost > small_cost);
+  check_bool "storage hotspot measured" true (Dht.max_registrations t2 >= 1)
+
+let test_dht_remove () =
+  let t = Dht.create ~space () in
+  let a = Dht.add t (rect 10.0 10.0 30.0 30.0) in
+  Dht.remove t a;
+  check_int "empty" 0 (Dht.size t);
+  let b = Dht.add t (rect 10.0 10.0 30.0 30.0) in
+  let rep = Dht.publish t ~from:b (P.make2 20.0 20.0) in
+  check_bool "a not delivered" true
+    (not (Int_set.mem a rep.Baselines.Report.delivered) || a = b)
+
+(* --- Sub-2-Sub gossip --------------------------------------------------------------- *)
+
+module S2s = Baselines.Sub2sub
+
+let clustered_rects rng n =
+  (* Two tight interest communities. *)
+  List.init n (fun i ->
+      let cx, cy = if i mod 2 = 0 then (20.0, 20.0) else (70.0, 70.0) in
+      let x0 = cx +. Sim.Rng.range rng (-8.0) 8.0 in
+      let y0 = cy +. Sim.Rng.range rng (-8.0) 8.0 in
+      rect x0 y0 (x0 +. 10.0) (y0 +. 10.0))
+
+let test_s2s_gossip_converges () =
+  let rng = Sim.Rng.make 40 in
+  let t = S2s.create ~seed:40 () in
+  List.iter (fun r -> ignore (S2s.add t r)) (clustered_rects rng 60);
+  let before = S2s.mean_view_overlap t in
+  S2s.gossip t ~rounds:15;
+  let after = S2s.mean_view_overlap t in
+  check_bool
+    (Printf.sprintf "semantic views improve (%.2f -> %.2f)" before after)
+    true
+    (after > before && after > 0.8)
+
+let test_s2s_accuracy_improves_with_gossip () =
+  let rng = Sim.Rng.make 41 in
+  let build rounds =
+    let t = S2s.create ~seed:41 () in
+    let ids = List.mapi (fun i r -> (i, r)) (clustered_rects rng 60) in
+    List.iter (fun (_, r) -> ignore (S2s.add t r)) ids;
+    S2s.gossip t ~rounds;
+    let fn = ref 0 and total = ref 0 in
+    for _ = 1 to 60 do
+      (* events inside the communities, so they have matchers *)
+      let cx, cy = if Sim.Rng.bool rng then (22.0, 22.0) else (72.0, 72.0) in
+      let p =
+        P.make2
+          (cx +. Sim.Rng.range rng (-5.0) 5.0)
+          (cy +. Sim.Rng.range rng (-5.0) 5.0)
+      in
+      let rep = S2s.publish t ~from:(Sim.Rng.int rng 60) p in
+      fn := !fn + rep.Baselines.Report.false_negatives;
+      total := !total + Int_set.cardinal rep.Baselines.Report.matched
+    done;
+    (!fn, !total)
+  in
+  let fn0, _ = build 0 in
+  let fn15, total15 = build 15 in
+  check_bool
+    (Printf.sprintf "gossip reduces FN (%d -> %d of %d)" fn0 fn15 total15)
+    true
+    (fn15 < fn0);
+  (* Even converged, this design is not FN-free in general — that is
+     the §4 critique. We only require substantial improvement. *)
+  check_bool "converged FN rate low" true
+    (float_of_int fn15 /. float_of_int (max 1 total15) < 0.2)
+
+let test_s2s_remove () =
+  let rng = Sim.Rng.make 42 in
+  let t = S2s.create ~seed:42 () in
+  let ids = List.map (fun r -> S2s.add t r) (clustered_rects rng 20) in
+  S2s.gossip t ~rounds:5;
+  S2s.remove t (List.hd ids);
+  check_int "size" 19 (S2s.size t);
+  (* No report ever mentions the removed node. *)
+  let p = P.make2 22.0 22.0 in
+  let rep = S2s.publish t ~from:(List.nth ids 2) p in
+  check_bool "removed absent" true
+    (not (Int_set.mem (List.hd ids) rep.Baselines.Report.received))
+
+(* --- Cross-check against the DR-tree ---------------------------------------------- *)
+
+let test_all_routers_agree_on_ground_truth () =
+  (* Every baseline computes the same matched set for the same
+     workload (sanity for E9 comparability). *)
+  let rng = Sim.Rng.make 6 in
+  let rects = List.init 80 (fun _ -> random_rect rng) in
+  let ct = Ct.create () and pd = Pd.create ~dims:2 and fl = Fl.create () in
+  let dht = Dht.create ~space () in
+  List.iter
+    (fun r ->
+      ignore (Ct.add ct r);
+      ignore (Pd.add pd r);
+      ignore (Fl.add fl r);
+      ignore (Dht.add dht r))
+    rects;
+  for _ = 1 to 30 do
+    let p = random_point rng in
+    let m1 = (Ct.publish ct ~from:0 p).Baselines.Report.matched in
+    let m2 = (Pd.publish pd ~from:0 p).Baselines.Report.matched in
+    let m3 = (Fl.publish fl ~from:0 p).Baselines.Report.matched in
+    let m4 = (Dht.publish dht ~from:0 p).Baselines.Report.matched in
+    check_bool "same ground truth" true
+      (Int_set.equal m1 m2 && Int_set.equal m2 m3 && Int_set.equal m3 m4)
+  done
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "containment-tree",
+        [
+          Alcotest.test_case "structure" `Quick test_ct_structure;
+          Alcotest.test_case "exact delivery" `Quick test_ct_exact;
+          Alcotest.test_case "order independence" `Quick
+            test_ct_insert_order_independent_accuracy;
+          Alcotest.test_case "removal" `Quick test_ct_remove;
+          Alcotest.test_case "virtual root degree" `Quick
+            test_ct_virtual_root_degree;
+        ] );
+      ( "per-dimension",
+        [
+          Alcotest.test_case "no FN, FP exist" `Quick test_pd_no_fn_and_fp_exist;
+          Alcotest.test_case "dimension membership" `Quick
+            test_pd_dimension_trees;
+          Alcotest.test_case "removal" `Quick test_pd_remove;
+        ] );
+      ("flooding", [ Alcotest.test_case "broadcast costs" `Quick test_flooding ]);
+      ( "dht",
+        [
+          Alcotest.test_case "no FN" `Quick test_dht_no_fn;
+          Alcotest.test_case "cell-granular FPs" `Quick
+            test_dht_cell_granularity_fp;
+          Alcotest.test_case "registration cost" `Quick
+            test_dht_registration_cost_grows_with_extent;
+          Alcotest.test_case "removal" `Quick test_dht_remove;
+        ] );
+      ( "sub2sub",
+        [
+          Alcotest.test_case "gossip converges" `Quick test_s2s_gossip_converges;
+          Alcotest.test_case "accuracy improves with gossip" `Quick
+            test_s2s_accuracy_improves_with_gossip;
+          Alcotest.test_case "removal" `Quick test_s2s_remove;
+        ] );
+      ( "cross",
+        [ Alcotest.test_case "shared ground truth" `Quick
+            test_all_routers_agree_on_ground_truth ] );
+    ]

@@ -1,0 +1,536 @@
+(* Tests for the extension features: efficient leave (subtree
+   reconnection), multi-subscription clients, the bounded pub/sub
+   domain, concurrent joins, 1-D interval filters (the B+/P-tree
+   degeneration noted in §4) and higher-dimensional overlays. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module St = Drtree.State
+module Inv = Drtree.Invariant
+module Ps = Drtree.Pubsub
+module Cl = Drtree.Client
+module Sub = Filter.Subscription
+module Ev = Filter.Event
+module Pred = Filter.Predicate
+module V = Filter.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rect x0 y0 x1 y1 = R.make2 ~x0 ~y0 ~x1 ~y1
+
+let random_rect rng =
+  let x0 = Sim.Rng.range rng 0.0 90.0 and y0 = Sim.Rng.range rng 0.0 90.0 in
+  let w = Sim.Rng.range rng 1.0 10.0 and h = Sim.Rng.range rng 1.0 10.0 in
+  rect x0 y0 (x0 +. w) (y0 +. h)
+
+let build ~seed n =
+  let rng = Sim.Rng.make (seed * 31) in
+  let ov = O.create ~seed () in
+  for _ = 1 to n do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  ov
+
+(* --- leave_reconnect ---------------------------------------------------- *)
+
+let test_leave_reconnect_interior () =
+  let ov = build ~seed:1 60 in
+  let victim =
+    List.find
+      (fun id ->
+        match O.state ov id with
+        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | None -> false)
+      (O.alive_ids ov)
+  in
+  O.leave_reconnect ov victim;
+  check_int "size dropped" 59 (O.size ov);
+  (* The whole point: far fewer violations than the lazy variant
+     leaves behind. *)
+  let viols = List.length (Inv.check ov) in
+  check_bool
+    (Printf.sprintf "few residual violations (%d)" viols)
+    true (viols <= 10);
+  check_bool "stabilizes" true
+    (O.stabilize ~legal:Inv.is_legal ov <> None)
+
+let test_leave_reconnect_root () =
+  let ov = build ~seed:2 50 in
+  let root = Option.get (O.find_root ov) in
+  O.leave_reconnect ov root;
+  check_bool "stabilizes after root reconnection-leave" true
+    (O.stabilize ~legal:Inv.is_legal ov <> None);
+  check_bool "new root" true
+    (O.find_root ov <> None && O.find_root ov <> Some root)
+
+let test_leave_reconnect_sequence () =
+  let ov = build ~seed:3 80 in
+  for _ = 1 to 20 do
+    let id = List.hd (O.alive_ids ov) in
+    O.leave_reconnect ov id;
+    ignore (O.stabilize ~legal:Inv.is_legal ov)
+  done;
+  check_int "size" 60 (O.size ov);
+  check_bool "legal" true (Inv.is_legal ov);
+  (* Accuracy intact. *)
+  let rng = Sim.Rng.make 99 in
+  let ids = O.alive_ids ov in
+  for _ = 1 to 20 do
+    let p = P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0) in
+    let rep = O.publish ov ~from:(Sim.Rng.pick rng ids) p in
+    check_int "zero FN" 0 rep.O.false_negatives
+  done
+
+(* --- concurrent joins ----------------------------------------------------- *)
+
+let test_concurrent_joins () =
+  let rng = Sim.Rng.make 4 in
+  let ov = O.create ~seed:4 () in
+  (* First node synchronously, then a burst of queued joins processed
+     together. *)
+  ignore (O.join ov (random_rect rng));
+  for _ = 1 to 40 do
+    ignore (O.join_async ov (random_rect rng))
+  done;
+  O.run ov;
+  check_int "all present" 41 (O.size ov);
+  check_bool "stabilizes after concurrent burst" true
+    (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov <> None)
+
+let test_concurrent_joins_empty_start () =
+  let rng = Sim.Rng.make 5 in
+  let ov = O.create ~seed:5 () in
+  for _ = 1 to 10 do
+    ignore (O.join_async ov (random_rect rng))
+  done;
+  O.run ov;
+  check_int "all present" 10 (O.size ov);
+  check_bool "stabilizes" true
+    (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov <> None)
+
+(* --- clients ---------------------------------------------------------------- *)
+
+let schema = Filter.Schema.make [ "x"; "y" ]
+
+let range_sub xlo xhi ylo yhi =
+  Sub.make
+    [
+      Pred.between "x" (V.float xlo) (V.float xhi);
+      Pred.between "y" (V.float ylo) (V.float yhi);
+    ]
+
+let event x y = Ev.make [ ("x", V.float x); ("y", V.float y) ]
+
+let test_client_basic () =
+  let ps = Ps.create ~schema ~seed:6 () in
+  let cl = Cl.create ps in
+  let alice = Cl.register cl "alice" in
+  let bob = Cl.register cl "bob" in
+  check_bool "names" true (Cl.name cl alice = Some "alice");
+  (* Alice watches two disjoint regions; Bob one. *)
+  let a1 = Cl.subscribe cl alice (range_sub 0.0 10.0 0.0 10.0) in
+  let a2 = Cl.subscribe cl alice (range_sub 50.0 60.0 50.0 60.0) in
+  let b1 = Cl.subscribe cl bob (range_sub 5.0 55.0 5.0 55.0) in
+  check_bool "owner a1" true (Cl.owner cl a1 = Some alice);
+  check_bool "owner b1" true (Cl.owner cl b1 = Some bob);
+  check_int "alice has two" 2 (List.length (Cl.subscriptions cl alice));
+  ignore a2;
+  (* An event in Alice's first region and Bob's region. *)
+  let rep = Cl.publish cl ~from:bob (event 7.0 7.0) in
+  check_bool "both interested" true (rep.Cl.interested = [ alice; bob ]);
+  check_bool "both delivered" true (rep.Cl.delivered = [ alice; bob ]);
+  check_int "no FN" 0 rep.Cl.false_negatives;
+  (* An event only in Alice's second region. *)
+  let rep2 = Cl.publish cl ~from:bob (event 55.0 58.0) in
+  check_bool "alice only" true (rep2.Cl.interested = [ alice ]);
+  check_int "no FN" 0 rep2.Cl.false_negatives
+
+let test_client_dedup () =
+  (* A client with two overlapping filters is delivered once. *)
+  let ps = Ps.create ~schema ~seed:7 () in
+  let cl = Cl.create ps in
+  let c = Cl.register cl "c" in
+  ignore (Cl.subscribe cl c (range_sub 0.0 20.0 0.0 20.0));
+  ignore (Cl.subscribe cl c (range_sub 10.0 30.0 10.0 30.0));
+  let rep = Cl.publish cl ~from:c (event 15.0 15.0) in
+  check_bool "delivered once" true (rep.Cl.delivered = [ c ]);
+  check_int "no FN" 0 rep.Cl.false_negatives
+
+let test_client_unsubscribe () =
+  let ps = Ps.create ~schema ~seed:8 () in
+  let cl = Cl.create ps in
+  let a = Cl.register cl "a" in
+  let b = Cl.register cl "b" in
+  let p1 = Cl.subscribe cl a (range_sub 0.0 10.0 0.0 10.0) in
+  ignore (Cl.subscribe cl b (range_sub 0.0 10.0 0.0 10.0));
+  ignore (Cl.subscribe cl b (range_sub 20.0 30.0 20.0 30.0));
+  Cl.unsubscribe cl a p1;
+  check_int "a empty" 0 (List.length (Cl.subscriptions cl a));
+  let rep = Cl.publish cl ~from:b (event 5.0 5.0) in
+  check_bool "only b interested" true (rep.Cl.interested = [ b ]);
+  Cl.unsubscribe_all cl b;
+  check_int "b empty" 0 (List.length (Cl.subscriptions cl b));
+  check_int "overlay emptied" 0 (Ps.size ps)
+
+let test_client_errors () =
+  let ps = Ps.create ~schema ~seed:9 () in
+  let cl = Cl.create ps in
+  check_bool "unknown client" true
+    (try ignore (Cl.subscribe cl 99 (range_sub 0.0 1.0 0.0 1.0)); false
+     with Invalid_argument _ -> true);
+  let c = Cl.register cl "c" in
+  check_bool "publish on empty overlay" true
+    (try ignore (Cl.publish cl ~from:c (event 0.0 0.0)); false
+     with Invalid_argument _ -> true)
+
+(* --- pubsub domain ------------------------------------------------------------ *)
+
+let test_domain_clips () =
+  let domain = rect 0.0 0.0 100.0 100.0 in
+  let ps = Ps.create ~schema ~domain ~seed:10 () in
+  (* One-sided filter: clipped to the domain, so the overlay's MBRs
+     stay finite. *)
+  let half = Ps.subscribe ps (Sub.make [ Pred.make "x" Pred.Ge (V.float 50.0) ]) in
+  ignore half;
+  let ov = Ps.overlay ps in
+  O.iter_states ov (fun _ s ->
+      let r = Option.get (St.mbr_at s 0) in
+      check_bool "mbr finite" true
+        (Float.is_finite (R.area r)));
+  (* Exactness survives: a boundary event is matched per the exact
+     predicate semantics. *)
+  let other = Ps.subscribe ps (range_sub 0.0 100.0 0.0 100.0) in
+  let rep = Ps.publish ps ~from:other (event 75.0 5.0) in
+  check_int "no FN with domain" 0 rep.Ps.false_negatives
+
+let test_domain_rejects_outside_event () =
+  let domain = rect 0.0 0.0 100.0 100.0 in
+  let ps = Ps.create ~schema ~domain ~seed:11 () in
+  let s = Ps.subscribe ps (range_sub 0.0 100.0 0.0 100.0) in
+  check_bool "outside event rejected" true
+    (try ignore (Ps.publish ps ~from:s (event 150.0 5.0)); false
+     with Invalid_argument _ -> true)
+
+let test_domain_dimension_mismatch () =
+  check_bool "bad domain" true
+    (try
+       ignore
+         (Ps.create ~schema
+            ~domain:(R.make ~low:[| 0.0 |] ~high:[| 1.0 |])
+            ~seed:12 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_domain_disjoint_filter () =
+  let domain = rect 0.0 0.0 100.0 100.0 in
+  let ps = Ps.create ~schema ~domain ~seed:13 () in
+  (* A filter entirely outside the domain can never match. *)
+  let outside = Ps.subscribe ps (range_sub 200.0 300.0 200.0 300.0) in
+  let inside = Ps.subscribe ps (range_sub 0.0 50.0 0.0 50.0) in
+  let rep = Ps.publish ps ~from:inside (event 25.0 25.0) in
+  check_bool "outside filter not interested" true
+    (not (Sim.Node_id.Set.mem outside rep.Ps.interested));
+  check_int "no FN" 0 rep.Ps.false_negatives
+
+(* --- 1-D intervals: the B+/P-tree degeneration (§4) ----------------------------- *)
+
+let test_one_dimensional_intervals () =
+  (* §4: "DR-trees generalize P-trees, which are the dynamic version
+     of B+-trees". With 1-D interval filters the overlay behaves as a
+     distributed interval/B+ tree. *)
+  let ov = O.create ~seed:14 () in
+  let ids =
+    List.init 64 (fun i ->
+        let lo = float_of_int (i * 10) in
+        ( O.join ov (R.make ~low:[| lo |] ~high:[| lo +. 15.0 |]),
+          (lo, lo +. 15.0) ))
+  in
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  check_bool "legal" true (Inv.is_legal ov);
+  check_bool "height logarithmic" true (O.height ov <= 8);
+  (* Point queries = publications: exactly the intervals containing
+     the key receive it. *)
+  let rng = Sim.Rng.make 123 in
+  for _ = 1 to 30 do
+    let key = Sim.Rng.range rng 0.0 650.0 in
+    let rep =
+      O.publish ov ~from:(fst (List.hd ids)) (P.make [| key |])
+    in
+    let expected =
+      List.filter (fun (_, (lo, hi)) -> lo <= key && key <= hi) ids
+      |> List.map fst |> List.sort compare
+    in
+    check_bool "interval query exact" true
+      (Sim.Node_id.Set.elements rep.O.matched = expected);
+    check_int "no FN" 0 rep.O.false_negatives
+  done
+
+(* --- higher dimensions ------------------------------------------------------------ *)
+
+let test_three_dimensional_overlay () =
+  let rng = Sim.Rng.make 15 in
+  let ov = O.create ~seed:15 () in
+  for _ = 1 to 80 do
+    let lo = Array.init 3 (fun _ -> Sim.Rng.range rng 0.0 90.0) in
+    let hi = Array.map (fun x -> x +. Sim.Rng.range rng 1.0 10.0) lo in
+    ignore (O.join ov (R.make ~low:lo ~high:hi))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  check_bool "legal in 3-D" true (Inv.is_legal ov);
+  let ids = O.alive_ids ov in
+  for _ = 1 to 20 do
+    let p = P.make (Array.init 3 (fun _ -> Sim.Rng.range rng 0.0 100.0)) in
+    let rep = O.publish ov ~from:(Sim.Rng.pick rng ids) p in
+    check_int "zero FN in 3-D" 0 rep.O.false_negatives
+  done
+
+(* --- lossy links ----------------------------------------------------------------- *)
+
+let test_lossy_overlay_recovers () =
+  let rng = Sim.Rng.make 30 in
+  let ov = O.create ~drop_rate:0.1 ~seed:30 () in
+  for _ = 1 to 60 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  check_int "all spawned" 60 (O.size ov);
+  check_bool "stabilizes despite 10% loss" true
+    (O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov <> None);
+  check_bool "some messages actually lost" true
+    (Sim.Engine.messages_lost (O.engine ov) > 0)
+
+(* --- resubscription ----------------------------------------------------------------- *)
+
+let test_resubscribe () =
+  let ps = Ps.create ~schema ~seed:31 () in
+  let a = Ps.subscribe ps (range_sub 0.0 10.0 0.0 10.0) in
+  let b = Ps.subscribe ps (range_sub 20.0 30.0 20.0 30.0) in
+  (* Move a's interest to b's region. *)
+  let a' = Ps.resubscribe ps a (range_sub 20.0 30.0 20.0 30.0) in
+  check_bool "old process gone" true
+    (not (Drtree.Overlay.is_alive (Ps.overlay ps) a));
+  check_int "size stable" 2 (Ps.size ps);
+  let rep = Ps.publish ps ~from:b (event 25.0 25.0) in
+  check_bool "new subscription live" true
+    (Sim.Node_id.Set.mem a' rep.Ps.interested);
+  check_int "no FN" 0 rep.Ps.false_negatives;
+  let rep2 = Ps.publish ps ~from:b (event 5.0 5.0) in
+  check_bool "old region abandoned" true
+    (Sim.Node_id.Set.is_empty rep2.Ps.interested);
+  check_bool "unknown id rejected" true
+    (try ignore (Ps.resubscribe ps 999 (range_sub 0.0 1.0 0.0 1.0)); false
+     with Invalid_argument _ -> true)
+
+(* --- export ---------------------------------------------------------------------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_export () =
+  let ov = build ~seed:32 20 in
+  let dot = Drtree.Export.to_dot ov in
+  check_bool "dot header" true (contains_sub dot "digraph drtree");
+  check_bool "dot has instances" true (contains_sub dot "n0@0");
+  check_bool "dot has clusters" true (contains_sub dot "cluster_n");
+  let ascii = Drtree.Export.to_ascii ov in
+  check_bool "ascii non-empty" true (String.length ascii > 100);
+  check_bool "ascii has root line" true (contains_sub ascii "- n");
+  let edges = Drtree.Export.adjacency ov in
+  check_bool "communication graph non-empty" true (List.length edges >= 19);
+  List.iter
+    (fun (a, b) ->
+      check_bool "edge ordered" true (a < b);
+      check_bool "edge endpoints alive" true
+        (O.is_alive ov a && O.is_alive ov b))
+    edges;
+  (* The physical graph is connected (Fig. 5): every node appears. *)
+  let touched =
+    List.fold_left
+      (fun acc (a, b) -> Sim.Node_id.Set.add a (Sim.Node_id.Set.add b acc))
+      Sim.Node_id.Set.empty edges
+  in
+  check_int "all processes in the communication graph" 20
+    (Sim.Node_id.Set.cardinal touched)
+
+let test_export_svg () =
+  let ov = build ~seed:33 25 in
+  let svg = Drtree.Export.to_svg ov in
+  check_bool "svg header" true (contains_sub svg "<svg xmlns");
+  check_bool "has rects" true (contains_sub svg "<rect");
+  check_bool "closes" true (contains_sub svg "</svg>");
+  (* Empty overlay renders an empty canvas. *)
+  let empty = O.create ~seed:34 () in
+  check_bool "empty canvas" true
+    (contains_sub (Drtree.Export.to_svg empty) "</svg>")
+
+(* --- string attributes end-to-end --------------------------------------------- *)
+
+let test_string_attribute_routing () =
+  (* Equality filters on a string attribute ("symbol") embed as
+     degenerate intervals at the string's hash; routing and exact
+     matching must agree. *)
+  let schema3 = Filter.Schema.make [ "symbol"; "price" ] in
+  let ps = Ps.create ~schema:schema3 ~seed:35 () in
+  let sub_for symbol lo hi =
+    Ps.subscribe ps
+      (Sub.make
+         [
+           Pred.make "symbol" Pred.Eq (V.string symbol);
+           Pred.between "price" (V.float lo) (V.float hi);
+         ])
+  in
+  let acme_cheap = sub_for "ACME" 0.0 50.0 in
+  let acme_rich = sub_for "ACME" 50.0 200.0 in
+  let globex = sub_for "GLOBEX" 0.0 200.0 in
+  let quote symbol price =
+    Ev.make [ ("symbol", V.string symbol); ("price", V.float price) ]
+  in
+  let rep = Ps.publish ps ~from:globex (quote "ACME" 30.0) in
+  check_bool "only acme_cheap interested" true
+    (Sim.Node_id.Set.elements rep.Ps.interested = [ acme_cheap ]);
+  check_int "no FN" 0 rep.Ps.false_negatives;
+  let rep2 = Ps.publish ps ~from:globex (quote "ACME" 100.0) in
+  check_bool "only acme_rich" true
+    (Sim.Node_id.Set.elements rep2.Ps.interested = [ acme_rich ]);
+  check_int "no FN" 0 rep2.Ps.false_negatives;
+  let rep3 = Ps.publish ps ~from:acme_cheap (quote "GLOBEX" 10.0) in
+  check_bool "only globex" true
+    (Sim.Node_id.Set.elements rep3.Ps.interested = [ globex ]);
+  check_int "no FN" 0 rep3.Ps.false_negatives;
+  let rep4 = Ps.publish ps ~from:acme_cheap (quote "INITECH" 10.0) in
+  check_int "nobody" 0 (Sim.Node_id.Set.cardinal rep4.Ps.interested);
+  check_int "no FN" 0 rep4.Ps.false_negatives
+
+(* --- filter sets (§2.1 general model) ------------------------------------------- *)
+
+let test_subscribe_set () =
+  let ps = Ps.create ~schema ~seed:50 () in
+  (* One subscriber watching two disjoint regions. *)
+  let both =
+    Ps.subscribe_set ps
+      [ range_sub 0.0 10.0 0.0 10.0; range_sub 50.0 60.0 50.0 60.0 ]
+  in
+  let other = Ps.subscribe ps (range_sub 20.0 30.0 20.0 30.0) in
+  check_bool "set subscriber has no single subscription" true
+    (Ps.subscription ps both = None);
+  check_int "set size" 2 (List.length (Ps.subscription_set ps both));
+  check_bool "single accessor still works" true
+    (Ps.subscription ps other <> None);
+  (* Matches either region exactly. *)
+  let rep1 = Ps.publish ps ~from:other (event 5.0 5.0) in
+  check_bool "first region" true (Sim.Node_id.Set.mem both rep1.Ps.interested);
+  check_int "no FN" 0 rep1.Ps.false_negatives;
+  let rep2 = Ps.publish ps ~from:other (event 55.0 55.0) in
+  check_bool "second region" true (Sim.Node_id.Set.mem both rep2.Ps.interested);
+  check_int "no FN" 0 rep2.Ps.false_negatives;
+  (* The dead space between the two regions is a false positive zone:
+     the set subscriber receives but is not interested. *)
+  let rep3 = Ps.publish ps ~from:other (event 35.0 35.0) in
+  check_bool "dead space not interested" true
+    (not (Sim.Node_id.Set.mem both rep3.Ps.interested));
+  check_int "but never a false negative" 0 rep3.Ps.false_negatives;
+  check_bool "empty set rejected" true
+    (try ignore (Ps.subscribe_set ps []); false
+     with Invalid_argument _ -> true)
+
+(* --- property: exact pub/sub semantics under random programs --------------------- *)
+
+let prop_pubsub_exact =
+  QCheck2.Test.make
+    ~name:"pubsub: delivered = interested for any subscription program"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 3 25))
+    (fun (seed, n) ->
+      let ps = Ps.create ~schema ~seed () in
+      let rng = Sim.Rng.make (seed * 31) in
+      let subs =
+        List.init n (fun _ ->
+            let x0 = Sim.Rng.range rng 0.0 80.0
+            and y0 = Sim.Rng.range rng 0.0 80.0 in
+            let w = Sim.Rng.range rng 1.0 20.0
+            and h = Sim.Rng.range rng 1.0 20.0 in
+            range_sub x0 (x0 +. w) y0 (y0 +. h))
+      in
+      let ids =
+        List.mapi
+          (fun i sub ->
+            if i mod 5 = 4 then Ps.subscribe_set ps [ sub; List.hd subs ]
+            else Ps.subscribe ps sub)
+          subs
+      in
+      List.for_all
+        (fun _ ->
+          let e =
+            event (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0)
+          in
+          let rep = Ps.publish ps ~from:(Sim.Rng.pick rng ids) e in
+          rep.Ps.false_negatives = 0
+          && Sim.Node_id.Set.equal rep.Ps.delivered rep.Ps.interested)
+        (List.init 15 Fun.id))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "leave-reconnect",
+        [
+          Alcotest.test_case "interior departure" `Quick
+            test_leave_reconnect_interior;
+          Alcotest.test_case "root departure" `Quick test_leave_reconnect_root;
+          Alcotest.test_case "sequence of departures" `Slow
+            test_leave_reconnect_sequence;
+        ] );
+      ( "concurrent-joins",
+        [
+          Alcotest.test_case "burst into existing tree" `Quick
+            test_concurrent_joins;
+          Alcotest.test_case "burst from empty" `Quick
+            test_concurrent_joins_empty_start;
+        ] );
+      ( "clients",
+        [
+          Alcotest.test_case "basics" `Quick test_client_basic;
+          Alcotest.test_case "delivery dedup" `Quick test_client_dedup;
+          Alcotest.test_case "unsubscribe" `Quick test_client_unsubscribe;
+          Alcotest.test_case "errors" `Quick test_client_errors;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "clipping keeps MBRs finite" `Quick
+            test_domain_clips;
+          Alcotest.test_case "outside events rejected" `Quick
+            test_domain_rejects_outside_event;
+          Alcotest.test_case "dimension mismatch" `Quick
+            test_domain_dimension_mismatch;
+          Alcotest.test_case "disjoint filter harmless" `Quick
+            test_domain_disjoint_filter;
+        ] );
+      ( "generalizations",
+        [
+          Alcotest.test_case "1-D intervals (P-tree mode)" `Quick
+            test_one_dimensional_intervals;
+          Alcotest.test_case "3-D overlay" `Quick test_three_dimensional_overlay;
+        ] );
+      ( "lossy-links",
+        [ Alcotest.test_case "recovery under 10% loss" `Quick
+            test_lossy_overlay_recovers ] );
+      ( "resubscribe",
+        [ Alcotest.test_case "filter update" `Quick test_resubscribe ] );
+      ( "export",
+        [
+          Alcotest.test_case "dot/ascii/adjacency" `Quick test_export;
+          Alcotest.test_case "svg (Figure 3 style)" `Quick test_export_svg;
+        ] );
+      ( "string-attributes",
+        [ Alcotest.test_case "equality filters route exactly" `Quick
+            test_string_attribute_routing ] );
+      ( "filter-sets",
+        [
+          Alcotest.test_case "subscribe_set semantics" `Quick
+            test_subscribe_set;
+          QCheck_alcotest.to_alcotest prop_pubsub_exact;
+        ] );
+    ]

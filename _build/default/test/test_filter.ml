@@ -1,0 +1,294 @@
+(* Tests for the content-based filtering model (§2.1). *)
+
+module V = Filter.Value
+module Sch = Filter.Schema
+module Pred = Filter.Predicate
+module Sub = Filter.Subscription
+module Ev = Filter.Event
+module Cg = Filter.Containment
+module R = Geometry.Rect
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let schema = Sch.make [ "x"; "y" ]
+
+(* --- Value ---------------------------------------------------------------- *)
+
+let test_value_equal () =
+  check_bool "int eq" true (V.equal (V.int 3) (V.int 3));
+  check_bool "int/float not structurally eq" false (V.equal (V.int 1) (V.float 1.0));
+  check_bool "string eq" true (V.equal (V.string "a") (V.string "a"))
+
+let test_value_numeric () =
+  check_bool "int < float" true (V.compare_numeric (V.int 1) (V.float 1.5) = Some (-1));
+  check_bool "coerced eq" true (V.compare_numeric (V.int 2) (V.float 2.0) = Some 0);
+  check_bool "string none" true (V.compare_numeric (V.string "a") (V.int 1) = None)
+
+let test_value_to_float () =
+  check_float "int" 42.0 (V.to_float (V.int 42));
+  check_float "float" 1.5 (V.to_float (V.float 1.5));
+  let h1 = V.to_float (V.string "hello") and h2 = V.to_float (V.string "hello") in
+  check_float "string hash stable" h1 h2;
+  check_bool "string hash in range" true (h1 >= 0.0 && h1 < 1e9)
+
+(* --- Schema ---------------------------------------------------------------- *)
+
+let test_schema () =
+  check_int "dims" 2 (Sch.dims schema);
+  check_bool "dimension" true (Sch.dimension schema "y" = Some 1);
+  check_bool "unknown" true (Sch.dimension schema "z" = None);
+  Alcotest.(check string) "attribute" "x" (Sch.attribute schema 0);
+  check_bool "mem" true (Sch.mem schema "x");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate attribute x") (fun () ->
+      ignore (Sch.make [ "x"; "x" ]))
+
+(* --- Predicate ------------------------------------------------------------- *)
+
+let test_predicate_eval () =
+  let lt = Pred.make "x" Pred.Lt (V.float 5.0) in
+  check_bool "lt true" true (Pred.eval lt (V.float 4.9));
+  check_bool "lt false on eq" false (Pred.eval lt (V.float 5.0));
+  let ge = Pred.make "x" Pred.Ge (V.int 3) in
+  check_bool "ge eq" true (Pred.eval ge (V.int 3));
+  check_bool "ge coerce" true (Pred.eval ge (V.float 3.5));
+  let eq = Pred.make "s" Pred.Eq (V.string "abc") in
+  check_bool "string eq" true (Pred.eval eq (V.string "abc"));
+  check_bool "string neq" false (Pred.eval eq (V.string "abd"));
+  let bw = Pred.between "x" (V.float 1.0) (V.float 2.0) in
+  check_bool "between inside" true (Pred.eval bw (V.float 1.5));
+  check_bool "between lo edge" true (Pred.eval bw (V.float 1.0));
+  check_bool "between outside" false (Pred.eval bw (V.float 2.1))
+
+let test_predicate_interval () =
+  let lo, hi = Pred.interval (Pred.make "x" Pred.Le (V.float 7.0)) in
+  check_float "le lo" neg_infinity lo;
+  check_float "le hi" 7.0 hi;
+  let lo, hi = Pred.interval (Pred.make "x" Pred.Eq (V.float 2.0)) in
+  check_float "eq degenerate lo" 2.0 lo;
+  check_float "eq degenerate hi" 2.0 hi;
+  let lo, hi = Pred.interval (Pred.between "x" (V.int 1) (V.int 9)) in
+  check_float "between lo" 1.0 lo;
+  check_float "between hi" 9.0 hi
+
+let test_predicate_errors () =
+  Alcotest.check_raises "between via make"
+    (Invalid_argument "Predicate.make: use Predicate.between") (fun () ->
+      ignore (Pred.make "x" Pred.Between (V.int 0)));
+  Alcotest.check_raises "order on string"
+    (Invalid_argument "Predicate.make: order comparison on string value")
+    (fun () -> ignore (Pred.make "x" Pred.Lt (V.string "a")));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Predicate.between: lo > hi") (fun () ->
+      ignore (Pred.between "x" (V.float 2.0) (V.float 1.0)))
+
+(* --- Subscription ----------------------------------------------------------- *)
+
+let range_sub xlo xhi ylo yhi =
+  Sub.make
+    [
+      Pred.between "x" (V.float xlo) (V.float xhi);
+      Pred.between "y" (V.float ylo) (V.float yhi);
+    ]
+
+let test_subscription_rect () =
+  let s = range_sub 1.0 4.0 2.0 6.0 in
+  let r = Sub.rect schema s in
+  check_bool "rect" true (R.equal r (R.make2 ~x0:1.0 ~y0:2.0 ~x1:4.0 ~y1:6.0));
+  (* A one-attribute filter is unbounded in the other dimension. *)
+  let s1 = Sub.make [ Pred.make "x" Pred.Ge (V.float 3.0) ] in
+  let r1 = Sub.rect schema s1 in
+  check_float "x bounded" 3.0 (R.low r1 0);
+  check_float "y unbounded below" neg_infinity (R.low r1 1);
+  check_float "y unbounded above" infinity (R.high r1 1)
+
+let test_subscription_matches () =
+  let s = range_sub 1.0 4.0 2.0 6.0 in
+  check_bool "inside" true (Sub.matches s (Ev.make [ ("x", V.float 2.0); ("y", V.float 3.0) ]));
+  check_bool "outside x" false (Sub.matches s (Ev.make [ ("x", V.float 5.0); ("y", V.float 3.0) ]));
+  check_bool "missing attr" false (Sub.matches s (Ev.make [ ("x", V.float 2.0) ]));
+  (* Strict predicate: exact matching distinguishes Lt from Le even
+     though the embedding is closed. *)
+  let strict = Sub.make [ Pred.make "x" Pred.Lt (V.float 5.0) ] in
+  check_bool "strict boundary excluded" false
+    (Sub.matches strict (Ev.make [ ("x", V.float 5.0) ]))
+
+let test_subscription_contains () =
+  let big = range_sub 0.0 10.0 0.0 10.0 in
+  let small = range_sub 2.0 5.0 3.0 7.0 in
+  check_bool "contains" true (Sub.contains schema big small);
+  check_bool "not contains" false (Sub.contains schema small big);
+  check_bool "reflexive" true (Sub.contains schema big big)
+
+let test_subscription_contradiction () =
+  Alcotest.check_raises "contradictory"
+    (Invalid_argument "Subscription.make: contradictory predicates on x")
+    (fun () ->
+      ignore
+        (Sub.make
+           [
+             Pred.make "x" Pred.Ge (V.float 5.0);
+             Pred.make "x" Pred.Le (V.float 1.0);
+           ]))
+
+let test_subscription_of_rect_roundtrip () =
+  let r = R.make2 ~x0:1.0 ~y0:2.0 ~x1:4.0 ~y1:6.0 in
+  let s = Sub.of_rect schema r in
+  check_bool "roundtrip" true (R.equal (Sub.rect schema s) r);
+  (* One-sided rectangle. *)
+  let half = R.make ~low:[| 3.0; neg_infinity |] ~high:[| infinity; 5.0 |] in
+  let s2 = Sub.of_rect schema half in
+  check_bool "one-sided roundtrip" true (R.equal (Sub.rect schema s2) half);
+  (* Fully unbounded. *)
+  let s3 = Sub.of_rect schema (R.universe 2) in
+  check_bool "universe roundtrip" true (R.equal (Sub.rect schema s3) (R.universe 2))
+
+(* --- Event ------------------------------------------------------------------ *)
+
+let test_event () =
+  let e = Ev.make [ ("x", V.float 1.0); ("y", V.int 2) ] in
+  check_bool "value" true (Ev.value e "y" = Some (V.int 2));
+  check_bool "missing" true (Ev.value e "z" = None);
+  let p = Ev.to_point schema e in
+  check_bool "to_point" true (Geometry.Point.equal p (Geometry.Point.make2 1.0 2.0));
+  Alcotest.check_raises "missing attr"
+    (Invalid_argument "Event.to_point: missing attribute y") (fun () ->
+      ignore (Ev.to_point schema (Ev.make [ ("x", V.float 1.0) ])));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Event.make: duplicate attribute x") (fun () ->
+      ignore (Ev.make [ ("x", V.int 1); ("x", V.int 2) ]));
+  let e2 = Ev.of_point schema (Geometry.Point.make2 3.0 4.0) in
+  check_bool "of_point roundtrip" true
+    (Geometry.Point.equal (Ev.to_point schema e2) (Geometry.Point.make2 3.0 4.0))
+
+(* --- Containment graph (Figure 1) -------------------------------------------- *)
+
+(* A miniature of the paper's Figure 1: S2 and S3 are large filters;
+   S4 is inside both; S1 is inside S2 only; S5 is disjoint. *)
+let fig1_rects =
+  [
+    ("S1", R.make2 ~x0:1.0 ~y0:1.0 ~x1:3.0 ~y1:3.0);
+    ("S2", R.make2 ~x0:0.0 ~y0:0.0 ~x1:6.0 ~y1:6.0);
+    ("S3", R.make2 ~x0:2.0 ~y0:2.0 ~x1:9.0 ~y1:9.0);
+    ("S4", R.make2 ~x0:3.0 ~y0:3.0 ~x1:5.0 ~y1:5.0);
+    ("S5", R.make2 ~x0:20.0 ~y0:20.0 ~x1:22.0 ~y1:22.0);
+  ]
+
+let test_containment_graph () =
+  let g = Cg.build ~rect:snd fig1_rects in
+  check_int "size" 5 (Cg.size g);
+  (* indices: S1=0 S2=1 S3=2 S4=3 S5=4 *)
+  check_bool "S2 contains S1" true (Cg.contains g 1 0);
+  check_bool "S2 contains S4" true (Cg.contains g 1 3);
+  check_bool "S3 contains S4" true (Cg.contains g 2 3);
+  check_bool "S2 not contains S3" false (Cg.contains g 1 2);
+  check_bool "reflexive" true (Cg.contains g 0 0);
+  check_bool "S4 parents" true
+    (List.sort compare (Cg.parents g 3) = [ 1; 2 ]);
+  check_bool "S1 parent is S2 only" true (Cg.parents g 0 = [ 1 ]);
+  check_bool "roots" true (List.sort compare (Cg.roots g) = [ 1; 2; 4 ]);
+  check_bool "S2 children" true (List.sort compare (Cg.children g 1) = [ 0; 3 ])
+
+let test_containment_transitive_reduction () =
+  (* A chain a > b > c: the reduction must not keep the a->c edge. *)
+  let chain =
+    [
+      R.make2 ~x0:0.0 ~y0:0.0 ~x1:10.0 ~y1:10.0;
+      R.make2 ~x0:1.0 ~y0:1.0 ~x1:8.0 ~y1:8.0;
+      R.make2 ~x0:2.0 ~y0:2.0 ~x1:6.0 ~y1:6.0;
+    ]
+  in
+  let g = Cg.build ~rect:Fun.id chain in
+  check_bool "c's only direct parent is b" true (Cg.parents g 2 = [ 1 ]);
+  check_bool "a's only direct child is b" true (Cg.children g 0 = [ 1 ]);
+  check_bool "a still (transitively) contains c" true (Cg.contains g 0 2)
+
+let test_containment_equal_rects () =
+  let r = R.make2 ~x0:0.0 ~y0:0.0 ~x1:1.0 ~y1:1.0 in
+  let g = Cg.build ~rect:Fun.id [ r; r ] in
+  (* Earlier item is treated as the container; no cycle. *)
+  check_bool "first contains second" true (Cg.contains g 0 1);
+  check_bool "second not contains first" false (Cg.contains g 1 0);
+  check_bool "roots" true (Cg.roots g = [ 0 ])
+
+(* --- Properties ---------------------------------------------------------------- *)
+
+let sub_gen =
+  let open QCheck2.Gen in
+  map4
+    (fun x0 y0 dx dy ->
+      Sub.of_rect schema
+        (R.make2 ~x0 ~y0 ~x1:(x0 +. abs_float dx) ~y1:(y0 +. abs_float dy)))
+    (float_range 0.0 50.0) (float_range 0.0 50.0) (float_range 0.1 30.0)
+    (float_range 0.1 30.0)
+
+let event_gen =
+  let open QCheck2.Gen in
+  map2
+    (fun x y -> Ev.make [ ("x", V.float x); ("y", V.float y) ])
+    (float_range (-10.0) 90.0) (float_range (-10.0) 90.0)
+
+let prop_match_implies_rect =
+  QCheck2.Test.make ~name:"exact match implies spatial containment" ~count:500
+    QCheck2.Gen.(pair sub_gen event_gen)
+    (fun (s, e) ->
+      (not (Sub.matches s e))
+      || R.contains_point (Sub.rect schema s) (Ev.to_point schema e))
+
+let prop_containment_consistent =
+  QCheck2.Test.make ~name:"sub containment = rect containment" ~count:500
+    QCheck2.Gen.(pair sub_gen sub_gen)
+    (fun (a, b) ->
+      Bool.equal
+        (Sub.contains schema a b)
+        (R.contains (Sub.rect schema a) (Sub.rect schema b)))
+
+let prop_containment_semantic =
+  QCheck2.Test.make ~name:"containment implies match implication" ~count:500
+    QCheck2.Gen.(triple sub_gen sub_gen event_gen)
+    (fun (a, b, e) ->
+      (* If a contains b and e matches b, then e matches a. *)
+      (not (Sub.contains schema a b)) || (not (Sub.matches b e)) || Sub.matches a e)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_match_implies_rect; prop_containment_consistent;
+        prop_containment_semantic ]
+  in
+  Alcotest.run "filter"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "equality" `Quick test_value_equal;
+          Alcotest.test_case "numeric order" `Quick test_value_numeric;
+          Alcotest.test_case "spatial embedding" `Quick test_value_to_float;
+        ] );
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema ]);
+      ( "predicate",
+        [
+          Alcotest.test_case "eval" `Quick test_predicate_eval;
+          Alcotest.test_case "interval" `Quick test_predicate_interval;
+          Alcotest.test_case "errors" `Quick test_predicate_errors;
+        ] );
+      ( "subscription",
+        [
+          Alcotest.test_case "rect embedding" `Quick test_subscription_rect;
+          Alcotest.test_case "exact matching" `Quick test_subscription_matches;
+          Alcotest.test_case "containment" `Quick test_subscription_contains;
+          Alcotest.test_case "contradiction" `Quick test_subscription_contradiction;
+          Alcotest.test_case "of_rect roundtrip" `Quick
+            test_subscription_of_rect_roundtrip;
+        ] );
+      ("event", [ Alcotest.test_case "basics" `Quick test_event ]);
+      ( "containment-graph",
+        [
+          Alcotest.test_case "figure 1" `Quick test_containment_graph;
+          Alcotest.test_case "transitive reduction" `Quick
+            test_containment_transitive_reduction;
+          Alcotest.test_case "equal rectangles" `Quick test_containment_equal_rects;
+        ] );
+      ("properties", qsuite);
+    ]

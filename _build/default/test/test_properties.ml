@@ -1,0 +1,191 @@
+(* Cross-module property tests: random operation programs against the
+   DR-tree overlay, checking the paper's end-to-end guarantees —
+   recoverability to a legal state (Lemma 3.6) and zero false
+   negatives after stabilization. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+
+type op = Join | Leave | Crash | Corrupt | Publish
+
+let op_gen =
+  QCheck2.Gen.frequency
+    [
+      (5, QCheck2.Gen.pure Join);
+      (2, QCheck2.Gen.pure Leave);
+      (2, QCheck2.Gen.pure Crash);
+      (2, QCheck2.Gen.pure Corrupt);
+      (3, QCheck2.Gen.pure Publish);
+    ]
+
+let program_gen = QCheck2.Gen.(pair int (list_size (int_range 10 60) op_gen))
+
+let random_rect rng =
+  let x0 = Sim.Rng.range rng 0.0 90.0 and y0 = Sim.Rng.range rng 0.0 90.0 in
+  let w = Sim.Rng.range rng 1.0 10.0 and h = Sim.Rng.range rng 1.0 10.0 in
+  R.make2 ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h)
+
+let run_program (seed, ops) ~check_each_step =
+  let seed = (abs seed mod 1000) + 1 in
+  let rng = Sim.Rng.make (seed * 7919) in
+  let ov = O.create ~seed () in
+  (* Seed population so leaves/crashes have targets. *)
+  for _ = 1 to 8 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  let ok = ref true in
+  let fail () = ok := false in
+  List.iter
+    (fun op ->
+      (match op with
+      | Join -> ignore (O.join ov (random_rect rng))
+      | Leave ->
+          if O.size ov > 2 then O.leave ov (Sim.Rng.pick rng (O.alive_ids ov))
+      | Crash ->
+          if O.size ov > 2 then O.crash ov (Sim.Rng.pick rng (O.alive_ids ov))
+      | Corrupt -> (
+          match O.alive_ids ov with
+          | [] -> ()
+          | ids -> ignore (Drtree.Corrupt.any ov rng (Sim.Rng.pick rng ids)))
+      | Publish -> (
+          (* Publication may be inaccurate mid-churn; it must at least
+             terminate and never crash. *)
+          match O.alive_ids ov with
+          | [] -> ()
+          | ids ->
+              let p =
+                P.make2 (Sim.Rng.range rng 0.0 100.0)
+                  (Sim.Rng.range rng 0.0 100.0)
+              in
+              ignore (O.publish ov ~from:(Sim.Rng.pick rng ids) p)));
+      if check_each_step && O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov = None
+      then fail ())
+    ops;
+  (ov, rng, !ok)
+
+let prop_always_recoverable =
+  QCheck2.Test.make ~name:"any op program stabilizes to a legal state"
+    ~count:25 program_gen (fun prog ->
+      let ov, _rng, _ = run_program prog ~check_each_step:false in
+      O.stabilize ~max_rounds:150 ~legal:Inv.is_legal ov <> None)
+
+let prop_stepwise_recoverable =
+  QCheck2.Test.make ~name:"stabilization succeeds after every single op"
+    ~count:8 program_gen (fun prog ->
+      let _, _, ok = run_program prog ~check_each_step:true in
+      ok)
+
+let prop_zero_fn_after_stabilization =
+  QCheck2.Test.make ~name:"zero false negatives once stabilized" ~count:20
+    program_gen (fun prog ->
+      let ov, rng, _ = run_program prog ~check_each_step:false in
+      match O.stabilize ~max_rounds:150 ~legal:Inv.is_legal ov with
+      | None -> false
+      | Some _ ->
+          let ids = O.alive_ids ov in
+          ids = []
+          || List.for_all
+               (fun _ ->
+                 let p =
+                   P.make2 (Sim.Rng.range rng 0.0 100.0)
+                     (Sim.Rng.range rng 0.0 100.0)
+                 in
+                 let rep = O.publish ov ~from:(Sim.Rng.pick rng ids) p in
+                 rep.O.false_negatives = 0)
+               (List.init 10 Fun.id))
+
+let prop_membership_conserved =
+  QCheck2.Test.make ~name:"live membership tracks joins minus departures"
+    ~count:25
+    QCheck2.Gen.(pair int (int_range 1 40))
+    (fun (seed, n) ->
+      let seed = (abs seed mod 1000) + 1 in
+      let rng = Sim.Rng.make seed in
+      let ov = O.create ~seed () in
+      let joined = ref 0 and gone = ref 0 in
+      for _ = 1 to n do
+        ignore (O.join ov (random_rect rng));
+        incr joined;
+        if Sim.Rng.int rng 4 = 0 && O.size ov > 1 then begin
+          O.leave ov (Sim.Rng.pick rng (O.alive_ids ov));
+          incr gone
+        end
+      done;
+      O.size ov = !joined - !gone)
+
+let prop_deterministic_runs =
+  QCheck2.Test.make ~name:"same seed, same overlay shape" ~count:10
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let build () =
+        let rng = Sim.Rng.make (seed * 13) in
+        let ov = O.create ~seed () in
+        for _ = 1 to 40 do
+          ignore (O.join ov (random_rect rng))
+        done;
+        ignore (O.stabilize ~legal:Inv.is_legal ov);
+        (O.height ov, Inv.max_degree ov, Inv.max_memory_words ov)
+      in
+      build () = build ())
+
+let prop_per_op_legality =
+  QCheck2.Test.make
+    ~name:"joins and reconnect-leaves keep legality (within 3 rounds)"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 1 500) (list_size (int_range 10 40) bool))
+    (fun (seed, ops) ->
+      let rng = Sim.Rng.make (seed * 29) in
+      let ov = O.create ~seed () in
+      for _ = 1 to 6 do
+        ignore (O.join ov (random_rect rng))
+      done;
+      List.for_all
+        (fun is_join ->
+          if is_join || O.size ov <= 4 then begin
+            ignore (O.join ov (random_rect rng));
+            (* Lemma 3.2: joins preserve legality outright. *)
+            Inv.is_legal ov
+          end
+          else begin
+            O.leave_reconnect ov (Sim.Rng.pick rng (O.alive_ids ov));
+            (* Reconnect-leaves may race in-flight re-joins; a few
+               rounds must suffice (vs the lazy variant's dozens). *)
+            O.stabilize ~max_rounds:3 ~legal:Inv.is_legal ov <> None
+          end)
+        ops)
+
+let prop_rtree_vs_drtree_height =
+  QCheck2.Test.make
+    ~name:"DR-tree height within constant factor of sequential R-tree"
+    ~count:10
+    QCheck2.Gen.(int_range 1 300)
+    (fun seed ->
+      let rng = Sim.Rng.make seed in
+      let rects = List.init 100 (fun _ -> random_rect rng) in
+      let ov = O.create ~seed () in
+      List.iter (fun r -> ignore (O.join ov r)) rects;
+      ignore (O.stabilize ~legal:Inv.is_legal ov);
+      let t = Rtree.Tree.create (Rtree.Tree.config ~min_fill:2 ~max_fill:4 ()) in
+      List.iteri (fun i r -> Rtree.Tree.insert t r i) rects;
+      (* Sequential R-tree height counts node levels; DR-tree counts
+         edge levels from the leaves. *)
+      let rt_height = Rtree.Tree.height t - 1 in
+      O.height ov <= (2 * rt_height) + 2)
+
+let () =
+  let suite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_always_recoverable;
+        prop_stepwise_recoverable;
+        prop_zero_fn_after_stabilization;
+        prop_membership_conserved;
+        prop_deterministic_runs;
+        prop_per_op_legality;
+        prop_rtree_vs_drtree_height;
+      ]
+  in
+  Alcotest.run "properties" [ ("end-to-end", suite) ]

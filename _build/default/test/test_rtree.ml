@@ -1,0 +1,420 @@
+(* Tests for the sequential R-tree and the three split policies. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module T = Rtree.Tree
+module S = Rtree.Split
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rect x0 y0 x1 y1 = R.make2 ~x0 ~y0 ~x1 ~y1
+
+let ok_invariants t =
+  match T.check_invariants t with
+  | Ok () -> true
+  | Error msg ->
+      Printf.eprintf "invariant violation: %s\n" msg;
+      false
+
+let all_kinds = [ S.Linear; S.Quadratic; S.Rstar ]
+
+let random_rect rng =
+  let x0 = Sim.Rng.range rng 0.0 95.0 and y0 = Sim.Rng.range rng 0.0 95.0 in
+  let w = Sim.Rng.range rng 0.5 5.0 and h = Sim.Rng.range rng 0.5 5.0 in
+  rect x0 y0 (x0 +. w) (y0 +. h)
+
+(* --- Split policies ------------------------------------------------------- *)
+
+let entries_of rects = List.mapi (fun i r -> (r, i)) rects
+
+let test_split_sizes () =
+  let rng = Sim.Rng.make 1 in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 20 do
+        let n = 4 + Sim.Rng.int rng 8 in
+        let entries = entries_of (List.init n (fun _ -> random_rect rng)) in
+        let g1, g2 = S.split kind ~min_fill:2 entries in
+        check_int
+          (Printf.sprintf "%s preserves entries" (S.kind_to_string kind))
+          n
+          (List.length g1 + List.length g2);
+        check_bool "g1 min fill" true (List.length g1 >= 2);
+        check_bool "g2 min fill" true (List.length g2 >= 2);
+        (* No entry lost or duplicated. *)
+        let ids =
+          List.sort compare (List.map snd g1 @ List.map snd g2)
+        in
+        check_bool "permutation" true (ids = List.init n Fun.id)
+      done)
+    all_kinds
+
+let test_split_errors () =
+  List.iter
+    (fun kind ->
+      let entries = entries_of [ rect 0.0 0.0 1.0 1.0 ] in
+      check_bool "too few raises" true
+        (try
+           ignore (S.split kind ~min_fill:2 entries);
+           false
+         with Invalid_argument _ -> true))
+    all_kinds
+
+let test_split_separates_clusters () =
+  (* Two far-apart clusters must end up in different groups (any sane
+     policy does this). *)
+  let cluster cx cy = List.init 3 (fun i ->
+      let o = float_of_int i *. 0.1 in
+      rect (cx +. o) (cy +. o) (cx +. 1.0 +. o) (cy +. 1.0 +. o))
+  in
+  let entries = entries_of (cluster 0.0 0.0 @ cluster 100.0 100.0) in
+  List.iter
+    (fun kind ->
+      let g1, g2 = S.split kind ~min_fill:2 entries in
+      let ids g = List.sort compare (List.map snd g) in
+      let a, b = (ids g1, ids g2) in
+      check_bool
+        (Printf.sprintf "%s separates clusters" (S.kind_to_string kind))
+        true
+        ((a = [ 0; 1; 2 ] && b = [ 3; 4; 5 ])
+        || (a = [ 3; 4; 5 ] && b = [ 0; 1; 2 ])))
+    all_kinds
+
+let test_kind_parsing () =
+  check_bool "linear" true (S.kind_of_string "linear" = Some S.Linear);
+  check_bool "r*" true (S.kind_of_string "R*" = Some S.Rstar);
+  check_bool "unknown" true (S.kind_of_string "foo" = None)
+
+(* --- Tree: basic operations ------------------------------------------------ *)
+
+let test_insert_search () =
+  let t = T.create T.default_config in
+  check_int "empty size" 0 (T.size t);
+  check_int "empty height" 0 (T.height t);
+  T.insert t (rect 0.0 0.0 2.0 2.0) "a";
+  T.insert t (rect 5.0 5.0 7.0 7.0) "b";
+  T.insert t (rect 1.0 1.0 3.0 3.0) "c";
+  check_int "size" 3 (T.size t);
+  let found = List.sort compare (T.search_point t (P.make2 1.5 1.5)) in
+  check_bool "point query" true (found = [ "a"; "c" ]);
+  let windowed = List.sort compare (T.search_rect t (rect 4.0 4.0 8.0 8.0)) in
+  check_bool "window query" true (windowed = [ "b" ]);
+  check_bool "miss" true (T.search_point t (P.make2 50.0 50.0) = [])
+
+let test_growth_and_invariants () =
+  let rng = Sim.Rng.make 7 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun reinsert ->
+          let cfg = T.config ~min_fill:2 ~max_fill:4 ~split:kind
+              ~forced_reinsert:reinsert ()
+          in
+          let t = T.create cfg in
+          for i = 1 to 300 do
+            T.insert t (random_rect rng) i;
+            if i mod 50 = 0 then
+              check_bool
+                (Printf.sprintf "%s reinsert=%b invariants at %d"
+                   (S.kind_to_string kind) reinsert i)
+                true (ok_invariants t)
+          done;
+          check_int "size 300" 300 (T.size t);
+          check_bool "height logarithmic" true (T.height t <= 9))
+        [ false; true ])
+    all_kinds
+
+let test_search_completeness () =
+  let rng = Sim.Rng.make 11 in
+  let t = T.create (T.config ~min_fill:2 ~max_fill:6 ()) in
+  let entries = List.init 200 (fun i -> (random_rect rng, i)) in
+  List.iter (fun (r, i) -> T.insert t r i) entries;
+  for _ = 1 to 50 do
+    let p = P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0) in
+    let expected =
+      List.filter_map
+        (fun (r, i) -> if R.contains_point r p then Some i else None)
+        entries
+      |> List.sort compare
+    in
+    let got = List.sort compare (T.search_point t p) in
+    check_bool "search matches brute force" true (expected = got)
+  done
+
+let test_remove () =
+  let rng = Sim.Rng.make 13 in
+  let t = T.create T.default_config in
+  let entries = List.init 120 (fun i -> (random_rect rng, i)) in
+  List.iter (fun (r, i) -> T.insert t r i) entries;
+  (* Remove half, verifying size, invariants and searchability. *)
+  List.iteri
+    (fun idx (r, i) ->
+      if idx mod 2 = 0 then begin
+        check_bool "removed" true (T.remove t r ~equal:Int.equal i);
+        check_bool "remove keeps invariants" true (ok_invariants t)
+      end)
+    entries;
+  check_int "half left" 60 (T.size t);
+  List.iteri
+    (fun idx (r, i) ->
+      let found = T.search_rect t r in
+      if idx mod 2 = 0 then
+        check_bool "gone" true (not (List.mem i found))
+      else check_bool "still there" true (List.mem i found))
+    entries;
+  (* Removing a non-existent entry fails gracefully. *)
+  check_bool "missing remove" false
+    (T.remove t (rect 0.0 0.0 1.0 1.0) ~equal:Int.equal 9999)
+
+let test_remove_to_empty () =
+  let t = T.create T.default_config in
+  let r = rect 0.0 0.0 1.0 1.0 in
+  T.insert t r 1;
+  check_bool "removed" true (T.remove t r ~equal:Int.equal 1);
+  check_int "empty" 0 (T.size t);
+  check_int "height 0" 0 (T.height t);
+  check_bool "mbr none" true (T.mbr t = None)
+
+let test_duplicates () =
+  let t = T.create T.default_config in
+  let r = rect 0.0 0.0 1.0 1.0 in
+  T.insert t r 1;
+  T.insert t r 1;
+  check_int "two entries" 2 (T.size t);
+  check_bool "one removed" true (T.remove t r ~equal:Int.equal 1);
+  check_int "one left" 1 (T.size t)
+
+let test_stats () =
+  let rng = Sim.Rng.make 17 in
+  let t = T.create T.default_config in
+  for i = 1 to 100 do
+    T.insert t (random_rect rng) i
+  done;
+  let st = T.stats t in
+  check_bool "nodes counted" true (st.T.node_count > st.T.leaf_count);
+  check_bool "leaves exist" true (st.T.leaf_count >= 100 / 4);
+  check_bool "coverage positive" true (st.T.total_coverage > 0.0);
+  check_bool "overlap non-negative" true (st.T.total_overlap >= 0.0)
+
+let test_config_validation () =
+  check_bool "min_fill" true
+    (try ignore (T.config ~min_fill:0 ()); false
+     with Invalid_argument _ -> true);
+  check_bool "max_fill" true
+    (try ignore (T.config ~min_fill:3 ~max_fill:5 ()); false
+     with Invalid_argument _ -> true)
+
+let test_fold_entries () =
+  let t = T.create T.default_config in
+  let rs = List.init 10 (fun i ->
+      rect (float_of_int i) 0.0 (float_of_int i +. 1.0) 1.0) in
+  List.iteri (fun i r -> T.insert t r i) rs;
+  check_int "fold count" 10 (T.fold (fun acc _ _ -> acc + 1) 0 t);
+  check_int "entries" 10 (List.length (T.entries t));
+  (match T.mbr t with
+  | Some m -> check_bool "mbr covers" true (R.equal m (rect 0.0 0.0 10.0 1.0))
+  | None -> Alcotest.fail "mbr expected")
+
+(* --- Bulk loading (STR) -------------------------------------------------------- *)
+
+let test_bulk_load_basic () =
+  let rng = Sim.Rng.make 19 in
+  List.iter
+    (fun n ->
+      let entries = List.init n (fun i -> (random_rect rng, i)) in
+      let t = T.bulk_load (T.config ~min_fill:2 ~max_fill:4 ()) entries in
+      check_int (Printf.sprintf "size %d" n) n (T.size t);
+      check_bool
+        (Printf.sprintf "invariants at n=%d" n)
+        true (ok_invariants t);
+      (* Search completeness on a few probes. *)
+      for _ = 1 to 10 do
+        let p =
+          P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0)
+        in
+        let expected =
+          List.filter_map
+            (fun (r, i) -> if R.contains_point r p then Some i else None)
+            entries
+          |> List.sort compare
+        in
+        check_bool "search complete" true
+          (List.sort compare (T.search_point t p) = expected)
+      done)
+    [ 1; 2; 3; 4; 5; 7; 9; 16; 17; 50; 100; 257 ]
+
+let test_bulk_load_utilization () =
+  (* Packing should beat incremental insertion on node count. *)
+  let rng = Sim.Rng.make 20 in
+  let entries = List.init 400 (fun i -> (random_rect rng, i)) in
+  let cfg = T.config ~min_fill:2 ~max_fill:4 () in
+  let packed = T.bulk_load cfg entries in
+  let incremental = T.create cfg in
+  List.iter (fun (r, i) -> T.insert incremental r i) entries;
+  let sp = T.stats packed and si = T.stats incremental in
+  check_bool "fewer nodes when packed" true
+    (sp.T.node_count <= si.T.node_count);
+  check_bool "height not worse" true (T.height packed <= T.height incremental)
+
+let test_bulk_load_then_mutate () =
+  let rng = Sim.Rng.make 21 in
+  let entries = List.init 60 (fun i -> (random_rect rng, i)) in
+  let t = T.bulk_load T.default_config entries in
+  (* The packed tree keeps working as a normal dynamic tree. *)
+  T.insert t (rect 1.0 1.0 2.0 2.0) 999;
+  check_int "inserted" 61 (T.size t);
+  check_bool "invariants after insert" true (ok_invariants t);
+  let r0, i0 = List.hd entries in
+  check_bool "removed" true (T.remove t r0 ~equal:Int.equal i0);
+  check_bool "invariants after remove" true (ok_invariants t);
+  check_bool "empty bulk load" true (T.size (T.bulk_load T.default_config []) = 0)
+
+(* --- Nearest neighbours --------------------------------------------------------- *)
+
+let test_nearest_basic () =
+  let t = T.create T.default_config in
+  T.insert t (rect 0.0 0.0 1.0 1.0) "origin";
+  T.insert t (rect 10.0 10.0 11.0 11.0) "mid";
+  T.insert t (rect 50.0 50.0 51.0 51.0) "far";
+  let nn = T.nearest t (P.make2 0.5 0.5) ~k:2 in
+  check_int "k results" 2 (List.length nn);
+  (match nn with
+  | (d1, _, x1) :: (d2, _, x2) :: _ ->
+      check_bool "closest first" true (x1 = "origin" && x2 = "mid");
+      check_bool "distances sorted" true (d1 <= d2);
+      check_bool "inside has distance 0" true (d1 = 0.0)
+  | _ -> Alcotest.fail "expected 2 results");
+  check_int "k larger than tree" 3 (List.length (T.nearest t (P.make2 0.0 0.0) ~k:10));
+  check_bool "k=0 rejected" true
+    (try ignore (T.nearest t (P.make2 0.0 0.0) ~k:0); false
+     with Invalid_argument _ -> true);
+  check_int "empty tree" 0
+    (List.length (T.nearest (T.create T.default_config) (P.make2 0.0 0.0) ~k:3))
+
+let test_nearest_matches_brute_force () =
+  let rng = Sim.Rng.make 22 in
+  let entries = List.init 150 (fun i -> (random_rect rng, i)) in
+  let t = T.create T.default_config in
+  List.iter (fun (r, i) -> T.insert t r i) entries;
+  for _ = 1 to 25 do
+    let p = P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0) in
+    let brute =
+      List.map (fun (r, i) -> (sqrt (R.distance_sq_to_point r p), i)) entries
+      |> List.sort compare
+    in
+    let k = 5 in
+    let got = T.nearest t p ~k in
+    check_int "k results" k (List.length got);
+    (* Compare distances (payload ties can order arbitrarily). *)
+    List.iteri
+      (fun idx (d, _, _) ->
+        let bd, _ = List.nth brute idx in
+        check_bool "distance matches brute force" true
+          (Float.abs (d -. bd) < 1e-9))
+      got
+  done
+
+(* --- Properties -------------------------------------------------------------- *)
+
+let ops_gen =
+  (* A program of inserts (positive) and deletes of earlier keys. *)
+  let open QCheck2.Gen in
+  list_size (int_range 10 120)
+    (pair (float_range 0.0 90.0) (pair (float_range 0.0 90.0) (float_range 0.2 8.0)))
+
+let prop_random_program kind =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "invariants under random program (%s)" (S.kind_to_string kind))
+    ~count:40 ops_gen
+    (fun spec ->
+      let cfg = T.config ~min_fill:2 ~max_fill:5 ~split:kind () in
+      let t = T.create cfg in
+      let inserted = ref [] in
+      List.iteri
+        (fun i (x, (y, w)) ->
+          let r = rect x y (x +. w) (y +. w) in
+          T.insert t r i;
+          inserted := (r, i) :: !inserted;
+          (* Periodically delete the oldest entry. *)
+          if i mod 3 = 2 then begin
+            match List.rev !inserted with
+            | (r0, i0) :: _ ->
+                ignore (T.remove t r0 ~equal:Int.equal i0);
+                inserted := List.filter (fun (_, j) -> j <> i0) !inserted
+            | [] -> ()
+          end)
+        spec;
+      T.size t = List.length !inserted && ok_invariants t)
+
+let prop_search_sound kind =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "search sound+complete (%s)" (S.kind_to_string kind))
+    ~count:30 ops_gen
+    (fun spec ->
+      let cfg = T.config ~split:kind () in
+      let t = T.create cfg in
+      let entries =
+        List.mapi
+          (fun i (x, (y, w)) ->
+            let r = rect x y (x +. w) (y +. w) in
+            T.insert t r i;
+            (r, i))
+          spec
+      in
+      let p = P.make2 45.0 45.0 in
+      let expected =
+        List.filter_map
+          (fun (r, i) -> if R.contains_point r p then Some i else None)
+          entries
+        |> List.sort compare
+      in
+      List.sort compare (T.search_point t p) = expected)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      (List.concat_map
+         (fun kind -> [ prop_random_program kind; prop_search_sound kind ])
+         all_kinds)
+  in
+  Alcotest.run "rtree"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "sizes and partition" `Quick test_split_sizes;
+          Alcotest.test_case "argument errors" `Quick test_split_errors;
+          Alcotest.test_case "separates clusters" `Quick
+            test_split_separates_clusters;
+          Alcotest.test_case "kind parsing" `Quick test_kind_parsing;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "insert/search" `Quick test_insert_search;
+          Alcotest.test_case "growth keeps invariants" `Quick
+            test_growth_and_invariants;
+          Alcotest.test_case "search completeness" `Quick
+            test_search_completeness;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "remove to empty" `Quick test_remove_to_empty;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "fold/entries/mbr" `Quick test_fold_entries;
+        ] );
+      ( "bulk-load",
+        [
+          Alcotest.test_case "sizes and correctness" `Quick test_bulk_load_basic;
+          Alcotest.test_case "utilization beats insertion" `Quick
+            test_bulk_load_utilization;
+          Alcotest.test_case "mutable afterwards" `Quick
+            test_bulk_load_then_mutate;
+        ] );
+      ( "nearest",
+        [
+          Alcotest.test_case "basics" `Quick test_nearest_basic;
+          Alcotest.test_case "matches brute force" `Quick
+            test_nearest_matches_brute_force;
+        ] );
+      ("properties", qsuite);
+    ]

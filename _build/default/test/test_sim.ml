@@ -1,0 +1,311 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+module Rng = Sim.Rng
+module Heap = Sim.Heap
+module Engine = Sim.Engine
+module Churn = Sim.Churn
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng -------------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check_bool "same seed same stream" true (xs = ys);
+  let c = Rng.make 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  check_bool "different seed different stream" true (xs <> zs)
+
+let test_rng_ranges () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 200 do
+    let x = Rng.int rng 10 in
+    check_bool "int in range" true (x >= 0 && x < 10);
+    let f = Rng.range rng 2.0 3.0 in
+    check_bool "float in range" true (f >= 2.0 && f < 3.0)
+  done;
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_pick_shuffle () =
+  let rng = Rng.make 5 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    check_bool "pick member" true (List.mem (Rng.pick rng xs) xs)
+  done;
+  let shuffled = Rng.shuffle rng xs in
+  check_bool "permutation" true (List.sort compare shuffled = xs);
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick rng []))
+
+let test_rng_exponential () =
+  let rng = Rng.make 9 in
+  let n = 5000 in
+  let xs = List.init n (fun _ -> Rng.exponential rng ~rate:2.0) in
+  List.iter (fun x -> check_bool "positive" true (x > 0.0)) xs;
+  let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  check_bool "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.05)
+
+let test_rng_poisson () =
+  let rng = Rng.make 10 in
+  let n = 5000 in
+  let xs = List.init n (fun _ -> Rng.poisson rng ~mean:4.0) in
+  let mean =
+    List.fold_left (fun a x -> a +. float_of_int x) 0.0 xs /. float_of_int n
+  in
+  check_bool "poisson mean" true (Float.abs (mean -. 4.0) < 0.2)
+
+let test_rng_zipf () =
+  let rng = Rng.make 11 in
+  let n = 10000 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to n do
+    let k = Rng.zipf rng ~n:10 ~s:1.2 in
+    check_bool "in range" true (k >= 1 && k <= 10);
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank 1 most frequent" true (counts.(1) > counts.(2));
+  check_bool "heavily skewed" true (counts.(1) > n / 4);
+  (* s = 0 degenerates to uniform. *)
+  let u = List.init 1000 (fun _ -> Rng.zipf rng ~n:10 ~s:0.0) in
+  check_bool "s=0 covers ranks" true
+    (List.exists (fun k -> k > 8) u && List.exists (fun k -> k < 3) u)
+
+let test_rng_gaussian () =
+  let rng = Rng.make 12 in
+  let n = 5000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mean:10.0 ~stddev:2.0) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  check_bool "gaussian mean" true (Float.abs (mean -. 10.0) < 0.15)
+
+(* --- Heap ------------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.add h ~priority:3.0 ~seq:1 "c";
+  Heap.add h ~priority:1.0 ~seq:2 "a";
+  Heap.add h ~priority:2.0 ~seq:3 "b";
+  check_int "length" 3 (Heap.length h);
+  check_bool "peek min" true (Heap.peek h = Some (1.0, 2, "a"));
+  let order = List.init 3 (fun _ ->
+      match Heap.pop h with Some (_, _, v) -> v | None -> "?") in
+  check_bool "sorted" true (order = [ "a"; "b"; "c" ]);
+  check_bool "drained" true (Heap.pop h = None)
+
+let test_heap_tiebreak () =
+  let h = Heap.create () in
+  Heap.add h ~priority:1.0 ~seq:2 "second";
+  Heap.add h ~priority:1.0 ~seq:1 "first";
+  check_bool "fifo on equal priority" true
+    (match Heap.pop h with Some (_, _, v) -> v = "first" | None -> false)
+
+let test_heap_stress () =
+  let rng = Rng.make 3 in
+  let h = Heap.create () in
+  let n = 2000 in
+  for i = 1 to n do
+    Heap.add h ~priority:(Rng.float rng 100.0) ~seq:i i
+  done;
+  let rec drain last count =
+    match Heap.pop h with
+    | None -> count
+    | Some (p, _, _) ->
+        check_bool "non-decreasing" true (p >= last);
+        drain p (count + 1)
+  in
+  check_int "all popped" n (drain neg_infinity 0)
+
+(* --- Engine ----------------------------------------------------------------- *)
+
+let test_engine_delivery () =
+  let log = ref [] in
+  let eng = Engine.create ~seed:1 () in
+  let a = Engine.spawn eng (fun _ msg -> log := ("a", msg) :: !log) in
+  let b = Engine.spawn eng (fun ctx msg ->
+      log := ("b", msg) :: !log;
+      if msg = "ping" then Engine.send ctx a "pong")
+  in
+  Engine.inject eng ~dst:b "ping";
+  check_bool "quiescent" true (Engine.run eng = `Quiescent);
+  check_bool "order" true (List.rev !log = [ ("b", "ping"); ("a", "pong") ]);
+  check_int "messages" 2 (Engine.messages_sent eng);
+  check_float "time advanced" 2.0 (Engine.now eng)
+
+let test_engine_kill () =
+  let eng = Engine.create ~seed:1 () in
+  let received = ref 0 in
+  let a = Engine.spawn eng (fun _ _ -> incr received) in
+  Engine.kill eng a;
+  check_bool "dead" true (not (Engine.is_alive eng a));
+  Engine.inject eng ~dst:a "x";
+  ignore (Engine.run eng);
+  check_int "not delivered" 0 !received;
+  check_int "dropped" 1 (Engine.messages_dropped eng);
+  Engine.kill eng a (* idempotent *);
+  check_int "alive count" 0 (Engine.alive_count eng)
+
+let test_engine_self_messages () =
+  let eng = Engine.create ~seed:1 () in
+  let count = ref 0 in
+  let a =
+    Engine.spawn eng (fun ctx _ ->
+        incr count;
+        if !count < 5 then Engine.send ctx (Engine.self ctx) "again")
+  in
+  Engine.inject eng ~dst:a "start";
+  ignore (Engine.run eng);
+  check_int "handled 5 times" 5 !count;
+  check_int "self messages" 4 (Engine.self_messages eng);
+  check_int "real messages" 1 (Engine.messages_sent eng)
+
+let test_engine_limit () =
+  let eng = Engine.create ~seed:1 () in
+  let a = Engine.spawn eng (fun ctx _ -> Engine.send ctx (Engine.self ctx) "loop") in
+  Engine.inject eng ~dst:a "go";
+  check_bool "hits limit" true (Engine.run ~max_events:100 eng = `Limit);
+  check_int "counted" 100 (Engine.events_processed eng)
+
+let test_engine_determinism () =
+  let run_once () =
+    let eng = Engine.create ~seed:7 ~latency:(Engine.Uniform (0.5, 2.0)) () in
+    let log = ref [] in
+    let nodes =
+      List.init 5 (fun i ->
+          Engine.spawn eng (fun _ msg -> log := (i, msg) :: !log))
+    in
+    List.iteri (fun i dst -> Engine.inject eng ~dst (string_of_int i)) nodes;
+    ignore (Engine.run eng);
+    !log
+  in
+  check_bool "deterministic across runs" true (run_once () = run_once ())
+
+let test_engine_counters_reset () =
+  let eng = Engine.create ~seed:1 () in
+  let a = Engine.spawn eng (fun _ _ -> ()) in
+  Engine.inject eng ~dst:a "x";
+  ignore (Engine.run eng);
+  Engine.reset_counters eng;
+  check_int "sent reset" 0 (Engine.messages_sent eng);
+  check_int "processed reset" 0 (Engine.events_processed eng)
+
+let test_engine_drop_rate () =
+  let eng = Engine.create ~drop_rate:0.5 ~seed:3 () in
+  let received = ref 0 in
+  let a = Engine.spawn eng (fun _ _ -> incr received) in
+  for _ = 1 to 200 do
+    Engine.inject eng ~dst:a "x"
+  done;
+  ignore (Engine.run eng);
+  let lost = Engine.messages_lost eng in
+  check_int "received + lost = sent" 200 (!received + lost);
+  check_bool "roughly half lost" true (lost > 60 && lost < 140);
+  (* Self-messages are never lost. *)
+  let eng2 = Engine.create ~drop_rate:0.9 ~seed:4 () in
+  let count = ref 0 in
+  let b =
+    Engine.spawn eng2 (fun ctx _ ->
+        incr count;
+        if !count < 10 then Engine.send ctx (Engine.self ctx) "again")
+  in
+  (* The kickoff injection may itself be lost; retry until it lands. *)
+  let rec kick () =
+    Engine.inject eng2 ~dst:b "go";
+    ignore (Engine.run eng2);
+    if !count = 0 then kick ()
+  in
+  kick ();
+  check_int "self chain complete" 10 !count;
+  check_bool "bad rate" true
+    (try ignore (Engine.create ~drop_rate:1.0 ~seed:1 ()); false
+     with Invalid_argument _ -> true)
+
+let test_engine_alive_nodes () =
+  let eng = Engine.create ~seed:1 () in
+  let ids = List.init 4 (fun _ -> Engine.spawn eng (fun _ _ -> ())) in
+  Engine.kill eng (List.nth ids 1);
+  check_bool "alive list" true
+    (Engine.alive_nodes eng = [ List.nth ids 0; List.nth ids 2; List.nth ids 3 ]);
+  check_int "spawned" 4 (Engine.spawned_count eng)
+
+(* --- Churn ------------------------------------------------------------------ *)
+
+let test_churn_trace () =
+  let rng = Rng.make 21 in
+  let tr = Churn.trace rng ~join_rate:2.0 ~leave_rate:1.0 ~horizon:100.0 in
+  check_bool "non-empty" true (tr <> []);
+  List.iter (fun (t, _) -> check_bool "in horizon" true (t >= 0.0 && t < 100.0)) tr;
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) tr in
+  check_bool "sorted" true (tr = sorted);
+  let joins = List.length (List.filter (fun (_, a) -> a = Churn.Join) tr) in
+  let total = List.length tr in
+  (* ~300 events expected, two thirds joins. *)
+  check_bool "rate plausible" true (total > 200 && total < 400);
+  check_bool "mix plausible" true
+    (let frac = float_of_int joins /. float_of_int total in
+     frac > 0.55 && frac < 0.78)
+
+let test_departure_times () =
+  let rng = Rng.make 22 in
+  let ts = Churn.departure_times rng ~rate:5.0 ~count:100 in
+  check_int "count" 100 (List.length ts);
+  let sorted = List.sort Float.compare ts in
+  check_bool "sorted" true (ts = sorted);
+  check_bool "positive" true (List.for_all (fun t -> t > 0.0) ts)
+
+(* --- Properties ---------------------------------------------------------------- *)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0.0 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.add h ~priority:p ~seq:i i) priorities;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, _, _) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "poisson" `Quick test_rng_poisson;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf;
+          Alcotest.test_case "gaussian" `Quick test_rng_gaussian;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo tiebreak" `Quick test_heap_tiebreak;
+          Alcotest.test_case "stress" `Quick test_heap_stress;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery" `Quick test_engine_delivery;
+          Alcotest.test_case "kill" `Quick test_engine_kill;
+          Alcotest.test_case "self messages" `Quick test_engine_self_messages;
+          Alcotest.test_case "event limit" `Quick test_engine_limit;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "counter reset" `Quick test_engine_counters_reset;
+          Alcotest.test_case "message loss" `Quick test_engine_drop_rate;
+          Alcotest.test_case "alive tracking" `Quick test_engine_alive_nodes;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "merged trace" `Quick test_churn_trace;
+          Alcotest.test_case "departure times" `Quick test_departure_times;
+        ] );
+    ]

@@ -1,0 +1,504 @@
+(* Tests for the self-stabilization machinery (Figs. 9-14,
+   Lemmas 3.3-3.6): controlled/uncontrolled departures and recovery
+   from every class of memory corruption. *)
+
+module R = Geometry.Rect
+module O = Drtree.Overlay
+module St = Drtree.State
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+module Corrupt = Drtree.Corrupt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rect x0 y0 x1 y1 = R.make2 ~x0 ~y0 ~x1 ~y1
+
+let legal ov =
+  match Inv.check ov with
+  | [] -> true
+  | vs ->
+      List.iter (fun v -> Format.eprintf "violation: %a@." Inv.pp_violation v) vs;
+      false
+
+let random_rect rng =
+  let x0 = Sim.Rng.range rng 0.0 90.0 and y0 = Sim.Rng.range rng 0.0 90.0 in
+  let w = Sim.Rng.range rng 1.0 10.0 and h = Sim.Rng.range rng 1.0 10.0 in
+  rect x0 y0 (x0 +. w) (y0 +. h)
+
+let build ~seed n =
+  let rng = Sim.Rng.make (seed * 131) in
+  let ov = O.create ~seed () in
+  for _ = 1 to n do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  ov
+
+let stabilizes ?(max_rounds = 50) ov =
+  O.stabilize ~max_rounds ~legal:Inv.is_legal ov <> None
+
+(* --- Idempotence -------------------------------------------------------------- *)
+
+let test_stabilize_idempotent () =
+  let ov = build ~seed:1 64 in
+  check_bool "already legal" true (legal ov);
+  (match O.stabilize ~legal:Inv.is_legal ov with
+  | Some rounds -> check_int "0 rounds on legal state" 0 rounds
+  | None -> Alcotest.fail "must stabilize");
+  (* An extra round must not break anything (closure). *)
+  O.stabilize_round ov;
+  check_bool "still legal after a gratuitous round" true (legal ov)
+
+(* --- Controlled departures (Fig. 9, Lemma 3.4) --------------------------------- *)
+
+let test_leave_leaf () =
+  let ov = build ~seed:2 40 in
+  let victim =
+    (* pick a pure leaf (top = 0) that is not the root *)
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s = 0 | None -> false)
+      (O.alive_ids ov)
+  in
+  O.leave ov victim;
+  check_int "size dropped" 39 (O.size ov);
+  check_bool "stabilizes" true (stabilizes ov);
+  check_bool "victim gone" true (not (O.is_alive ov victim))
+
+let test_leave_interior () =
+  let ov = build ~seed:3 60 in
+  let victim =
+    List.find
+      (fun id ->
+        match O.state ov id with
+        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | None -> false)
+      (O.alive_ids ov)
+  in
+  O.leave ov victim;
+  check_bool "stabilizes after interior leave" true (stabilizes ov);
+  check_bool "legal" true (legal ov)
+
+let test_leave_root () =
+  let ov = build ~seed:4 50 in
+  let root = Option.get (O.find_root ov) in
+  O.leave ov root;
+  check_int "size dropped" 49 (O.size ov);
+  check_bool "stabilizes after root leave" true (stabilizes ov);
+  check_bool "new root exists" true (O.find_root ov <> None);
+  check_bool "new root differs" true (O.find_root ov <> Some root)
+
+let test_leave_many () =
+  let ov = build ~seed:5 80 in
+  let ids = O.alive_ids ov in
+  List.iteri (fun i id -> if i mod 3 = 0 then O.leave ov id) ids;
+  check_bool "stabilizes after mass leave" true (stabilizes ov);
+  check_bool "legal" true (legal ov)
+
+let test_leave_until_singleton () =
+  let ov = build ~seed:6 10 in
+  let rec drain () =
+    if O.size ov > 1 then begin
+      let id = List.hd (O.alive_ids ov) in
+      O.leave ov id;
+      ignore (O.stabilize ~legal:Inv.is_legal ov);
+      drain ()
+    end
+  in
+  drain ();
+  check_int "one left" 1 (O.size ov);
+  check_bool "legal singleton" true (legal ov);
+  check_int "height 0" 0 (O.height ov)
+
+(* --- Uncontrolled departures (Lemma 3.5) ---------------------------------------- *)
+
+let test_crash_leaf () =
+  let ov = build ~seed:7 40 in
+  let victim =
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s = 0 | None -> false)
+      (O.alive_ids ov)
+  in
+  O.crash ov victim;
+  check_bool "stabilizes" true (stabilizes ov);
+  check_bool "legal" true (legal ov)
+
+let test_crash_interior () =
+  let ov = build ~seed:8 60 in
+  let victim =
+    List.find
+      (fun id ->
+        match O.state ov id with
+        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | None -> false)
+      (O.alive_ids ov)
+  in
+  O.crash ov victim;
+  check_bool "stabilizes after interior crash" true (stabilizes ov);
+  check_bool "legal" true (legal ov)
+
+let test_crash_root () =
+  let ov = build ~seed:9 50 in
+  let root = Option.get (O.find_root ov) in
+  O.crash ov root;
+  check_bool "stabilizes after root crash" true (stabilizes ov);
+  check_bool "new root" true (O.find_root ov <> None && O.find_root ov <> Some root)
+
+let test_crash_quarter () =
+  let ov = build ~seed:10 100 in
+  let rng = Sim.Rng.make 1000 in
+  let victims = Corrupt.random_victims ov rng ~fraction:0.25 in
+  List.iter (fun v -> O.crash ov v) victims;
+  check_bool "stabilizes after 25% crash" true (stabilizes ov);
+  check_bool "legal" true (legal ov);
+  check_int "size" 75 (O.size ov)
+
+let test_crash_simultaneous_root_and_children () =
+  (* Kill the root and every member of its top-level children set at
+     once: the survivors must re-form a tree. *)
+  let ov = build ~seed:11 60 in
+  let root = Option.get (O.find_root ov) in
+  let top_children =
+    match O.state ov root with
+    | Some s -> (St.level_exn s (St.top s)).St.children
+    | None -> Sim.Node_id.Set.empty
+  in
+  Sim.Node_id.Set.iter (fun id -> O.crash ov id) top_children;
+  O.crash ov root;
+  check_bool "stabilizes" true (stabilizes ov);
+  check_bool "legal" true (legal ov)
+
+(* --- Memory corruption (Lemma 3.6) ----------------------------------------------- *)
+
+let corruption_case name corrupt_fn =
+  Alcotest.test_case name `Quick (fun () ->
+      let ov = build ~seed:12 60 in
+      let rng = Sim.Rng.make 555 in
+      let victims = Corrupt.random_victims ov rng ~fraction:0.15 in
+      List.iter (fun v -> ignore (corrupt_fn ov rng v)) victims;
+      check_bool (name ^ " recovers") true (stabilizes ov);
+      check_bool "legal" true (legal ov))
+
+let test_corrupt_everything () =
+  let ov = build ~seed:13 80 in
+  let rng = Sim.Rng.make 777 in
+  (* Corrupt every process at once. *)
+  List.iter (fun v -> ignore (Corrupt.any ov rng v)) (O.alive_ids ov);
+  check_bool "full corruption recovers" true (stabilizes ~max_rounds:100 ov);
+  check_bool "legal" true (legal ov)
+
+let test_corrupt_and_crash_interleaved () =
+  let ov = build ~seed:14 80 in
+  let rng = Sim.Rng.make 888 in
+  for round = 1 to 3 do
+    let victims = Corrupt.random_victims ov rng ~fraction:0.1 in
+    List.iteri
+      (fun i v ->
+        if i mod 2 = 0 then ignore (Corrupt.any ov rng v) else O.crash ov v)
+      victims;
+    check_bool
+      (Printf.sprintf "round %d recovers" round)
+      true (stabilizes ~max_rounds:100 ov)
+  done;
+  check_bool "legal at the end" true (legal ov)
+
+let test_recovery_preserves_membership () =
+  (* Stabilization must not lose live subscribers. *)
+  let ov = build ~seed:15 50 in
+  let rng = Sim.Rng.make 999 in
+  let before = O.alive_ids ov in
+  List.iter (fun v -> ignore (Corrupt.parent ov rng v))
+    (Corrupt.random_victims ov rng ~fraction:0.3);
+  check_bool "stabilizes" true (stabilizes ov);
+  check_bool "same membership" true (O.alive_ids ov = before)
+
+(* --- White-box: each CHECK_* module repairs its own variable class
+   (Figs. 10-13), driven through the protocol messages. ---------------------------- *)
+
+let inject ov id msg =
+  Sim.Engine.inject (O.engine ov) ~dst:id msg;
+  O.run ov
+
+let test_check_mbr_repairs_leaf () =
+  let ov = build ~seed:20 30 in
+  let id = List.hd (O.alive_ids ov) in
+  let s = Option.get (O.state ov id) in
+  let l0 = St.level_exn s 0 in
+  l0.St.mbr <- rect (-50.0) (-50.0) (-40.0) (-40.0);
+  check_bool "corrupted" true
+    (not (Geometry.Rect.equal l0.St.mbr (St.filter s)));
+  inject ov id (Drtree.Message.Check_mbr 0);
+  check_bool "leaf MBR restored to the filter" true
+    (Geometry.Rect.equal (St.level_exn s 0).St.mbr (St.filter s))
+
+let test_check_mbr_repairs_interior () =
+  let ov = build ~seed:21 60 in
+  let id =
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s >= 1 | None -> false)
+      (O.alive_ids ov)
+  in
+  let s = Option.get (O.state ov id) in
+  let l1 = St.level_exn s 1 in
+  let good = l1.St.mbr in
+  l1.St.mbr <- rect 0.0 0.0 1.0 1.0;
+  inject ov id (Drtree.Message.Check_mbr 1);
+  check_bool "interior MBR recomputed from members" true
+    (Geometry.Rect.equal (St.level_exn s 1).St.mbr good)
+
+let test_check_children_evicts_stranger () =
+  let ov = build ~seed:22 60 in
+  let id =
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s >= 1 | None -> false)
+      (O.alive_ids ov)
+  in
+  let s = Option.get (O.state ov id) in
+  let l1 = St.level_exn s 1 in
+  (* A stranger (some process that has another parent) plus a ghost
+     (never-spawned id). *)
+  let stranger =
+    List.find
+      (fun other ->
+        other <> id
+        && not (Sim.Node_id.Set.mem other l1.St.children)
+        &&
+        match O.state ov other with
+        | Some so -> (St.level_exn so (St.top so)).St.parent <> id
+        | None -> false)
+      (O.alive_ids ov)
+  in
+  l1.St.children <- Sim.Node_id.Set.add 424242 (Sim.Node_id.Set.add stranger l1.St.children);
+  inject ov id (Drtree.Message.Check_children 1);
+  let l1 = St.level_exn s 1 in
+  check_bool "stranger evicted" true
+    (not (Sim.Node_id.Set.mem stranger l1.St.children));
+  check_bool "ghost evicted" true
+    (not (Sim.Node_id.Set.mem 424242 l1.St.children));
+  check_bool "self restored" true (Sim.Node_id.Set.mem id l1.St.children)
+
+let test_check_children_fixes_underloaded_flag () =
+  let ov = build ~seed:23 40 in
+  let id =
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s >= 1 | None -> false)
+      (O.alive_ids ov)
+  in
+  let s = Option.get (O.state ov id) in
+  let l1 = St.level_exn s 1 in
+  let correct = l1.St.underloaded in
+  l1.St.underloaded <- not correct;
+  inject ov id (Drtree.Message.Check_children 1);
+  check_bool "flag restored" true ((St.level_exn s 1).St.underloaded = correct)
+
+let test_check_parent_triggers_rejoin () =
+  let ov = build ~seed:24 50 in
+  (* Pick a non-root top instance and point its parent at a ghost. *)
+  let id =
+    List.find
+      (fun id -> O.find_root ov <> Some id)
+      (O.alive_ids ov)
+  in
+  let s = Option.get (O.state ov id) in
+  let top = St.top s in
+  (St.level_exn s top).St.parent <- 424242;
+  inject ov id (Drtree.Message.Check_parent top);
+  (* The node must have re-attached (directly or as a pending join
+     that the next round completes). *)
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  check_bool "re-attached and legal" true (legal ov);
+  check_bool "still a member" true (O.is_alive ov id)
+
+let test_check_cover_swaps_roles () =
+  (* Hand-build the inversion: a parent whose member covers more. *)
+  let ov = O.create ~seed:25 () in
+  let small = O.join ov (rect 40.0 40.0 45.0 45.0) in
+  let big = O.join ov (rect 0.0 0.0 100.0 100.0) in
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  (* big must be the interior node; force the inversion manually. *)
+  let sb = Option.get (O.state ov big) in
+  let ss = Option.get (O.state ov small) in
+  check_int "big is interior" 1 (St.top sb);
+  (* Swap roles by hand to create the illegal state: small becomes the
+     holder. *)
+  let l1 = St.level_exn sb 1 in
+  let children = l1.St.children in
+  let lsmall = St.activate ss 1 in
+  lsmall.St.children <- children;
+  lsmall.St.parent <- small;
+  lsmall.St.mbr <- l1.St.mbr;
+  St.deactivate_above sb 0;
+  (St.level_exn sb 0).St.parent <- small;
+  (St.level_exn ss 0).St.parent <- small;
+  check_bool "inversion in place" true (not (legal ov));
+  inject ov small (Drtree.Message.Check_cover 1);
+  check_bool "roles swapped back" true (legal ov);
+  check_bool "big holds the interior again" true
+    (St.top (Option.get (O.state ov big)) = 1)
+
+(* --- Message-passing stabilization mode -------------------------------------------- *)
+
+let stabilizes_mp ?(max_rounds = 80) ov =
+  O.stabilize_mp ~max_rounds ~legal:Inv.is_legal ov <> None
+
+let test_mp_idempotent () =
+  let ov = build ~seed:60 50 in
+  (match O.stabilize_mp ~legal:Inv.is_legal ov with
+  | Some rounds -> check_int "0 rounds on legal state" 0 rounds
+  | None -> Alcotest.fail "must stabilize");
+  O.stabilize_round_mp ov;
+  check_bool "closure under a gratuitous mp round" true (legal ov)
+
+let test_mp_crash_recovery () =
+  let ov = build ~seed:61 80 in
+  let rng = Sim.Rng.make 61 in
+  let victims = Corrupt.random_victims ov rng ~fraction:0.2 in
+  List.iter (fun v -> O.crash ov v) victims;
+  check_bool "mp mode repairs crashes" true (stabilizes_mp ov);
+  check_bool "legal" true (legal ov)
+
+let test_mp_corruption_recovery () =
+  let ov = build ~seed:62 80 in
+  let rng = Sim.Rng.make 62 in
+  List.iter (fun v -> ignore (Corrupt.any ov rng v)) (O.alive_ids ov);
+  check_bool "mp mode repairs full corruption" true (stabilizes_mp ov);
+  check_bool "legal" true (legal ov)
+
+let test_mp_root_crash () =
+  let ov = build ~seed:63 60 in
+  let root = Option.get (O.find_root ov) in
+  O.crash ov root;
+  check_bool "mp mode repairs root crash" true (stabilizes_mp ov);
+  check_bool "new root" true (O.find_root ov <> None && O.find_root ov <> Some root)
+
+let test_mp_costs_messages () =
+  (* The whole point of the mode: detection costs counted messages. *)
+  let ov = build ~seed:64 60 in
+  Sim.Engine.reset_counters (O.engine ov);
+  O.stabilize_round_mp ov;
+  let msgs = Sim.Engine.messages_sent (O.engine ov) in
+  (* >= 2 messages per neighbor link: queries + reports. *)
+  let links = List.length (Drtree.Export.adjacency ov) in
+  check_bool
+    (Printf.sprintf "round costs %d msgs for %d links" msgs links)
+    true
+    (msgs >= 2 * links)
+
+let test_mp_accuracy_after_repair () =
+  let ov = build ~seed:65 70 in
+  let rng = Sim.Rng.make 65 in
+  let victims = Corrupt.random_victims ov rng ~fraction:0.25 in
+  List.iteri
+    (fun i v -> if i mod 2 = 0 then O.crash ov v else ignore (Corrupt.any ov rng v))
+    victims;
+  check_bool "repairs" true (stabilizes_mp ov);
+  let ids = O.alive_ids ov in
+  for _ = 1 to 25 do
+    let p =
+      Geometry.Point.make2 (Sim.Rng.range rng 0.0 100.0)
+        (Sim.Rng.range rng 0.0 100.0)
+    in
+    let rep = O.publish ov ~from:(Sim.Rng.pick rng ids) p in
+    check_int "zero FN after mp repair" 0 rep.O.false_negatives
+  done
+
+(* --- Churn while stabilizing (E8 machinery) --------------------------------------- *)
+
+let test_churn_trace_replay () =
+  let seed = 16 in
+  let rng = Sim.Rng.make (seed * 131) in
+  let ov = O.create ~seed () in
+  for _ = 1 to 50 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  let churn_rng = Sim.Rng.make 4242 in
+  let trace =
+    Sim.Churn.trace churn_rng ~join_rate:1.0 ~leave_rate:0.8 ~horizon:40.0
+  in
+  List.iter
+    (fun (_, action) ->
+      match action with
+      | Sim.Churn.Join -> ignore (O.join ov (random_rect rng))
+      | Sim.Churn.Leave -> (
+          match O.alive_ids ov with
+          | [] -> ()
+          | ids ->
+              if List.length ids > 2 then
+                O.crash ov (Sim.Rng.pick churn_rng ids)))
+    trace;
+  check_bool "stabilizes after churn storm" true (stabilizes ~max_rounds:100 ov);
+  check_bool "legal" true (legal ov)
+
+let () =
+  Alcotest.run "stabilization"
+    [
+      ( "idempotence",
+        [ Alcotest.test_case "stabilize on legal state" `Quick
+            test_stabilize_idempotent ] );
+      ( "controlled-leave",
+        [
+          Alcotest.test_case "leaf leaves" `Quick test_leave_leaf;
+          Alcotest.test_case "interior leaves" `Quick test_leave_interior;
+          Alcotest.test_case "root leaves" `Quick test_leave_root;
+          Alcotest.test_case "a third leave" `Slow test_leave_many;
+          Alcotest.test_case "drain to singleton" `Quick
+            test_leave_until_singleton;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "leaf crash" `Quick test_crash_leaf;
+          Alcotest.test_case "interior crash" `Quick test_crash_interior;
+          Alcotest.test_case "root crash" `Quick test_crash_root;
+          Alcotest.test_case "25% crash" `Slow test_crash_quarter;
+          Alcotest.test_case "root + top children crash" `Quick
+            test_crash_simultaneous_root_and_children;
+        ] );
+      ( "corruption",
+        [
+          corruption_case "parent corruption" Corrupt.parent;
+          corruption_case "children corruption" Corrupt.children;
+          corruption_case "mbr corruption" Corrupt.mbr;
+          corruption_case "underloaded corruption" Corrupt.underloaded;
+          Alcotest.test_case "everything corrupted" `Slow test_corrupt_everything;
+          Alcotest.test_case "corrupt+crash interleaved" `Slow
+            test_corrupt_and_crash_interleaved;
+          Alcotest.test_case "membership preserved" `Quick
+            test_recovery_preserves_membership;
+        ] );
+      ( "white-box-modules",
+        [
+          Alcotest.test_case "CHECK_MBR repairs a leaf" `Quick
+            test_check_mbr_repairs_leaf;
+          Alcotest.test_case "CHECK_MBR repairs an interior" `Quick
+            test_check_mbr_repairs_interior;
+          Alcotest.test_case "CHECK_CHILDREN evicts strangers" `Quick
+            test_check_children_evicts_stranger;
+          Alcotest.test_case "CHECK_CHILDREN fixes the flag" `Quick
+            test_check_children_fixes_underloaded_flag;
+          Alcotest.test_case "CHECK_PARENT triggers a re-join" `Quick
+            test_check_parent_triggers_rejoin;
+          Alcotest.test_case "CHECK_COVER swaps roles" `Quick
+            test_check_cover_swaps_roles;
+        ] );
+      ( "message-passing-mode",
+        [
+          Alcotest.test_case "idempotent" `Quick test_mp_idempotent;
+          Alcotest.test_case "crash recovery" `Quick test_mp_crash_recovery;
+          Alcotest.test_case "full corruption" `Slow
+            test_mp_corruption_recovery;
+          Alcotest.test_case "root crash" `Quick test_mp_root_crash;
+          Alcotest.test_case "detection costs messages" `Quick
+            test_mp_costs_messages;
+          Alcotest.test_case "accuracy after repair" `Quick
+            test_mp_accuracy_after_repair;
+        ] );
+      ( "churn",
+        [ Alcotest.test_case "poisson churn replay" `Slow
+            test_churn_trace_replay ] );
+    ]

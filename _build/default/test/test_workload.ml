@@ -1,0 +1,202 @@
+(* Tests for the workload generators. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module Sp = Workload.Space
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Sp.default
+
+let inside_space r =
+  R.contains (Sp.rect space) r
+
+let test_space () =
+  check_int "dims" 2 space.Sp.dims;
+  check_bool "width" true (Sp.width space = 100.0);
+  check_bool "clamp low" true (Sp.clamp space (-5.0) = 0.0);
+  check_bool "clamp high" true (Sp.clamp space 105.0 = 100.0);
+  check_bool "clamp id" true (Sp.clamp space 42.0 = 42.0);
+  check_bool "bad space" true
+    (try ignore (Sp.make ~dims:0 ()); false with Invalid_argument _ -> true)
+
+let test_uniform_subs () =
+  let rng = Sim.Rng.make 1 in
+  let rects = Sg.uniform () space rng 200 in
+  check_int "count" 200 (List.length rects);
+  List.iter (fun r -> check_bool "inside space" true (inside_space r)) rects;
+  List.iter
+    (fun r ->
+      check_bool "extent bounded" true
+        (R.extent r 0 <= 10.0 +. 1e-9 && R.extent r 1 <= 10.0 +. 1e-9))
+    rects
+
+let test_clustered_subs () =
+  let rng = Sim.Rng.make 2 in
+  let rects = Sg.clustered ~clusters:3 () space rng 300 in
+  check_int "count" 300 (List.length rects);
+  List.iter (fun r -> check_bool "inside" true (inside_space r)) rects;
+  (* Clustering: the average pairwise center distance should be well
+     below the uniform expectation (~52 for [0,100]^2). *)
+  let centers = List.map R.center rects in
+  let arr = Array.of_list centers in
+  let total = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if i mod 7 = 0 then
+        Array.iteri
+          (fun j b ->
+            if j > i && j mod 7 = 0 then begin
+              total := !total +. P.distance a b;
+              incr count
+            end)
+          arr)
+    arr;
+  let avg = !total /. float_of_int !count in
+  (* Deterministic seed; uniform placement would give ~52. *)
+  check_bool (Printf.sprintf "clustered avg distance %.1f < 49" avg) true
+    (avg < 49.0)
+
+let test_containment_subs () =
+  let rng = Sim.Rng.make 3 in
+  let rects = Sg.containment ~roots:4 () space rng 100 in
+  check_int "count" 100 (List.length rects);
+  (* Count strict containment pairs: a containment workload must have
+     plenty (a uniform one has nearly none). *)
+  let arr = Array.of_list rects in
+  let pairs = ref 0 in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if (not (R.equal a b)) && R.contains a b then incr pairs)
+        arr)
+    arr;
+  check_bool
+    (Printf.sprintf "containment pairs %d > 100" !pairs)
+    true (!pairs > 100)
+
+let test_skewed_subs () =
+  let rng = Sim.Rng.make 4 in
+  let rects = Sg.skewed () space rng 500 in
+  let areas = List.map R.area rects in
+  let sorted = List.sort Float.compare areas in
+  let arr = Array.of_list sorted in
+  let median = arr.(Array.length arr / 2) in
+  let biggest = arr.(Array.length arr - 1) in
+  check_bool "heavy tail" true (biggest > 50.0 *. Float.max median 1e-6)
+
+let test_point_subs () =
+  let rng = Sim.Rng.make 5 in
+  let rects = Sg.point_interests space rng 50 in
+  List.iter (fun r -> check_bool "degenerate" true (R.area r = 0.0)) rects
+
+let test_catalog () =
+  check_int "five workloads" 5 (List.length Sg.catalog);
+  let rng = Sim.Rng.make 6 in
+  List.iter
+    (fun (name, gen) ->
+      let rects = gen space rng 20 in
+      check_int (name ^ " count") 20 (List.length rects))
+    Sg.catalog
+
+(* --- Events ------------------------------------------------------------------- *)
+
+let in_space p =
+  R.contains_point (Sp.rect space) p
+
+let test_uniform_events () =
+  let rng = Sim.Rng.make 7 in
+  let pts = Eg.uniform space rng 300 in
+  check_int "count" 300 (List.length pts);
+  List.iter (fun p -> check_bool "inside" true (in_space p)) pts
+
+let test_hotspot_events () =
+  let rng = Sim.Rng.make 8 in
+  let pts = Eg.hotspot ~fraction:0.9 ~radius:5.0 () space rng 500 in
+  List.iter (fun p -> check_bool "inside" true (in_space p)) pts;
+  (* Most points concentrate: the hottest 20x20 cell should hold more
+     than a third of the events. *)
+  let counts = Hashtbl.create 25 in
+  List.iter
+    (fun p ->
+      let cx = int_of_float (P.coord p 0 /. 20.0) in
+      let cy = int_of_float (P.coord p 1 /. 20.0) in
+      let k = (cx, cy) in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    pts;
+  let peak = Hashtbl.fold (fun _ v acc -> max v acc) counts 0 in
+  check_bool (Printf.sprintf "hotspot peak %d > 150" peak) true (peak > 150)
+
+let test_zipf_events () =
+  let rng = Sim.Rng.make 9 in
+  let pts = Eg.zipf_grid ~cells:10 ~s:1.2 () space rng 1000 in
+  List.iter (fun p -> check_bool "inside" true (in_space p)) pts;
+  (* Rank-1 cell (lowest corner cell) should be the most popular. *)
+  let hits00 =
+    List.length
+      (List.filter (fun p -> P.coord p 0 < 10.0 && P.coord p 1 < 10.0) pts)
+  in
+  check_bool (Printf.sprintf "rank-1 cell hits %d > 100" hits00) true
+    (hits00 > 100)
+
+let test_targeted_events () =
+  let rng = Sim.Rng.make 10 in
+  let subs = Sg.uniform () space rng 50 in
+  let pts = Eg.targeted subs ~hit_rate:1.0 space rng 200 in
+  (* With hit_rate 1 every event lies inside some subscription. *)
+  List.iter
+    (fun p ->
+      check_bool "event covered by a subscription" true
+        (List.exists (fun r -> R.contains_point r p) subs))
+    pts;
+  check_bool "bad hit rate" true
+    (try ignore (Eg.targeted subs ~hit_rate:1.5 space rng 1); false
+     with Invalid_argument _ -> true);
+  check_bool "no subs" true
+    (try ignore (Eg.targeted [] ~hit_rate:0.5 space rng 1); false
+     with Invalid_argument _ -> true)
+
+let test_event_catalog () =
+  let rng = Sim.Rng.make 11 in
+  let subs = Sg.uniform () space rng 10 in
+  let cat = Eg.catalog ~subscriptions:subs in
+  check_int "four event workloads" 4 (List.length cat);
+  List.iter
+    (fun (name, gen) ->
+      check_int (name ^ " count") 25 (List.length (gen space rng 25)))
+    cat
+
+let test_determinism () =
+  let gen1 = Sg.uniform () space (Sim.Rng.make 42) 50 in
+  let gen2 = Sg.uniform () space (Sim.Rng.make 42) 50 in
+  check_bool "same seed, same workload" true
+    (List.for_all2 R.equal gen1 gen2)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("space", [ Alcotest.test_case "basics" `Quick test_space ]);
+      ( "subscriptions",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_subs;
+          Alcotest.test_case "clustered" `Quick test_clustered_subs;
+          Alcotest.test_case "containment" `Quick test_containment_subs;
+          Alcotest.test_case "skewed" `Quick test_skewed_subs;
+          Alcotest.test_case "points" `Quick test_point_subs;
+          Alcotest.test_case "catalog" `Quick test_catalog;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_events;
+          Alcotest.test_case "hotspot" `Quick test_hotspot_events;
+          Alcotest.test_case "zipf grid" `Quick test_zipf_events;
+          Alcotest.test_case "targeted" `Quick test_targeted_events;
+          Alcotest.test_case "catalog" `Quick test_event_catalog;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded reproducibility" `Quick test_determinism ] );
+    ]
