@@ -5,12 +5,15 @@
      publish   build, publish events, report accuracy/cost
      churn     build, apply faults, watch stabilization repair
      inspect   dump the tree structure of a small overlay
+     fuzz      adversarial model checking: fuzz, shrink, replay traces
 
    Examples:
      drtree_cli build -n 512 --workload clustered
      drtree_cli publish -n 256 --events 500 --event-workload hotspot
      drtree_cli churn -n 200 --crash 0.2 --corrupt 0.1
-     drtree_cli inspect -n 20 *)
+     drtree_cli inspect -n 20
+     drtree_cli fuzz --traces 500 --drop 0.1
+     drtree_cli fuzz --replay repro/counterexample-42.trace *)
 
 module O = Drtree.Overlay
 module Inv = Drtree.Invariant
@@ -265,10 +268,185 @@ let export_cmd =
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
       $ split_t $ format_t)
 
+(* --- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let traces_t =
+    Arg.(
+      value & opt int 200
+      & info [ "traces" ] ~docv:"COUNT"
+          ~doc:"Traces per (mode, schedule) combination.")
+  in
+  let ops_t =
+    Arg.(value & opt int 10 & info [ "ops" ] ~docv:"COUNT" ~doc:"Operations per trace.")
+  in
+  let nodes_t =
+    Arg.(
+      value & opt int 8
+      & info [ "nodes" ] ~docv:"N" ~doc:"Upper bound on prelude joins per trace.")
+  in
+  let mode_t =
+    Arg.(
+      value
+      & opt (enum [ ("shared", `Shared); ("mp", `Mp); ("both", `Both) ]) `Both
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Stabilization mode(s) to fuzz: shared, mp or both.")
+  in
+  let sched_t =
+    let names =
+      ("all", `All)
+      :: List.map
+           (fun k -> (Mck.Schedule.kind_to_string k, `Kind k))
+           Mck.Schedule.all_kinds
+    in
+    Arg.(
+      value & opt (enum names) `All
+      & info [ "sched" ] ~docv:"KIND"
+          ~doc:"Adversarial schedule: fifo, random, round-robin, delay-checks or all.")
+  in
+  let drop_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"PROB" ~doc:"Per-step message loss probability.")
+  in
+  let dup_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"PROB"
+          ~doc:"Per-step message duplication probability.")
+  in
+  let max_seconds_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-seconds" ] ~docv:"SECS"
+          ~doc:"Stop fuzzing after this much CPU time (0 = no cap).")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "repro"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk counterexample traces.")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a saved trace instead of fuzzing; exit 1 if it still fails.")
+  in
+  let plant_t =
+    Arg.(
+      value & flag
+      & info [ "plant-cover-bug" ]
+          ~doc:
+            "Disable the post-join/leave cover sweep, planting a known \
+             protocol bug the fuzzer must find.")
+  in
+  let probes_t =
+    Arg.(
+      value & opt int 3
+      & info [ "probes" ] ~docv:"COUNT"
+          ~doc:"Oracle probe publications at the end of each trace.")
+  in
+  let replay file =
+    match Mck.Trace.load file with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit 2
+    | Ok tr -> (
+        Format.printf "replaying %s:@.%a@." file Mck.Trace.pp tr;
+        match Mck.Fuzz.run_trace tr with
+        | Mck.Fuzz.Passed -> print_endline "trace passes: no violation"
+        | Mck.Fuzz.Failed f ->
+            Format.printf "reproduced: %a@." Mck.Fuzz.pp_failure f;
+            exit 1)
+  in
+  let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
+      plant probes =
+    if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
+      Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
+      exit 124
+    end;
+    if drop +. dup >= 1.0 then begin
+      Format.eprintf "fuzz: --drop + --dup must be < 1@.";
+      exit 124
+    end;
+    match replay_file with
+    | Some file -> replay file
+    | None ->
+        let modes =
+          match mode with
+          | `Shared -> [ Mck.Trace.Shared ]
+          | `Mp -> [ Mck.Trace.Message_passing ]
+          | `Both -> [ Mck.Trace.Shared; Mck.Trace.Message_passing ]
+        in
+        let scheds =
+          match sched with `All -> Mck.Schedule.all_kinds | `Kind k -> [ k ]
+        in
+        let deadline =
+          if max_seconds > 0.0 then Some (Sys.time () +. max_seconds) else None
+        in
+        let stop () =
+          match deadline with Some d -> Sys.time () > d | None -> false
+        in
+        let total = ref 0 in
+        let found = ref None in
+        List.iteri
+          (fun mi m ->
+            List.iteri
+              (fun si sk ->
+                if !found = None && not (stop ()) then begin
+                  let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                  let gen _ =
+                    Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m ~sched:sk
+                      ~drop ~dup ~cover_sweep:(not plant) ()
+                  in
+                  match
+                    Mck.Fuzz.fuzz ~probes ~stop
+                      ~on_trace:(fun _ _ _ -> incr total)
+                      ~traces ~gen ()
+                  with
+                  | None -> ()
+                  | Some (i, tr, f) -> found := Some (i, tr, f)
+                end)
+              scheds)
+          modes;
+        (match !found with
+        | None ->
+            Printf.printf "fuzz: %d trace(s) passed%s\n" !total
+              (if stop () then " (time cap reached)" else "")
+        | Some (i, tr, f) ->
+            Format.printf "trace %d FAILED at %a@." i Mck.Fuzz.pp_failure f;
+            let small, sf = Mck.Shrink.shrink ~probes tr in
+            Format.printf
+              "shrunk to %d prelude join(s) + %d op(s), failing at %a:@.%a@."
+              (List.length small.Mck.Trace.prelude)
+              (List.length small.Mck.Trace.ops)
+              Mck.Fuzz.pp_failure sf Mck.Trace.pp small;
+            if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+            let file =
+              Filename.concat out
+                (Printf.sprintf "counterexample-%d.trace" small.Mck.Trace.seed)
+            in
+            Mck.Trace.save file small;
+            Printf.printf "saved %s\nreplay with: drtree_cli fuzz --replay %s\n"
+              file file;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Adversarial model checking: fuzz operation traces under hostile \
+          schedules, shrink and save counterexamples, replay saved traces.")
+    Term.(
+      const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
+      $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t)
+
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in
   let info = Cmd.info "drtree_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ build_cmd; publish_cmd; churn_cmd; inspect_cmd; export_cmd ]))
+          [ build_cmd; publish_cmd; churn_cmd; inspect_cmd; export_cmd;
+            fuzz_cmd ]))

@@ -5,20 +5,23 @@ type t = {
   max_fill : int;
   split : Rtree.Split.kind;
   oracle : oracle;
+  cover_sweep : bool;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
-    oracle = Root_oracle }
+    oracle = Root_oracle; cover_sweep = true }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
-    ?(split = default.split) ?(oracle = default.oracle) () =
+    ?(split = default.split) ?(oracle = default.oracle)
+    ?(cover_sweep = default.cover_sweep) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
-  { min_fill; max_fill; split; oracle }
+  { min_fill; max_fill; split; oracle; cover_sweep }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s" c.min_fill c.max_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s%s" c.min_fill c.max_fill
     Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
+    (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

@@ -16,16 +16,23 @@ type t = {
   max_fill : int;  (** M *)
   split : Rtree.Split.kind;  (** children-set split policy (§3.2) *)
   oracle : oracle;
+  cover_sweep : bool;
+      (** run the post-join/post-leave COVER_SWEEP up the ancestor path
+          (the Lemma 3.2/3.4 repair — see DESIGN.md §3). [true] in any
+          faithful configuration; setting it [false] {e plants a known
+          protocol bug} so the model-checking harness can prove it
+          detects, shrinks and replays real legality violations. *)
 }
 
 val default : t
-(** [m = 2], [M = 4], quadratic split, root oracle. *)
+(** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on. *)
 
 val make :
   ?min_fill:int ->
   ?max_fill:int ->
   ?split:Rtree.Split.kind ->
   ?oracle:oracle ->
+  ?cover_sweep:bool ->
   unit ->
   t
 (** @raise Invalid_argument if [min_fill < 2] or

@@ -1049,7 +1049,10 @@ let handle ov ctx msg =
       | Message.Check_children h -> check_children ov sp h
       | Message.Check_cover h -> check_cover ov sp h
       | Message.Check_structure h -> check_structure ov sp h
-      | Message.Cover_sweep h -> cover_sweep ov sp h
+      | Message.Cover_sweep h ->
+          (* The cover_sweep=false knob plants a known bug (skipping the
+             Lemma 3.2/3.4 repair) for the model-checking harness. *)
+          if ov.cfg.Config.cover_sweep then cover_sweep ov sp h
       | Message.Initiate_new_connection h ->
           handle_initiate_new_connection ov sp h
       | Message.Publish { event_id; point; at; from_child; going_up; hops } ->

@@ -1,0 +1,254 @@
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module R = Geometry.Rect
+module P = Geometry.Point
+module Rng = Sim.Rng
+
+type location = [ `Prelude of int | `Op of int | `Final ]
+type failure = { at : location; what : string }
+type outcome = Passed | Failed of failure
+
+let pp_location ppf = function
+  | `Prelude i -> Format.fprintf ppf "prelude[%d]" i
+  | `Op i -> Format.fprintf ppf "op[%d]" i
+  | `Final -> Format.pp_print_string ppf "final"
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%a: %s" pp_location f.at f.what
+
+(* Lemma 3.3-style budget: O(N) rounds, with generous constants so a
+   failure means divergence, not a tight bound. *)
+let round_bound n = (4 * max 4 n) + 20
+
+(* Largest height a legal tree on [n] processes can have: the root has
+   >= 2 children and every other interior instance >= m, so
+   n >= 2 * m^(h-1). *)
+let height_bound ~min_fill n =
+  if n <= 1 then 0
+  else begin
+    let h = ref 1 and cap = ref 2 in
+    while !cap * min_fill <= n do
+      incr h;
+      cap := !cap * min_fill
+    done;
+    !h
+  end
+
+let describe_violations ov =
+  match Inv.check ov with
+  | [] -> None
+  | vs ->
+      let n = List.length vs in
+      let shown = List.filteri (fun i _ -> i < 3) vs in
+      Some
+        (Format.asprintf "%d violation(s): %a" n
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+              Inv.pp_violation)
+           shown)
+
+let run_trace ?(probes = 3) (tr : Trace.t) =
+  let cfg =
+    Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
+      ~cover_sweep:tr.Trace.cover_sweep ()
+  in
+  let ov = O.create ~cfg ~seed:tr.Trace.seed () in
+  let eng = O.engine ov in
+  let strat =
+    Schedule.make ~drop:tr.Trace.drop ~dup:tr.Trace.dup
+      ~seed:(tr.Trace.seed lxor 0x5eed) tr.Trace.sched
+  in
+  Schedule.install strat eng;
+  (* Under message loss or duplication no per-op guarantee holds (a
+     dropped JOIN legitimately strands the joiner until stabilization),
+     so faulty traces assert only eventual convergence. *)
+  let faulty = tr.Trace.drop > 0.0 || tr.Trace.dup > 0.0 in
+  (* Per-op legality (Lemma 3.2) is a sequential-execution property: a
+     hostile reordering can run a COVER_SWEEP before the ADD_CHILD it
+     should have observed, leaving a transient non-optimality that only
+     stabilization repairs. So immediate checks apply under FIFO
+     only. *)
+  let strict = (not faulty) && tr.Trace.sched = Schedule.Fifo in
+  let dirty = ref false in
+  let failure = ref None in
+  let fail at fmt =
+    Format.kasprintf
+      (fun what -> if !failure = None then failure := Some { at; what })
+      fmt
+  in
+  let guard at f =
+    try f ()
+    with exn -> fail at "exception escaped: %s" (Printexc.to_string exn)
+  in
+  let check_legal at =
+    if strict && not !dirty then
+      match describe_violations ov with
+      | Some what -> fail at "illegal state: %s" what
+      | None -> ()
+  in
+  let victim idx =
+    match O.alive_ids ov with
+    | [] -> None
+    | ids -> Some (List.nth ids (idx mod List.length ids))
+  in
+  let stabilize_rounds k =
+    for _ = 1 to k do
+      if !failure = None then
+        match tr.Trace.mode with
+        | Trace.Shared -> O.stabilize_round ov
+        | Trace.Message_passing -> O.stabilize_round_mp ov
+    done
+  in
+  List.iteri
+    (fun i r ->
+      if !failure = None then begin
+        let at = `Prelude i in
+        guard at (fun () -> ignore (O.join ov r));
+        check_legal at
+      end)
+    tr.Trace.prelude;
+  List.iteri
+    (fun i op ->
+      if !failure = None then begin
+        let at = `Op i in
+        guard at (fun () ->
+            match op with
+            | Trace.Join r ->
+                ignore (O.join ov r);
+                (* Lemma 3.2: a join from a legal state lands legal. *)
+                check_legal at
+            | Trace.Leave idx ->
+                if O.size ov > 2 then begin
+                  (match victim idx with
+                  | Some v -> O.leave ov v
+                  | None -> ());
+                  (* Plain leave is the paper's lazy variant: orphaned
+                     subtrees (and a root left with one child) wait for
+                     stabilization. *)
+                  dirty := true
+                end
+            | Trace.Crash idx ->
+                if O.size ov > 2 then begin
+                  (match victim idx with
+                  | Some v -> O.crash ov v
+                  | None -> ());
+                  dirty := true
+                end
+            | Trace.Corrupt (idx, sub_seed) -> (
+                match victim idx with
+                | Some v ->
+                    ignore (Drtree.Corrupt.any ov (Rng.make sub_seed) v);
+                    dirty := true
+                | None -> ())
+            | Trace.Publish p -> (
+                match O.alive_ids ov with
+                | [] -> ()
+                | from :: _ ->
+                    let report = O.publish ov ~from p in
+                    if (not faulty) && (not !dirty) && Inv.is_legal ov then
+                      match Oracle.check_report ov p report with
+                      | Ok () -> ()
+                      | Error e -> fail at "differential oracle: %s" e)
+            | Trace.Stabilize k ->
+                stabilize_rounds (max 1 k);
+                if Inv.is_legal ov then dirty := false)
+      end)
+    tr.Trace.ops;
+  (* Convergence within the round budget, then the structural bounds and
+     dissemination probes — all under reliable delivery. *)
+  if !failure = None then begin
+    let n = O.size ov in
+    if faulty then Schedule.uninstall eng;
+    guard `Final (fun () ->
+        let budget = round_bound n in
+        let converged =
+          match tr.Trace.mode with
+          | Trace.Shared -> O.stabilize ~max_rounds:budget ~legal:Inv.is_legal ov
+          | Trace.Message_passing ->
+              O.stabilize_mp ~max_rounds:budget ~legal:Inv.is_legal ov
+        in
+        match converged with
+        | None ->
+            fail `Final "no convergence within %d rounds%s" budget
+              (match describe_violations ov with
+              | Some d -> ": " ^ d
+              | None -> "")
+        | Some _ ->
+            let deg = Inv.max_degree ov in
+            if deg > tr.Trace.max_fill then
+              fail `Final "degree bound violated: %d > M=%d" deg
+                tr.Trace.max_fill;
+            let h = O.height ov
+            and hb = height_bound ~min_fill:tr.Trace.min_fill n in
+            if h > hb then
+              fail `Final "height bound violated: %d > %d for N=%d, m=%d" h hb
+                n tr.Trace.min_fill;
+            Schedule.uninstall eng;
+            if n > 0 then begin
+              let prng = Rng.make (tr.Trace.seed lxor 0xfeed) in
+              for _ = 1 to probes do
+                if !failure = None then begin
+                  let p = P.make2 (Rng.range prng 0.0 100.0)
+                      (Rng.range prng 0.0 100.0)
+                  in
+                  let from = List.hd (O.alive_ids ov) in
+                  match Oracle.check_publish ov ~from p with
+                  | Ok () -> ()
+                  | Error e -> fail `Final "differential oracle: %s" e
+                end
+              done
+            end)
+  end;
+  Schedule.uninstall eng;
+  match !failure with None -> Passed | Some f -> Failed f
+
+(* {2 Random traces} *)
+
+let random_rect rng =
+  let x0 = Rng.range rng 0.0 90.0 and y0 = Rng.range rng 0.0 90.0 in
+  let w = Rng.range rng 1.0 10.0 and h = Rng.range rng 1.0 10.0 in
+  R.make2 ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h)
+
+let random_op rng =
+  match Rng.int rng 11 with
+  | 0 | 1 | 2 -> Trace.Join (random_rect rng)
+  | 3 -> Trace.Leave (Rng.int rng 64)
+  | 4 -> Trace.Crash (Rng.int rng 64)
+  | 5 | 6 -> Trace.Corrupt (Rng.int rng 64, Rng.int rng 1_000_000)
+  | 7 | 8 ->
+      Trace.Publish
+        (P.make2 (Rng.range rng 0.0 100.0) (Rng.range rng 0.0 100.0))
+  | _ -> Trace.Stabilize (1 + Rng.int rng 3)
+
+let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
+    ?(sched = Schedule.Random) ?(drop = 0.0) ?(dup = 0.0)
+    ?(cover_sweep = true) () =
+  let seed = 1 + Rng.int rng 1_000_000 in
+  let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
+  {
+    Trace.seed;
+    mode;
+    min_fill = 2;
+    max_fill = 4;
+    sched;
+    drop;
+    dup;
+    cover_sweep;
+    prelude = List.init n_pre (fun _ -> random_rect rng);
+    ops = List.init ops (fun _ -> random_op rng);
+  }
+
+let fuzz ?probes ?(stop = fun () -> false) ?(on_trace = fun _ _ _ -> ())
+    ~traces ~gen () =
+  let rec go i =
+    if i >= traces || stop () then None
+    else begin
+      let tr = gen i in
+      let outcome = run_trace ?probes tr in
+      on_trace i tr outcome;
+      match outcome with
+      | Passed -> go (i + 1)
+      | Failed f -> Some (i, tr, f)
+    end
+  in
+  go 0

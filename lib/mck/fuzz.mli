@@ -1,0 +1,78 @@
+(** The fuzz driver: execute a {!Trace.t} against the overlay under its
+    adversarial schedule, asserting the paper's guarantees at every
+    step.
+
+    What is asserted, and when:
+
+    - {b Always}: no handler lets an exception escape — in particular
+      [Invalid_argument] from [State.level_exn], the signature of a
+      handler trusting a stale message.
+    - {b After every join} (clean FIFO traces only): the state is legal
+      (Lemma 3.2: a join from a legal state lands in a legal state —
+      a sequential-execution property, so a hostile reordering
+      schedule voids it until stabilization). Leaves, crashes and
+      corruptions instead mark the run {e dirty} until a [Stabilize]
+      op restores legality — plain leave is the paper's lazy variant
+      and legitimately leaves orphans behind.
+    - {b After every publish} from a legal state (clean traces): the
+      {!Oracle} — recipients equal the sequential R-tree's and the
+      brute-force matcher's answer, zero false negatives.
+    - {b Finally}: stabilization converges within [4 N + 20] rounds
+      (under reliable delivery; a faulty schedule is uninstalled
+      first), the maximum degree is at most [M], the tree height is at
+      most the information-theoretic bound for the population, and
+      random probe publications pass the oracle.
+
+    Traces with [drop > 0] or [dup > 0] ("faulty") only assert the
+    no-exception and final-convergence clauses: a dropped JOIN
+    legitimately strands the joiner until stabilization. *)
+
+type location = [ `Prelude of int | `Op of int | `Final ]
+
+type failure = { at : location; what : string }
+type outcome = Passed | Failed of failure
+
+val pp_location : Format.formatter -> location -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+val round_bound : int -> int
+(** Convergence budget for a population of [n]: [4 * max 4 n + 20]. *)
+
+val height_bound : min_fill:int -> int -> int
+(** Largest height a legal tree on [n] processes can have
+    ([n >= 2 * m^(h-1)]). *)
+
+val run_trace : ?probes:int -> Trace.t -> outcome
+(** Execute one trace from scratch; deterministic in the trace.
+    [probes] (default 3) is the number of final oracle publications. *)
+
+val random_rect : Sim.Rng.t -> Geometry.Rect.t
+(** Uniform filter in the default \[0,100\]² space, extent 1–10 per
+    axis. *)
+
+val random_trace :
+  Sim.Rng.t ->
+  ?nodes:int ->
+  ?ops:int ->
+  ?mode:Trace.mode ->
+  ?sched:Schedule.kind ->
+  ?drop:float ->
+  ?dup:float ->
+  ?cover_sweep:bool ->
+  unit ->
+  Trace.t
+(** A random trace: a prelude of 3 to [nodes] joins, then [ops]
+    weighted random operations (joins and corruptions are the most
+    frequent). The overlay seed is drawn from [rng]. *)
+
+val fuzz :
+  ?probes:int ->
+  ?stop:(unit -> bool) ->
+  ?on_trace:(int -> Trace.t -> outcome -> unit) ->
+  traces:int ->
+  gen:(int -> Trace.t) ->
+  unit ->
+  (int * Trace.t * failure) option
+(** Run up to [traces] generated traces, stopping early at the first
+    failure (returned with its index) or when [stop ()] turns true
+    (time caps). [on_trace] observes every completed trace. *)

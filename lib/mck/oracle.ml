@@ -1,0 +1,59 @@
+module O = Drtree.Overlay
+module State = Drtree.State
+module Id_set = Sim.Node_id.Set
+module R = Geometry.Rect
+module P = Geometry.Point
+
+let subscriptions ov =
+  let acc = ref [] in
+  O.iter_states ov (fun id st -> acc := (State.filter st, id) :: !acc);
+  List.rev !acc
+
+let pp_ids ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Sim.Node_id.pp)
+    (Id_set.elements s)
+
+let check_report ov point (report : O.publish_report) =
+  let subs = subscriptions ov in
+  (* Ground truth #1: brute-force containment over every live filter. *)
+  let brute =
+    List.fold_left
+      (fun acc (r, id) ->
+        if R.contains_point r point then Id_set.add id acc else acc)
+      Id_set.empty subs
+  in
+  (* Ground truth #2: the sequential R-tree of lib/rtree, built from
+     the same subscription set with the overlay's fill factors. *)
+  let cfg = O.cfg ov in
+  let tree =
+    Rtree.Tree.create
+      (Rtree.Tree.config ~min_fill:cfg.Drtree.Config.min_fill
+         ~max_fill:cfg.Drtree.Config.max_fill ())
+  in
+  List.iter (fun (r, id) -> Rtree.Tree.insert tree r id) subs;
+  let sequential = Id_set.of_list (Rtree.Tree.search_point tree point) in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if not (Id_set.equal brute sequential) then
+    err
+      "oracle disagreement at %a: brute-force %a vs sequential R-tree %a"
+      P.pp point pp_ids brute pp_ids sequential
+  else if not (Id_set.equal report.O.matched brute) then
+    err "publish ground truth at %a is %a but the oracle computes %a"
+      P.pp point pp_ids report.O.matched pp_ids brute
+  else if report.O.false_negatives <> 0
+          || not (Id_set.equal report.O.delivered brute)
+  then
+    err
+      "false negatives at %a: matched %a, delivered %a (%d missed)"
+      P.pp point pp_ids brute pp_ids report.O.delivered
+      (Id_set.cardinal (Id_set.diff brute report.O.delivered))
+  else Ok ()
+
+let check_publish ov ~from point =
+  match O.publish ov ~from point with
+  | report -> check_report ov point report
+  | exception exn ->
+      Error (Printf.sprintf "publish raised %s" (Printexc.to_string exn))

@@ -1,0 +1,29 @@
+(** Differential dissemination oracle.
+
+    Replays the overlay's live subscription set into two independent
+    matchers — a brute-force containment scan and the sequential
+    {!Rtree} — and checks a DR-tree publication against both: the
+    report's ground truth must agree with the oracles, and the
+    delivered set must equal the matched set (zero false negatives). *)
+
+val subscriptions :
+  Drtree.Overlay.t -> (Geometry.Rect.t * Sim.Node_id.t) list
+(** Live subscribers' (filter, id), in id order. *)
+
+val check_report :
+  Drtree.Overlay.t ->
+  Geometry.Point.t ->
+  Drtree.Overlay.publish_report ->
+  (unit, string) result
+(** Check a report already produced for the given point. Only
+    meaningful against a reliable execution: dropping PUBLISH messages
+    legitimately loses deliveries. *)
+
+val check_publish :
+  Drtree.Overlay.t ->
+  from:Sim.Node_id.t ->
+  Geometry.Point.t ->
+  (unit, string) result
+(** Publish the point from [from] (runs the engine), then
+    {!check_report}. An exception escaping [publish] is reported as an
+    [Error], not re-raised. *)

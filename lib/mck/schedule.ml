@@ -1,0 +1,107 @@
+module Engine = Sim.Engine
+
+type kind = Fifo | Random | Round_robin | Delay_checks
+
+let all_kinds = [ Fifo; Random; Round_robin; Delay_checks ]
+
+let kind_to_string = function
+  | Fifo -> "fifo"
+  | Random -> "random"
+  | Round_robin -> "round-robin"
+  | Delay_checks -> "delay-checks"
+
+let kind_of_string = function
+  | "fifo" -> Ok Fifo
+  | "random" -> Ok Random
+  | "round-robin" -> Ok Round_robin
+  | "delay-checks" -> Ok Delay_checks
+  | s -> Error (Printf.sprintf "unknown schedule strategy %S" s)
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+type t = {
+  kind : kind;
+  drop : float;
+  dup : float;
+  rng : Sim.Rng.t;
+  mutable dups_left : int;
+  mutable rr_last : int;  (** last destination served (Round_robin) *)
+}
+
+let make ?(drop = 0.0) ?(dup = 0.0) ?(max_dups = 64) ~seed kind =
+  if drop < 0.0 || drop >= 1.0 then
+    invalid_arg "Schedule.make: drop outside [0, 1)";
+  if dup < 0.0 || dup >= 1.0 then invalid_arg "Schedule.make: dup outside [0, 1)";
+  if drop +. dup >= 1.0 then invalid_arg "Schedule.make: drop + dup >= 1";
+  { kind; drop; dup; rng = Sim.Rng.make seed; dups_left = max_dups;
+    rr_last = -1 }
+
+let kind t = t.kind
+
+let is_repair (m : Drtree.Message.t) =
+  match m with
+  | Check_mbr _ | Check_parent _ | Check_children _ | Check_cover _
+  | Check_structure _ | Cover_sweep _ ->
+      true
+  | Query _ | Report _ | Join _ | Add_child _ | Leave _
+  | Initiate_new_connection _ | Publish _ ->
+      false
+
+(* The view is in (time, sequence) order and never empty, so index 0 is
+   always the event strict timestamp order would deliver. *)
+let pick t (view : Drtree.Message.t Engine.pending_event array) =
+  let n = Array.length view in
+  match t.kind with
+  | Fifo -> 0
+  | Random -> Sim.Rng.int t.rng n
+  | Round_robin ->
+      (* Serve destinations in cyclic id order: the enabled event whose
+         destination id is the smallest one strictly greater than the
+         last destination served, wrapping around to the overall
+         smallest. Among one destination's events the oldest fires
+         first (the view is sorted, so the first hit wins). *)
+      let best = ref None and wrap = ref None in
+      Array.iteri
+        (fun i e ->
+          let d = e.Engine.p_dst in
+          let better slot = match !slot with
+            | Some (_, bd) -> d < bd
+            | None -> true
+          in
+          if d > t.rr_last && better best then best := Some (i, d);
+          if better wrap then wrap := Some (i, d))
+        view;
+      let i, d =
+        match !best with Some x -> x | None -> Option.get !wrap
+      in
+      t.rr_last <- d;
+      i
+  | Delay_checks ->
+      (* Starve the repair modules: deliver protocol traffic first, so
+         CHECK_* / COVER_SWEEP fire only when nothing else is enabled. *)
+      let rec first_non_check i =
+        if i >= n then 0
+        else if is_repair view.(i).Engine.p_msg then first_non_check (i + 1)
+        else i
+      in
+      first_non_check 0
+
+let choose t view =
+  let i = pick t view in
+  if t.drop = 0.0 && t.dup = 0.0 then Engine.Deliver i
+  else
+    let r = Sim.Rng.float t.rng 1.0 in
+    if r < t.drop then Engine.Drop i
+    else if r < t.drop +. t.dup && t.dups_left > 0 then begin
+      (* Duplication must be budgeted: every delivery in a forwarding
+         chain spawning [dup] extra copies makes any long chain (the
+         TTL allows 128 hops) supercritical — expected population
+         [(1+dup)^128]. A finite fault budget is the usual
+         model-checking discipline and keeps runs terminating. *)
+      t.dups_left <- t.dups_left - 1;
+      Engine.Duplicate i
+    end
+    else Engine.Deliver i
+
+let install t eng = Engine.set_scheduler eng (Some (choose t))
+let uninstall eng = Engine.set_scheduler eng None

@@ -1,0 +1,45 @@
+(** Adversarial schedules over the engine's enabled set.
+
+    A strategy decides, at every simulation step, which of the pending
+    messages is delivered next — replacing the engine's strict
+    timestamp order via {!Sim.Engine.set_scheduler} — and may drop or
+    duplicate the chosen message. All decisions flow from the creation
+    seed, so a fuzzed execution is replayed exactly by rebuilding the
+    same strategy. *)
+
+type kind =
+  | Fifo  (** strict (time, sequence) order — the engine's own order *)
+  | Random  (** uniform choice among all enabled events *)
+  | Round_robin
+      (** serve destination processes in cyclic id order; within one
+          destination, oldest message first *)
+  | Delay_checks
+      (** starve the five CHECK_* repair modules and COVER_SWEEP:
+          protocol traffic (joins, leaves, publications, QUERY/REPORT)
+          always delivers first *)
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+val pp_kind : Format.formatter -> kind -> unit
+
+type t
+
+val make : ?drop:float -> ?dup:float -> ?max_dups:int -> seed:int -> kind -> t
+(** [drop] (resp. [dup]) is the probability that the chosen message is
+    lost (resp. delivered twice) at each step; both default to [0].
+    [max_dups] (default 64) caps the total duplications per strategy:
+    unbounded duplication makes any TTL-length forwarding chain
+    supercritical (expected population [(1+dup)^128]), so the fault
+    budget is what keeps adversarial runs terminating.
+    @raise Invalid_argument if either rate is outside [0, 1) or they
+    sum to [>= 1]. *)
+
+val kind : t -> kind
+
+val install : t -> Drtree.Message.t Sim.Engine.t -> unit
+(** Subsequent engine steps consult the strategy. The strategy is
+    stateful (its RNG advances); install a fresh one per run. *)
+
+val uninstall : Drtree.Message.t Sim.Engine.t -> unit
+(** Restore strict timestamp order. *)

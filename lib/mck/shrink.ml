@@ -1,0 +1,120 @@
+module R = Geometry.Rect
+module P = Geometry.Point
+
+(* Delta debugging over traces: greedy chunk removal (halving
+   granularity, ddmin-style) on the op list and then the prelude, to a
+   fixpoint, followed by parameter shrinking. Any failure — not just
+   the original one — keeps a candidate, the standard choice: it never
+   lets a smaller, different manifestation escape. *)
+
+type state = {
+  mutable best : Trace.t;
+  mutable best_failure : Fuzz.failure;
+  mutable fuel : int;
+  probes : int option;
+}
+
+let attempt st cand =
+  if st.fuel <= 0 then false
+  else begin
+    st.fuel <- st.fuel - 1;
+    match Fuzz.run_trace ?probes:st.probes cand with
+    | Fuzz.Passed -> false
+    | Fuzz.Failed f ->
+        st.best <- cand;
+        st.best_failure <- f;
+        true
+  end
+
+let drop_chunk xs i k =
+  List.filteri (fun j _ -> j < i || j >= i + k) xs
+
+(* Remove chunks of [k] consecutive elements, halving [k]; [get]/[set]
+   select the list under minimization (ops or prelude). *)
+let chunk_removal st get set =
+  let rec at_granularity k =
+    if k >= 1 then begin
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let xs = get st.best in
+        if !i + k > List.length xs || st.fuel <= 0 then continue := false
+        else if attempt st (set st.best (drop_chunk xs !i k)) then
+          () (* the list shrank under us: retry the same position *)
+        else i := !i + k
+      done;
+      at_granularity (k / 2)
+    end
+  in
+  let n = List.length (get st.best) in
+  if n > 0 then at_granularity (max 1 (n / 2))
+
+let set_ops t ops = { t with Trace.ops }
+let set_prelude t prelude = { t with Trace.prelude }
+
+let round_float f =
+  let r = Float.round f in
+  if Float.is_nan r then f else r
+
+let simpler_rect r =
+  if R.dims r <> 2 then None
+  else
+    let x0 = round_float (R.low r 0) and y0 = round_float (R.low r 1) in
+    let x1 = round_float (R.high r 0) and y1 = round_float (R.high r 1) in
+    let cand = R.make2 ~x0 ~y0 ~x1 ~y1 in
+    if R.equal cand r then None else Some cand
+
+let simpler_point p =
+  if P.dims p <> 2 then None
+  else
+    let x = round_float (P.coord p 0) and y = round_float (P.coord p 1) in
+    let cand = P.make2 x y in
+    if P.equal cand p then None else Some cand
+
+let simpler_op = function
+  | Trace.Join r -> Option.map (fun r -> Trace.Join r) (simpler_rect r)
+  | Trace.Leave i -> if i > 0 then Some (Trace.Leave 0) else None
+  | Trace.Crash i -> if i > 0 then Some (Trace.Crash 0) else None
+  | Trace.Corrupt (i, s) ->
+      if i > 0 then Some (Trace.Corrupt (0, s)) else None
+  | Trace.Publish p -> Option.map (fun p -> Trace.Publish p) (simpler_point p)
+  | Trace.Stabilize k -> if k > 1 then Some (Trace.Stabilize 1) else None
+
+let replace_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
+
+let parameter_pass st =
+  List.iteri
+    (fun i op ->
+      match simpler_op op with
+      | Some op' ->
+          ignore (attempt st (set_ops st.best (replace_nth st.best.Trace.ops i op')))
+      | None -> ())
+    st.best.Trace.ops;
+  List.iteri
+    (fun i r ->
+      match simpler_rect r with
+      | Some r' ->
+          ignore
+            (attempt st
+               (set_prelude st.best (replace_nth st.best.Trace.prelude i r')))
+      | None -> ())
+    st.best.Trace.prelude
+
+let total_length t =
+  List.length t.Trace.prelude + List.length t.Trace.ops
+
+let shrink ?(budget = 400) ?probes tr =
+  match Fuzz.run_trace ?probes tr with
+  | Fuzz.Passed -> invalid_arg "Shrink.shrink: trace does not fail"
+  | Fuzz.Failed f ->
+      let st = { best = tr; best_failure = f; fuel = budget; probes } in
+      let rec fixpoint () =
+        let before = total_length st.best in
+        chunk_removal st (fun t -> t.Trace.ops) set_ops;
+        chunk_removal st (fun t -> t.Trace.prelude) set_prelude;
+        if total_length st.best < before && st.fuel > 0 then fixpoint ()
+      in
+      fixpoint ();
+      parameter_pass st;
+      fixpoint ();
+      (st.best, st.best_failure)

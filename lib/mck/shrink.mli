@@ -1,0 +1,14 @@
+(** Delta-debugging shrinker for failing traces.
+
+    Greedy ddmin-style chunk removal over the op list and the prelude
+    (halving granularity, iterated to a fixpoint), then parameter
+    shrinking (victim indices to 0, stabilization counts to 1,
+    coordinates rounded to integers), re-validating every candidate by
+    re-running it. A candidate is kept if it fails {e in any way}, not
+    only the original way — the standard delta-debugging choice. *)
+
+val shrink : ?budget:int -> ?probes:int -> Trace.t -> Trace.t * Fuzz.failure
+(** [shrink tr] is a minimized trace that still fails, with its
+    failure. [budget] (default 400) caps the number of candidate
+    executions; [probes] is passed through to {!Fuzz.run_trace}.
+    @raise Invalid_argument if [tr] does not fail. *)

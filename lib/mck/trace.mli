@@ -1,0 +1,59 @@
+(** Operation traces: the fuzzer's input format and the on-disk
+    counterexample format ([repro/*.trace]).
+
+    A trace is a complete, self-contained description of one adversarial
+    execution: overlay configuration, schedule strategy (with fault
+    rates), a {e prelude} of initial joins that builds the tree, and a
+    list of dynamic operations. Replaying a trace is deterministic — the
+    overlay seed and the strategy seed both derive from [seed].
+
+    The prelude is separate from the op list because the interesting
+    part of a counterexample is usually the dynamic suffix: the shrinker
+    minimizes both, and reports them separately. *)
+
+type mode = Shared | Message_passing
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+type op =
+  | Join of Geometry.Rect.t
+  | Leave of int
+      (** controlled departure of the [i mod n]-th live process (id
+          order); skipped when fewer than 3 remain *)
+  | Crash of int  (** silent death, same victim selection as [Leave] *)
+  | Corrupt of int * int
+      (** [Corrupt (victim, seed)]: one random state corruption
+          ({!Drtree.Corrupt.any}) driven by its own sub-seed *)
+  | Publish of Geometry.Point.t  (** publish from the lowest live id *)
+  | Stabilize of int  (** run [k] stabilization rounds *)
+
+type t = {
+  seed : int;
+  mode : mode;
+  min_fill : int;
+  max_fill : int;
+  sched : Schedule.kind;
+  drop : float;
+  dup : float;
+  cover_sweep : bool;  (** [false] plants the known cover-sweep bug *)
+  prelude : Geometry.Rect.t list;
+  ops : op list;
+}
+
+val default : t
+(** Seed 1, shared mode, [m = 2], [M = 4], FIFO schedule, no faults,
+    cover sweep on, empty prelude and ops. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {2 Codec}
+
+    Line-oriented text; floats are printed with [%.17g] and round-trip
+    exactly. [of_string (to_string t)] re-reads [t] unchanged. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result

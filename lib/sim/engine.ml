@@ -2,6 +2,15 @@ type latency = Fixed of float | Uniform of float * float
 
 type 'm delivery = { src : Node_id.t option; dst : Node_id.t; msg : 'm }
 
+type 'm pending_event = {
+  p_time : float;
+  p_src : Node_id.t option;
+  p_dst : Node_id.t;
+  p_msg : 'm;
+}
+
+type choice = Deliver of int | Drop of int | Duplicate of int
+
 type 'm t = {
   rng : Rng.t;
   latency : latency;
@@ -16,7 +25,9 @@ type 'm t = {
   mutable selfs : int;
   mutable dropped : int;
   mutable lost : int;
+  mutable duplicated : int;
   mutable processed : int;
+  mutable scheduler : ('m pending_event array -> choice) option;
   mutable tracer :
     (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) option;
 }
@@ -45,7 +56,9 @@ let create ?(latency = Fixed 1.0) ?(drop_rate = 0.0) ~seed () =
     selfs = 0;
     dropped = 0;
     lost = 0;
+    duplicated = 0;
     processed = 0;
+    scheduler = None;
     tracer = None;
   }
 
@@ -116,14 +129,62 @@ let deliver t { src; dst; msg } =
       handler { eng = t; id = dst } msg
   | Some None | None -> t.dropped <- t.dropped + 1
 
-let step t =
+(* Adversarial stepping: materialize the whole enabled set in (time,
+   sequence) order, let the scheduler pick a victim, then rebuild the
+   queue with the untouched entries under their original keys — so
+   uninstalling the scheduler resumes exact timestamp order. *)
+let step_scheduled t sched =
   match Heap.pop t.queue with
   | None -> false
-  | Some (time, _, delivery) ->
-      t.time <- Float.max t.time time;
+  | Some first ->
+      let rec drain acc =
+        match Heap.pop t.queue with
+        | None -> List.rev acc
+        | Some e -> drain (e :: acc)
+      in
+      let entries = Array.of_list (first :: drain []) in
+      let view =
+        Array.map
+          (fun (prio, _, d) ->
+            { p_time = prio; p_src = d.src; p_dst = d.dst; p_msg = d.msg })
+          entries
+      in
+      let valid i = if i >= 0 && i < Array.length entries then i else 0 in
+      let chosen, fate =
+        match sched view with
+        | Deliver i -> (valid i, `Deliver)
+        | Drop i -> (valid i, `Drop)
+        | Duplicate i -> (valid i, `Duplicate)
+      in
+      Array.iteri
+        (fun i (prio, seq, d) ->
+          if i <> chosen then Heap.add t.queue ~priority:prio ~seq d)
+        entries;
+      let prio, _, d = entries.(chosen) in
       t.processed <- t.processed + 1;
-      deliver t delivery;
+      (match fate with
+      | `Drop -> t.lost <- t.lost + 1
+      | `Deliver | `Duplicate ->
+          (if fate = `Duplicate then begin
+             t.duplicated <- t.duplicated + 1;
+             t.seq <- t.seq + 1;
+             Heap.add t.queue ~priority:prio ~seq:t.seq d
+           end);
+          t.time <- Float.max t.time prio;
+          deliver t d);
       true
+
+let step t =
+  match t.scheduler with
+  | Some sched -> step_scheduled t sched
+  | None -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (time, _, delivery) ->
+          t.time <- Float.max t.time time;
+          t.processed <- t.processed + 1;
+          deliver t delivery;
+          true)
 
 let run ?(max_events = 10_000_000) t =
   let rec loop budget =
@@ -136,6 +197,7 @@ let messages_sent t = t.sent
 let self_messages t = t.selfs
 let messages_dropped t = t.dropped
 let messages_lost t = t.lost
+let messages_duplicated t = t.duplicated
 let events_processed t = t.processed
 
 let reset_counters t =
@@ -143,6 +205,8 @@ let reset_counters t =
   t.selfs <- 0;
   t.dropped <- 0;
   t.lost <- 0;
+  t.duplicated <- 0;
   t.processed <- 0
 
 let set_tracer t tracer = t.tracer <- Some tracer
+let set_scheduler t sched = t.scheduler <- sched

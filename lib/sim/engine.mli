@@ -101,3 +101,42 @@ val set_tracer :
   'm t -> (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) -> unit
 (** Invoked at each delivery (before the handler). For debugging and
     the examples' narration. *)
+
+(** {2 Adversarial scheduling}
+
+    By default events fire in deterministic (time, sequence) order —
+    the synchronous daemon every test exercises. A {e scheduler} turns
+    the engine into an adversarial (asynchronous, unfair) daemon: at
+    every step it sees all enabled events and chooses which one fires
+    next, and may also drop or duplicate it — the fault classes the
+    self-stabilization proofs must survive. The model-checking harness
+    ([lib/mck]) builds its strategies on this hook. *)
+
+type 'm pending_event = {
+  p_time : float;  (** nominal delivery time *)
+  p_src : Node_id.t option;  (** [None] for environment injections *)
+  p_dst : Node_id.t;
+  p_msg : 'm;
+}
+
+type choice =
+  | Deliver of int  (** fire pending event [i] now *)
+  | Drop of int  (** silently lose pending event [i] (counted in
+                     {!messages_lost}) *)
+  | Duplicate of int
+      (** fire pending event [i] now {e and} leave a copy enqueued
+          (counted in {!messages_duplicated}) *)
+
+val set_scheduler : 'm t -> ('m pending_event array -> choice) option -> unit
+(** [set_scheduler t (Some f)] routes every subsequent {!step} through
+    [f]: the array holds all enabled events in (time, sequence) order
+    (never empty), and [f] returns what to do with one of them (an
+    out-of-range index falls back to event 0). Virtual time never runs
+    backward: delivering a later event first advances the clock, and
+    earlier events then fire at that later time. [set_scheduler t None]
+    restores strict timestamp order. Scheduled stepping re-sorts the
+    queue each step — O(n log n) per event, intended for
+    model-checking runs, not benchmarks. *)
+
+val messages_duplicated : 'm t -> int
+(** Events duplicated by a scheduler. *)

@@ -1,0 +1,121 @@
+(* Differential testing of DR-tree dissemination: every publish must
+   deliver exactly the set computed by two independent oracles — the
+   sequential R-tree of lib/rtree and a brute-force containment scan —
+   across the workload classes of experiment E5 (uniform, clustered,
+   skewed, containment, degenerate points) and biased event
+   distributions. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Sub = Workload.Subscription_gen
+module Ev = Workload.Event_gen
+
+let space = Workload.Space.default
+
+let build_overlay ~seed rects =
+  let ov = O.create ~seed () in
+  List.iter (fun r -> ignore (O.join ov r)) rects;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> QCheck2.Test.fail_report "overlay did not stabilize");
+  ov
+
+let check_events ov points =
+  List.iter
+    (fun p ->
+      let from = List.hd (O.alive_ids ov) in
+      match Mck.Oracle.check_publish ov ~from p with
+      | Ok () -> ()
+      | Error e -> QCheck2.Test.fail_report e)
+    points
+
+(* Publishes against a stabilized overlay built from [sub_gen] agree
+   with both oracles, for every seed qcheck throws at us. *)
+let diff_test ~name ~count sub_gen ev_gen =
+  QCheck2.Test.make ~name ~count
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.make seed in
+      let rects = sub_gen space rng (8 + (seed mod 25)) in
+      let ov = build_overlay ~seed rects in
+      let events = ev_gen rects space rng 8 in
+      check_events ov events;
+      true)
+
+let constant g _rects = g
+
+let tests =
+  [
+    diff_test ~name:"uniform subscriptions, uniform events" ~count:15
+      (Sub.uniform ()) (constant Ev.uniform);
+    diff_test ~name:"clustered subscriptions, hotspot events" ~count:15
+      (Sub.clustered ()) (constant (Ev.hotspot ()));
+    diff_test ~name:"skewed subscriptions, zipf events" ~count:15
+      (Sub.skewed ()) (constant (Ev.zipf_grid ()));
+    diff_test ~name:"containment chains, targeted events" ~count:10
+      (Sub.containment ())
+      (fun rects -> Ev.targeted rects ~hit_rate:0.7);
+    diff_test ~name:"degenerate point filters, targeted events" ~count:10
+      Sub.point_interests
+      (fun rects -> Ev.targeted rects ~hit_rate:0.5);
+  ]
+
+(* After churn and repair the oracle must still agree: zero false
+   negatives is Lemma 3.6's payoff, checked differentially. *)
+let churn_test =
+  QCheck2.Test.make ~name:"oracle agreement survives churn + repair"
+    ~count:10
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.make seed in
+      let rects = (Sub.uniform ()) space rng 30 in
+      let ov = build_overlay ~seed rects in
+      let victims =
+        Drtree.Corrupt.random_victims ov rng ~fraction:0.2
+      in
+      List.iteri
+        (fun i v ->
+          if i mod 2 = 0 then O.crash ov v
+          else ignore (Drtree.Corrupt.any ov rng v))
+        victims;
+      (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+      | Some _ -> ()
+      | None -> QCheck2.Test.fail_report "did not re-stabilize");
+      check_events ov (Ev.uniform space rng 10);
+      true)
+
+(* The two ground truths must agree with each other on raw rectangle
+   sets, independently of any overlay — guards the oracle itself. *)
+let oracle_self_test =
+  QCheck2.Test.make ~name:"sequential R-tree = brute force on raw sets"
+    ~count:30
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.make seed in
+      let rects = (Sub.skewed ()) space rng 40 in
+      let tree =
+        Rtree.Tree.create (Rtree.Tree.config ~min_fill:2 ~max_fill:4 ())
+      in
+      List.iteri (fun i r -> Rtree.Tree.insert tree r i) rects;
+      List.for_all
+        (fun p ->
+          let got =
+            List.sort_uniq compare (Rtree.Tree.search_point tree p)
+          in
+          let want =
+            List.mapi (fun i r -> (i, r)) rects
+            |> List.filter (fun (_, r) -> R.contains_point r p)
+            |> List.map fst
+          in
+          got = want)
+        (Ev.uniform space rng 12))
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "publish-vs-oracles",
+        List.map QCheck_alcotest.to_alcotest (tests @ [ churn_test ]) );
+      ("oracle-self-check", [ QCheck_alcotest.to_alcotest oracle_self_test ]);
+    ]

@@ -407,6 +407,125 @@ let test_mp_accuracy_after_repair () =
     check_int "zero FN after mp repair" 0 rep.O.false_negatives
   done
 
+(* --- Stale and hostile messages ----------------------------------------------------
+   Handlers must tolerate any message a hostile network can produce:
+   dropped, duplicated and reordered protocol traffic mid-flight, and
+   messages aimed at nodes that lost the corresponding role. An
+   [Invalid_argument] escaping a handler (State.level_exn on an
+   inactive height) is always a bug; alcotest turns any exception into
+   a failure. *)
+
+let with_schedule ?drop ?dup ~seed kind ov f =
+  let strat = Mck.Schedule.make ?drop ?dup ~seed kind in
+  Mck.Schedule.install strat (O.engine ov);
+  Fun.protect ~finally:(fun () -> Mck.Schedule.uninstall (O.engine ov)) f
+
+let test_join_storm_under_faults () =
+  let ov = O.create ~seed:70 () in
+  let rng = Sim.Rng.make (70 * 131) in
+  with_schedule ~drop:0.15 ~dup:0.1 ~seed:7070 Mck.Schedule.Random ov
+    (fun () ->
+      (* Queue all joins first, then drain under the hostile schedule:
+         JOIN/ADD_CHILD interleave, drop and duplicate mid-protocol. *)
+      for _ = 1 to 30 do
+        ignore (O.join_async ov (random_rect rng))
+      done;
+      O.run ov);
+  check_bool "stabilizes after faulty join storm" true
+    (stabilizes ~max_rounds:150 ov);
+  check_bool "legal" true (legal ov)
+
+let test_mp_rounds_under_faults () =
+  (* Drop, duplicate and reorder QUERY/REPORT snapshots mid-round: the
+     repair modules must act on whatever reports survive without ever
+     raising, and later reliable rounds must finish the job. *)
+  let ov = build ~seed:71 50 in
+  let rng = Sim.Rng.make 71 in
+  List.iter
+    (fun v -> ignore (Corrupt.any ov rng v))
+    (Corrupt.random_victims ov rng ~fraction:0.2);
+  with_schedule ~drop:0.2 ~dup:0.1 ~seed:7171 Mck.Schedule.Random ov
+    (fun () ->
+      for _ = 1 to 5 do
+        O.stabilize_round_mp ov
+      done);
+  check_bool "mp repairs despite faulty rounds" true
+    (O.stabilize_mp ~max_rounds:150 ~legal:Inv.is_legal ov <> None);
+  check_bool "legal" true (legal ov)
+
+let test_leave_storm_delay_checks () =
+  (* Starve the repair modules while a third of the overlay departs:
+     LEAVE and the resulting restructuring must still not raise. *)
+  let ov = build ~seed:72 45 in
+  with_schedule ~dup:0.1 ~seed:7272 Mck.Schedule.Delay_checks ov
+    (fun () ->
+      List.iteri
+        (fun i id -> if i mod 3 = 0 && O.size ov > 2 then O.leave ov id)
+        (O.alive_ids ov));
+  check_bool "stabilizes after check-starved leave storm" true
+    (stabilizes ~max_rounds:150 ov);
+  check_bool "legal" true (legal ov)
+
+let test_stale_direct_injections () =
+  let ov = build ~seed:73 30 in
+  let ids = O.alive_ids ov in
+  let leaf =
+    List.find
+      (fun id ->
+        match O.state ov id with Some s -> St.top s = 0 | None -> false)
+      ids
+  in
+  let other = List.find (fun id -> id <> leaf) ids in
+  let ghost = 424242 in
+  (* Each of these is a legitimate message caught by a recipient that
+     lost (or never had) the matching role: far-too-high heights, dead
+     or unknown subjects, stale descents. TTL-guarded forwarding must
+     absorb them all without an exception. *)
+  inject ov leaf
+    (Drtree.Message.Add_child
+       { child = other; mbr = rect 0.0 0.0 1.0 1.0; height = 7; hops = 0 });
+  inject ov leaf (Drtree.Message.Leave { who = ghost; height = 3 });
+  inject ov leaf (Drtree.Message.Leave { who = other; height = 9 });
+  inject ov leaf (Drtree.Message.Cover_sweep 5);
+  inject ov leaf (Drtree.Message.Check_mbr 4);
+  inject ov leaf (Drtree.Message.Check_parent 4);
+  inject ov leaf (Drtree.Message.Check_children 4);
+  inject ov leaf (Drtree.Message.Check_cover 4);
+  inject ov leaf (Drtree.Message.Check_structure 4);
+  inject ov leaf (Drtree.Message.Initiate_new_connection 3);
+  inject ov leaf
+    (Drtree.Message.Join
+       { joiner = ghost; mbr = rect 2.0 2.0 3.0 3.0; height = 0;
+         phase = `Down 6; hops = 0 });
+  inject ov leaf
+    (Drtree.Message.Publish
+       { event_id = O.new_event_id ov; point = Geometry.Point.make2 50.0 50.0;
+         at = 9; from_child = None; going_up = false; hops = 0 });
+  check_bool "stabilizes after stale injections" true
+    (stabilizes ~max_rounds:150 ov);
+  check_bool "legal" true (legal ov)
+
+let test_accuracy_after_duplicated_joins () =
+  (* Duplicated JOIN/ADD_CHILD must not double-attach anyone in a way
+     stabilization cannot undo: after repair, dissemination is exact. *)
+  let ov = O.create ~seed:74 () in
+  let rng = Sim.Rng.make (74 * 131) in
+  with_schedule ~dup:0.25 ~seed:7474 Mck.Schedule.Fifo ov (fun () ->
+      for _ = 1 to 25 do
+        ignore (O.join ov (random_rect rng))
+      done);
+  check_bool "stabilizes" true (stabilizes ~max_rounds:150 ov);
+  let ids = O.alive_ids ov in
+  check_int "every subscriber survived" 25 (List.length ids);
+  for _ = 1 to 20 do
+    let p =
+      Geometry.Point.make2 (Sim.Rng.range rng 0.0 100.0)
+        (Sim.Rng.range rng 0.0 100.0)
+    in
+    let rep = O.publish ov ~from:(Sim.Rng.pick rng ids) p in
+    check_int "zero FN after duplicated joins" 0 rep.O.false_negatives
+  done
+
 (* --- Churn while stabilizing (E8 machinery) --------------------------------------- *)
 
 let test_churn_trace_replay () =
@@ -497,6 +616,19 @@ let () =
             test_mp_costs_messages;
           Alcotest.test_case "accuracy after repair" `Quick
             test_mp_accuracy_after_repair;
+        ] );
+      ( "stale-messages",
+        [
+          Alcotest.test_case "join storm under drop+dup" `Quick
+            test_join_storm_under_faults;
+          Alcotest.test_case "mp rounds under drop+dup" `Quick
+            test_mp_rounds_under_faults;
+          Alcotest.test_case "leave storm under delay-checks" `Quick
+            test_leave_storm_delay_checks;
+          Alcotest.test_case "stale direct injections" `Quick
+            test_stale_direct_injections;
+          Alcotest.test_case "accuracy after duplicated joins" `Quick
+            test_accuracy_after_duplicated_joins;
         ] );
       ( "churn",
         [ Alcotest.test_case "poisson churn replay" `Slow
