@@ -1,0 +1,141 @@
+(* Comparisons against the §4 related-work routers: the Report-based
+   baselines and the Sub-2-Sub-style gossip overlay. Registration
+   lives in [Experiments.register]. *)
+
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Rng = Sim.Rng
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+module Table = Stats.Table
+open Harness
+
+(* --- E9: baseline comparison (§3.1, §4) ---------------------------------- *)
+
+let e9 () =
+  let n = 256 in
+  let events_count = 200 in
+  let table =
+    Table.create ~title:"E9  router comparison (N=256, uniform + clustered)"
+      ~columns:
+        [
+          "workload"; "router"; "FP %"; "FN"; "msgs/event"; "max hops";
+          "max degree"; "notes";
+        ]
+  in
+  let run_workload wname wgen =
+    let rng = Rng.make (9000 + Hashtbl.hash wname) in
+    let rects = wgen space rng n in
+    let points = Eg.targeted rects ~hit_rate:0.6 space rng events_count in
+    (* DR-tree *)
+    let ov = build_overlay ~seed:9 rects in
+    let acc = run_events ov ~rng points in
+    Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d|%d|%s" wname "dr-tree"
+      (pct acc.fp_rate) acc.fn_total acc.msgs_per_event acc.max_hops
+      (Inv.max_degree ov)
+      (Printf.sprintf "height %d" (O.height ov));
+    (* Generic runner over the Report-based baselines. *)
+    let run_baseline name publish size_degree notes =
+      let fp = ref 0 and fn = ref 0 and msgs = ref 0 and hops = ref 0 in
+      List.iter
+        (fun p ->
+          let from = Rng.int rng n in
+          let (rep : Baselines.Report.t) = publish ~from p in
+          fp := !fp + rep.Baselines.Report.false_positives;
+          fn := !fn + rep.Baselines.Report.false_negatives;
+          msgs := !msgs + rep.Baselines.Report.messages;
+          hops := max !hops rep.Baselines.Report.max_hops)
+        points;
+      Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d|%d|%s" wname name
+        (pct (float_of_int !fp /. float_of_int (events_count * n)))
+        !fn
+        (float_of_int !msgs /. float_of_int events_count)
+        !hops size_degree notes
+    in
+    let ct = Baselines.Containment_tree.create () in
+    List.iter (fun r -> ignore (Baselines.Containment_tree.add ct r)) rects;
+    run_baseline "containment-tree"
+      (fun ~from p -> Baselines.Containment_tree.publish ct ~from p)
+      (Baselines.Containment_tree.max_degree ct)
+      (Printf.sprintf "depth %d" (Baselines.Containment_tree.depth ct));
+    let pd = Baselines.Per_dimension.create ~dims:2 in
+    List.iter (fun r -> ignore (Baselines.Per_dimension.add pd r)) rects;
+    run_baseline "per-dimension"
+      (fun ~from p -> Baselines.Per_dimension.publish pd ~from p)
+      (Baselines.Per_dimension.max_degree pd)
+      "";
+    let fl = Baselines.Flooding.create () in
+    List.iter (fun r -> ignore (Baselines.Flooding.add fl r)) rects;
+    run_baseline "flooding"
+      (fun ~from p -> Baselines.Flooding.publish fl ~from p)
+      (n - 1) "";
+    let dht = Baselines.Dht_rendezvous.create ~space:(Workload.Space.rect space) () in
+    List.iter (fun r -> ignore (Baselines.Dht_rendezvous.add dht r)) rects;
+    run_baseline "dht (cells)"
+      (fun ~from p -> Baselines.Dht_rendezvous.publish dht ~from p)
+      (Baselines.Dht_rendezvous.max_registrations dht)
+      (Printf.sprintf "reg msgs %d"
+         (Baselines.Dht_rendezvous.registration_messages dht));
+    let dhte =
+      Baselines.Dht_rendezvous.create ~exact:true
+        ~space:(Workload.Space.rect space) ()
+    in
+    List.iter (fun r -> ignore (Baselines.Dht_rendezvous.add dhte r)) rects;
+    run_baseline "dht (exact)"
+      (fun ~from p -> Baselines.Dht_rendezvous.publish dhte ~from p)
+      (Baselines.Dht_rendezvous.max_registrations dhte)
+      (Printf.sprintf "reg msgs %d"
+         (Baselines.Dht_rendezvous.registration_messages dhte))
+  in
+  run_workload "uniform" (Sg.uniform ());
+  run_workload "clustered" (Sg.clustered ());
+  Table.print table
+
+(* --- E20: gossip overlay accuracy vs convergence (§4, DHT-free designs) -------- *)
+
+let e20 () =
+  let n = 128 in
+  let events_count = 150 in
+  let table =
+    Table.create
+      ~title:
+        "E20  Sub-2-Sub-style gossip: accuracy needs convergence (N=128, \
+         clustered; DR-tree reference below)"
+      ~columns:
+        [ "gossip rounds"; "view quality"; "FN"; "FN %"; "FP %"; "msgs/event" ]
+  in
+  let rng = Rng.make 20 in
+  let rects = Sg.clustered () space rng n in
+  let points = Eg.targeted rects ~hit_rate:0.8 space rng events_count in
+  List.iter
+    (fun rounds ->
+      let t = Baselines.Sub2sub.create ~seed:20 () in
+      let ids = List.map (fun r -> Baselines.Sub2sub.add t r) rects in
+      Baselines.Sub2sub.gossip t ~rounds;
+      let erng = Rng.make 2020 in
+      let fn = ref 0 and fp = ref 0 and msgs = ref 0 and matched = ref 0 in
+      List.iter
+        (fun p ->
+          let rep =
+            Baselines.Sub2sub.publish t ~from:(Rng.pick erng ids) p
+          in
+          fn := !fn + rep.Baselines.Report.false_negatives;
+          fp := !fp + rep.Baselines.Report.false_positives;
+          msgs := !msgs + rep.Baselines.Report.messages;
+          matched :=
+            !matched
+            + Baselines.Report.Int_set.cardinal rep.Baselines.Report.matched)
+        points;
+      Table.add_rowf table "%d|%.2f|%d|%.1f|%.2f|%.1f" rounds
+        (Baselines.Sub2sub.mean_view_overlap t)
+        !fn
+        (100.0 *. float_of_int !fn /. float_of_int (max 1 !matched))
+        (pct (float_of_int !fp /. float_of_int (events_count * n)))
+        (float_of_int !msgs /. float_of_int events_count))
+    [ 0; 2; 5; 10; 20 ];
+  (* Reference: the DR-tree on the same workload and events. *)
+  let ov = build_overlay ~seed:20 rects in
+  let acc = run_events ov ~rng points in
+  Table.add_rowf table "dr-tree (reference)|1.00|%d|%.1f|%.2f|%.1f"
+    acc.fn_total 0.0 (pct acc.fp_rate) acc.msgs_per_event;
+  Table.print table

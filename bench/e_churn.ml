@@ -1,0 +1,411 @@
+(* Fault-recovery and churn experiments: stabilization cost, the two
+   stabilization modes with per-round telemetry, churn resistance,
+   leave variants, message loss, Chord comparison. Registration lives
+   in [Experiments.register]. *)
+
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module An = Drtree.Analysis
+module Tel = Drtree.Telemetry
+module Rng = Sim.Rng
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+module Table = Stats.Table
+open Harness
+
+(* --- E7: stabilization cost (Lemmas 3.5/3.6: O(N log_m N) steps) ------------ *)
+
+let e7 () =
+  let table =
+    Table.create
+      ~title:"E7  recovery after faults (Lemmas 3.5/3.6; bound = N log_m N)"
+      ~columns:
+        [
+          "N"; "fault"; "rounds"; "repair msgs"; "state probes";
+          "repair actions"; "bound"; "msgs/bound";
+        ]
+  in
+  let scenarios =
+    [
+      ("corrupt 10%", `Corrupt 0.1);
+      ("corrupt 30%", `Corrupt 0.3);
+      ("corrupt 100%", `Corrupt 1.0);
+      ("crash 10%", `Crash 0.1);
+      ("crash 25%", `Crash 0.25);
+      ("crash root", `Crash_root);
+    ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (name, fault) ->
+          let rng = Rng.make (7000 + n + Hashtbl.hash name) in
+          let rects = Sg.uniform () space rng n in
+          let ov = build_overlay ~seed:(n + 7) rects in
+          (match fault with
+          | `Corrupt fraction ->
+              List.iter
+                (fun v -> ignore (Drtree.Corrupt.any ov rng v))
+                (Drtree.Corrupt.random_victims ov rng ~fraction)
+          | `Crash fraction ->
+              List.iter (fun v -> O.crash ov v)
+                (Drtree.Corrupt.random_victims ov rng ~fraction)
+          | `Crash_root -> (
+              match O.designated_root ov with
+              | Some root -> O.crash ov root
+              | None -> ()));
+          Sim.Engine.reset_counters (O.engine ov);
+          let tele = O.telemetry ov in
+          Tel.reset_probes tele;
+          Tel.reset_rounds tele;
+          let repairs0 = Tel.total_repairs tele in
+          let rounds = O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov in
+          let msgs = Sim.Engine.messages_sent (O.engine ov) in
+          let probes = Tel.probes tele in
+          let bound = An.repair_steps_bound ~m:2 ~n in
+          Table.add_rowf table "%d|%s|%s|%d|%d|%d|%.0f|%.2f" n name
+            (match rounds with Some r -> string_of_int r | None -> ">200")
+            msgs probes
+            (Tel.total_repairs tele - repairs0)
+            bound
+            (float_of_int msgs /. bound))
+        scenarios)
+    [ 128; 256 ];
+  Table.print table
+
+(* --- E7b: shared-state vs message-passing stabilization ------------------------ *)
+
+let e7b () =
+  let n = 128 in
+  let table =
+    Table.create
+      ~title:
+        "E7b  stabilization modes: shared-state (probes) vs message-passing \
+         (counted QUERY/REPORT), N=128"
+      ~columns:
+        [ "fault"; "mode"; "rounds"; "messages"; "state probes";
+          "repair actions" ]
+  in
+  (* Per-round breakdown from the telemetry bus: what each
+     stabilization round cost and which repair modules fired. *)
+  let detail =
+    Table.create
+      ~title:
+        "E7b  per-round telemetry (rounds until legal; repairs by module)"
+      ~columns:
+        [
+          "fault"; "mode"; "round"; "probes"; "messages"; "mbr"; "children";
+          "parent"; "cover"; "structure"; "root";
+        ]
+  in
+  let scenarios =
+    [ ("corrupt 30%", `Corrupt 0.3); ("crash 25%", `Crash 0.25) ]
+  in
+  List.iter
+    (fun (name, fault) ->
+      List.iter
+        (fun (mode_name, stab) ->
+          let rng = Rng.make (7500 + Hashtbl.hash (name ^ mode_name)) in
+          let rects = Sg.uniform () space rng n in
+          let ov = build_overlay ~seed:75 rects in
+          (match fault with
+          | `Corrupt fraction ->
+              List.iter
+                (fun v -> ignore (Drtree.Corrupt.any ov rng v))
+                (Drtree.Corrupt.random_victims ov rng ~fraction)
+          | `Crash fraction ->
+              List.iter (fun v -> O.crash ov v)
+                (Drtree.Corrupt.random_victims ov rng ~fraction));
+          Sim.Engine.reset_counters (O.engine ov);
+          let tele = O.telemetry ov in
+          Tel.reset_probes tele;
+          Tel.reset_rounds tele;
+          let repairs0 = Tel.total_repairs tele in
+          let rounds = stab ov in
+          Table.add_rowf table "%s|%s|%s|%d|%d|%d" name mode_name
+            (match rounds with Some r -> string_of_int r | None -> ">200")
+            (Sim.Engine.messages_sent (O.engine ov))
+            (Tel.probes tele)
+            (Tel.total_repairs tele - repairs0);
+          let max_detail = 8 in
+          List.iteri
+            (fun i (r : Tel.round_report) ->
+              if i < max_detail then
+                Table.add_rowf detail "%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d" name
+                  mode_name r.Tel.round r.Tel.probes r.Tel.messages
+                  (Tel.round_repairs r Tel.Mbr)
+                  (Tel.round_repairs r Tel.Children)
+                  (Tel.round_repairs r Tel.Parent)
+                  (Tel.round_repairs r Tel.Cover)
+                  (Tel.round_repairs r Tel.Structure)
+                  (Tel.round_repairs r Tel.Root)
+              else if i = max_detail then
+                Table.add_rowf detail "%s|%s|...|||||||||" name mode_name)
+            (Tel.rounds tele))
+        [
+          ("shared-state",
+           fun ov -> O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov);
+          ("message-passing",
+           fun ov -> O.stabilize_mp ~max_rounds:200 ~legal:Inv.is_legal ov);
+        ])
+    scenarios;
+  Table.print table;
+  Table.print detail
+
+(* --- E8: churn resistance (Lemma 3.7) ----------------------------------------- *)
+
+(* Is the overlay graph (undirected parent/children links among live
+   processes) still connected? *)
+let overlay_connected ov =
+  match O.alive_ids ov with
+  | [] -> true
+  | first :: _ as ids ->
+      let module Set = Sim.Node_id.Set in
+      let neighbours id =
+        match O.state ov id with
+        | None -> []
+        | Some s ->
+            let acc = ref [] in
+            for h = 0 to Drtree.State.top s do
+              match Drtree.State.level s h with
+              | None -> ()
+              | Some l ->
+                  if O.is_alive ov l.Drtree.State.parent then
+                    acc := l.Drtree.State.parent :: !acc;
+                  Set.iter
+                    (fun c -> if O.is_alive ov c then acc := c :: !acc)
+                    l.Drtree.State.children
+            done;
+            !acc
+      in
+      let visited = ref (Set.singleton first) in
+      let queue = Queue.create () in
+      Queue.add first queue;
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        List.iter
+          (fun nb ->
+            if not (Set.mem nb !visited) then begin
+              visited := Set.add nb !visited;
+              Queue.add nb queue
+            end)
+          (neighbours id)
+      done;
+      Set.cardinal !visited = List.length ids
+
+let e8 () =
+  let n = 64 in
+  let delta = 1.0 in
+  let runs = 10 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8  churn resistance, N=%d, delta=%.0f (Lemma 3.7, formula as \
+            printed)"
+           n delta)
+      ~columns:
+        [ "lambda"; "mean disconnect time (sim)"; "formula"; "runs" ]
+  in
+  List.iter
+    (fun lambda ->
+      let times = ref [] in
+      for run = 1 to runs do
+        let rng = Rng.make ((8000 * run) + int_of_float (lambda *. 10.0)) in
+        let rects = Sg.uniform () space rng n in
+        let ov = build_overlay ~seed:(run + int_of_float lambda) rects in
+        (* Departures at rate lambda; no stabilization in the window. *)
+        let departures =
+          Sim.Churn.departure_times rng ~rate:lambda ~count:(n - 2)
+        in
+        let disconnect = ref None in
+        List.iter
+          (fun t ->
+            if !disconnect = None then begin
+              (match O.alive_ids ov with
+              | [] | [ _ ] -> ()
+              | ids -> O.crash ov (Rng.pick rng ids));
+              if not (overlay_connected ov) then disconnect := Some t
+            end)
+          departures;
+        match !disconnect with
+        | Some t -> times := t :: !times
+        | None -> ()
+      done;
+      let mean_time =
+        match !times with
+        | [] -> nan
+        | ts -> List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts)
+      in
+      let predicted = An.churn_disconnect_time ~n ~delta ~lambda in
+      Table.add_rowf table "%.1f|%.3f|%.3g|%d/%d" lambda mean_time predicted
+        (List.length !times) runs)
+    [ 2.0; 5.0; 10.0; 20.0; 50.0 ];
+  Table.print table
+
+(* --- E13: controlled-leave repair, lazy vs subtree reconnection (§3.2) ------- *)
+
+let e13 () =
+  let n = 256 in
+  let leaves = 30 in
+  let table =
+    Table.create
+      ~title:
+        "E13  controlled departures: stabilization-driven vs subtree \
+         reconnection (N=256, 30 interior leaves)"
+      ~columns:
+        [ "variant"; "repair msgs"; "stabilize rounds"; "violations pre-repair" ]
+  in
+  let run_variant name leave_fn =
+    let rng = Rng.make 13 in
+    let rects = Sg.uniform () space rng n in
+    let ov = build_overlay ~seed:13 rects in
+    let total_msgs = ref 0 and total_rounds = ref 0 and total_viol = ref 0 in
+    for _ = 1 to leaves do
+      (* Prefer an interior departer: their subtrees are what the
+         reconnection variant is about. *)
+      let victim =
+        let ids = O.alive_ids ov in
+        match
+          List.find_opt
+            (fun id ->
+              match O.state ov id with
+              | Some s ->
+                  Drtree.State.top s >= 1 && O.designated_root ov <> Some id
+              | None -> false)
+            ids
+        with
+        | Some id -> id
+        | None -> List.hd ids
+      in
+      Sim.Engine.reset_counters (O.engine ov);
+      leave_fn ov victim;
+      total_viol := !total_viol + List.length (Inv.check ov);
+      (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+      | Some r -> total_rounds := !total_rounds + r
+      | None -> total_rounds := !total_rounds + 100);
+      total_msgs := !total_msgs + Sim.Engine.messages_sent (O.engine ov)
+    done;
+    Table.add_rowf table "%s|%d|%d|%d" name !total_msgs !total_rounds
+      !total_viol
+  in
+  run_variant "lazy (Fig. 9 + stabilization)" O.leave;
+  run_variant "subtree reconnection" O.leave_reconnect;
+  Table.print table
+
+(* --- E18: resilience to message loss ------------------------------------------- *)
+
+let e18 () =
+  let n = 128 in
+  let table =
+    Table.create
+      ~title:
+        "E18  message loss: joins + stabilization under lossy links (N=128)"
+      ~columns:
+        [
+          "drop rate"; "joined"; "rounds to legal"; "lost msgs";
+          "FN after repair";
+        ]
+  in
+  List.iter
+    (fun drop_rate ->
+      let rng = Rng.make (18000 + int_of_float (drop_rate *. 100.0)) in
+      let ov = O.create ~drop_rate ~seed:18 () in
+      let rects = Sg.uniform () space rng n in
+      List.iter (fun r -> ignore (O.join ov r)) rects;
+      let rounds = O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov in
+      let lost = Sim.Engine.messages_lost (O.engine ov) in
+      (* Accuracy once repaired: publications themselves ride the same
+         lossy links, so FNs can persist proportionally to the drop
+         rate — report them. *)
+      let ids = O.alive_ids ov in
+      let fn = ref 0 in
+      for _ = 1 to 100 do
+        let p =
+          P.make2 (Rng.range rng 0.0 100.0) (Rng.range rng 0.0 100.0)
+        in
+        let report = O.publish ov ~from:(Rng.pick rng ids) p in
+        fn := !fn + report.O.false_negatives
+      done;
+      Table.add_rowf table "%.0f%%|%d|%s|%d|%d"
+        (100.0 *. drop_rate) (O.size ov)
+        (match rounds with Some r -> string_of_int r | None -> ">200")
+        lost !fn)
+    [ 0.0; 0.01; 0.05; 0.10; 0.20 ];
+  Table.print table
+
+(* --- E19: churn resistance, DR-tree vs Chord rendezvous (§4) ------------------- *)
+
+let e19 () =
+  let n = 128 in
+  let events_count = 150 in
+  let table =
+    Table.create
+      ~title:
+        "E19  churn: DR-tree vs Chord rendezvous (N=128; FN per 150 events, \
+         before and after repair)"
+      ~columns:
+        [
+          "crash %"; "system"; "FN wounded"; "FN repaired"; "repair msgs";
+        ]
+  in
+  List.iter
+    (fun crash_frac ->
+      let seed = 19 + int_of_float (crash_frac *. 100.0) in
+      let rng = Rng.make (19000 + seed) in
+      let rects = Sg.uniform () space rng n in
+      let points =
+        Eg.targeted rects ~hit_rate:0.7 space rng events_count
+      in
+      let kill_count = int_of_float (crash_frac *. float_of_int n) in
+      (* DR-tree *)
+      let ov = build_overlay ~seed rects in
+      let victims =
+        List.filteri (fun i _ -> i < kill_count) (O.alive_ids ov)
+      in
+      List.iter (fun v -> O.crash ov v) victims;
+      let fn_of_publishes () =
+        let ids = O.alive_ids ov in
+        List.fold_left
+          (fun acc p ->
+            let rep = O.publish ov ~from:(List.hd ids) p in
+            acc + rep.O.false_negatives)
+          0 points
+      in
+      let fn_wounded = fn_of_publishes () in
+      Sim.Engine.reset_counters (O.engine ov);
+      ignore (O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov);
+      let repair_msgs = Sim.Engine.messages_sent (O.engine ov) in
+      let fn_repaired = fn_of_publishes () in
+      Table.add_rowf table "%.0f%%|%s|%d|%d|%d" (100.0 *. crash_frac)
+        "dr-tree" fn_wounded fn_repaired repair_msgs;
+      (* Chord rendezvous *)
+      let cp =
+        Baselines.Chord_pubsub.create ~space:(Workload.Space.rect space)
+          ~seed ()
+      in
+      let ids =
+        List.map (fun r -> Baselines.Chord_pubsub.join_subscriber cp r) rects
+      in
+      let cp_victims = List.filteri (fun i _ -> i < kill_count) ids in
+      List.iter (fun v -> Baselines.Chord_pubsub.crash cp v) cp_victims;
+      let survivor =
+        List.find (fun id -> not (List.mem id cp_victims)) ids
+      in
+      let fn_of_cp () =
+        List.fold_left
+          (fun acc p ->
+            let rep = Baselines.Chord_pubsub.publish cp ~from:survivor p in
+            acc + rep.Baselines.Report.false_negatives)
+          0 points
+      in
+      let cp_wounded = fn_of_cp () in
+      Baselines.Chord_pubsub.reset_counters cp;
+      Baselines.Chord_pubsub.repair cp;
+      let cp_repair_msgs = Baselines.Chord_pubsub.messages_sent cp in
+      let cp_repaired = fn_of_cp () in
+      Table.add_rowf table "%.0f%%|%s|%d|%d|%d" (100.0 *. crash_frac)
+        "chord rendezvous" cp_wounded cp_repaired cp_repair_msgs)
+    [ 0.1; 0.25; 0.4 ];
+  Table.print table

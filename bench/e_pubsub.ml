@@ -1,0 +1,271 @@
+(* Publication-path experiments: join/publish cost, accuracy across
+   workloads, dimensionality, oracle and reorganization ablations,
+   filter sets. Registration lives in [Experiments.register]. *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+module Rng = Sim.Rng
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+module Table = Stats.Table
+open Harness
+
+(* --- E3: subscription (join) cost logarithmic (§1, Lemma 3.2) ----------- *)
+
+let e3 () =
+  let table =
+    Table.create ~title:"E3  join hop count vs log_m N (Lemma 3.2)"
+      ~columns:[ "N"; "mean hops"; "p90"; "max"; "log_2 N" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.make (3000 + n) in
+      let rects = Sg.uniform () space rng n in
+      let ov = build_overlay ~seed:(n + 2) rects in
+      (* Measure fresh joins into the stabilized overlay. *)
+      let hops = ref [] in
+      let joiners = Sg.uniform () space rng 30 in
+      List.iter
+        (fun r ->
+          ignore (O.join ov r);
+          hops := float_of_int (O.last_join_hops ov) :: !hops)
+        joiners;
+      let s = Stats.Summary.of_list !hops in
+      Table.add_rowf table "%d|%.1f|%.0f|%.0f|%.1f" n s.Stats.Summary.mean
+        s.Stats.Summary.p90 s.Stats.Summary.max
+        (log_base 2.0 (float_of_int n)))
+    n_sweep;
+  Table.print table
+
+(* --- E4: publication latency logarithmic (§1) ---------------------------- *)
+
+let e4 () =
+  let table =
+    Table.create ~title:"E4  publication path length vs log_m N (§1)"
+      ~columns:
+        [ "N"; "mean hops"; "max hops"; "msgs/event"; "2*height"; "height" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.make (4000 + n) in
+      let rects = Sg.uniform () space rng n in
+      let ov = build_overlay ~seed:(n + 3) rects in
+      let events = Eg.uniform space rng 100 in
+      let acc = run_events ov ~rng events in
+      Table.add_rowf table "%d|%.1f|%d|%.1f|%d|%d" n acc.mean_hops acc.max_hops
+        acc.msgs_per_event
+        (2 * O.height ov)
+        (O.height ov))
+    n_sweep;
+  Table.print table
+
+(* --- E5: accuracy across workloads (§4: FP 2-3%, zero FN) ----------------- *)
+
+let e5 () =
+  let n = 512 in
+  let table =
+    Table.create
+      ~title:
+        "E5  accuracy per workload (N=512; paper: FP 2-3% for most \
+         workloads, FN = 0)"
+      ~columns:
+        [ "subscriptions"; "events"; "FP %"; "FN"; "msgs/event"; "deliveries" ]
+  in
+  List.iter
+    (fun (sub_name, sub_gen) ->
+      let rng = Rng.make (5000 + Hashtbl.hash sub_name) in
+      let rects = sub_gen space rng n in
+      let ov = build_overlay ~seed:(Hashtbl.hash sub_name land 0xffff) rects in
+      List.iter
+        (fun (ev_name, ev_gen) ->
+          let events = ev_gen space rng 200 in
+          let acc = run_events ov ~rng events in
+          Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d" sub_name ev_name
+            (pct acc.fp_rate) acc.fn_total acc.msgs_per_event
+            acc.delivery_total)
+        (Eg.catalog ~subscriptions:rects))
+    Sg.catalog;
+  Table.print table
+
+(* --- E14: dimensionality sweep (poly-space rectangles, §2.1/§3) -------------- *)
+
+let e14 () =
+  let n = 256 in
+  let table =
+    Table.create
+      ~title:"E14  poly-space filters: dimensionality sweep (N=256, uniform)"
+      ~columns:[ "dims"; "height"; "FP %"; "FN"; "msgs/event"; "max words" ]
+  in
+  List.iter
+    (fun dims ->
+      let sp = Workload.Space.make ~dims () in
+      let rng = Rng.make (14000 + dims) in
+      let rects = Sg.uniform () sp rng n in
+      let ov = build_overlay ~seed:(14 + dims) rects in
+      let events = Eg.uniform sp rng 200 in
+      let ids = O.alive_ids ov in
+      let fp = ref 0 and fn = ref 0 and msgs = ref 0 in
+      List.iter
+        (fun p ->
+          let report = O.publish ov ~from:(Rng.pick rng ids) p in
+          fp := !fp + report.O.false_positives;
+          fn := !fn + report.O.false_negatives;
+          msgs := !msgs + report.O.messages)
+        events;
+      Table.add_rowf table "%d|%d|%.2f|%d|%.1f|%d" dims (O.height ov)
+        (pct (float_of_int !fp /. float_of_int (200 * n)))
+        !fn
+        (float_of_int !msgs /. 200.0)
+        (Inv.max_memory_words ov))
+    [ 2; 3; 4; 5 ];
+  Table.print table
+
+(* --- E15: contact oracle ablation (§3.2 joins) -------------------------------- *)
+
+let e15 () =
+  let n = 512 in
+  let table =
+    Table.create
+      ~title:"E15  contact-oracle ablation (N=512, uniform workload)"
+      ~columns:
+        [ "oracle"; "build msgs"; "mean join hops"; "height"; "FP %" ]
+  in
+  List.iter
+    (fun (name, oracle) ->
+      let cfg = Cfg.make ~oracle () in
+      let rng = Rng.make 15 in
+      let rects = Sg.uniform () space rng n in
+      let ov = O.create ~cfg ~seed:15 () in
+      let hops = ref [] in
+      List.iter
+        (fun r ->
+          ignore (O.join ov r);
+          hops := float_of_int (O.last_join_hops ov) :: !hops)
+        rects;
+      let build_msgs = Sim.Engine.messages_sent (O.engine ov) in
+      ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+      let acc = run_events ov ~rng (Eg.uniform space rng 200) in
+      Table.add_rowf table "%s|%d|%.1f|%d|%.2f" name build_msgs
+        (Stats.Summary.mean !hops) (O.height ov) (pct acc.fp_rate))
+    [ ("root", Cfg.Root_oracle); ("random", Cfg.Random_oracle) ];
+  Table.print table
+
+(* --- E16: FP-driven reorganization under biased events (§3.2) ------------------ *)
+
+let e16 () =
+  let n = 256 in
+  let table =
+    Table.create
+      ~title:
+        "E16  dynamic reorganization under biased events (N=256, hotspot \
+         events)"
+      ~columns:[ "phase"; "FP %"; "FN"; "msgs/event"; "swaps" ]
+  in
+  let rng = Rng.make 16 in
+  let rects = Sg.clustered () space rng n in
+  let ov = build_overlay ~seed:16 rects in
+  let events () = Eg.hotspot ~fraction:0.9 () space (Rng.copy (Rng.make 1616)) 300 in
+  let acc0 = run_events ov ~rng (events ()) in
+  Table.add_rowf table "before swaps|%.2f|%d|%.1f|" (pct acc0.fp_rate)
+    acc0.fn_total acc0.msgs_per_event;
+  let swaps = O.fp_swap_round ov in
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  let acc1 = run_events ov ~rng (events ()) in
+  Table.add_rowf table "after 1 swap round|%.2f|%d|%.1f|%d" (pct acc1.fp_rate)
+    acc1.fn_total acc1.msgs_per_event swaps;
+  let swaps2 = O.fp_swap_round ov in
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  let acc2 = run_events ov ~rng (events ()) in
+  Table.add_rowf table "after 2 swap rounds|%.2f|%d|%.1f|%d" (pct acc2.fp_rate)
+    acc2.fn_total acc2.msgs_per_event swaps2;
+  Table.print table
+
+(* --- E17: false-positive rate vs N (companion-TR style sweep) ----------------- *)
+
+let e17 () =
+  let table =
+    Table.create ~title:"E17  false-positive rate vs network size (uniform)"
+      ~columns:[ "N"; "FP %"; "FN"; "msgs/event"; "receivers/event" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.make (17000 + n) in
+      let rects = Sg.uniform () space rng n in
+      let ov = build_overlay ~seed:(17 + n) rects in
+      let ids = O.alive_ids ov in
+      let events = Eg.uniform space rng 200 in
+      let fp = ref 0 and fn = ref 0 and msgs = ref 0 and recv = ref 0 in
+      List.iter
+        (fun p ->
+          let report = O.publish ov ~from:(Rng.pick rng ids) p in
+          fp := !fp + report.O.false_positives;
+          fn := !fn + report.O.false_negatives;
+          msgs := !msgs + report.O.messages;
+          recv := !recv + Sim.Node_id.Set.cardinal report.O.received)
+        events;
+      Table.add_rowf table "%d|%.2f|%d|%.1f|%.1f" n
+        (pct (float_of_int !fp /. float_of_int (200 * n)))
+        !fn
+        (float_of_int !msgs /. 200.0)
+        (float_of_int !recv /. 200.0))
+    n_sweep;
+  Table.print table
+
+(* --- E21: filter sets per process vs one process per filter (§2.1) ------------ *)
+
+let e21 () =
+  let clients = 64 in
+  let filters_per_client = 4 in
+  let events_count = 200 in
+  let schema = Filter.Schema.make [ "x"; "y" ] in
+  let table =
+    Table.create
+      ~title:
+        "E21  a client's k filters: one leaf per filter vs one leaf for the \
+         set (64 clients x 4 filters)"
+      ~columns:
+        [ "layout"; "leaves"; "height"; "FP %"; "FN"; "msgs/event";
+          "max words" ]
+  in
+  let rng = Rng.make 21 in
+  let client_filters =
+    List.init clients (fun _ ->
+        List.map
+          (fun r -> Filter.Subscription.of_rect schema r)
+          (Sg.uniform () space rng filters_per_client))
+  in
+  let erng = Rng.make 2121 in
+  let points = Eg.uniform space erng events_count in
+  let run_layout name subscribe_fn =
+    let ps = Drtree.Pubsub.create ~schema ~seed:21 () in
+    List.iter (fun subs -> subscribe_fn ps subs) client_filters;
+    let ov = Drtree.Pubsub.overlay ps in
+    ignore
+      (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+    let ids = O.alive_ids ov in
+    let fp = ref 0 and fn = ref 0 and msgs = ref 0 in
+    List.iter
+      (fun p ->
+        let event = Filter.Event.of_point schema p in
+        let rep =
+          Drtree.Pubsub.publish ps ~from:(Rng.pick erng ids) event
+        in
+        fp := !fp + rep.Drtree.Pubsub.false_positives;
+        fn := !fn + rep.Drtree.Pubsub.false_negatives;
+        msgs := !msgs + rep.Drtree.Pubsub.messages)
+      points;
+    let n = List.length ids in
+    Table.add_rowf table "%s|%d|%d|%.2f|%d|%.1f|%d" name n (O.height ov)
+      (pct (float_of_int !fp /. float_of_int (events_count * n)))
+      !fn
+      (float_of_int !msgs /. float_of_int events_count)
+      (Inv.max_memory_words ov)
+  in
+  run_layout "one leaf per filter" (fun ps subs ->
+      List.iter (fun sub -> ignore (Drtree.Pubsub.subscribe ps sub)) subs);
+  run_layout "one leaf per client (set)" (fun ps subs ->
+      ignore (Drtree.Pubsub.subscribe_set ps subs));
+  Table.print table

@@ -1,0 +1,218 @@
+(* Structure and shape experiments: height, memory, split policies,
+   root election, containment awareness, fan-out. One function per
+   experiment; registration lives in [Experiments.register]. *)
+
+module R = Geometry.Rect
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+module An = Drtree.Analysis
+module Rng = Sim.Rng
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+module Table = Stats.Table
+open Harness
+
+(* --- E1: height is O(log_m N) (Lemma 3.1) ------------------------------ *)
+
+let e1 () =
+  let table =
+    Table.create ~title:"E1  DR-tree height vs log_m N (Lemma 3.1)"
+      ~columns:[ "m/M"; "N"; "height"; "log_m N"; "height/log_m N" ]
+  in
+  List.iter
+    (fun (m, mm) ->
+      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
+      let points = ref [] in
+      List.iter
+        (fun n ->
+          let rng = Rng.make (1000 + n) in
+          let rects = Sg.uniform () space rng n in
+          let ov = build_overlay ~cfg ~seed:n rects in
+          let h = O.height ov in
+          let lg = log_base (float_of_int m) (float_of_int n) in
+          points := (lg, float_of_int h) :: !points;
+          Table.add_rowf table "%d/%d|%d|%d|%.2f|%.2f" m mm n h lg
+            (float_of_int h /. lg))
+        n_sweep;
+      let fit = Stats.Regression.linear !points in
+      Table.add_rowf table "%d/%d|fit|slope %.2f|r2 %.3f|" m mm
+        fit.Stats.Regression.slope fit.Stats.Regression.r2)
+    [ (2, 4); (4, 8) ];
+  Table.print table
+
+(* --- E2: memory O(M log^2 N / log m) (Lemma 3.1) ------------------------ *)
+
+let e2 () =
+  let table =
+    Table.create ~title:"E2  per-node maintenance memory (Lemma 3.1)"
+      ~columns:[ "m/M"; "N"; "max words"; "mean words"; "bound"; "max/bound" ]
+  in
+  List.iter
+    (fun (m, mm) ->
+      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
+      List.iter
+        (fun n ->
+          let rng = Rng.make (2000 + n) in
+          let rects = Sg.uniform () space rng n in
+          let ov = build_overlay ~cfg ~seed:(n + 1) rects in
+          let bound = An.memory_bound ~m ~max_fill:mm ~n in
+          Table.add_rowf table "%d/%d|%d|%d|%.1f|%.0f|%.2f" m mm n
+            (Inv.max_memory_words ov)
+            (Inv.mean_memory_words ov)
+            bound
+            (float_of_int (Inv.max_memory_words ov) /. bound))
+        n_sweep)
+    [ (2, 4); (4, 8) ];
+  Table.print table
+
+(* --- E6: split policies (§3.2; R* reduces overlap) ----------------------- *)
+
+(* Total pairwise overlap of sibling MBRs across the DR-tree. *)
+let total_overlap ov =
+  let acc = ref 0.0 in
+  O.iter_states ov (fun _ s ->
+      for h = 1 to Drtree.State.top s do
+        match Drtree.State.level s h with
+        | None -> ()
+        | Some l ->
+            let mbrs =
+              List.filter_map
+                (fun c ->
+                  match O.state ov c with
+                  | Some sc -> Drtree.State.mbr_at sc (h - 1)
+                  | None -> None)
+                (Sim.Node_id.Set.elements l.Drtree.State.children)
+            in
+            let arr = Array.of_list mbrs in
+            Array.iteri
+              (fun i a ->
+                Array.iteri
+                  (fun j b ->
+                    if j > i then acc := !acc +. R.intersection_area a b)
+                  arr)
+              arr
+      done);
+  !acc
+
+let e6 () =
+  let n = 512 in
+  let table =
+    Table.create ~title:"E6  split policy comparison (N=512)"
+      ~columns:
+        [
+          "workload"; "split"; "FP %"; "FN"; "msgs/event"; "overlap";
+          "build msgs";
+        ]
+  in
+  List.iter
+    (fun (wname, wgen) ->
+      List.iter
+        (fun split ->
+          let rng = Rng.make (6000 + Hashtbl.hash wname) in
+          let rects = wgen space rng n in
+          let cfg = Cfg.make ~split () in
+          let ov = O.create ~cfg ~seed:6 () in
+          List.iter (fun r -> ignore (O.join ov r)) rects;
+          let build_msgs = Sim.Engine.messages_sent (O.engine ov) in
+          ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+          let events = Eg.uniform space rng 200 in
+          let acc = run_events ov ~rng events in
+          Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%.0f|%d" wname
+            (Rtree.Split.kind_to_string split)
+            (pct acc.fp_rate) acc.fn_total acc.msgs_per_event
+            (total_overlap ov) build_msgs)
+        [ Rtree.Split.Linear; Rtree.Split.Quadratic; Rtree.Split.Rstar ])
+    [ ("uniform", Sg.uniform ()); ("clustered", Sg.clustered ()) ];
+  Table.print table
+
+(* --- E10: root election cases (Fig. 6) ----------------------------------- *)
+
+let e10 () =
+  let table =
+    Table.create ~title:"E10  root election on the three Fig. 6 cases"
+      ~columns:
+        [ "case"; "elected"; "expected"; "ok"; "root MBR area"; "dead space" ]
+  in
+  let run_case name r_big r_small =
+    let ov = O.create ~seed:10 () in
+    let small = O.join ov r_small in
+    let big = O.join ov r_big in
+    ignore (O.stabilize ~legal:Inv.is_legal ov);
+    let root = Option.get (O.designated_root ov) in
+    let root_state = Option.get (O.state ov root) in
+    let mbr =
+      Option.get (Drtree.State.mbr_at root_state (Drtree.State.top root_state))
+    in
+    ignore small;
+    Table.add_rowf table "%s|n%d|n%d|%b|%.0f|%.0f" name root big (root = big)
+      (R.area mbr)
+      (R.area mbr -. R.area (Drtree.State.filter root_state))
+  in
+  run_case "1: containment"
+    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
+    (R.make2 ~x0:5.0 ~y0:5.0 ~x1:10.0 ~y1:10.0);
+  run_case "2: intersecting"
+    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
+    (R.make2 ~x0:15.0 ~y0:15.0 ~x1:25.0 ~y1:25.0);
+  run_case "3: disjoint"
+    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
+    (R.make2 ~x0:40.0 ~y0:40.0 ~x1:45.0 ~y1:45.0);
+  Table.print table
+
+(* --- E11: containment awareness (Properties 3.1/3.2) --------------------- *)
+
+let e11 () =
+  let n = 256 in
+  let table =
+    Table.create
+      ~title:"E11  containment awareness (Properties 3.1/3.2), N=256"
+      ~columns:[ "workload"; "weak violations"; "strong violations"; "pairs" ]
+  in
+  List.iter
+    (fun (wname, wgen) ->
+      let rng = Rng.make (11000 + Hashtbl.hash wname) in
+      let rects = wgen space rng n in
+      let ov = build_overlay ~seed:11 rects in
+      (* Count strict containment pairs for context. *)
+      let arr = Array.of_list rects in
+      let pairs = ref 0 in
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if (not (R.equal a b)) && R.contains a b then incr pairs)
+            arr)
+        arr;
+      Table.add_rowf table "%s|%d|%d|%d" wname
+        (Inv.weak_containment_violations ov)
+        (Inv.strong_containment_violations ov)
+        !pairs)
+    [
+      ("uniform", Sg.uniform ());
+      ("containment", Sg.containment ());
+      ("clustered", Sg.clustered ());
+    ];
+  Table.print table
+
+(* --- E22: fan-out knob (m/M sweep) --------------------------------------- *)
+
+let e22 () =
+  let n = 512 in
+  let table =
+    Table.create ~title:"E22  fan-out knob: m/M sweep (N=512, uniform)"
+      ~columns:
+        [ "m/M"; "height"; "FP %"; "msgs/event"; "mean hops"; "max words" ]
+  in
+  List.iter
+    (fun (m, mm) ->
+      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
+      let rng = Rng.make (22000 + mm) in
+      let rects = Sg.uniform () space rng n in
+      let ov = build_overlay ~cfg ~seed:(22 + mm) rects in
+      let acc = run_events ov ~rng (Eg.uniform space rng 200) in
+      Table.add_rowf table "%d/%d|%d|%.2f|%.1f|%.1f|%d" m mm (O.height ov)
+        (pct acc.fp_rate) acc.msgs_per_event acc.mean_hops
+        (Inv.max_memory_words ov))
+    [ (2, 4); (2, 6); (3, 6); (4, 8); (4, 12); (8, 16) ];
+  Table.print table

@@ -1,1021 +1,41 @@
-(* The experiment suite: one entry per quantitative claim of the paper
-   (see DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured
-   record). Each experiment prints one table. *)
+(* The experiment suite's table of contents: one registration per
+   quantitative claim of the paper (see DESIGN.md §5 and
+   EXPERIMENTS.md for the paper-vs-measured record). The bodies live
+   in the per-section modules:
 
-module R = Geometry.Rect
-module P = Geometry.Point
-module O = Drtree.Overlay
-module Inv = Drtree.Invariant
-module Cfg = Drtree.Config
-module An = Drtree.Analysis
-module Rng = Sim.Rng
-module Sg = Workload.Subscription_gen
-module Eg = Workload.Event_gen
-module Table = Stats.Table
-open Harness
-
-let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
-
-let log_base b x = log x /. log b
-
-(* --- E1: height is O(log_m N) (Lemma 3.1) ------------------------------ *)
-
-let e1 () =
-  let table =
-    Table.create ~title:"E1  DR-tree height vs log_m N (Lemma 3.1)"
-      ~columns:[ "m/M"; "N"; "height"; "log_m N"; "height/log_m N" ]
-  in
-  List.iter
-    (fun (m, mm) ->
-      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
-      let points = ref [] in
-      List.iter
-        (fun n ->
-          let rng = Rng.make (1000 + n) in
-          let rects = Sg.uniform () space rng n in
-          let ov = build_overlay ~cfg ~seed:n rects in
-          let h = O.height ov in
-          let lg = log_base (float_of_int m) (float_of_int n) in
-          points := (lg, float_of_int h) :: !points;
-          Table.add_rowf table "%d/%d|%d|%d|%.2f|%.2f" m mm n h lg
-            (float_of_int h /. lg))
-        n_sweep;
-      let fit = Stats.Regression.linear !points in
-      Table.add_rowf table "%d/%d|fit|slope %.2f|r2 %.3f|" m mm
-        fit.Stats.Regression.slope fit.Stats.Regression.r2)
-    [ (2, 4); (4, 8) ];
-  Table.print table
-
-(* --- E2: memory O(M log^2 N / log m) (Lemma 3.1) ------------------------ *)
-
-let e2 () =
-  let table =
-    Table.create ~title:"E2  per-node maintenance memory (Lemma 3.1)"
-      ~columns:[ "m/M"; "N"; "max words"; "mean words"; "bound"; "max/bound" ]
-  in
-  List.iter
-    (fun (m, mm) ->
-      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
-      List.iter
-        (fun n ->
-          let rng = Rng.make (2000 + n) in
-          let rects = Sg.uniform () space rng n in
-          let ov = build_overlay ~cfg ~seed:(n + 1) rects in
-          let bound = An.memory_bound ~m ~max_fill:mm ~n in
-          Table.add_rowf table "%d/%d|%d|%d|%.1f|%.0f|%.2f" m mm n
-            (Inv.max_memory_words ov)
-            (Inv.mean_memory_words ov)
-            bound
-            (float_of_int (Inv.max_memory_words ov) /. bound))
-        n_sweep)
-    [ (2, 4); (4, 8) ];
-  Table.print table
-
-(* --- E3: subscription (join) cost logarithmic (§1, Lemma 3.2) ----------- *)
-
-let e3 () =
-  let table =
-    Table.create ~title:"E3  join hop count vs log_m N (Lemma 3.2)"
-      ~columns:[ "N"; "mean hops"; "p90"; "max"; "log_2 N" ]
-  in
-  List.iter
-    (fun n ->
-      let rng = Rng.make (3000 + n) in
-      let rects = Sg.uniform () space rng n in
-      let ov = build_overlay ~seed:(n + 2) rects in
-      (* Measure fresh joins into the stabilized overlay. *)
-      let hops = ref [] in
-      let joiners = Sg.uniform () space rng 30 in
-      List.iter
-        (fun r ->
-          ignore (O.join ov r);
-          hops := float_of_int (O.last_join_hops ov) :: !hops)
-        joiners;
-      let s = Stats.Summary.of_list !hops in
-      Table.add_rowf table "%d|%.1f|%.0f|%.0f|%.1f" n s.Stats.Summary.mean
-        s.Stats.Summary.p90 s.Stats.Summary.max
-        (log_base 2.0 (float_of_int n)))
-    n_sweep;
-  Table.print table
-
-(* --- E4: publication latency logarithmic (§1) ---------------------------- *)
-
-let e4 () =
-  let table =
-    Table.create ~title:"E4  publication path length vs log_m N (§1)"
-      ~columns:
-        [ "N"; "mean hops"; "max hops"; "msgs/event"; "2*height"; "height" ]
-  in
-  List.iter
-    (fun n ->
-      let rng = Rng.make (4000 + n) in
-      let rects = Sg.uniform () space rng n in
-      let ov = build_overlay ~seed:(n + 3) rects in
-      let events = Eg.uniform space rng 100 in
-      let acc = run_events ov ~rng events in
-      Table.add_rowf table "%d|%.1f|%d|%.1f|%d|%d" n acc.mean_hops acc.max_hops
-        acc.msgs_per_event
-        (2 * O.height ov)
-        (O.height ov))
-    n_sweep;
-  Table.print table
-
-(* --- E5: accuracy across workloads (§4: FP 2-3%, zero FN) ----------------- *)
-
-let e5 () =
-  let n = 512 in
-  let table =
-    Table.create
-      ~title:
-        "E5  accuracy per workload (N=512; paper: FP 2-3% for most \
-         workloads, FN = 0)"
-      ~columns:
-        [ "subscriptions"; "events"; "FP %"; "FN"; "msgs/event"; "deliveries" ]
-  in
-  List.iter
-    (fun (sub_name, sub_gen) ->
-      let rng = Rng.make (5000 + Hashtbl.hash sub_name) in
-      let rects = sub_gen space rng n in
-      let ov = build_overlay ~seed:(Hashtbl.hash sub_name land 0xffff) rects in
-      List.iter
-        (fun (ev_name, ev_gen) ->
-          let events = ev_gen space rng 200 in
-          let acc = run_events ov ~rng events in
-          Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d" sub_name ev_name
-            (pct acc.fp_rate) acc.fn_total acc.msgs_per_event
-            acc.delivery_total)
-        (Eg.catalog ~subscriptions:rects))
-    Sg.catalog;
-  Table.print table
-
-(* --- E6: split policies (§3.2; R* reduces overlap) ------------------------- *)
-
-(* Total pairwise overlap of sibling MBRs across the DR-tree. *)
-let total_overlap ov =
-  let acc = ref 0.0 in
-  O.iter_states ov (fun _ s ->
-      for h = 1 to Drtree.State.top s do
-        match Drtree.State.level s h with
-        | None -> ()
-        | Some l ->
-            let mbrs =
-              List.filter_map
-                (fun c ->
-                  match O.state ov c with
-                  | Some sc -> Drtree.State.mbr_at sc (h - 1)
-                  | None -> None)
-                (Sim.Node_id.Set.elements l.Drtree.State.children)
-            in
-            let arr = Array.of_list mbrs in
-            Array.iteri
-              (fun i a ->
-                Array.iteri
-                  (fun j b ->
-                    if j > i then acc := !acc +. R.intersection_area a b)
-                  arr)
-              arr
-      done);
-  !acc
-
-let e6 () =
-  let n = 512 in
-  let table =
-    Table.create ~title:"E6  split policy comparison (N=512)"
-      ~columns:
-        [
-          "workload"; "split"; "FP %"; "FN"; "msgs/event"; "overlap";
-          "build msgs";
-        ]
-  in
-  List.iter
-    (fun (wname, wgen) ->
-      List.iter
-        (fun split ->
-          let rng = Rng.make (6000 + Hashtbl.hash wname) in
-          let rects = wgen space rng n in
-          let cfg = Cfg.make ~split () in
-          let ov = O.create ~cfg ~seed:6 () in
-          List.iter (fun r -> ignore (O.join ov r)) rects;
-          let build_msgs = Sim.Engine.messages_sent (O.engine ov) in
-          ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-          let events = Eg.uniform space rng 200 in
-          let acc = run_events ov ~rng events in
-          Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%.0f|%d" wname
-            (Rtree.Split.kind_to_string split)
-            (pct acc.fp_rate) acc.fn_total acc.msgs_per_event
-            (total_overlap ov) build_msgs)
-        [ Rtree.Split.Linear; Rtree.Split.Quadratic; Rtree.Split.Rstar ])
-    [ ("uniform", Sg.uniform ()); ("clustered", Sg.clustered ()) ];
-  Table.print table
-
-(* --- E7: stabilization cost (Lemmas 3.5/3.6: O(N log_m N) steps) ------------ *)
-
-let e7 () =
-  let table =
-    Table.create
-      ~title:"E7  recovery after faults (Lemmas 3.5/3.6; bound = N log_m N)"
-      ~columns:
-        [
-          "N"; "fault"; "rounds"; "repair msgs"; "state probes"; "bound";
-          "msgs/bound";
-        ]
-  in
-  let scenarios =
-    [
-      ("corrupt 10%", `Corrupt 0.1);
-      ("corrupt 30%", `Corrupt 0.3);
-      ("corrupt 100%", `Corrupt 1.0);
-      ("crash 10%", `Crash 0.1);
-      ("crash 25%", `Crash 0.25);
-      ("crash root", `Crash_root);
-    ]
-  in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (name, fault) ->
-          let rng = Rng.make (7000 + n + Hashtbl.hash name) in
-          let rects = Sg.uniform () space rng n in
-          let ov = build_overlay ~seed:(n + 7) rects in
-          (match fault with
-          | `Corrupt fraction ->
-              List.iter
-                (fun v -> ignore (Drtree.Corrupt.any ov rng v))
-                (Drtree.Corrupt.random_victims ov rng ~fraction)
-          | `Crash fraction ->
-              List.iter (fun v -> O.crash ov v)
-                (Drtree.Corrupt.random_victims ov rng ~fraction)
-          | `Crash_root -> (
-              match O.find_root ov with
-              | Some root -> O.crash ov root
-              | None -> ()));
-          Sim.Engine.reset_counters (O.engine ov);
-          O.reset_state_probes ov;
-          let rounds = O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov in
-          let msgs = Sim.Engine.messages_sent (O.engine ov) in
-          let probes = O.state_probes ov in
-          let bound = An.repair_steps_bound ~m:2 ~n in
-          Table.add_rowf table "%d|%s|%s|%d|%d|%.0f|%.2f" n name
-            (match rounds with Some r -> string_of_int r | None -> ">200")
-            msgs probes bound
-            (float_of_int msgs /. bound))
-        scenarios)
-    [ 128; 256 ];
-  Table.print table
-
-(* --- E7b: shared-state vs message-passing stabilization ------------------------ *)
-
-let e7b () =
-  let n = 128 in
-  let table =
-    Table.create
-      ~title:
-        "E7b  stabilization modes: shared-state (probes) vs message-passing \
-         (counted QUERY/REPORT), N=128"
-      ~columns:
-        [ "fault"; "mode"; "rounds"; "messages"; "state probes" ]
-  in
-  let scenarios =
-    [ ("corrupt 30%", `Corrupt 0.3); ("crash 25%", `Crash 0.25) ]
-  in
-  List.iter
-    (fun (name, fault) ->
-      List.iter
-        (fun (mode_name, stab) ->
-          let rng = Rng.make (7500 + Hashtbl.hash (name ^ mode_name)) in
-          let rects = Sg.uniform () space rng n in
-          let ov = build_overlay ~seed:75 rects in
-          (match fault with
-          | `Corrupt fraction ->
-              List.iter
-                (fun v -> ignore (Drtree.Corrupt.any ov rng v))
-                (Drtree.Corrupt.random_victims ov rng ~fraction)
-          | `Crash fraction ->
-              List.iter (fun v -> O.crash ov v)
-                (Drtree.Corrupt.random_victims ov rng ~fraction));
-          Sim.Engine.reset_counters (O.engine ov);
-          O.reset_state_probes ov;
-          let rounds = stab ov in
-          Table.add_rowf table "%s|%s|%s|%d|%d" name mode_name
-            (match rounds with Some r -> string_of_int r | None -> ">200")
-            (Sim.Engine.messages_sent (O.engine ov))
-            (O.state_probes ov))
-        [
-          ("shared-state",
-           fun ov -> O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov);
-          ("message-passing",
-           fun ov -> O.stabilize_mp ~max_rounds:200 ~legal:Inv.is_legal ov);
-        ])
-    scenarios;
-  Table.print table
-
-(* --- E8: churn resistance (Lemma 3.7) ----------------------------------------- *)
-
-(* Is the overlay graph (undirected parent/children links among live
-   processes) still connected? *)
-let overlay_connected ov =
-  match O.alive_ids ov with
-  | [] -> true
-  | first :: _ as ids ->
-      let module Set = Sim.Node_id.Set in
-      let neighbours id =
-        match O.state ov id with
-        | None -> []
-        | Some s ->
-            let acc = ref [] in
-            for h = 0 to Drtree.State.top s do
-              match Drtree.State.level s h with
-              | None -> ()
-              | Some l ->
-                  if O.is_alive ov l.Drtree.State.parent then
-                    acc := l.Drtree.State.parent :: !acc;
-                  Set.iter
-                    (fun c -> if O.is_alive ov c then acc := c :: !acc)
-                    l.Drtree.State.children
-            done;
-            !acc
-      in
-      let visited = ref (Set.singleton first) in
-      let queue = Queue.create () in
-      Queue.add first queue;
-      while not (Queue.is_empty queue) do
-        let id = Queue.pop queue in
-        List.iter
-          (fun nb ->
-            if not (Set.mem nb !visited) then begin
-              visited := Set.add nb !visited;
-              Queue.add nb queue
-            end)
-          (neighbours id)
-      done;
-      Set.cardinal !visited = List.length ids
-
-let e8 () =
-  let n = 64 in
-  let delta = 1.0 in
-  let runs = 10 in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E8  churn resistance, N=%d, delta=%.0f (Lemma 3.7, formula as \
-            printed)"
-           n delta)
-      ~columns:
-        [ "lambda"; "mean disconnect time (sim)"; "formula"; "runs" ]
-  in
-  List.iter
-    (fun lambda ->
-      let times = ref [] in
-      for run = 1 to runs do
-        let rng = Rng.make ((8000 * run) + int_of_float (lambda *. 10.0)) in
-        let rects = Sg.uniform () space rng n in
-        let ov = build_overlay ~seed:(run + int_of_float lambda) rects in
-        (* Departures at rate lambda; no stabilization in the window. *)
-        let departures =
-          Sim.Churn.departure_times rng ~rate:lambda ~count:(n - 2)
-        in
-        let disconnect = ref None in
-        List.iter
-          (fun t ->
-            if !disconnect = None then begin
-              (match O.alive_ids ov with
-              | [] | [ _ ] -> ()
-              | ids -> O.crash ov (Rng.pick rng ids));
-              if not (overlay_connected ov) then disconnect := Some t
-            end)
-          departures;
-        match !disconnect with
-        | Some t -> times := t :: !times
-        | None -> ()
-      done;
-      let mean_time =
-        match !times with
-        | [] -> nan
-        | ts -> List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts)
-      in
-      let predicted = An.churn_disconnect_time ~n ~delta ~lambda in
-      Table.add_rowf table "%.1f|%.3f|%.3g|%d/%d" lambda mean_time predicted
-        (List.length !times) runs)
-    [ 2.0; 5.0; 10.0; 20.0; 50.0 ];
-  Table.print table
-
-(* --- E9: baseline comparison (§3.1, §4) ------------------------------------------ *)
-
-let e9 () =
-  let n = 256 in
-  let events_count = 200 in
-  let table =
-    Table.create ~title:"E9  router comparison (N=256, uniform + clustered)"
-      ~columns:
-        [
-          "workload"; "router"; "FP %"; "FN"; "msgs/event"; "max hops";
-          "max degree"; "notes";
-        ]
-  in
-  let run_workload wname wgen =
-    let rng = Rng.make (9000 + Hashtbl.hash wname) in
-    let rects = wgen space rng n in
-    let points = Eg.targeted rects ~hit_rate:0.6 space rng events_count in
-    (* DR-tree *)
-    let ov = build_overlay ~seed:9 rects in
-    let acc = run_events ov ~rng points in
-    Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d|%d|%s" wname "dr-tree"
-      (pct acc.fp_rate) acc.fn_total acc.msgs_per_event acc.max_hops
-      (Inv.max_degree ov)
-      (Printf.sprintf "height %d" (O.height ov));
-    (* Generic runner over the Report-based baselines. *)
-    let run_baseline name publish size_degree notes =
-      let fp = ref 0 and fn = ref 0 and msgs = ref 0 and hops = ref 0 in
-      List.iter
-        (fun p ->
-          let from = Rng.int rng n in
-          let (rep : Baselines.Report.t) = publish ~from p in
-          fp := !fp + rep.Baselines.Report.false_positives;
-          fn := !fn + rep.Baselines.Report.false_negatives;
-          msgs := !msgs + rep.Baselines.Report.messages;
-          hops := max !hops rep.Baselines.Report.max_hops)
-        points;
-      Table.add_rowf table "%s|%s|%.2f|%d|%.1f|%d|%d|%s" wname name
-        (pct (float_of_int !fp /. float_of_int (events_count * n)))
-        !fn
-        (float_of_int !msgs /. float_of_int events_count)
-        !hops size_degree notes
-    in
-    let ct = Baselines.Containment_tree.create () in
-    List.iter (fun r -> ignore (Baselines.Containment_tree.add ct r)) rects;
-    run_baseline "containment-tree"
-      (fun ~from p -> Baselines.Containment_tree.publish ct ~from p)
-      (Baselines.Containment_tree.max_degree ct)
-      (Printf.sprintf "depth %d" (Baselines.Containment_tree.depth ct));
-    let pd = Baselines.Per_dimension.create ~dims:2 in
-    List.iter (fun r -> ignore (Baselines.Per_dimension.add pd r)) rects;
-    run_baseline "per-dimension"
-      (fun ~from p -> Baselines.Per_dimension.publish pd ~from p)
-      (Baselines.Per_dimension.max_degree pd)
-      "";
-    let fl = Baselines.Flooding.create () in
-    List.iter (fun r -> ignore (Baselines.Flooding.add fl r)) rects;
-    run_baseline "flooding"
-      (fun ~from p -> Baselines.Flooding.publish fl ~from p)
-      (n - 1) "";
-    let dht = Baselines.Dht_rendezvous.create ~space:(Workload.Space.rect space) () in
-    List.iter (fun r -> ignore (Baselines.Dht_rendezvous.add dht r)) rects;
-    run_baseline "dht (cells)"
-      (fun ~from p -> Baselines.Dht_rendezvous.publish dht ~from p)
-      (Baselines.Dht_rendezvous.max_registrations dht)
-      (Printf.sprintf "reg msgs %d"
-         (Baselines.Dht_rendezvous.registration_messages dht));
-    let dhte =
-      Baselines.Dht_rendezvous.create ~exact:true
-        ~space:(Workload.Space.rect space) ()
-    in
-    List.iter (fun r -> ignore (Baselines.Dht_rendezvous.add dhte r)) rects;
-    run_baseline "dht (exact)"
-      (fun ~from p -> Baselines.Dht_rendezvous.publish dhte ~from p)
-      (Baselines.Dht_rendezvous.max_registrations dhte)
-      (Printf.sprintf "reg msgs %d"
-         (Baselines.Dht_rendezvous.registration_messages dhte))
-  in
-  run_workload "uniform" (Sg.uniform ());
-  run_workload "clustered" (Sg.clustered ());
-  Table.print table
-
-(* --- E10: root election cases (Fig. 6) --------------------------------------------- *)
-
-let e10 () =
-  let table =
-    Table.create ~title:"E10  root election on the three Fig. 6 cases"
-      ~columns:
-        [ "case"; "elected"; "expected"; "ok"; "root MBR area"; "dead space" ]
-  in
-  let run_case name r_big r_small =
-    let ov = O.create ~seed:10 () in
-    let small = O.join ov r_small in
-    let big = O.join ov r_big in
-    ignore (O.stabilize ~legal:Inv.is_legal ov);
-    let root = Option.get (O.find_root ov) in
-    let root_state = Option.get (O.state ov root) in
-    let mbr =
-      Option.get (Drtree.State.mbr_at root_state (Drtree.State.top root_state))
-    in
-    ignore small;
-    Table.add_rowf table "%s|n%d|n%d|%b|%.0f|%.0f" name root big (root = big)
-      (R.area mbr)
-      (R.area mbr -. R.area (Drtree.State.filter root_state))
-  in
-  run_case "1: containment"
-    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
-    (R.make2 ~x0:5.0 ~y0:5.0 ~x1:10.0 ~y1:10.0);
-  run_case "2: intersecting"
-    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
-    (R.make2 ~x0:15.0 ~y0:15.0 ~x1:25.0 ~y1:25.0);
-  run_case "3: disjoint"
-    (R.make2 ~x0:0.0 ~y0:0.0 ~x1:20.0 ~y1:20.0)
-    (R.make2 ~x0:40.0 ~y0:40.0 ~x1:45.0 ~y1:45.0);
-  Table.print table
-
-(* --- E11: containment awareness (Properties 3.1/3.2) -------------------------------- *)
-
-let e11 () =
-  let n = 256 in
-  let table =
-    Table.create
-      ~title:"E11  containment awareness (Properties 3.1/3.2), N=256"
-      ~columns:[ "workload"; "weak violations"; "strong violations"; "pairs" ]
-  in
-  List.iter
-    (fun (wname, wgen) ->
-      let rng = Rng.make (11000 + Hashtbl.hash wname) in
-      let rects = wgen space rng n in
-      let ov = build_overlay ~seed:11 rects in
-      (* Count strict containment pairs for context. *)
-      let arr = Array.of_list rects in
-      let pairs = ref 0 in
-      Array.iter
-        (fun a ->
-          Array.iter
-            (fun b ->
-              if (not (R.equal a b)) && R.contains a b then incr pairs)
-            arr)
-        arr;
-      Table.add_rowf table "%s|%d|%d|%d" wname
-        (Inv.weak_containment_violations ov)
-        (Inv.strong_containment_violations ov)
-        !pairs)
-    [
-      ("uniform", Sg.uniform ());
-      ("containment", Sg.containment ());
-      ("clustered", Sg.clustered ());
-    ];
-  Table.print table
-
-(* --- E13: controlled-leave repair, lazy vs subtree reconnection (§3.2) ------- *)
-
-let e13 () =
-  let n = 256 in
-  let leaves = 30 in
-  let table =
-    Table.create
-      ~title:
-        "E13  controlled departures: stabilization-driven vs subtree \
-         reconnection (N=256, 30 interior leaves)"
-      ~columns:
-        [ "variant"; "repair msgs"; "stabilize rounds"; "violations pre-repair" ]
-  in
-  let run_variant name leave_fn =
-    let rng = Rng.make 13 in
-    let rects = Sg.uniform () space rng n in
-    let ov = build_overlay ~seed:13 rects in
-    let total_msgs = ref 0 and total_rounds = ref 0 and total_viol = ref 0 in
-    for _ = 1 to leaves do
-      (* Prefer an interior departer: their subtrees are what the
-         reconnection variant is about. *)
-      let victim =
-        let ids = O.alive_ids ov in
-        match
-          List.find_opt
-            (fun id ->
-              match O.state ov id with
-              | Some s ->
-                  Drtree.State.top s >= 1 && O.find_root ov <> Some id
-              | None -> false)
-            ids
-        with
-        | Some id -> id
-        | None -> List.hd ids
-      in
-      Sim.Engine.reset_counters (O.engine ov);
-      leave_fn ov victim;
-      total_viol := !total_viol + List.length (Inv.check ov);
-      (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
-      | Some r -> total_rounds := !total_rounds + r
-      | None -> total_rounds := !total_rounds + 100);
-      total_msgs := !total_msgs + Sim.Engine.messages_sent (O.engine ov)
-    done;
-    Table.add_rowf table "%s|%d|%d|%d" name !total_msgs !total_rounds
-      !total_viol
-  in
-  run_variant "lazy (Fig. 9 + stabilization)" O.leave;
-  run_variant "subtree reconnection" O.leave_reconnect;
-  Table.print table
-
-(* --- E14: dimensionality sweep (poly-space rectangles, §2.1/§3) -------------- *)
-
-let e14 () =
-  let n = 256 in
-  let table =
-    Table.create
-      ~title:"E14  poly-space filters: dimensionality sweep (N=256, uniform)"
-      ~columns:[ "dims"; "height"; "FP %"; "FN"; "msgs/event"; "max words" ]
-  in
-  List.iter
-    (fun dims ->
-      let sp = Workload.Space.make ~dims () in
-      let rng = Rng.make (14000 + dims) in
-      let rects = Sg.uniform () sp rng n in
-      let ov = build_overlay ~seed:(14 + dims) rects in
-      let events = Eg.uniform sp rng 200 in
-      let ids = O.alive_ids ov in
-      let fp = ref 0 and fn = ref 0 and msgs = ref 0 in
-      List.iter
-        (fun p ->
-          let report = O.publish ov ~from:(Rng.pick rng ids) p in
-          fp := !fp + report.O.false_positives;
-          fn := !fn + report.O.false_negatives;
-          msgs := !msgs + report.O.messages)
-        events;
-      Table.add_rowf table "%d|%d|%.2f|%d|%.1f|%d" dims (O.height ov)
-        (pct (float_of_int !fp /. float_of_int (200 * n)))
-        !fn
-        (float_of_int !msgs /. 200.0)
-        (Inv.max_memory_words ov))
-    [ 2; 3; 4; 5 ];
-  Table.print table
-
-(* --- E15: contact oracle ablation (§3.2 joins) -------------------------------- *)
-
-let e15 () =
-  let n = 512 in
-  let table =
-    Table.create
-      ~title:"E15  contact-oracle ablation (N=512, uniform workload)"
-      ~columns:
-        [ "oracle"; "build msgs"; "mean join hops"; "height"; "FP %" ]
-  in
-  List.iter
-    (fun (name, oracle) ->
-      let cfg = Cfg.make ~oracle () in
-      let rng = Rng.make 15 in
-      let rects = Sg.uniform () space rng n in
-      let ov = O.create ~cfg ~seed:15 () in
-      let hops = ref [] in
-      List.iter
-        (fun r ->
-          ignore (O.join ov r);
-          hops := float_of_int (O.last_join_hops ov) :: !hops)
-        rects;
-      let build_msgs = Sim.Engine.messages_sent (O.engine ov) in
-      ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-      let acc = run_events ov ~rng (Eg.uniform space rng 200) in
-      Table.add_rowf table "%s|%d|%.1f|%d|%.2f" name build_msgs
-        (Stats.Summary.mean !hops) (O.height ov) (pct acc.fp_rate))
-    [ ("root", Cfg.Root_oracle); ("random", Cfg.Random_oracle) ];
-  Table.print table
-
-(* --- E16: FP-driven reorganization under biased events (§3.2) ------------------ *)
-
-let e16 () =
-  let n = 256 in
-  let table =
-    Table.create
-      ~title:
-        "E16  dynamic reorganization under biased events (N=256, hotspot \
-         events)"
-      ~columns:[ "phase"; "FP %"; "FN"; "msgs/event"; "swaps" ]
-  in
-  let rng = Rng.make 16 in
-  let rects = Sg.clustered () space rng n in
-  let ov = build_overlay ~seed:16 rects in
-  let events () = Eg.hotspot ~fraction:0.9 () space (Rng.copy (Rng.make 1616)) 300 in
-  let acc0 = run_events ov ~rng (events ()) in
-  Table.add_rowf table "before swaps|%.2f|%d|%.1f|" (pct acc0.fp_rate)
-    acc0.fn_total acc0.msgs_per_event;
-  let swaps = O.fp_swap_round ov in
-  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-  let acc1 = run_events ov ~rng (events ()) in
-  Table.add_rowf table "after 1 swap round|%.2f|%d|%.1f|%d" (pct acc1.fp_rate)
-    acc1.fn_total acc1.msgs_per_event swaps;
-  let swaps2 = O.fp_swap_round ov in
-  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-  let acc2 = run_events ov ~rng (events ()) in
-  Table.add_rowf table "after 2 swap rounds|%.2f|%d|%.1f|%d" (pct acc2.fp_rate)
-    acc2.fn_total acc2.msgs_per_event swaps2;
-  Table.print table
-
-(* --- E17: false-positive rate vs N (companion-TR style sweep) ----------------- *)
-
-let e17 () =
-  let table =
-    Table.create ~title:"E17  false-positive rate vs network size (uniform)"
-      ~columns:[ "N"; "FP %"; "FN"; "msgs/event"; "receivers/event" ]
-  in
-  List.iter
-    (fun n ->
-      let rng = Rng.make (17000 + n) in
-      let rects = Sg.uniform () space rng n in
-      let ov = build_overlay ~seed:(17 + n) rects in
-      let ids = O.alive_ids ov in
-      let events = Eg.uniform space rng 200 in
-      let fp = ref 0 and fn = ref 0 and msgs = ref 0 and recv = ref 0 in
-      List.iter
-        (fun p ->
-          let report = O.publish ov ~from:(Rng.pick rng ids) p in
-          fp := !fp + report.O.false_positives;
-          fn := !fn + report.O.false_negatives;
-          msgs := !msgs + report.O.messages;
-          recv := !recv + Sim.Node_id.Set.cardinal report.O.received)
-        events;
-      Table.add_rowf table "%d|%.2f|%d|%.1f|%.1f" n
-        (pct (float_of_int !fp /. float_of_int (200 * n)))
-        !fn
-        (float_of_int !msgs /. 200.0)
-        (float_of_int !recv /. 200.0))
-    n_sweep;
-  Table.print table
-
-(* --- E18: resilience to message loss ------------------------------------------- *)
-
-let e18 () =
-  let n = 128 in
-  let table =
-    Table.create
-      ~title:
-        "E18  message loss: joins + stabilization under lossy links (N=128)"
-      ~columns:
-        [
-          "drop rate"; "joined"; "rounds to legal"; "lost msgs";
-          "FN after repair";
-        ]
-  in
-  List.iter
-    (fun drop_rate ->
-      let rng = Rng.make (18000 + int_of_float (drop_rate *. 100.0)) in
-      let ov = O.create ~drop_rate ~seed:18 () in
-      let rects = Sg.uniform () space rng n in
-      List.iter (fun r -> ignore (O.join ov r)) rects;
-      let rounds = O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov in
-      let lost = Sim.Engine.messages_lost (O.engine ov) in
-      (* Accuracy once repaired: publications themselves ride the same
-         lossy links, so FNs can persist proportionally to the drop
-         rate — report them. *)
-      let ids = O.alive_ids ov in
-      let fn = ref 0 in
-      for _ = 1 to 100 do
-        let p =
-          P.make2 (Rng.range rng 0.0 100.0) (Rng.range rng 0.0 100.0)
-        in
-        let report = O.publish ov ~from:(Rng.pick rng ids) p in
-        fn := !fn + report.O.false_negatives
-      done;
-      Table.add_rowf table "%.0f%%|%d|%s|%d|%d"
-        (100.0 *. drop_rate) (O.size ov)
-        (match rounds with Some r -> string_of_int r | None -> ">200")
-        lost !fn)
-    [ 0.0; 0.01; 0.05; 0.10; 0.20 ];
-  Table.print table
-
-(* --- E19: churn resistance, DR-tree vs Chord rendezvous (§4) ------------------- *)
-
-let e19 () =
-  let n = 128 in
-  let events_count = 150 in
-  let table =
-    Table.create
-      ~title:
-        "E19  churn: DR-tree vs Chord rendezvous (N=128; FN per 150 events, \
-         before and after repair)"
-      ~columns:
-        [
-          "crash %"; "system"; "FN wounded"; "FN repaired"; "repair msgs";
-        ]
-  in
-  List.iter
-    (fun crash_frac ->
-      let seed = 19 + int_of_float (crash_frac *. 100.0) in
-      let rng = Rng.make (19000 + seed) in
-      let rects = Sg.uniform () space rng n in
-      let points =
-        Eg.targeted rects ~hit_rate:0.7 space rng events_count
-      in
-      let kill_count = int_of_float (crash_frac *. float_of_int n) in
-      (* DR-tree *)
-      let ov = build_overlay ~seed rects in
-      let victims =
-        List.filteri (fun i _ -> i < kill_count) (O.alive_ids ov)
-      in
-      List.iter (fun v -> O.crash ov v) victims;
-      let fn_of_publishes () =
-        let ids = O.alive_ids ov in
-        List.fold_left
-          (fun acc p ->
-            let rep = O.publish ov ~from:(List.hd ids) p in
-            acc + rep.O.false_negatives)
-          0 points
-      in
-      let fn_wounded = fn_of_publishes () in
-      Sim.Engine.reset_counters (O.engine ov);
-      ignore (O.stabilize ~max_rounds:200 ~legal:Inv.is_legal ov);
-      let repair_msgs = Sim.Engine.messages_sent (O.engine ov) in
-      let fn_repaired = fn_of_publishes () in
-      Table.add_rowf table "%.0f%%|%s|%d|%d|%d" (100.0 *. crash_frac)
-        "dr-tree" fn_wounded fn_repaired repair_msgs;
-      (* Chord rendezvous *)
-      let cp =
-        Baselines.Chord_pubsub.create ~space:(Workload.Space.rect space)
-          ~seed ()
-      in
-      let ids =
-        List.map (fun r -> Baselines.Chord_pubsub.join_subscriber cp r) rects
-      in
-      let cp_victims = List.filteri (fun i _ -> i < kill_count) ids in
-      List.iter (fun v -> Baselines.Chord_pubsub.crash cp v) cp_victims;
-      let survivor =
-        List.find (fun id -> not (List.mem id cp_victims)) ids
-      in
-      let fn_of_cp () =
-        List.fold_left
-          (fun acc p ->
-            let rep = Baselines.Chord_pubsub.publish cp ~from:survivor p in
-            acc + rep.Baselines.Report.false_negatives)
-          0 points
-      in
-      let cp_wounded = fn_of_cp () in
-      Baselines.Chord_pubsub.reset_counters cp;
-      Baselines.Chord_pubsub.repair cp;
-      let cp_repair_msgs = Baselines.Chord_pubsub.messages_sent cp in
-      let cp_repaired = fn_of_cp () in
-      Table.add_rowf table "%.0f%%|%s|%d|%d|%d" (100.0 *. crash_frac)
-        "chord rendezvous" cp_wounded cp_repaired cp_repair_msgs)
-    [ 0.1; 0.25; 0.4 ];
-  Table.print table
-
-(* --- E20: gossip overlay accuracy vs convergence (§4, DHT-free designs) -------- *)
-
-let e20 () =
-  let n = 128 in
-  let events_count = 150 in
-  let table =
-    Table.create
-      ~title:
-        "E20  Sub-2-Sub-style gossip: accuracy needs convergence (N=128, \
-         clustered; DR-tree reference below)"
-      ~columns:
-        [ "gossip rounds"; "view quality"; "FN"; "FN %"; "FP %"; "msgs/event" ]
-  in
-  let rng = Rng.make 20 in
-  let rects = Sg.clustered () space rng n in
-  let points = Eg.targeted rects ~hit_rate:0.8 space rng events_count in
-  List.iter
-    (fun rounds ->
-      let t = Baselines.Sub2sub.create ~seed:20 () in
-      let ids = List.map (fun r -> Baselines.Sub2sub.add t r) rects in
-      Baselines.Sub2sub.gossip t ~rounds;
-      let erng = Rng.make 2020 in
-      let fn = ref 0 and fp = ref 0 and msgs = ref 0 and matched = ref 0 in
-      List.iter
-        (fun p ->
-          let rep =
-            Baselines.Sub2sub.publish t ~from:(Rng.pick erng ids) p
-          in
-          fn := !fn + rep.Baselines.Report.false_negatives;
-          fp := !fp + rep.Baselines.Report.false_positives;
-          msgs := !msgs + rep.Baselines.Report.messages;
-          matched :=
-            !matched
-            + Baselines.Report.Int_set.cardinal rep.Baselines.Report.matched)
-        points;
-      Table.add_rowf table "%d|%.2f|%d|%.1f|%.2f|%.1f" rounds
-        (Baselines.Sub2sub.mean_view_overlap t)
-        !fn
-        (100.0 *. float_of_int !fn /. float_of_int (max 1 !matched))
-        (pct (float_of_int !fp /. float_of_int (events_count * n)))
-        (float_of_int !msgs /. float_of_int events_count))
-    [ 0; 2; 5; 10; 20 ];
-  (* Reference: the DR-tree on the same workload and events. *)
-  let ov = build_overlay ~seed:20 rects in
-  let acc = run_events ov ~rng points in
-  Table.add_rowf table "dr-tree (reference)|1.00|%d|%.1f|%.2f|%.1f"
-    acc.fn_total 0.0 (pct acc.fp_rate) acc.msgs_per_event;
-  Table.print table
-
-(* --- E21: filter sets per process vs one process per filter (§2.1) ------------ *)
-
-let e21 () =
-  let clients = 64 in
-  let filters_per_client = 4 in
-  let events_count = 200 in
-  let schema = Filter.Schema.make [ "x"; "y" ] in
-  let table =
-    Table.create
-      ~title:
-        "E21  a client's k filters: one leaf per filter vs one leaf for the \
-         set (64 clients x 4 filters)"
-      ~columns:
-        [ "layout"; "leaves"; "height"; "FP %"; "FN"; "msgs/event";
-          "max words" ]
-  in
-  let rng = Rng.make 21 in
-  let client_filters =
-    List.init clients (fun _ ->
-        List.map
-          (fun r -> Filter.Subscription.of_rect schema r)
-          (Sg.uniform () space rng filters_per_client))
-  in
-  let erng = Rng.make 2121 in
-  let points = Eg.uniform space erng events_count in
-  let run_layout name subscribe_fn =
-    let ps = Drtree.Pubsub.create ~schema ~seed:21 () in
-    List.iter (fun subs -> subscribe_fn ps subs) client_filters;
-    let ov = Drtree.Pubsub.overlay ps in
-    ignore
-      (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-    let ids = O.alive_ids ov in
-    let fp = ref 0 and fn = ref 0 and msgs = ref 0 in
-    List.iter
-      (fun p ->
-        let event = Filter.Event.of_point schema p in
-        let rep =
-          Drtree.Pubsub.publish ps ~from:(Rng.pick erng ids) event
-        in
-        fp := !fp + rep.Drtree.Pubsub.false_positives;
-        fn := !fn + rep.Drtree.Pubsub.false_negatives;
-        msgs := !msgs + rep.Drtree.Pubsub.messages)
-      points;
-    let n = List.length ids in
-    Table.add_rowf table "%s|%d|%d|%.2f|%d|%.1f|%d" name n (O.height ov)
-      (pct (float_of_int !fp /. float_of_int (events_count * n)))
-      !fn
-      (float_of_int !msgs /. float_of_int events_count)
-      (Inv.max_memory_words ov)
-  in
-  run_layout "one leaf per filter" (fun ps subs ->
-      List.iter (fun sub -> ignore (Drtree.Pubsub.subscribe ps sub)) subs);
-  run_layout "one leaf per client (set)" (fun ps subs ->
-      ignore (Drtree.Pubsub.subscribe_set ps subs));
-  Table.print table
-
-(* --- E22: fan-out knob (m/M sweep) --------------------------------------------- *)
-
-let e22 () =
-  let n = 512 in
-  let table =
-    Table.create ~title:"E22  fan-out knob: m/M sweep (N=512, uniform)"
-      ~columns:
-        [ "m/M"; "height"; "FP %"; "msgs/event"; "mean hops"; "max words" ]
-  in
-  List.iter
-    (fun (m, mm) ->
-      let cfg = Cfg.make ~min_fill:m ~max_fill:mm () in
-      let rng = Rng.make (22000 + mm) in
-      let rects = Sg.uniform () space rng n in
-      let ov = build_overlay ~cfg ~seed:(22 + mm) rects in
-      let acc = run_events ov ~rng (Eg.uniform space rng 200) in
-      Table.add_rowf table "%d/%d|%d|%.2f|%.1f|%.1f|%d" m mm (O.height ov)
-        (pct acc.fp_rate) acc.msgs_per_event acc.mean_hops
-        (Inv.max_memory_words ov))
-    [ (2, 4); (2, 6); (3, 6); (4, 8); (4, 12); (8, 16) ];
-  Table.print table
-
-(* --- E23: laptop-scale stress --------------------------------------------------- *)
-
-let e23 () =
-  let table =
-    Table.create ~title:"E23  scale: build cost and shape up to N=8192"
-      ~columns:
-        [
-          "N"; "build s"; "join msgs"; "height"; "FP %"; "msgs/event";
-          "max words";
-        ]
-  in
-  List.iter
-    (fun n ->
-      let rng = Rng.make (23000 + n) in
-      let rects = Sg.uniform () space rng n in
-      let ov = O.create ~seed:(23 + n) () in
-      let t0 = Sys.time () in
-      List.iter (fun r -> ignore (O.join ov r)) rects;
-      ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
-      let dt = Sys.time () -. t0 in
-      let build_msgs = Sim.Engine.messages_sent (O.engine ov) in
-      let acc = run_events ov ~rng (Eg.uniform space rng 100) in
-      Table.add_rowf table "%d|%.2f|%d|%d|%.2f|%.1f|%d" n dt build_msgs
-        (O.height ov) (pct acc.fp_rate) acc.msgs_per_event
-        (Inv.max_memory_words ov))
-    [ 1024; 2048; 4096; 8192 ];
-  Table.print table
+     E_structure  — tree shape: height, memory, splits, root election,
+                    containment awareness, fan-out
+     E_pubsub     — join/publish cost, accuracy, dimensionality,
+                    oracle/reorganization ablations, filter sets
+     E_churn      — fault recovery, stabilization modes + telemetry,
+                    churn, leave variants, message loss, Chord
+     E_baselines  — §4 related-work router comparisons
+     E_scale      — laptop-scale stress *)
 
 let register () =
-  Harness.register "E1" "height is O(log_m N)" e1;
-  Harness.register "E2" "memory is O(M log^2 N / log m)" e2;
-  Harness.register "E3" "join cost is logarithmic" e3;
-  Harness.register "E4" "publication cost is logarithmic" e4;
-  Harness.register "E5" "false positives 2-3%, zero false negatives" e5;
-  Harness.register "E6" "split policy comparison" e6;
-  Harness.register "E7" "stabilization cost after faults" e7;
-  Harness.register "E7B" "shared-state vs message-passing repair" e7b;
-  Harness.register "E8" "churn resistance (Lemma 3.7)" e8;
-  Harness.register "E9" "comparison against baseline routers" e9;
-  Harness.register "E10" "root election (Fig. 6)" e10;
-  Harness.register "E11" "containment awareness properties" e11;
-  Harness.register "E13" "leave repair: lazy vs subtree reconnection" e13;
-  Harness.register "E14" "dimensionality sweep" e14;
-  Harness.register "E15" "contact-oracle ablation" e15;
-  Harness.register "E16" "FP-driven reorganization ablation" e16;
-  Harness.register "E17" "false-positive rate vs N" e17;
-  Harness.register "E18" "resilience to message loss" e18;
-  Harness.register "E19" "churn: DR-tree vs Chord rendezvous" e19;
-  Harness.register "E20" "gossip overlay accuracy vs convergence" e20;
-  Harness.register "E21" "filter sets vs one leaf per filter" e21;
-  Harness.register "E22" "fan-out (m/M) sweep" e22;
-  Harness.register "E23" "laptop-scale stress" e23
+  Harness.register "E1" "height is O(log_m N)" E_structure.e1;
+  Harness.register "E2" "memory is O(M log^2 N / log m)" E_structure.e2;
+  Harness.register "E3" "join cost is logarithmic" E_pubsub.e3;
+  Harness.register "E4" "publication cost is logarithmic" E_pubsub.e4;
+  Harness.register "E5" "false positives 2-3%, zero false negatives"
+    E_pubsub.e5;
+  Harness.register "E6" "split policy comparison" E_structure.e6;
+  Harness.register "E7" "stabilization cost after faults" E_churn.e7;
+  Harness.register "E7B" "shared-state vs message-passing repair" E_churn.e7b;
+  Harness.register "E8" "churn resistance (Lemma 3.7)" E_churn.e8;
+  Harness.register "E9" "comparison against baseline routers" E_baselines.e9;
+  Harness.register "E10" "root election (Fig. 6)" E_structure.e10;
+  Harness.register "E11" "containment awareness properties" E_structure.e11;
+  Harness.register "E13" "leave repair: lazy vs subtree reconnection"
+    E_churn.e13;
+  Harness.register "E14" "dimensionality sweep" E_pubsub.e14;
+  Harness.register "E15" "contact-oracle ablation" E_pubsub.e15;
+  Harness.register "E16" "FP-driven reorganization ablation" E_pubsub.e16;
+  Harness.register "E17" "false-positive rate vs N" E_pubsub.e17;
+  Harness.register "E18" "resilience to message loss" E_churn.e18;
+  Harness.register "E19" "churn: DR-tree vs Chord rendezvous" E_churn.e19;
+  Harness.register "E20" "gossip overlay accuracy vs convergence"
+    E_baselines.e20;
+  Harness.register "E21" "filter sets vs one leaf per filter" E_pubsub.e21;
+  Harness.register "E22" "fan-out (m/M) sweep" E_structure.e22;
+  Harness.register "E23" "laptop-scale stress" E_scale.e23

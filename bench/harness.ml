@@ -9,6 +9,8 @@ module Inv = Drtree.Invariant
 module Rng = Sim.Rng
 
 let space = Workload.Space.default
+let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
+let log_base b x = log x /. log b
 
 (* Build an overlay from a subscription workload and stabilize it. *)
 let build_overlay ?(cfg = Drtree.Config.default) ~seed rects =

@@ -200,7 +200,7 @@ let inspect_cmd =
     print_shape ov;
     Printf.printf "\n";
     (* Print the tree from the root downward. *)
-    (match O.find_root ov with
+    (match O.designated_root ov with
     | None -> Printf.printf "(empty)\n"
     | Some root ->
         let rec show id h indent =

@@ -51,7 +51,7 @@ let () =
   let crng = Rng.make 77 in
 
   Printf.printf "=== fault 1: silent crash of the root ===\n";
-  (match O.find_root ov with
+  (match O.designated_root ov with
   | Some root ->
       Printf.printf "  killing root n%d\n" root;
       O.crash ov root

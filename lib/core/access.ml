@@ -1,0 +1,255 @@
+module Rect = Geometry.Rect
+module Node_id = Sim.Node_id
+module Engine = Sim.Engine
+
+type net = {
+  cfg : Config.t;
+  engine : Message.t Engine.t;
+  states : State.t Node_id.Table.t;
+  rng : Sim.Rng.t;
+  snapshots : (Node_id.t * Node_id.t, Message.snapshot) Hashtbl.t;
+      (* (asker, responder) -> responder's state as reported this
+         message-passing stabilization round *)
+  tele : Telemetry.t;
+  mutable last_join_hops : int;
+  mutable executor : Node_id.t option;
+      (* the node whose module body is currently executing; reads of
+         other nodes' states count as state probes *)
+}
+
+let create ?(cfg = Config.default) ?drop_rate ~seed () =
+  {
+    cfg;
+    engine = Engine.create ?drop_rate ~seed ();
+    states = Node_id.Table.create 256;
+    rng = Sim.Rng.make (seed lxor 0x7ee1);
+    snapshots = Hashtbl.create 256;
+    tele = Telemetry.create ();
+    last_join_hops = 0;
+    executor = None;
+  }
+
+let is_alive net id = Engine.is_alive net.engine id
+let state net id = Node_id.Table.find_opt net.states id
+
+(* Protocol-level read: a crashed process's memory is unreachable.
+   When a module body executing at another node reads this state, the
+   access is a remote probe — in a purely message-passing
+   implementation it would cost a query/reply round trip. We count
+   these so the experiments can report the state-model's hidden
+   message complexity (see E7). *)
+let read net id =
+  (match net.executor with
+  | Some ex when not (Node_id.equal ex id) -> Telemetry.record_probe net.tele
+  | Some _ | None -> ());
+  if is_alive net id then state net id else None
+
+let as_executor net id f =
+  let saved = net.executor in
+  net.executor <- Some id;
+  let result = f () in
+  net.executor <- saved;
+  result
+
+(* Liveness confirmation before committing a multi-party transaction
+   (role exchange, compaction): the transaction-lock acquisition of a
+   real implementation, not a state read, so it is not counted as a
+   probe. *)
+let confirm_alive net id = is_alive net id && state net id <> None
+
+let alive_ids net =
+  List.filter
+    (fun id -> Node_id.Table.mem net.states id)
+    (Engine.alive_nodes net.engine)
+
+let size net = List.length (alive_ids net)
+
+let iter_states net f =
+  List.iter
+    (fun id -> match state net id with Some s -> f id s | None -> ())
+    (alive_ids net)
+
+(* {2 Direct neighbor reads} *)
+
+let mbr_of net h id =
+  match read net id with Some s -> State.mbr_at s h | None -> None
+
+let area_of net h id =
+  match mbr_of net h id with Some r -> Rect.area r | None -> neg_infinity
+
+(* {2 QUERY/REPORT snapshots} *)
+
+let self_snapshot sp =
+  let levels = ref [] in
+  for h = State.top sp downto 0 do
+    match State.level sp h with
+    | Some l ->
+        levels :=
+          { Message.height = h; mbr = l.State.mbr; parent = l.State.parent;
+            children = l.State.children }
+          :: !levels
+    | None -> ()
+  done;
+  { Message.responder = State.id sp; top = State.top sp;
+    filter = State.filter sp; levels = !levels }
+
+let store_snapshot net ~asker snapshot =
+  Hashtbl.replace net.snapshots (asker, snapshot.Message.responder) snapshot
+
+let snapshot_of net ~asker ~responder =
+  Hashtbl.find_opt net.snapshots (asker, responder)
+
+let snapshot_level snap h =
+  List.find_opt (fun l -> l.Message.height = h) snap.Message.levels
+
+let snapshot_mbr net ~asker h id =
+  match snapshot_of net ~asker ~responder:id with
+  | Some snap -> (
+      match snapshot_level snap h with
+      | Some l -> Some l.Message.mbr
+      | None -> None)
+  | None -> None
+
+let reset_snapshots net = Hashtbl.reset net.snapshots
+
+(* Every distinct process this node holds a link to. *)
+let neighbors_of sp =
+  let p = State.id sp in
+  let acc = ref Node_id.Set.empty in
+  for h = 0 to State.top sp do
+    match State.level sp h with
+    | Some l ->
+        if not (Node_id.equal l.State.parent p) then
+          acc := Node_id.Set.add l.State.parent !acc;
+        Node_id.Set.iter
+          (fun c ->
+            if not (Node_id.equal c p) then acc := Node_id.Set.add c !acc)
+          l.State.children
+    | None -> ()
+  done;
+  !acc
+
+(* {2 Views: one neighbor-observation effect, two implementations}
+
+   The CHECK_* repair modules are written once against a view. A
+   [Direct] view reads live neighbor state (counted probes, the
+   paper's shared-state presentation); a [Snapshot] view sees only
+   what this round's QUERY/REPORT exchange captured, so detection
+   tolerates exactly the information a report carries. *)
+
+type mode = Direct | Snapshot
+type t = { net : net; self : State.t; mode : mode }
+
+let direct net self = { net; self; mode = Direct }
+let snapshot net self = { net; self; mode = Snapshot }
+let self v = v.self
+let network v = v.net
+
+(* The holder's own state is local in both modes. *)
+let member_mbr v h id =
+  if Node_id.equal id (State.id v.self) then State.mbr_at v.self h
+  else
+    match v.mode with
+    | Direct -> mbr_of v.net h id
+    | Snapshot -> snapshot_mbr v.net ~asker:(State.id v.self) h id
+
+let member_area v h id =
+  match member_mbr v h id with Some r -> Rect.area r | None -> neg_infinity
+
+(* Does [child] hold an instance at height [h] whose parent pointer
+   names this view's process? (The CHECK_CHILDREN keep-test.) *)
+let claims_parent v ~child ~h =
+  let p = State.id v.self in
+  match v.mode with
+  | Direct -> (
+      match read v.net child with
+      | Some sc ->
+          State.is_active sc h
+          && Node_id.equal (State.level_exn sc h).State.parent p
+      | None -> false)
+  | Snapshot -> (
+      match snapshot_of v.net ~asker:p ~responder:child with
+      | Some snap -> (
+          match snapshot_level snap h with
+          | Some sl -> Node_id.equal sl.Message.parent p
+          | None -> false)
+      | None -> false (* no report: dead or unreachable *))
+
+(* Does this view's process appear in [parent]'s children set at
+   height [h]? (The CHECK_PARENT attachment test.) *)
+let attached_to v ~parent ~h =
+  let p = State.id v.self in
+  match v.mode with
+  | Direct -> (
+      match read v.net parent with
+      | Some spar ->
+          State.is_active spar h
+          && Node_id.Set.mem p (State.level_exn spar h).State.children
+      | None -> false)
+  | Snapshot -> (
+      match snapshot_of v.net ~asker:p ~responder:parent with
+      | Some snap -> (
+          match snapshot_level snap h with
+          | Some sl -> Node_id.Set.mem p sl.Message.children
+          | None -> false)
+      | None -> false)
+
+(* {2 Root discovery and the contact oracle} *)
+
+let root_claimants net =
+  List.filter
+    (fun id ->
+      match read net id with
+      | Some s -> State.is_root s (State.top s)
+      | None -> false)
+    (alive_ids net)
+
+(* Among claimants, the designated root is the one with the largest
+   top-level MBR (the root-election principle of Fig. 6), ties broken
+   by id. *)
+let designated_root net =
+  let score id =
+    match read net id with
+    | Some s -> (
+        match State.mbr_at s (State.top s) with
+        | Some r -> Rect.area r
+        | None -> neg_infinity)
+    | None -> neg_infinity
+  in
+  match root_claimants net with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best cand ->
+             let sb = score best and sc = score cand in
+             if sc > sb then cand else best)
+           first rest)
+
+let height net =
+  match designated_root net with
+  | None -> -1
+  | Some id -> ( match read net id with Some s -> State.top s | None -> -1)
+
+(* Get_Contact_Node (§3.2): a process already in the structure. *)
+let oracle net ~exclude =
+  match net.cfg.Config.oracle with
+  | Config.Root_oracle -> (
+      match designated_root net with
+      | Some r when not (Node_id.equal r exclude) -> Some r
+      | Some _ | None -> (
+          match List.filter (fun id -> id <> exclude) (alive_ids net) with
+          | [] -> None
+          | ids -> Some (List.hd ids)))
+  | Config.Random_oracle -> (
+      match List.filter (fun id -> id <> exclude) (alive_ids net) with
+      | [] -> None
+      | ids -> Some (Sim.Rng.pick net.rng ids))
+
+(* Route a (re-)join through the contact oracle. *)
+let initiate_join net ~joiner ~mbr ~height =
+  match oracle net ~exclude:joiner with
+  | None -> ()
+  | Some contact ->
+      Engine.inject net.engine ~dst:contact
+        (Message.Join { joiner; mbr; height; phase = `Up; hops = 0 })

@@ -1,0 +1,123 @@
+(** State access for the overlay: the one place neighbor state is
+    observed.
+
+    [net] is the overlay's shared runtime (engine, states, telemetry);
+    {!t} is a {e view} — a node observing its neighbors either
+    directly (shared-state model, counted probes) or through this
+    round's QUERY/REPORT snapshots (message-passing model). The
+    CHECK_* repair modules in {!Repair} are written once against a
+    view, so the two stabilization modes share a single protocol
+    body.
+
+    This module is internal to the library: the record is exposed so
+    the sibling modules ({!Repair}, {!Membership}, {!Dissemination},
+    {!Election}, {!Overlay}) can share it without a facade of
+    accessors. External consumers go through {!Overlay}. *)
+
+type net = {
+  cfg : Config.t;
+  engine : Message.t Sim.Engine.t;
+  states : State.t Sim.Node_id.Table.t;
+  rng : Sim.Rng.t;
+  snapshots : (Sim.Node_id.t * Sim.Node_id.t, Message.snapshot) Hashtbl.t;
+  tele : Telemetry.t;
+  mutable last_join_hops : int;
+  mutable executor : Sim.Node_id.t option;
+}
+
+val create : ?cfg:Config.t -> ?drop_rate:float -> seed:int -> unit -> net
+
+val is_alive : net -> Sim.Node_id.t -> bool
+
+val state : net -> Sim.Node_id.t -> State.t option
+(** The process state whether alive or crashed ([None] if never
+    spawned); never counts a probe. *)
+
+val read : net -> Sim.Node_id.t -> State.t option
+(** Protocol-level read: [None] for crashed processes; counted as a
+    remote state probe in {!Telemetry} when the current executor is
+    another node. *)
+
+val as_executor : net -> Sim.Node_id.t -> (unit -> 'a) -> 'a
+(** Run [f] with the executor set to [id], so its neighbor reads are
+    attributed (and counted) as [id]'s remote probes. *)
+
+val confirm_alive : net -> Sim.Node_id.t -> bool
+(** Liveness confirmation before committing a multi-party transaction
+    — models lock acquisition, not a state read, so it is not counted
+    as a probe. *)
+
+val alive_ids : net -> Sim.Node_id.t list
+val size : net -> int
+val iter_states : net -> (Sim.Node_id.t -> State.t -> unit) -> unit
+
+(** {2 Direct neighbor reads} *)
+
+val mbr_of : net -> int -> Sim.Node_id.t -> Geometry.Rect.t option
+(** [mbr_of net h id]: the MBR of [id]'s instance at height [h], via
+    {!read}. *)
+
+val area_of : net -> int -> Sim.Node_id.t -> float
+(** Like {!mbr_of} but an area, [neg_infinity] when unreadable. *)
+
+(** {2 QUERY/REPORT snapshots} *)
+
+val self_snapshot : State.t -> Message.snapshot
+(** Serialize a node's own state for a REPORT reply. *)
+
+val store_snapshot : net -> asker:Sim.Node_id.t -> Message.snapshot -> unit
+val snapshot_of :
+  net -> asker:Sim.Node_id.t -> responder:Sim.Node_id.t ->
+  Message.snapshot option
+val snapshot_level : Message.snapshot -> int -> Message.level_snapshot option
+val reset_snapshots : net -> unit
+
+val neighbors_of : State.t -> Sim.Node_id.Set.t
+(** Every distinct process this node holds a link to (parents and
+    children across all active heights). *)
+
+(** {2 Views} *)
+
+type t
+(** A node's observation capability over its neighbors. *)
+
+val direct : net -> State.t -> t
+(** Shared-state observation: live neighbor state, counted probes. *)
+
+val snapshot : net -> State.t -> t
+(** Message-passing observation: only this round's received REPORTs;
+    a neighbor without a report is treated as dead. *)
+
+val self : t -> State.t
+val network : t -> net
+
+val member_mbr : t -> int -> Sim.Node_id.t -> Geometry.Rect.t option
+(** [member_mbr v h id]: the MBR of [id]'s instance at height [h] as
+    observed by this view ([v]'s own state is local in both modes). *)
+
+val member_area : t -> int -> Sim.Node_id.t -> float
+
+val claims_parent : t -> child:Sim.Node_id.t -> h:int -> bool
+(** Does [child] hold an instance at height [h] parented to this
+    view's node? (CHECK_CHILDREN's keep-test.) *)
+
+val attached_to : t -> parent:Sim.Node_id.t -> h:int -> bool
+(** Does this view's node appear in [parent]'s children set at height
+    [h]? (CHECK_PARENT's attachment test.) *)
+
+(** {2 Root discovery and the contact oracle} *)
+
+val root_claimants : net -> Sim.Node_id.t list
+
+val designated_root : net -> Sim.Node_id.t option
+(** Among claimants, the one with the largest top-level MBR (Fig. 6),
+    ties broken by id. *)
+
+val height : net -> int
+
+val oracle : net -> exclude:Sim.Node_id.t -> Sim.Node_id.t option
+(** Get_Contact_Node (§3.2): a process already in the structure. *)
+
+val initiate_join :
+  net -> joiner:Sim.Node_id.t -> mbr:Geometry.Rect.t -> height:int -> unit
+(** Route a (re-)join through the contact oracle. *)

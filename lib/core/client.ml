@@ -90,7 +90,7 @@ let publish t ~from event =
     match Node_id.Set.min_elt_opt st.procs with
     | Some proc -> proc
     | None -> (
-        match Overlay.find_root (Pubsub.overlay t.pubsub) with
+        match Overlay.designated_root (Pubsub.overlay t.pubsub) with
         | Some root -> root
         | None -> invalid_arg "Client.publish: empty overlay")
   in

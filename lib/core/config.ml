@@ -6,22 +6,26 @@ type t = {
   split : Rtree.Split.kind;
   oracle : oracle;
   cover_sweep : bool;
+  publish_ttl : int;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
-    oracle = Root_oracle; cover_sweep = true }
+    oracle = Root_oracle; cover_sweep = true; publish_ttl = 128 }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
-    ?(cover_sweep = default.cover_sweep) () =
+    ?(cover_sweep = default.cover_sweep)
+    ?(publish_ttl = default.publish_ttl) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
-  { min_fill; max_fill; split; oracle; cover_sweep }
+  if publish_ttl < 1 then invalid_arg "Drtree.Config.make: publish_ttl < 1";
+  { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s%s" c.min_fill c.max_fill
-    Rtree.Split.pp_kind c.split
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s" c.min_fill
+    c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
+    c.publish_ttl
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

@@ -22,10 +22,19 @@ type t = {
           faithful configuration; setting it [false] {e plants a known
           protocol bug} so the model-checking harness can prove it
           detects, shrinks and replays real legality violations. *)
+  publish_ttl : int;
+      (** Transport-level hop budget for forwarded traffic (event
+          dissemination, join routing, ADD_CHILD redirection). Under
+          arbitrary corruption parent pointers may form cycles; the
+          budget keeps every forwarding path terminating. It is never
+          reached in legal states, where hop counts are bounded by the
+          tree height, so the default (128) is far above any
+          realistic height and does not affect correct executions. *)
 }
 
 val default : t
-(** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on. *)
+(** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on,
+    [publish_ttl = 128]. *)
 
 val make :
   ?min_fill:int ->
@@ -33,10 +42,11 @@ val make :
   ?split:Rtree.Split.kind ->
   ?oracle:oracle ->
   ?cover_sweep:bool ->
+  ?publish_ttl:int ->
   unit ->
   t
-(** @raise Invalid_argument if [min_fill < 2] or
-    [max_fill < 2 * min_fill]. ([m >= 2] keeps interior nodes binary
-    or wider, matching the R-tree root rule.) *)
+(** @raise Invalid_argument if [min_fill < 2],
+    [max_fill < 2 * min_fill] ([m >= 2] keeps interior nodes binary
+    or wider, matching the R-tree root rule), or [publish_ttl < 1]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Root role management.
+
+    Creation of a new root on a root split (Fig. 6), condensation of
+    a root left with a single member after departures, and
+    reconciliation of competing root claimants. Root {e discovery}
+    (claimants, designation, the contact oracle) lives in {!Access}. *)
+
+val create_root : Access.net -> Sim.Node_id.t -> Sim.Node_id.t -> int -> unit
+(** [create_root net left right h]: after a root split at height [h],
+    elect the larger-MBR of the two group leaders as the new root one
+    level up, with both as its members. *)
+
+val shrink_root : Access.net -> unit
+(** Root condensation: while the designated root's topmost instance
+    holds no foreign member, hand the root role down (the R-tree
+    "root has at least two children" rule); a single foreign member
+    takes the role over. *)
+
+val reconcile_roots : Access.net -> unit
+(** Every non-designated root claimant re-joins through the
+    designated root (queued JOIN messages; run the engine after). *)

@@ -38,7 +38,7 @@ let to_dot ov =
 
 let to_ascii ov =
   let buf = Buffer.create 4096 in
-  (match Overlay.find_root ov with
+  (match Overlay.designated_root ov with
   | None -> Buffer.add_string buf "(empty)\n"
   | Some root ->
       let rec show id h indent =

@@ -1,0 +1,354 @@
+module Rect = Geometry.Rect
+module Node_id = Sim.Node_id
+module Engine = Sim.Engine
+module Split = Rtree.Split
+
+(* Join (Fig. 8), leave (Fig. 9) and the INITIATE_NEW_CONNECTION
+   re-entry (Fig. 14). The handlers run inside the engine's message
+   dispatch (see [Overlay.handle]); the drivers ([leave_notify],
+   [leave_handover]) queue protocol messages for the facade to run. *)
+
+let choose_best_child net sp h rect =
+  let l = State.level_exn sp h in
+  let better (c1, m1) (c2, m2) =
+    let e1 = Rect.enlargement m1 rect and e2 = Rect.enlargement m2 rect in
+    let c = Float.compare e1 e2 in
+    if c <> 0 then c < 0
+    else
+      let c = Float.compare (Rect.area m1) (Rect.area m2) in
+      if c <> 0 then c < 0 else Node_id.compare c1 c2 < 0
+  in
+  Node_id.Set.fold
+    (fun c acc ->
+      match Access.mbr_of net (h - 1) c with
+      | None -> acc
+      | Some m -> (
+          match acc with
+          | Some best when better best (c, m) -> acc
+          | _ -> Some (c, m)))
+    l.State.children None
+
+(* Elect the parent of a split-off group: the member with the largest
+   MBR (Fig. 6 principle applied to splits). *)
+let elect_group_leader entries =
+  match entries with
+  | [] -> invalid_arg "elect_group_leader: empty group"
+  | (r0, c0) :: rest ->
+      fst
+        (List.fold_left
+           (fun (best, best_area) (r, c) ->
+             let a = Rect.area r in
+             if a > best_area then (c, a) else (best, best_area))
+           (c0, Rect.area r0) rest)
+
+let rec handle_add_child (net : Access.net) sp msg_child q_mbr hq hops =
+  let cfg = net.Access.cfg in
+  let p = State.id sp in
+  let hs = hq + 1 in
+  (* A root shorter than the arriving subtree grows its self-chain. *)
+  if (not (State.is_active sp hs)) && State.is_root sp (State.top sp) then begin
+    let rec grow h =
+      if h <= hs then begin
+        let below = State.level_exn sp (h - 1) in
+        let l = State.activate sp h in
+        l.State.children <- Node_id.Set.singleton p;
+        l.State.mbr <- below.State.mbr;
+        l.State.parent <- p;
+        below.State.parent <- p;
+        Repair.update_underloaded cfg l;
+        grow (h + 1)
+      end
+    in
+    grow (State.top sp + 1)
+  end;
+  (* A role exchange may have displaced this holder while the message
+     was in flight: route the request toward whoever took the role
+     over — the displaced node's parent chain leads there. The TTL
+     bounds pathological ping-pong under corruption. *)
+  if (not (State.is_active sp hs)) && hops <= cfg.Config.publish_ttl then begin
+    let l_top = State.level_exn sp (State.top sp) in
+    if not (Node_id.equal l_top.State.parent p) then
+      Engine.inject net.Access.engine ~dst:l_top.State.parent
+        (Message.Add_child
+           { child = msg_child; mbr = q_mbr; height = hq; hops = hops + 1 })
+  end
+  else if State.is_active sp hs then begin
+    let l = State.level_exn sp hs in
+    let was_root = State.is_root sp hs in
+    (* Only members that are alive and hold an instance at the child
+       height count; corrupted strangers are dropped on the way
+       (CHECK_CHILDREN would evict them anyway). *)
+    let members =
+      Node_id.Set.filter
+        (fun c -> Node_id.equal c p || Access.mbr_of net hq c <> None)
+        (Node_id.Set.add p l.State.children)
+    in
+    let candidates = Node_id.Set.add msg_child members in
+    if Node_id.Set.cardinal candidates <= cfg.Config.max_fill then begin
+      (* Adjust_Children *)
+      l.State.children <- candidates;
+      (match Access.read net msg_child with
+      | Some sc when State.is_active sc hq ->
+          (State.level_exn sc hq).State.parent <- p
+      | Some _ | None -> ());
+      l.State.mbr <- Rect.union l.State.mbr q_mbr;
+      Repair.compute_mbr net sp hs;
+      Repair.update_underloaded cfg l;
+      net.Access.last_join_hops <- hops;
+      if Repair.is_better_mbr_cover net sp msg_child hs then
+        Repair.adjust_parent net sp msg_child hs;
+      (* Lemma 3.2: restore cover optimality along the (MBR-extended)
+         ancestor path. The sweep re-resolves holders as it climbs. *)
+      Engine.inject net.Access.engine ~dst:p (Message.Cover_sweep hs)
+    end
+    else begin
+      (* Split_Node over the members plus the newcomer. *)
+      let entries =
+        Node_id.Set.fold
+          (fun c acc ->
+            if Node_id.equal c msg_child then acc
+            else
+              match Access.mbr_of net hq c with
+              | Some m -> (m, c) :: acc
+              | None -> acc)
+          members []
+      in
+      let entries = (q_mbr, msg_child) :: entries in
+      let g1, g2 =
+        Split.split cfg.Config.split ~min_fill:cfg.Config.min_fill entries
+      in
+      (* p keeps the group containing its own member instance. *)
+      let g_keep, g_away =
+        if List.exists (fun (_, c) -> Node_id.equal c p) g1 then (g1, g2)
+        else (g2, g1)
+      in
+      let upper_parent = l.State.parent in
+      l.State.children <- Node_id.Set.of_list (List.map snd g_keep);
+      Node_id.Set.iter
+        (fun c ->
+          match Access.read net c with
+          | Some sc when State.is_active sc hq ->
+              (State.level_exn sc hq).State.parent <- p
+          | Some _ | None -> ())
+        l.State.children;
+      Repair.compute_mbr net sp hs;
+      Repair.update_underloaded cfg l;
+      let leader = elect_group_leader g_away in
+      match Access.read net leader with
+      | None -> ()
+      | Some slead ->
+          let ll = State.activate slead hs in
+          ll.State.children <- Node_id.Set.of_list (List.map snd g_away);
+          ll.State.parent <- leader;
+          Node_id.Set.iter
+            (fun c ->
+              match Access.read net c with
+              | Some sc when State.is_active sc hq ->
+                  (State.level_exn sc hq).State.parent <- leader
+              | Some _ | None -> ())
+            ll.State.children;
+          Repair.compute_mbr net slead hs;
+          Repair.update_underloaded cfg ll;
+          net.Access.last_join_hops <- hops;
+          (* Deferred cover check on the kept half (the split keeps p
+             as holder regardless of coverage). The led-away half needs
+             none: its leader is elected as the largest-MBR member, so
+             it is cover-optimal by construction. *)
+          Engine.inject net.Access.engine ~dst:p (Message.Check_cover hs);
+          if was_root then Election.create_root net p leader hs
+          else
+            Engine.inject net.Access.engine ~dst:upper_parent
+              (Message.Add_child
+                 { child = leader; mbr = ll.State.mbr; height = hs;
+                   hops = hops + 1 })
+    end
+  end
+
+and handle_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~phase ~hops =
+  match phase with
+  | `Up when hops > net.Access.cfg.Config.publish_ttl ->
+      (* Corrupted parent pointers can cycle; drop the request — the
+         joiner re-tries through the oracle at the next stabilization
+         round. *)
+      ()
+  | `Up ->
+      let top = State.top sp in
+      if State.is_root sp top then
+        descend_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at:top ~hops
+      else
+        let parent = (State.level_exn sp top).State.parent in
+        Engine.send ctx parent
+          (Message.Join
+             { joiner; mbr = q_mbr; height = hq; phase = `Up;
+               hops = hops + 1 })
+  | `Down at -> descend_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at ~hops
+
+and descend_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at ~hops =
+  let p = State.id sp in
+  if not (State.is_active sp at) then begin
+    (* Stale descent: the receiver lost this instance while the message
+       was in flight. Restart the search from here. *)
+    if hops <= net.Access.cfg.Config.publish_ttl then
+      handle_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~phase:`Up
+        ~hops:(hops + 1)
+  end
+  else if at <= hq then begin
+    (* The tree is not taller than the joining subtree: flip roles —
+       the current root becomes a child of the joiner. *)
+    if not (Node_id.equal joiner p) then
+      match State.mbr_at sp (State.top sp) with
+      | Some my_mbr ->
+          Engine.send ctx joiner
+            (Message.Add_child
+               { child = p; mbr = my_mbr; height = State.top sp;
+                 hops = hops + 1 })
+      | None -> ()
+  end
+  else if at = hq + 1 then handle_add_child net sp joiner q_mbr hq hops
+  else begin
+    (* Extend the MBR on the way down and push toward the best
+       member. *)
+    let l = State.level_exn sp at in
+    l.State.mbr <- Rect.union l.State.mbr q_mbr;
+    match choose_best_child net sp at q_mbr with
+    | None -> handle_add_child net sp joiner q_mbr hq hops
+    | Some (c, _) when Node_id.equal c p ->
+        descend_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at:(at - 1)
+          ~hops
+    | Some (c, _) ->
+        Engine.send ctx c
+          (Message.Join
+             { joiner; mbr = q_mbr; height = hq; phase = `Down (at - 1);
+               hops = hops + 1 })
+  end
+
+(* --- Leave (Fig. 9) --------------------------------------------------- *)
+
+let handle_leave (net : Access.net) sp ~who ~height:hq =
+  let hs = hq + 1 in
+  if State.is_active sp hs then begin
+    Repair.check_children (Access.direct net sp) hs;
+    let l = State.level_exn sp hs in
+    if Node_id.Set.mem who l.State.children then begin
+      l.State.children <- Node_id.Set.remove who l.State.children;
+      Repair.compute_mbr net sp hs;
+      Repair.update_underloaded net.Access.cfg l
+    end;
+    Repair.check_parent (Access.direct net sp) hs;
+    (* ancestors' MBRs must shrink too, and cover optimality may have
+       shifted: sweep upward (Lemma 3.4) *)
+    Engine.inject net.Access.engine ~dst:(State.id sp) (Message.Cover_sweep hs);
+    if
+      Node_id.Set.cardinal l.State.children < net.Access.cfg.Config.min_fill
+      && not (State.is_root sp hs)
+    then
+      Engine.inject net.Access.engine ~dst:l.State.parent
+        (Message.Check_structure (hs + 1))
+  end
+
+(* --- INITIATE_NEW_CONNECTION (Fig. 14) -------------------------------- *)
+
+let rec handle_initiate_new_connection (net : Access.net) sp h =
+  let p = State.id sp in
+  if h >= 1 && State.is_active sp h then begin
+    let l = State.level_exn sp h in
+    Node_id.Set.iter
+      (fun c ->
+        if not (Node_id.equal c p) then
+          Engine.inject net.Access.engine ~dst:c
+            (Message.Initiate_new_connection (h - 1)))
+      l.State.children;
+    handle_initiate_new_connection net sp (h - 1)
+  end
+  else if h = 0 then begin
+    State.deactivate_above sp 0;
+    let l0 = State.level_exn sp 0 in
+    l0.State.parent <- p;
+    l0.State.mbr <- State.filter sp;
+    Access.initiate_join net ~joiner:p ~mbr:(State.filter sp) ~height:0
+  end
+
+(* --- Departure drivers -------------------------------------------------- *)
+
+(* Fig. 9's lazy leave: notify the parent of the topmost instance; the
+   orphaned subtree waits for stabilization. *)
+let leave_notify (net : Access.net) id =
+  match Access.read net id with
+  | None -> ()
+  | Some s ->
+      let top = State.top s in
+      let l = State.level_exn s top in
+      if not (Node_id.equal l.State.parent id) then
+        Engine.inject net.Access.engine ~dst:l.State.parent
+          (Message.Leave { who = id; height = top })
+
+(* §3.2: "much more efficient variants are possible if the leave
+   module drives the repair process and reconnects whole subtrees."
+   Before departing, the node hands each subtree it was responsible
+   for (the non-self members of its children sets, top-down) back to
+   the overlay as JOIN requests aimed at its surviving parent. A
+   departing root first hands the root role to its largest-MBR member
+   (the Fig. 6 election), so the rejoins have a live root to climb
+   to. Queues messages only; the facade kills the node and runs the
+   engine. *)
+let leave_handover (net : Access.net) id =
+  (match Access.read net id with
+  | Some s when State.is_root s (State.top s) && State.top s >= 1 -> (
+      let top = State.top s in
+      let l = State.level_exn s top in
+      let best =
+        Node_id.Set.fold
+          (fun c acc ->
+            if Node_id.equal c id then acc
+            else
+              let a = Access.area_of net (top - 1) c in
+              match acc with
+              | Some (_, ba) when ba >= a -> acc
+              | _ -> if Access.read net c <> None then Some (c, a) else acc)
+          l.State.children None
+      in
+      match best with
+      | Some (q, _) ->
+          Access.as_executor net id (fun () -> Repair.adjust_parent net s q top)
+      | None -> ())
+  | Some _ | None -> ());
+  match Access.read net id with
+  | None -> ()
+  | Some s ->
+      let top = State.top s in
+      let top_parent = (State.level_exn s top).State.parent in
+      let survivor =
+        if Node_id.equal top_parent id then None else Some top_parent
+      in
+      for h = top downto 1 do
+        match State.level s h with
+        | None -> ()
+        | Some l ->
+            Node_id.Set.iter
+              (fun o ->
+                if not (Node_id.equal o id) then
+                  match Access.mbr_of net (h - 1) o with
+                  | Some mbr -> (
+                      let dst =
+                        match survivor with
+                        | Some p -> Some p
+                        | None -> Access.oracle net ~exclude:id
+                      in
+                      match dst with
+                      | Some dst ->
+                          (* A subtree re-join: descends to the depth
+                             matching the subtree height, so balance is
+                             preserved. *)
+                          Engine.inject net.Access.engine ~dst
+                            (Message.Join
+                               { joiner = o; mbr; height = h - 1;
+                                 phase = `Up; hops = 0 })
+                      | None -> ())
+                  | None -> ())
+              l.State.children
+      done;
+      (match survivor with
+      | Some p ->
+          Engine.inject net.Access.engine ~dst:p
+            (Message.Leave { who = id; height = top })
+      | None -> ())

@@ -1,28 +1,119 @@
-module Rect = Geometry.Rect
-module Point = Geometry.Point
 module Node_id = Sim.Node_id
 module Engine = Sim.Engine
-module Split = Rtree.Split
 
-(* Transport-level TTL for dissemination: under arbitrary corruption
-   parent pointers may form cycles; a hop budget keeps publication
-   terminating. Never reached in legal states (hops <= tree height). *)
-let publish_ttl = 128
+(* The facade over the decomposed protocol: {!Access} (state access,
+   probes, snapshots, root discovery), {!Repair} (the five CHECK_*
+   modules over views), {!Membership} (join/leave), {!Dissemination}
+   (publish + reorganization), {!Election} (root role management) and
+   {!Telemetry} (the metric bus). This module owns the message
+   dispatcher and the stabilization round drivers; everything else
+   delegates. *)
 
-type fp_counter = {
-  mutable self_fp : int;
-  would : (Node_id.t, int) Hashtbl.t;
-}
+type t = Access.net
 
-type event_record = {
-  matched : Node_id.Set.t;
-  origin : Node_id.t;
-  mutable received : Node_id.Set.t;
-  mutable delivered : Node_id.Set.t;
-  mutable max_hops : int;
-}
+let create = Access.create
+let cfg (ov : t) = ov.Access.cfg
+let engine (ov : t) = ov.Access.engine
+let is_alive = Access.is_alive
+let state = Access.state
+let alive_ids = Access.alive_ids
+let size = Access.size
+let iter_states = Access.iter_states
+let designated_root = Access.designated_root
+let height = Access.height
+let telemetry (ov : t) = ov.Access.tele
+let access (ov : t) : Access.net = ov
+let new_event_id (ov : t) = Telemetry.fresh_event_id ov.Access.tele
+let last_join_hops (ov : t) = ov.Access.last_join_hops
+let run (ov : t) = ignore (Engine.run ov.Access.engine)
 
-type publish_report = {
+let log_src = Logs.Src.create "drtree" ~doc:"DR-tree overlay protocol"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let enable_logging (ov : t) =
+  Engine.set_tracer ov.Access.engine (fun time ~src ~dst msg ->
+      Log.debug (fun m ->
+          m "t=%.1f %s -> %a : %a" time
+            (match src with
+            | Some s -> Node_id.to_string s
+            | None -> "env")
+            Node_id.pp dst Message.pp msg))
+
+(* --- Engine handler ----------------------------------------------------- *)
+
+let handle (ov : t) ctx msg =
+  let p = Engine.self ctx in
+  match state ov p with
+  | None -> ()
+  | Some sp ->
+      Access.as_executor ov p (fun () ->
+          match msg with
+          | Message.Query { asker } ->
+              Engine.send ctx asker
+                (Message.Report { snapshot = Access.self_snapshot sp })
+          | Message.Report { snapshot } ->
+              Access.store_snapshot ov ~asker:p snapshot
+          | Message.Join { joiner; mbr; height; phase; hops } ->
+              Membership.handle_join ov ctx sp ~joiner ~mbr ~height ~phase
+                ~hops
+          | Message.Add_child { child; mbr; height; hops } ->
+              Membership.handle_add_child ov sp child mbr height hops
+          | Message.Leave { who; height } ->
+              Membership.handle_leave ov sp ~who ~height
+          | Message.Check_mbr h -> Repair.check_mbr (Access.direct ov sp) h
+          | Message.Check_parent h ->
+              Repair.check_parent (Access.direct ov sp) h
+          | Message.Check_children h ->
+              Repair.check_children (Access.direct ov sp) h
+          | Message.Check_cover h -> Repair.check_cover (Access.direct ov sp) h
+          | Message.Check_structure h -> Repair.check_structure ov sp h
+          | Message.Cover_sweep h ->
+              (* The cover_sweep=false knob plants a known bug (skipping
+                 the Lemma 3.2/3.4 repair) for the model-checking
+                 harness. *)
+              if ov.Access.cfg.Config.cover_sweep then Repair.cover_sweep ov sp h
+          | Message.Initiate_new_connection h ->
+              Membership.handle_initiate_new_connection ov sp h
+          | Message.Publish { event_id; point; at; from_child; going_up; hops }
+            ->
+              Dissemination.handle_publish ov ctx sp ~event_id ~point ~at
+                ~from_child ~going_up ~hops)
+
+(* --- Membership drivers -------------------------------------------------- *)
+
+let join_async (ov : t) filter =
+  let id = Engine.spawn ov.Access.engine (fun ctx msg -> handle ov ctx msg) in
+  let s = State.create ~id ~filter in
+  Node_id.Table.replace ov.Access.states id s;
+  (match Access.oracle ov ~exclude:id with
+  | None -> () (* first subscriber: it is the root *)
+  | Some contact ->
+      Engine.inject ov.Access.engine ~dst:contact
+        (Message.Join
+           { joiner = id; mbr = filter; height = 0; phase = `Up; hops = 0 }));
+  id
+
+let join ov filter =
+  let id = join_async ov filter in
+  run ov;
+  id
+
+let leave (ov : t) id =
+  Membership.leave_notify ov id;
+  Engine.kill ov.Access.engine id;
+  run ov
+
+let leave_reconnect (ov : t) id =
+  Membership.leave_handover ov id;
+  Engine.kill ov.Access.engine id;
+  run ov
+
+let crash (ov : t) id = Engine.kill ov.Access.engine id
+
+(* --- Publication --------------------------------------------------------- *)
+
+type publish_report = Dissemination.report = {
   event_id : int;
   matched : Node_id.Set.t;
   delivered : Node_id.Set.t;
@@ -33,1312 +124,55 @@ type publish_report = {
   max_hops : int;
 }
 
-type t = {
-  cfg : Config.t;
-  engine : Message.t Engine.t;
-  states : State.t Node_id.Table.t;
-  rng : Sim.Rng.t;
-  events : (int, event_record) Hashtbl.t;
-  fp_counters : (Node_id.t * int, fp_counter) Hashtbl.t;
-  snapshots : (Node_id.t * Node_id.t, Message.snapshot) Hashtbl.t;
-      (* (asker, responder) -> responder's state as reported this
-         message-passing stabilization round *)
-  mutable next_event : int;
-  mutable last_join_hops : int;
-  mutable executor : Node_id.t option;
-      (* the node whose module body is currently executing; reads of
-         other nodes' states count as state probes *)
-  mutable state_probes : int;
-}
+let publish (ov : t) ~from point =
+  Dissemination.publish ov ~run:(fun () -> run ov) ~from point
 
-let cfg ov = ov.cfg
-let engine ov = ov.engine
-let is_alive ov id = Engine.is_alive ov.engine id
-let state ov id = Node_id.Table.find_opt ov.states id
+(* --- Stabilization drivers ----------------------------------------------- *)
 
-(* Protocol-level read: a crashed process's memory is unreachable.
-   When a module body executing at another node reads this state, the
-   access is a remote probe — in a purely message-passing
-   implementation it would cost a query/reply round trip. We count
-   these so the experiments can report the state-model's hidden
-   message complexity (see E7). *)
-let read ov id =
-  (match ov.executor with
-  | Some ex when not (Node_id.equal ex id) ->
-      ov.state_probes <- ov.state_probes + 1
-  | Some _ | None -> ());
-  if is_alive ov id then state ov id else None
-
-let as_executor ov id f =
-  let saved = ov.executor in
-  ov.executor <- Some id;
-  let result = f () in
-  ov.executor <- saved;
-  result
-
-let alive_ids ov =
-  List.filter (fun id -> Node_id.Table.mem ov.states id)
-    (Engine.alive_nodes ov.engine)
-
-let size ov = List.length (alive_ids ov)
-
-let iter_states ov f =
+let each (ov : t) f =
   List.iter
     (fun id ->
-      match state ov id with Some s -> f id s | None -> ())
-    (alive_ids ov)
-
-let new_event_id ov =
-  let id = ov.next_event in
-  ov.next_event <- id + 1;
-  id
-
-let last_join_hops ov = ov.last_join_hops
-
-(* --- Root discovery ---------------------------------------------------- *)
-
-let root_claimants ov =
-  List.filter
-    (fun id ->
-      match read ov id with
-      | Some s -> State.is_root s (State.top s)
-      | None -> false)
-    (alive_ids ov)
-
-(* Among claimants, the designated root is the one with the largest
-   top-level MBR (the root-election principle of Fig. 6), ties broken
-   by id. *)
-let designated_root ov =
-  let score id =
-    match read ov id with
-    | Some s -> (
-        match State.mbr_at s (State.top s) with
-        | Some r -> Rect.area r
-        | None -> neg_infinity)
-    | None -> neg_infinity
-  in
-  match root_claimants ov with
-  | [] -> None
-  | first :: rest ->
-      Some
-        (List.fold_left
-           (fun best cand ->
-             let sb = score best and sc = score cand in
-             if sc > sb then cand else best)
-           first rest)
-
-let find_root = designated_root
-
-let height ov =
-  match find_root ov with
-  | None -> -1
-  | Some id -> ( match read ov id with Some s -> State.top s | None -> -1)
-
-(* Get_Contact_Node (§3.2): a process already in the structure. *)
-let oracle ov ~exclude =
-  match ov.cfg.Config.oracle with
-  | Config.Root_oracle -> (
-      match designated_root ov with
-      | Some r when not (Node_id.equal r exclude) -> Some r
-      | Some _ | None -> (
-          match List.filter (fun id -> id <> exclude) (alive_ids ov) with
-          | [] -> None
-          | ids -> Some (List.hd ids)))
-  | Config.Random_oracle -> (
-      match List.filter (fun id -> id <> exclude) (alive_ids ov) with
-      | [] -> None
-      | ids -> Some (Sim.Rng.pick ov.rng ids))
-
-(* --- Fig. 7 helper functions ------------------------------------------ *)
-
-let mbr_of_member ov h id =
-  match read ov id with
-  | Some s -> State.mbr_at s h
-  | None -> None
-
-(* Compute_MBR: the instance MBR is the union of the children MBRs
-   (leaf instances carry their filter). Unreadable children are
-   skipped; CHECK_CHILDREN evicts them. *)
-let compute_mbr ov sp h =
-  let l = State.level_exn sp h in
-  if h = 0 then l.State.mbr <- State.filter sp
-  else begin
-    let mbrs =
-      Node_id.Set.fold
-        (fun c acc ->
-          match mbr_of_member ov (h - 1) c with
-          | Some r -> r :: acc
-          | None -> acc)
-        l.State.children []
-    in
-    match mbrs with
-    | [] -> l.State.mbr <- State.filter sp
-    | r :: rest -> l.State.mbr <- List.fold_left Rect.union r rest
-  end
-
-let area_of_member ov h id =
-  match mbr_of_member ov h id with Some r -> Rect.area r | None -> neg_infinity
-
-(* Is_Better_MBR_Cover(p, q, l): among the children of p's instance at
-   height [h], does member q cover more than p's own member instance? *)
-let is_better_mbr_cover ov sp q h =
-  area_of_member ov (h - 1) q > area_of_member ov (h - 1) (State.id sp)
-
-let update_underloaded cfg l =
-  l.State.underloaded <-
-    Node_id.Set.cardinal l.State.children < cfg.Config.min_fill
-
-let clear_fp_counter ov id h = Hashtbl.remove ov.fp_counters (id, h)
-
-(* Adjust_Parent(p, q, h): member q and holder p "exchange their
-   positions". Because p is recursively its own child, p's roles at
-   every height >= h belong to the same self-chain, so the exchange
-   cascades: q takes over p's children set, MBR and parent link at
-   each height from [h] to p's top (replacing p by q among the
-   members above [h]), the members reparent to q, the external parent
-   (or root role) transfers, and p withdraws to height [h - 1]. *)
-let adjust_parent ov sp q h =
-  let p = State.id sp in
-  let top = State.top sp in
-  let was_root = State.is_root sp top in
-  let upper_parent = (State.level_exn sp top).State.parent in
-  let sq =
-    match read ov q with
-    | Some s -> s
-    | None -> invalid_arg "adjust_parent: dead child"
-  in
-  for k = h to top do
-    let lp = State.level_exn sp k in
-    let lq = State.activate sq k in
-    lq.State.children <-
-      (if k = h then lp.State.children
-       else Node_id.Set.add q (Node_id.Set.remove p lp.State.children));
-    lq.State.mbr <- lp.State.mbr;
-    lq.State.parent <- q;
-    Node_id.Set.iter
-      (fun s ->
-        match read ov s with
-        | Some ss when State.is_active ss (k - 1) ->
-            (State.level_exn ss (k - 1)).State.parent <- q
-        | Some _ | None -> ())
-      lq.State.children;
-    update_underloaded ov.cfg lq;
-    clear_fp_counter ov p k;
-    clear_fp_counter ov q k
-  done;
-  let lq_top = State.level_exn sq top in
-  lq_top.State.parent <- (if was_root then q else upper_parent);
-  compute_mbr ov sq h;
-  (* Patch the external parent: q replaces p among its children. *)
-  (if not was_root then
-     match read ov upper_parent with
-     | Some spar when State.is_active spar (top + 1) ->
-         let lpar = State.level_exn spar (top + 1) in
-         if Node_id.Set.mem p lpar.State.children then
-           lpar.State.children <-
-             Node_id.Set.add q (Node_id.Set.remove p lpar.State.children)
-     | Some _ | None -> ());
-  State.deactivate_above sp (h - 1)
-
-(* Create_Root(left, right): a root split elects the member with the
-   largest MBR as the new root (Fig. 6), one level up. *)
-let create_root ov left right h =
-  let winner, loser =
-    if area_of_member ov h right > area_of_member ov h left then (right, left)
-    else (left, right)
-  in
-  match read ov winner with
-  | None -> ()
-  | Some sw ->
-      let lw = State.activate sw (h + 1) in
-      lw.State.children <- Node_id.Set.of_list [ left; right ];
-      lw.State.parent <- winner;
-      compute_mbr ov sw (h + 1);
-      update_underloaded ov.cfg lw;
-      List.iter
-        (fun id ->
-          match read ov id with
-          | Some s when State.is_active s h ->
-              (State.level_exn s h).State.parent <- winner
-          | Some _ | None -> ())
-        [ left; loser ]
-
-(* --- Stabilization modules (Figs. 10-14) ------------------------------- *)
-
-(* Fig. 10: repair the MBR value. *)
-let check_mbr ov sp h =
-  if State.is_active sp h then
-    if h = 0 then begin
-      let l = State.level_exn sp 0 in
-      if not (Rect.equal l.State.mbr (State.filter sp)) then
-        l.State.mbr <- State.filter sp
-    end
-    else compute_mbr ov sp h
-
-(* Fig. 12: evict children that are dead, inactive at the child
-   height, or claimed by another parent; refresh the underloaded
-   flag. *)
-let check_children ov sp h =
-  if h >= 1 && State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    let keep c =
-      if Node_id.equal c p then true
-      else
-        match read ov c with
-        | Some sc ->
-            State.is_active sc (h - 1)
-            && Node_id.equal (State.level_exn sc (h - 1)).State.parent p
-        | None -> false
-    in
-    let kept = Node_id.Set.filter keep l.State.children in
-    (* The holder is recursively its own child (§3): restore the
-       self-member if corruption dropped it. *)
-    let kept = Node_id.Set.add p kept in
-    if not (Node_id.Set.equal kept l.State.children) then begin
-      l.State.children <- kept;
-      compute_mbr ov sp h
-    end;
-    update_underloaded ov.cfg l
-  end
-
-let send_join ov ~joiner ~mbr ~height =
-  match oracle ov ~exclude:joiner with
-  | None -> ()
-  | Some contact ->
-      Engine.inject ov.engine ~dst:contact
-        (Message.Join { joiner; mbr; height; phase = `Up; hops = 0 })
-
-(* Fig. 11: if the instance is absent from its parent's children set
-   (or the parent is unreachable), become self-parented and re-join
-   through the contact oracle. Lower instances of the self-chain are
-   repaired locally. *)
-let check_parent ov sp h =
-  if State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    if h < State.top sp then begin
-      if not (Node_id.equal l.State.parent p) then l.State.parent <- p
-    end
-    else if not (Node_id.equal l.State.parent p) then begin
-      let attached =
-        match read ov l.State.parent with
-        | Some spar ->
-            State.is_active spar (h + 1)
-            && Node_id.Set.mem p (State.level_exn spar (h + 1)).State.children
-        | None -> false
-      in
-      if not attached then begin
-        l.State.parent <- p;
-        send_join ov ~joiner:p ~mbr:l.State.mbr ~height:h
-      end
-    end
-  end
-
-(* Fig. 13: if some member covers more than the holder's own member
-   instance, they exchange positions. *)
-let check_cover ov sp h =
-  if h >= 1 && State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    let own = area_of_member ov (h - 1) p in
-    let best =
-      Node_id.Set.fold
-        (fun c acc ->
-          if Node_id.equal c p then acc
-          else
-            let a = area_of_member ov (h - 1) c in
-            match acc with
-            | Some (_, ba) when ba >= a -> acc
-            | _ when a > own -> Some (c, a)
-            | _ -> acc)
-        l.State.children None
-    in
-    match best with
-    | Some (q, _) -> adjust_parent ov sp q h
-    | None -> ()
-  end
-
-(* Best_Set_Cover: of the two merge candidates, keep the one whose own
-   filter leaves the least of the merged set uncovered. *)
-let best_set_cover ov s t h =
-  let set_mbr =
-    let ms = mbr_of_member ov h s and mt = mbr_of_member ov h t in
-    match (ms, mt) with
-    | Some a, Some b -> Some (Rect.union a b)
-    | Some a, None | None, Some a -> Some a
-    | None, None -> None
-  in
-  match set_mbr with
-  | None -> s
-  | Some mbr ->
-      let uncovered id =
-        match read ov id with
-        | Some st ->
-            Rect.area (Rect.union mbr (State.filter st))
-            -. Rect.area (State.filter st)
-        | None -> infinity
-      in
-      if uncovered s <= uncovered t then s else t
-
-(* Merge_Children(winner, loser, h): the loser's members move under
-   the winner; the loser withdraws from height [h]. *)
-let merge_children ov winner loser h =
-  match (read ov winner, read ov loser) with
-  | Some sw, Some sl when State.is_active sw h && State.is_active sl h ->
-      let lw = State.level_exn sw h and ll = State.level_exn sl h in
-      lw.State.children <- Node_id.Set.union lw.State.children ll.State.children;
-      Node_id.Set.iter
-        (fun s ->
-          match read ov s with
-          | Some ss when State.is_active ss (h - 1) ->
-              (State.level_exn ss (h - 1)).State.parent <- winner
-          | Some _ | None -> ())
-        ll.State.children;
-      State.deactivate_above sl (h - 1);
-      clear_fp_counter ov loser h;
-      compute_mbr ov sw h;
-      update_underloaded ov.cfg lw
-  | _, _ -> ()
-
-let member_underloaded ov cfg h id =
-  match read ov id with
-  | Some s when h >= 1 && State.is_active s h ->
-      Node_id.Set.cardinal (State.level_exn s h).State.children
-      < cfg.Config.min_fill
-  | Some _ | None -> false
-
-(* Search_Compaction_Candidate: a sibling whose member set can absorb
-   [q]'s without overflowing, closest in MBR. *)
-let search_compaction_candidate ov sp q hs =
-  let cfg = ov.cfg in
-  let l = State.level_exn sp hs in
-  let q_children =
-    match read ov q with
-    | Some sq when State.is_active sq (hs - 1) ->
-        (State.level_exn sq (hs - 1)).State.children
-    | Some _ | None -> Node_id.Set.empty
-  in
-  let q_mbr = mbr_of_member ov (hs - 1) q in
-  let feasible t =
-    if Node_id.equal t q then None
-    else
-      match read ov t with
-      | Some st when State.is_active st (hs - 1) ->
-          let tc = (State.level_exn st (hs - 1)).State.children in
-          if
-            Node_id.Set.cardinal (Node_id.Set.union tc q_children)
-            <= cfg.Config.max_fill
-          then
-            let score =
-              match (mbr_of_member ov (hs - 1) t, q_mbr) with
-              | Some mt, Some mq -> Rect.area (Rect.union mt mq)
-              | Some mt, None -> Rect.area mt
-              | None, Some mq -> Rect.area mq
-              | None, None -> infinity
-            in
-            Some (t, score)
-          else None
-      | Some _ | None -> None
-  in
-  Node_id.Set.fold
-    (fun t acc ->
-      match feasible t with
-      | None -> acc
-      | Some (t, score) -> (
-          match acc with
-          | Some (_, best) when best <= score -> acc
-          | _ -> Some (t, score)))
-    l.State.children None
-
-(* Move one member [c] (an instance at [hs - 2]) from the set of
-   [from_] to the set of [to_], both instances at [hs - 1]. *)
-let move_member ov from_ to_ c hs =
-  match (read ov from_, read ov to_, read ov c) with
-  | Some sf, Some st, Some sc
-    when State.is_active sf (hs - 1) && State.is_active st (hs - 1)
-         && State.is_active sc (hs - 2) ->
-      let lf = State.level_exn sf (hs - 1)
-      and lt = State.level_exn st (hs - 1) in
-      lf.State.children <- Node_id.Set.remove c lf.State.children;
-      lt.State.children <- Node_id.Set.add c lt.State.children;
-      (State.level_exn sc (hs - 2)).State.parent <- to_;
-      compute_mbr ov sf (hs - 1);
-      compute_mbr ov st (hs - 1);
-      update_underloaded ov.cfg lf;
-      update_underloaded ov.cfg lt;
-      true
-  | _, _, _ -> false
-
-let member_count ov hs id =
-  match read ov id with
-  | Some s when State.is_active s hs ->
-      Node_id.Set.cardinal (State.level_exn s hs).State.children
-  | Some _ | None -> 0
-
-(* Fig. 14: compact underloaded members pairwise; when no sibling can
-   absorb a whole set, dispatch members one by one to unsaturated
-   siblings; unplaceable subtrees dissolve and their leaves re-join.
-   The structure holder [p] never loses its own instance (its
-   self-chain carries the set at [hs]); when [p]'s own member instance
-   is the underloaded one, a sibling is merged into it — or members
-   are stolen from the richest sibling — instead. *)
-let check_structure ov sp hs =
-  if hs >= 2 && State.is_active sp hs then begin
-    let p = State.id sp in
-    let l = State.level_exn sp hs in
-    Node_id.Set.iter
-      (fun q ->
-        match read ov q with
-        | Some sq ->
-            check_children ov sq (hs - 1);
-            check_mbr ov sq (hs - 1)
-        | None -> ())
-      l.State.children;
-    let cfg = ov.cfg in
-    let siblings_with_room q =
-      Node_id.Set.fold
-        (fun t acc ->
-          if Node_id.equal t q then acc
-          else
-            let n = member_count ov (hs - 1) t in
-            if n > 0 && n < cfg.Config.max_fill then (t, n) :: acc else acc)
-        l.State.children []
-    in
-    let dispatch_members q =
-      (* Paper: "the children of q are dispatched to one of p's
-         unsaturated children". Returns true when q's set emptied down
-         to (at most) its own self-member. *)
-      let sq = match read ov q with Some s -> s | None -> assert false in
-      let members () =
-        Node_id.Set.filter
-          (fun c -> not (Node_id.equal c q))
-          (State.level_exn sq (hs - 1)).State.children
-      in
-      let placed_all = ref true in
-      Node_id.Set.iter
-        (fun c ->
-          match siblings_with_room q with
-          | [] -> placed_all := false
-          | room ->
-              let t, _ =
-                List.fold_left
-                  (fun (bt, bn) (t, n) -> if n < bn then (t, n) else (bt, bn))
-                  (List.hd room) (List.tl room)
-              in
-              if not (move_member ov q t c hs) then placed_all := false)
-        (members ());
-      !placed_all
-    in
-    let steal_for_p () =
-      (* Bring members into p's own underloaded set from the richest
-         sibling that can spare one. *)
-      match
-        Node_id.Set.fold
-          (fun t acc ->
-            if Node_id.equal t p then acc
-            else
-              let n = member_count ov (hs - 1) t in
-              if n >= 2 then
-                match acc with
-                | Some (_, bn) when bn >= n -> acc
-                | _ -> Some (t, n)
-              else acc)
-          l.State.children None
-      with
-      | None -> false
-      | Some (t, _) -> (
-          match read ov t with
-          | Some st when State.is_active st (hs - 1) ->
-              let movable =
-                Node_id.Set.filter
-                  (fun c -> not (Node_id.equal c t))
-                  (State.level_exn st (hs - 1)).State.children
-              in
-              (match Node_id.Set.min_elt_opt movable with
-              | Some c -> move_member ov t p c hs
-              | None -> false)
-          | Some _ | None -> false)
-    in
-    let budget = ref (2 * (Node_id.Set.cardinal l.State.children + 2)) in
-    let continue = ref true in
-    while !continue && !budget > 0 do
-      decr budget;
-      let underloaded_member =
-        Node_id.Set.fold
-          (fun q acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                if member_underloaded ov cfg (hs - 1) q then Some q else None)
-          l.State.children None
-      in
-      match underloaded_member with
-      | None -> continue := false
-      | Some q -> (
-          match search_compaction_candidate ov sp q hs with
-          | Some (t, _) ->
-              (* Elect_Leader, except [p] always survives as holder of
-                 its own self-chain. *)
-              let winner =
-                if Node_id.equal t p then p
-                else if Node_id.equal q p then p
-                else best_set_cover ov q t (hs - 1)
-              in
-              let loser = if Node_id.equal winner q then t else q in
-              merge_children ov winner loser (hs - 1);
-              l.State.children <- Node_id.Set.remove loser l.State.children;
-              compute_mbr ov sp hs;
-              update_underloaded ov.cfg l
-          | None ->
-              if Node_id.equal q p then begin
-                if not (steal_for_p ()) then continue := false
-              end
-              else if dispatch_members q then begin
-                (* q's set is down to its self-member: q re-enters one
-                   level lower under a sibling with room, or rejoins. *)
-                (match siblings_with_room q with
-                | (t, _) :: _ -> (
-                    match read ov q with
-                    | Some sq when State.is_active sq (hs - 2) ->
-                        State.deactivate_above sq (hs - 2);
-                        l.State.children <-
-                          Node_id.Set.remove q l.State.children;
-                        (match read ov t with
-                        | Some st when State.is_active st (hs - 1) ->
-                            let lt = State.level_exn st (hs - 1) in
-                            lt.State.children <-
-                              Node_id.Set.add q lt.State.children;
-                            (State.level_exn sq (hs - 2)).State.parent <- t;
-                            compute_mbr ov st (hs - 1);
-                            update_underloaded ov.cfg lt
-                        | Some _ | None -> ())
-                    | Some _ | None ->
-                        l.State.children <-
-                          Node_id.Set.remove q l.State.children)
-                | [] ->
-                    Engine.inject ov.engine ~dst:q
-                      (Message.Initiate_new_connection (hs - 1));
-                    l.State.children <- Node_id.Set.remove q l.State.children);
-                compute_mbr ov sp hs;
-                update_underloaded ov.cfg l
-              end
-              else begin
-                Engine.inject ov.engine ~dst:q
-                  (Message.Initiate_new_connection (hs - 1));
-                l.State.children <- Node_id.Set.remove q l.State.children;
-                compute_mbr ov sp hs;
-                update_underloaded ov.cfg l
-              end)
-    done
-  end
-
-(* After a join, sweep CHECK_COVER up the ancestor path: the descent
-   extended MBRs along it, which may have left some member covering
-   more than its set holder (Lemma 3.2's legitimacy after joins). A
-   role exchange may displace the holder mid-sweep; the sweep always
-   re-resolves the current holder of the height before climbing. *)
-let cover_sweep ov sp h =
-  if h >= 1 then begin
-    (* the recipient may already have lost the role; its parent link at
-       the member height names the new holder *)
-    let initial_holder =
-      if State.is_active sp h then Some (State.id sp)
-      else if State.is_active sp (h - 1) then
-        Some (State.level_exn sp (h - 1)).State.parent
-      else None
-    in
-    match initial_holder with
-    | None -> ()
-    | Some hid -> (
-        match read ov hid with
-        | Some sh when State.is_active sh h -> (
-            (* keep the MBR exact on the way up (joins only extend it,
-               but departures shrink it), then restore cover
-               optimality *)
-            check_mbr ov sh h;
-            check_cover ov sh h;
-            let hid2 =
-              if State.is_active sh h then hid
-              else if State.is_active sh (h - 1) then
-                (State.level_exn sh (h - 1)).State.parent
-              else hid
-            in
-            match read ov hid2 with
-            | Some sh2 when State.is_active sh2 h ->
-                if not (State.is_root sh2 h) then begin
-                  let l = State.level_exn sh2 h in
-                  let dst =
-                    if h < State.top sh2 then hid2 else l.State.parent
-                  in
-                  Engine.inject ov.engine ~dst (Message.Cover_sweep (h + 1))
-                end
-            | Some _ | None -> ())
-        | Some _ | None -> ())
-  end
-
-(* --- Join (Fig. 8) ------------------------------------------------------ *)
-
-let choose_best_child ov sp h rect =
-  let l = State.level_exn sp h in
-  let better (c1, m1) (c2, m2) =
-    let e1 = Rect.enlargement m1 rect and e2 = Rect.enlargement m2 rect in
-    let c = Float.compare e1 e2 in
-    if c <> 0 then c < 0
-    else
-      let c = Float.compare (Rect.area m1) (Rect.area m2) in
-      if c <> 0 then c < 0 else Node_id.compare c1 c2 < 0
-  in
-  Node_id.Set.fold
-    (fun c acc ->
-      match mbr_of_member ov (h - 1) c with
-      | None -> acc
-      | Some m -> (
-          match acc with
-          | Some best when better best (c, m) -> acc
-          | _ -> Some (c, m)))
-    l.State.children None
-
-(* Elect the parent of a split-off group: the member with the largest
-   MBR (Fig. 6 principle applied to splits). *)
-let elect_group_leader entries =
-  match entries with
-  | [] -> invalid_arg "elect_group_leader: empty group"
-  | (r0, c0) :: rest ->
-      fst
-        (List.fold_left
-           (fun (best, best_area) (r, c) ->
-             let a = Rect.area r in
-             if a > best_area then (c, a) else (best, best_area))
-           (c0, Rect.area r0) rest)
-
-let rec handle_add_child ov sp msg_child q_mbr hq hops =
-  let cfg = ov.cfg in
-  let p = State.id sp in
-  let hs = hq + 1 in
-  (* A root shorter than the arriving subtree grows its self-chain. *)
-  if (not (State.is_active sp hs)) && State.is_root sp (State.top sp) then begin
-    let rec grow h =
-      if h <= hs then begin
-        let below = State.level_exn sp (h - 1) in
-        let l = State.activate sp h in
-        l.State.children <- Node_id.Set.singleton p;
-        l.State.mbr <- below.State.mbr;
-        l.State.parent <- p;
-        below.State.parent <- p;
-        update_underloaded cfg l;
-        grow (h + 1)
-      end
-    in
-    grow (State.top sp + 1)
-  end;
-  (* A role exchange may have displaced this holder while the message
-     was in flight: route the request toward whoever took the role
-     over — the displaced node's parent chain leads there. The TTL
-     bounds pathological ping-pong under corruption. *)
-  if (not (State.is_active sp hs)) && hops <= publish_ttl then begin
-    let l_top = State.level_exn sp (State.top sp) in
-    if not (Node_id.equal l_top.State.parent p) then
-      Engine.inject ov.engine ~dst:l_top.State.parent
-        (Message.Add_child
-           { child = msg_child; mbr = q_mbr; height = hq; hops = hops + 1 })
-  end
-  else if State.is_active sp hs then begin
-    let l = State.level_exn sp hs in
-    let was_root = State.is_root sp hs in
-    (* Only members that are alive and hold an instance at the child
-       height count; corrupted strangers are dropped on the way
-       (CHECK_CHILDREN would evict them anyway). *)
-    let members =
-      Node_id.Set.filter
-        (fun c ->
-          Node_id.equal c p || mbr_of_member ov hq c <> None)
-        (Node_id.Set.add p l.State.children)
-    in
-    let candidates = Node_id.Set.add msg_child members in
-    if Node_id.Set.cardinal candidates <= cfg.Config.max_fill then begin
-      (* Adjust_Children *)
-      l.State.children <- candidates;
-      (match read ov msg_child with
-      | Some sc when State.is_active sc hq ->
-          (State.level_exn sc hq).State.parent <- p
-      | Some _ | None -> ());
-      l.State.mbr <- Rect.union l.State.mbr q_mbr;
-      compute_mbr ov sp hs;
-      update_underloaded cfg l;
-      ov.last_join_hops <- hops;
-      if is_better_mbr_cover ov sp msg_child hs then
-        adjust_parent ov sp msg_child hs;
-      (* Lemma 3.2: restore cover optimality along the (MBR-extended)
-         ancestor path. The sweep re-resolves holders as it climbs. *)
-      Engine.inject ov.engine ~dst:p (Message.Cover_sweep hs)
-    end
-    else begin
-      (* Split_Node over the members plus the newcomer. *)
-      let entries =
-        Node_id.Set.fold
-          (fun c acc ->
-            if Node_id.equal c msg_child then acc
-            else
-              match mbr_of_member ov hq c with
-              | Some m -> (m, c) :: acc
-              | None -> acc)
-          members []
-      in
-      let entries = (q_mbr, msg_child) :: entries in
-      let g1, g2 =
-        Split.split cfg.Config.split ~min_fill:cfg.Config.min_fill entries
-      in
-      (* p keeps the group containing its own member instance. *)
-      let g_keep, g_away =
-        if List.exists (fun (_, c) -> Node_id.equal c p) g1 then (g1, g2)
-        else (g2, g1)
-      in
-      let upper_parent = l.State.parent in
-      l.State.children <-
-        Node_id.Set.of_list (List.map snd g_keep);
-      Node_id.Set.iter
-        (fun c ->
-          match read ov c with
-          | Some sc when State.is_active sc hq ->
-              (State.level_exn sc hq).State.parent <- p
-          | Some _ | None -> ())
-        l.State.children;
-      compute_mbr ov sp hs;
-      update_underloaded cfg l;
-      let leader = elect_group_leader g_away in
-      (match read ov leader with
-      | None -> ()
-      | Some slead ->
-          let ll = State.activate slead hs in
-          ll.State.children <- Node_id.Set.of_list (List.map snd g_away);
-          ll.State.parent <- leader;
-          Node_id.Set.iter
-            (fun c ->
-              match read ov c with
-              | Some sc when State.is_active sc hq ->
-                  (State.level_exn sc hq).State.parent <- leader
-              | Some _ | None -> ())
-            ll.State.children;
-          compute_mbr ov slead hs;
-          update_underloaded cfg ll;
-          ov.last_join_hops <- hops;
-          (* Deferred cover check on the kept half (the split keeps p
-             as holder regardless of coverage). The led-away half needs
-             none: its leader is elected as the largest-MBR member, so
-             it is cover-optimal by construction. *)
-          Engine.inject ov.engine ~dst:p (Message.Check_cover hs);
-          if was_root then create_root ov p leader hs
-          else
-            Engine.inject ov.engine ~dst:upper_parent
-              (Message.Add_child
-                 { child = leader; mbr = ll.State.mbr; height = hs;
-                   hops = hops + 1 }))
-    end
-  end
-
-and handle_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~phase ~hops =
-  match phase with
-  | `Up when hops > publish_ttl ->
-      (* Corrupted parent pointers can cycle; drop the request — the
-         joiner re-tries through the oracle at the next stabilization
-         round. *)
-      ()
-  | `Up ->
-      let top = State.top sp in
-      if State.is_root sp top then
-        descend_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at:top ~hops
-      else
-        let parent = (State.level_exn sp top).State.parent in
-        Engine.send ctx parent
-          (Message.Join { joiner; mbr = q_mbr; height = hq; phase = `Up;
-                          hops = hops + 1 })
-  | `Down at -> descend_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at ~hops
-
-and descend_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at ~hops =
-  let p = State.id sp in
-  if not (State.is_active sp at) then begin
-    (* Stale descent: the receiver lost this instance while the message
-       was in flight. Restart the search from here. *)
-    if hops <= publish_ttl then
-      handle_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~phase:`Up
-        ~hops:(hops + 1)
-  end
-  else if at <= hq then begin
-    (* The tree is not taller than the joining subtree: flip roles —
-       the current root becomes a child of the joiner. *)
-    if not (Node_id.equal joiner p) then
-      match State.mbr_at sp (State.top sp) with
-      | Some my_mbr ->
-          Engine.send ctx joiner
-            (Message.Add_child
-               { child = p; mbr = my_mbr; height = State.top sp;
-                 hops = hops + 1 })
-      | None -> ()
-  end
-  else if at = hq + 1 then
-    handle_add_child ov sp joiner q_mbr hq hops
-  else begin
-    (* Extend the MBR on the way down and push toward the best
-       member. *)
-    let l = State.level_exn sp at in
-    l.State.mbr <- Rect.union l.State.mbr q_mbr;
-    match choose_best_child ov sp at q_mbr with
-    | None -> handle_add_child ov sp joiner q_mbr hq hops
-    | Some (c, _) when Node_id.equal c p ->
-        descend_join ov ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at:(at - 1) ~hops
-    | Some (c, _) ->
-        Engine.send ctx c
-          (Message.Join
-             { joiner; mbr = q_mbr; height = hq; phase = `Down (at - 1);
-               hops = hops + 1 })
-  end
-
-(* --- Leave (Fig. 9) ----------------------------------------------------- *)
-
-let handle_leave ov sp ~who ~height:hq =
-  let hs = hq + 1 in
-  if State.is_active sp hs then begin
-    check_children ov sp hs;
-    let l = State.level_exn sp hs in
-    if Node_id.Set.mem who l.State.children then begin
-      l.State.children <- Node_id.Set.remove who l.State.children;
-      compute_mbr ov sp hs;
-      update_underloaded ov.cfg l
-    end;
-    check_parent ov sp hs;
-    (* ancestors' MBRs must shrink too, and cover optimality may have
-       shifted: sweep upward (Lemma 3.4) *)
-    Engine.inject ov.engine ~dst:(State.id sp) (Message.Cover_sweep hs);
-    if
-      Node_id.Set.cardinal l.State.children < ov.cfg.Config.min_fill
-      && not (State.is_root sp hs)
-    then
-      Engine.inject ov.engine ~dst:l.State.parent
-        (Message.Check_structure (hs + 1))
-  end
-
-(* --- INITIATE_NEW_CONNECTION (Fig. 14) ---------------------------------- *)
-
-let rec handle_initiate_new_connection ov sp h =
-  let p = State.id sp in
-  if h >= 1 && State.is_active sp h then begin
-    let l = State.level_exn sp h in
-    Node_id.Set.iter
-      (fun c ->
-        if not (Node_id.equal c p) then
-          Engine.inject ov.engine ~dst:c
-            (Message.Initiate_new_connection (h - 1)))
-      l.State.children;
-    handle_initiate_new_connection ov sp (h - 1)
-  end
-  else if h = 0 then begin
-    State.deactivate_above sp 0;
-    let l0 = State.level_exn sp 0 in
-    l0.State.parent <- p;
-    l0.State.mbr <- State.filter sp;
-    send_join ov ~joiner:p ~mbr:(State.filter sp) ~height:0
-  end
-
-(* --- Dissemination (§3) ------------------------------------------------- *)
-
-let fp_counter ov p h =
-  match Hashtbl.find_opt ov.fp_counters (p, h) with
-  | Some c -> c
-  | None ->
-      let c = { self_fp = 0; would = Hashtbl.create 8 } in
-      Hashtbl.replace ov.fp_counters (p, h) c;
-      c
-
-let record_fp_interest ov sp h point =
-  let p = State.id sp in
-  let l = State.level_exn sp h in
-  let counter = fp_counter ov p h in
-  if not (Rect.contains_point (State.filter sp) point) then
-    counter.self_fp <- counter.self_fp + 1;
-  Node_id.Set.iter
-    (fun c ->
-      if not (Node_id.equal c p) then
-        match read ov c with
-        | Some sc when not (Rect.contains_point (State.filter sc) point) ->
-            let n =
-              match Hashtbl.find_opt counter.would c with
-              | Some n -> n
-              | None -> 0
-            in
-            Hashtbl.replace counter.would c (n + 1)
-        | Some _ | None -> ())
-    l.State.children
-
-let handle_publish ov ctx sp ~event_id ~point ~at ~from_child ~going_up ~hops =
-  let p = State.id sp in
-  (* Receipt bookkeeping at first touch of this process. *)
-  (match Hashtbl.find_opt ov.events event_id with
-  | Some rec_ ->
-      if State.mark_seen sp event_id then begin
-        rec_.received <- Node_id.Set.add p rec_.received;
-        if Rect.contains_point (State.filter sp) point then
-          rec_.delivered <- Node_id.Set.add p rec_.delivered
-      end;
-      if hops > rec_.max_hops then rec_.max_hops <- hops
-  | None -> ());
-  if hops <= publish_ttl && State.is_active sp at then begin
-    let l = State.level_exn sp at in
-    if at >= 1 then begin
-      record_fp_interest ov sp at point;
-      Node_id.Set.iter
-        (fun c ->
-          let excluded =
-            match from_child with
-            | Some f -> Node_id.equal f c
-            | None -> false
-          in
-          if not excluded then
-            match mbr_of_member ov (at - 1) c with
-            | Some m when Rect.contains_point m point ->
-                Engine.send ctx c
-                  (Message.Publish
-                     { event_id; point; at = at - 1; from_child = None;
-                       going_up = false; hops = hops + 1 })
-            | Some _ | None -> ())
-        l.State.children
-    end;
-    if going_up && not (State.is_root sp at) then begin
-      let parent = if at < State.top sp then p else l.State.parent in
-      Engine.send ctx parent
-        (Message.Publish
-           { event_id; point; at = at + 1; from_child = Some p;
-             going_up = true; hops = hops + 1 })
-    end
-  end
-
-(* --- Engine handler ------------------------------------------------------ *)
-
-let handle ov ctx msg =
-  let p = Engine.self ctx in
-  match state ov p with
-  | None -> ()
-  | Some sp ->
-      as_executor ov p (fun () ->
-      match msg with
-      | Message.Query { asker } ->
-          let levels = ref [] in
-          for h = State.top sp downto 0 do
-            match State.level sp h with
-            | Some l ->
-                levels :=
-                  { Message.height = h; mbr = l.State.mbr;
-                    parent = l.State.parent; children = l.State.children }
-                  :: !levels
-            | None -> ()
-          done;
-          Engine.send ctx asker
-            (Message.Report
-               { snapshot =
-                   { Message.responder = p; top = State.top sp;
-                     filter = State.filter sp; levels = !levels } })
-      | Message.Report { snapshot } ->
-          Hashtbl.replace ov.snapshots (p, snapshot.Message.responder) snapshot
-      | Message.Join { joiner; mbr; height; phase; hops } ->
-          handle_join ov ctx sp ~joiner ~mbr ~height ~phase ~hops
-      | Message.Add_child { child; mbr; height; hops } ->
-          handle_add_child ov sp child mbr height hops
-      | Message.Leave { who; height } -> handle_leave ov sp ~who ~height
-      | Message.Check_mbr h -> check_mbr ov sp h
-      | Message.Check_parent h -> check_parent ov sp h
-      | Message.Check_children h -> check_children ov sp h
-      | Message.Check_cover h -> check_cover ov sp h
-      | Message.Check_structure h -> check_structure ov sp h
-      | Message.Cover_sweep h ->
-          (* The cover_sweep=false knob plants a known bug (skipping the
-             Lemma 3.2/3.4 repair) for the model-checking harness. *)
-          if ov.cfg.Config.cover_sweep then cover_sweep ov sp h
-      | Message.Initiate_new_connection h ->
-          handle_initiate_new_connection ov sp h
-      | Message.Publish { event_id; point; at; from_child; going_up; hops } ->
-          handle_publish ov ctx sp ~event_id ~point ~at ~from_child ~going_up
-            ~hops)
-
-(* --- Public API ---------------------------------------------------------- *)
-
-let create ?(cfg = Config.default) ?drop_rate ~seed () =
-  let engine = Engine.create ?drop_rate ~seed () in
-  {
-    cfg;
-    engine;
-    states = Node_id.Table.create 256;
-    rng = Sim.Rng.make (seed lxor 0x7ee1);
-    events = Hashtbl.create 64;
-    fp_counters = Hashtbl.create 64;
-    snapshots = Hashtbl.create 256;
-    next_event = 0;
-    last_join_hops = 0;
-    executor = None;
-    state_probes = 0;
-  }
-
-let run ov = ignore (Engine.run ov.engine)
-
-let log_src = Logs.Src.create "drtree" ~doc:"DR-tree overlay protocol"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
-let enable_logging ov =
-  Engine.set_tracer ov.engine (fun time ~src ~dst msg ->
-      Log.debug (fun m ->
-          m "t=%.1f %s -> %a : %a" time
-            (match src with
-            | Some s -> Node_id.to_string s
-            | None -> "env")
-            Node_id.pp dst Message.pp msg))
-
-let join_async ov filter =
-  let id = Engine.spawn ov.engine (fun ctx msg -> handle ov ctx msg) in
-  let s = State.create ~id ~filter in
-  Node_id.Table.replace ov.states id s;
-  (match oracle ov ~exclude:id with
-  | None -> () (* first subscriber: it is the root *)
-  | Some contact ->
-      Engine.inject ov.engine ~dst:contact
-        (Message.Join { joiner = id; mbr = filter; height = 0; phase = `Up;
-                        hops = 0 }));
-  id
-
-let join ov filter =
-  let id = join_async ov filter in
-  run ov;
-  id
-
-let leave ov id =
-  (match read ov id with
-  | None -> ()
-  | Some s ->
-      let top = State.top s in
-      let l = State.level_exn s top in
-      if not (Node_id.equal l.State.parent id) then
-        Engine.inject ov.engine ~dst:l.State.parent
-          (Message.Leave { who = id; height = top }));
-  Engine.kill ov.engine id;
-  run ov
-
-let leave_reconnect ov id =
-  (* §3.2: "much more efficient variants are possible if the leave
-     module drives the repair process and reconnects whole subtrees."
-     Before departing, the node hands each subtree it was responsible
-     for (the non-self members of its children sets, top-down) back to
-     the overlay as ADD_CHILD requests aimed at its surviving parent,
-     then leaves normally. A departing root first hands the root role
-     to its largest-MBR member (the Fig. 6 election), so the rejoins
-     have a live root to climb to. *)
-  (match read ov id with
-  | Some s when State.is_root s (State.top s) && State.top s >= 1 -> (
-      let top = State.top s in
-      let l = State.level_exn s top in
-      let best =
-        Node_id.Set.fold
-          (fun c acc ->
-            if Node_id.equal c id then acc
-            else
-              let a = area_of_member ov (top - 1) c in
-              match acc with
-              | Some (_, ba) when ba >= a -> acc
-              | _ -> if read ov c <> None then Some (c, a) else acc)
-          l.State.children None
-      in
-      match best with
-      | Some (q, _) -> as_executor ov id (fun () -> adjust_parent ov s q top)
+      match Access.read ov id with
+      | Some s -> Access.as_executor ov id (fun () -> f s)
       | None -> ())
-  | Some _ | None -> ());
-  match read ov id with
-  | None -> ()
-  | Some s ->
-      let top = State.top s in
-      let top_parent = (State.level_exn s top).State.parent in
-      let survivor =
-        if Node_id.equal top_parent id then None else Some top_parent
-      in
-      for h = top downto 1 do
-        match State.level s h with
-        | None -> ()
-        | Some l ->
-            Node_id.Set.iter
-              (fun o ->
-                if not (Node_id.equal o id) then
-                  match mbr_of_member ov (h - 1) o with
-                  | Some mbr -> (
-                      let dst =
-                        match survivor with
-                        | Some p -> Some p
-                        | None -> oracle ov ~exclude:id
-                      in
-                      match dst with
-                      | Some dst ->
-                          (* A subtree re-join: descends to the depth
-                             matching the subtree height, so balance is
-                             preserved. *)
-                          Engine.inject ov.engine ~dst
-                            (Message.Join
-                               { joiner = o; mbr; height = h - 1;
-                                 phase = `Up; hops = 0 })
-                      | None -> ())
-                  | None -> ())
-              l.State.children
-      done;
-      (match survivor with
-      | Some p ->
-          Engine.inject ov.engine ~dst:p
-            (Message.Leave { who = id; height = top })
-      | None -> ());
-      Engine.kill ov.engine id;
-      run ov
+    (alive_ids ov)
 
-let crash ov id = Engine.kill ov.engine id
-
-let publish ov ~from point =
-  if not (is_alive ov from) then invalid_arg "Overlay.publish: dead publisher";
-  let event_id = new_event_id ov in
-  let matched =
-    List.fold_left
-      (fun acc id ->
-        match read ov id with
-        | Some s when Rect.contains_point (State.filter s) point ->
-            Node_id.Set.add id acc
-        | Some _ | None -> acc)
-      Node_id.Set.empty (alive_ids ov)
-  in
-  let rec_ =
-    { matched; origin = from; received = Node_id.Set.empty;
-      delivered = Node_id.Set.empty; max_hops = 0 }
-  in
-  Hashtbl.replace ov.events event_id rec_;
-  let m0 = Engine.messages_sent ov.engine in
-  let top = match read ov from with Some s -> State.top s | None -> 0 in
-  Engine.inject ov.engine ~dst:from
-    (Message.Publish
-       { event_id; point; at = top; from_child = None; going_up = true;
-         hops = 0 });
+(* One shared-state round: the paper's module bodies run as atomic
+   actions over live neighbor state (reads counted as probes). *)
+let stabilize_round (ov : t) =
+  Telemetry.begin_round ov.Access.tele
+    ~messages:(Engine.messages_sent ov.Access.engine);
+  Election.reconcile_roots ov;
   run ov;
-  let messages = Engine.messages_sent ov.engine - m0 - 1 in
-  let spurious =
-    Node_id.Set.remove from (Node_id.Set.diff rec_.received rec_.matched)
-  in
-  let missed = Node_id.Set.diff rec_.matched rec_.delivered in
-  {
-    event_id;
-    matched = rec_.matched;
-    delivered = rec_.delivered;
-    received = rec_.received;
-    false_positives = Node_id.Set.cardinal spurious;
-    false_negatives = Node_id.Set.cardinal missed;
-    messages;
-    max_hops = rec_.max_hops;
-  }
-
-(* --- Stabilization driver ------------------------------------------------ *)
-
-(* Root condensation: an interior root left with a single member (its
-   own lower instance, after departures) hands the root role down —
-   the R-tree "root has at least two children" rule. If the single
-   member is another process, that member becomes the root. *)
-let shrink_root ov =
-  let rec shrink id =
-    match read ov id with
-    | None -> ()
-    | Some s ->
-        let top = State.top s in
-        if top >= 1 && State.is_root s top then begin
-          let l = State.level_exn s top in
-          let members =
-            Node_id.Set.filter
-              (fun c -> Node_id.equal c id || read ov c <> None)
-              l.State.children
-          in
-          match Node_id.Set.elements members with
-          | [] ->
-              State.deactivate_above s (top - 1);
-              (State.level_exn s (top - 1)).State.parent <- id;
-              clear_fp_counter ov id top;
-              shrink id
-          | [ only ] when Node_id.equal only id ->
-              State.deactivate_above s (top - 1);
-              (State.level_exn s (top - 1)).State.parent <- id;
-              clear_fp_counter ov id top;
-              shrink id
-          | [ only ] -> (
-              (* A foreign single member: it takes over as root. *)
-              match read ov only with
-              | Some so when State.is_active so (top - 1) ->
-                  (State.level_exn so (top - 1)).State.parent <- only;
-                  State.deactivate_above s (top - 1);
-                  (State.level_exn s (top - 1)).State.parent <- id;
-                  clear_fp_counter ov id top;
-                  shrink only
-              | Some _ | None -> ())
-          | _ :: _ :: _ -> ()
-        end
-  in
-  match designated_root ov with None -> () | Some r -> shrink r
-
-let reconcile_roots ov =
-  match root_claimants ov with
-  | [] | [ _ ] -> ()
-  | claimants -> (
-      match designated_root ov with
-      | None -> ()
-      | Some chosen ->
-          List.iter
-            (fun o ->
-              if not (Node_id.equal o chosen) then
-                match read ov o with
-                | Some s ->
-                    let top = State.top s in
-                    let mbr =
-                      match State.mbr_at s top with
-                      | Some r -> r
-                      | None -> State.filter s
-                    in
-                    Engine.inject ov.engine ~dst:chosen
-                      (Message.Join
-                         { joiner = o; mbr; height = top; phase = `Up;
-                           hops = 0 })
-                | None -> ())
-            claimants)
-
-let stabilize_round ov =
-  reconcile_roots ov;
-  run ov;
-  let ids = alive_ids ov in
-  let each f =
-    List.iter
-      (fun id ->
-        match read ov id with
-        | Some s -> as_executor ov id (fun () -> f id s)
-        | None -> ())
-      ids
-  in
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.direct ov s in
       for h = 0 to State.top s do
-        check_mbr ov s h
+        Repair.check_mbr v h
       done);
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.direct ov s in
       for h = 1 to State.top s do
-        check_children ov s h
+        Repair.check_children v h
       done);
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.direct ov s in
       for h = 0 to State.top s do
-        check_parent ov s h
+        Repair.check_parent v h
       done);
   run ov;
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.direct ov s in
       for h = 1 to State.top s do
-        check_cover ov s h
+        Repair.check_cover v h
       done);
-  each (fun _ s ->
+  each ov (fun s ->
       for h = 2 to State.top s do
-        check_structure ov s h
+        Repair.check_structure ov s h
       done);
-  shrink_root ov;
-  run ov
+  Election.shrink_root ov;
+  run ov;
+  Telemetry.end_round ov.Access.tele
+    ~messages:(Engine.messages_sent ov.Access.engine)
 
 let stabilize ?(max_rounds = 50) ~legal ov =
   let rec loop rounds =
@@ -1351,165 +185,19 @@ let stabilize ?(max_rounds = 50) ~legal ov =
   in
   loop 0
 
-(* --- Message-passing stabilization mode ----------------------------------
-
-   The rounds above execute the paper's modules in the shared-state
-   style (neighbor reads are free; we count them as probes). This mode
-   replaces every neighbor read of the four {e local} modules
-   (CHECK_MBR / CHECK_CHILDREN / CHECK_PARENT / CHECK_COVER) with one
-   QUERY/REPORT round trip per neighbor per round, so detection costs
-   real counted messages and tolerates only the information a report
-   carries. A neighbor that does not reply is treated as dead (with
-   reliable links this is exact; under loss, real systems add
-   timeouts/retries). The multi-party transactions — role exchange,
-   compaction, root handover — remain atomic locked exchanges, as
-   their two-phase-commit machinery is orthogonal to the paper. *)
-
-let snapshot_of ov ~asker ~responder =
-  Hashtbl.find_opt ov.snapshots (asker, responder)
-
-let snapshot_level snap h =
-  List.find_opt (fun l -> l.Message.height = h) snap.Message.levels
-
-let snapshot_mbr ov ~asker h id =
-  match snapshot_of ov ~asker ~responder:id with
-  | Some snap -> (
-      match snapshot_level snap h with
-      | Some l -> Some l.Message.mbr
-      | None -> None)
-  | None -> None
-
-let check_mbr_mp ov sp h =
-  if State.is_active sp h then
-    if h = 0 then begin
-      let l = State.level_exn sp 0 in
-      if not (Rect.equal l.State.mbr (State.filter sp)) then
-        l.State.mbr <- State.filter sp
-    end
-    else begin
-      let p = State.id sp in
-      let l = State.level_exn sp h in
-      let mbrs =
-        Node_id.Set.fold
-          (fun c acc ->
-            let m =
-              if Node_id.equal c p then State.mbr_at sp (h - 1)
-              else snapshot_mbr ov ~asker:p (h - 1) c
-            in
-            match m with Some r -> r :: acc | None -> acc)
-          l.State.children []
-      in
-      match mbrs with
-      | [] -> l.State.mbr <- State.filter sp
-      | r :: rest -> l.State.mbr <- List.fold_left Rect.union r rest
-    end
-
-let check_children_mp ov sp h =
-  if h >= 1 && State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    let keep c =
-      Node_id.equal c p
-      ||
-      match snapshot_of ov ~asker:p ~responder:c with
-      | Some snap -> (
-          match snapshot_level snap (h - 1) with
-          | Some sl -> Node_id.equal sl.Message.parent p
-          | None -> false)
-      | None -> false (* no report: dead or unreachable *)
-    in
-    let kept = Node_id.Set.add p (Node_id.Set.filter keep l.State.children) in
-    if not (Node_id.Set.equal kept l.State.children) then
-      l.State.children <- kept;
-    check_mbr_mp ov sp h;
-    update_underloaded ov.cfg l
-  end
-
-let check_parent_mp ov sp h =
-  if State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    if h < State.top sp then begin
-      if not (Node_id.equal l.State.parent p) then l.State.parent <- p
-    end
-    else if not (Node_id.equal l.State.parent p) then begin
-      let attached =
-        match snapshot_of ov ~asker:p ~responder:l.State.parent with
-        | Some snap -> (
-            match snapshot_level snap (h + 1) with
-            | Some sl -> Node_id.Set.mem p sl.Message.children
-            | None -> false)
-        | None -> false
-      in
-      if not attached then begin
-        l.State.parent <- p;
-        send_join ov ~joiner:p ~mbr:l.State.mbr ~height:h
-      end
-    end
-  end
-
-let check_cover_mp ov sp h =
-  if h >= 1 && State.is_active sp h then begin
-    let p = State.id sp in
-    let l = State.level_exn sp h in
-    let own =
-      match State.mbr_at sp (h - 1) with
-      | Some r -> Rect.area r
-      | None -> neg_infinity
-    in
-    let best =
-      Node_id.Set.fold
-        (fun c acc ->
-          if Node_id.equal c p then acc
-          else
-            match snapshot_mbr ov ~asker:p (h - 1) c with
-            | Some r ->
-                let a = Rect.area r in
-                if a > own then
-                  match acc with
-                  | Some (_, ba) when ba >= a -> acc
-                  | _ -> Some (c, a)
-                else acc
-            | None -> acc)
-        l.State.children None
-    in
-    match best with
-    | Some (q, _) when read ov q <> None ->
-        (* the exchange itself is a locked multi-party transaction *)
-        adjust_parent ov sp q h
-    | Some _ | None -> ()
-  end
-
-(* Every distinct process this node holds a link to. *)
-let neighbors_of sp =
-  let p = State.id sp in
-  let acc = ref Node_id.Set.empty in
-  for h = 0 to State.top sp do
-    match State.level sp h with
-    | Some l ->
-        if not (Node_id.equal l.State.parent p) then
-          acc := Node_id.Set.add l.State.parent !acc;
-        Node_id.Set.iter
-          (fun c ->
-            if not (Node_id.equal c p) then acc := Node_id.Set.add c !acc)
-          l.State.children
-    | None -> ()
-  done;
-  !acc
-
-let stabilize_round_mp ov =
-  Hashtbl.reset ov.snapshots;
-  reconcile_roots ov;
+(* One message-passing round: every node queries each neighbor once
+   (QUERY/REPORT through the engine, counted), then the four local
+   repair modules run over snapshot views — the same {!Repair} bodies,
+   observing only the received reports. Multi-party transactions
+   (cover exchange, compaction, root handover) remain atomic locked
+   exchanges. *)
+let stabilize_round_mp (ov : t) =
+  Telemetry.begin_round ov.Access.tele
+    ~messages:(Engine.messages_sent ov.Access.engine);
+  Access.reset_snapshots ov;
+  Election.reconcile_roots ov;
   run ov;
   let ids = alive_ids ov in
-  let each f =
-    List.iter
-      (fun id ->
-        match read ov id with
-        | Some s -> as_executor ov id (fun () -> f id s)
-        | None -> ())
-      ids
-  in
   (* Phase 1: every node queries each of its neighbors once. *)
   List.iter
     (fun id ->
@@ -1517,36 +205,43 @@ let stabilize_round_mp ov =
       | Some s when is_alive ov id ->
           Node_id.Set.iter
             (fun nb ->
-              Engine.inject ov.engine ~dst:nb (Message.Query { asker = id }))
-            (neighbors_of s)
+              Engine.inject ov.Access.engine ~dst:nb
+                (Message.Query { asker = id }))
+            (Access.neighbors_of s)
       | Some _ | None -> ())
     ids;
   run ov;
   (* Phase 2: local repairs from the received reports only. *)
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.snapshot ov s in
       for h = 0 to State.top s do
-        check_mbr_mp ov s h
+        Repair.check_mbr v h
       done);
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.snapshot ov s in
       for h = 1 to State.top s do
-        check_children_mp ov s h
+        Repair.check_children v h
       done);
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.snapshot ov s in
       for h = 0 to State.top s do
-        check_parent_mp ov s h
+        Repair.check_parent v h
       done);
   run ov;
-  each (fun _ s ->
+  each ov (fun s ->
+      let v = Access.snapshot ov s in
       for h = 1 to State.top s do
-        check_cover_mp ov s h
+        Repair.check_cover v h
       done);
   (* Phase 3: multi-party transactions (atomic locked exchanges). *)
-  each (fun _ s ->
+  each ov (fun s ->
       for h = 2 to State.top s do
-        check_structure ov s h
+        Repair.check_structure ov s h
       done);
-  shrink_root ov;
-  run ov
+  Election.shrink_root ov;
+  run ov;
+  Telemetry.end_round ov.Access.tele
+    ~messages:(Engine.messages_sent ov.Access.engine)
 
 let stabilize_mp ?(max_rounds = 50) ~legal ov =
   let rec loop rounds =
@@ -1559,43 +254,8 @@ let stabilize_mp ?(max_rounds = 50) ~legal ov =
   in
   loop 0
 
-(* --- Dynamic reorganization (§3.2) --------------------------------------- *)
+(* --- Metrics -------------------------------------------------------------- *)
 
-let state_probes ov = ov.state_probes
-let reset_state_probes ov = ov.state_probes <- 0
-
-let fp_swap_round ov =
-  let swaps = ref 0 in
-  let entries =
-    Hashtbl.fold (fun key counter acc -> (key, counter) :: acc) ov.fp_counters []
-  in
-  let entries =
-    List.sort (fun ((a, ha), _) ((b, hb), _) -> compare (a, ha) (b, hb)) entries
-  in
-  List.iter
-    (fun ((p, h), counter) ->
-      match read ov p with
-      | Some sp when h >= 1 && State.is_active sp h -> (
-          let l = State.level_exn sp h in
-          let best =
-            Node_id.Set.fold
-              (fun c acc ->
-                if Node_id.equal c p then acc
-                else
-                  match Hashtbl.find_opt counter.would c with
-                  | None -> acc
-                  | Some n -> (
-                      match acc with
-                      | Some (_, bn) when bn <= n -> acc
-                      | _ -> Some (c, n)))
-              l.State.children None
-          in
-          match best with
-          | Some (c, n) when counter.self_fp > n && read ov c <> None ->
-              adjust_parent ov sp c h;
-              incr swaps
-          | Some _ | None -> ())
-      | Some _ | None -> ())
-    entries;
-  Hashtbl.reset ov.fp_counters;
-  !swaps
+let state_probes (ov : t) = Telemetry.probes ov.Access.tele
+let reset_state_probes (ov : t) = Telemetry.reset_probes ov.Access.tele
+let fp_swap_round = Dissemination.fp_swap_round

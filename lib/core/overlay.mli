@@ -67,10 +67,11 @@ val alive_ids : t -> Sim.Node_id.t list
 val size : t -> int
 (** Number of live subscribers. *)
 
-val find_root : t -> Sim.Node_id.t option
-(** The unique live process whose topmost instance is its own parent,
-    if the overlay is in a sane-enough state to have one; resolves by
-    walking parents from a live node with a cycle guard. *)
+val designated_root : t -> Sim.Node_id.t option
+(** The designated root (Fig. 6): among the live processes whose
+    topmost instance is its own parent, the one with the largest
+    top-level MBR, ties broken by id. [None] when the overlay is
+    empty or no process claims the root role. *)
 
 val height : t -> int
 (** Height of the tree: the root's topmost instance height ([0] for a
@@ -143,6 +144,14 @@ val new_event_id : t -> int
 val iter_states : t -> (Sim.Node_id.t -> State.t -> unit) -> unit
 (** Iterate over live processes in id order. *)
 
+val telemetry : t -> Telemetry.t
+(** The overlay's metric bus: state probes, repair actions by kind,
+    per-round reports, dissemination records. See {!Telemetry}. *)
+
+val access : t -> Access.net
+(** The underlying state-access layer — for white-box tests that
+    drive {!Repair} helpers directly. *)
+
 val enable_logging : t -> unit
 (** Install an engine tracer that reports every message delivery on
     the library's [Logs] source ("drtree", debug level). Useful with
@@ -155,7 +164,8 @@ val state_probes : t -> int
 (** Cumulative count of remote state reads performed by module bodies
     (the shared-state model's implicit communication): each would be a
     query/reply round trip in a purely message-passing implementation.
-    E7 reports these alongside the explicit protocol messages. *)
+    E7 reports these alongside the explicit protocol messages.
+    Shorthand for [Telemetry.probes (telemetry t)]. *)
 
 val reset_state_probes : t -> unit
 

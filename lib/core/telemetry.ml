@@ -1,0 +1,166 @@
+module Node_id = Sim.Node_id
+
+type repair = Mbr | Children | Parent | Cover | Structure | Root
+
+let repair_kinds = [ Mbr; Children; Parent; Cover; Structure; Root ]
+
+let repair_index = function
+  | Mbr -> 0
+  | Children -> 1
+  | Parent -> 2
+  | Cover -> 3
+  | Structure -> 4
+  | Root -> 5
+
+let repair_label = function
+  | Mbr -> "mbr"
+  | Children -> "children"
+  | Parent -> "parent"
+  | Cover -> "cover"
+  | Structure -> "structure"
+  | Root -> "root"
+
+let n_repair_kinds = List.length repair_kinds
+
+type round_report = {
+  round : int;
+  probes : int;
+  messages : int;
+  repairs : int array;
+}
+
+type fp_counter = {
+  mutable self_fp : int;
+  would : (Node_id.t, int) Hashtbl.t;
+}
+
+type event_record = {
+  matched : Node_id.Set.t;
+  origin : Node_id.t;
+  mutable received : Node_id.Set.t;
+  mutable delivered : Node_id.Set.t;
+  mutable max_hops : int;
+}
+
+type t = {
+  mutable probes : int;
+  repairs : int array;
+  mutable rounds : round_report list; (* newest first *)
+  mutable round_count : int;
+  mutable round_mark : (int * int * int array) option;
+  fp : (Node_id.t * int, fp_counter) Hashtbl.t;
+  events : (int, event_record) Hashtbl.t;
+  mutable next_event : int;
+}
+
+let create () =
+  {
+    probes = 0;
+    repairs = Array.make n_repair_kinds 0;
+    rounds = [];
+    round_count = 0;
+    round_mark = None;
+    fp = Hashtbl.create 64;
+    events = Hashtbl.create 64;
+    next_event = 0;
+  }
+
+(* {2 State probes} *)
+
+let record_probe t = t.probes <- t.probes + 1
+let probes t = t.probes
+let reset_probes t = t.probes <- 0
+
+(* {2 Repair actions} *)
+
+let record_repair t kind =
+  let i = repair_index kind in
+  t.repairs.(i) <- t.repairs.(i) + 1
+
+let repair_count t kind = t.repairs.(repair_index kind)
+let total_repairs t = Array.fold_left ( + ) 0 t.repairs
+
+(* {2 Round reports} *)
+
+let begin_round t ~messages =
+  t.round_mark <- Some (t.probes, messages, Array.copy t.repairs)
+
+let end_round t ~messages =
+  match t.round_mark with
+  | None -> ()
+  | Some (p0, m0, r0) ->
+      let repairs = Array.mapi (fun i r -> r - r0.(i)) t.repairs in
+      let report =
+        { round = t.round_count; probes = t.probes - p0;
+          messages = messages - m0; repairs }
+      in
+      t.rounds <- report :: t.rounds;
+      t.round_count <- t.round_count + 1;
+      t.round_mark <- None
+
+let rounds t = List.rev t.rounds
+let last_round t = match t.rounds with [] -> None | r :: _ -> Some r
+
+let reset_rounds t =
+  t.rounds <- [];
+  t.round_count <- 0;
+  t.round_mark <- None
+
+let round_repairs (r : round_report) kind = r.repairs.(repair_index kind)
+let round_total_repairs (r : round_report) = Array.fold_left ( + ) 0 r.repairs
+
+(* {2 False-positive interest counters (§3.2 dynamic reorganization)} *)
+
+let fp_counter t p h =
+  match Hashtbl.find_opt t.fp (p, h) with
+  | Some c -> c
+  | None ->
+      let c = { self_fp = 0; would = Hashtbl.create 8 } in
+      Hashtbl.replace t.fp (p, h) c;
+      c
+
+let clear_fp t p h = Hashtbl.remove t.fp (p, h)
+
+(* Deterministic iteration order: the engine replays runs from seeds,
+   so every consumer of the counters must see them in a stable order. *)
+let fp_entries t =
+  let entries = Hashtbl.fold (fun key c acc -> (key, c) :: acc) t.fp [] in
+  List.sort (fun ((a, ha), _) ((b, hb), _) -> compare (a, ha) (b, hb)) entries
+
+let reset_fp t = Hashtbl.reset t.fp
+
+(* {2 Event delivery records} *)
+
+let fresh_event_id t =
+  let id = t.next_event in
+  t.next_event <- id + 1;
+  id
+
+let register_event t ~event_id ~matched ~origin =
+  let rec_ =
+    { matched; origin; received = Node_id.Set.empty;
+      delivered = Node_id.Set.empty; max_hops = 0 }
+  in
+  Hashtbl.replace t.events event_id rec_;
+  rec_
+
+let event t event_id = Hashtbl.find_opt t.events event_id
+
+(* {2 Pretty-printing} *)
+
+let pp_round ppf (r : round_report) =
+  let nonzero =
+    List.filter_map
+      (fun kind ->
+        let n = r.repairs.(repair_index kind) in
+        if n > 0 then Some (Printf.sprintf "%s:%d" (repair_label kind) n)
+        else None)
+      repair_kinds
+  in
+  Format.fprintf ppf "round %d: probes=%d messages=%d repairs=[%s]" r.round
+    r.probes r.messages
+    (String.concat " " nonzero)
+
+let pp ppf t =
+  Format.fprintf ppf "probes=%d repairs=%d rounds=%d" t.probes
+    (total_repairs t) t.round_count

@@ -1,0 +1,125 @@
+(** Structured telemetry bus for the overlay.
+
+    Every observable cost of the protocol flows through one value of
+    {!t} attached to the overlay: remote state probes (the
+    shared-state model's hidden communication), repair actions by
+    CHECK_* module, per-stabilization-round reports, the §3.2
+    false-positive interest counters driving dynamic reorganization,
+    and per-event delivery records for publications. The experiments
+    ([bench/]) and the model checker ([lib/mck]) read their metrics
+    from here instead of scraping ad-hoc counters out of the
+    overlay. *)
+
+type t
+
+(** The repair module (Figs. 10–14, plus root condensation) that
+    performed a state mutation. *)
+type repair = Mbr | Children | Parent | Cover | Structure | Root
+
+val repair_kinds : repair list
+(** All kinds, in a fixed display order. *)
+
+val repair_label : repair -> string
+
+val create : unit -> t
+
+(** {2 State probes}
+
+    A probe is a module body executing at node [p] reading another
+    node's state — free in the shared-state model, one QUERY/REPORT
+    round trip in a purely message-passing implementation (E7). *)
+
+val record_probe : t -> unit
+val probes : t -> int
+val reset_probes : t -> unit
+
+(** {2 Repair actions} *)
+
+val record_repair : t -> repair -> unit
+(** Called by {!Repair} (and {!Election}) when a check actually
+    mutates state — detections that find nothing to fix are not
+    counted. *)
+
+val repair_count : t -> repair -> int
+val total_repairs : t -> int
+
+(** {2 Per-round reports} *)
+
+type round_report = {
+  round : int;  (** 0-based round number since creation/reset *)
+  probes : int;  (** remote state probes performed in this round *)
+  messages : int;  (** engine messages sent during this round *)
+  repairs : int array;  (** per-kind counts; index with {!round_repairs} *)
+}
+
+val begin_round : t -> messages:int -> unit
+(** Mark the start of a stabilization round; [messages] is the
+    engine's cumulative sent count at that moment. *)
+
+val end_round : t -> messages:int -> unit
+(** Close the round opened by {!begin_round} and append a
+    {!round_report} with the deltas. A call without a matching
+    [begin_round] is ignored. *)
+
+val rounds : t -> round_report list
+(** All completed rounds, oldest first. *)
+
+val last_round : t -> round_report option
+val reset_rounds : t -> unit
+val round_repairs : round_report -> repair -> int
+val round_total_repairs : round_report -> int
+
+(** {2 False-positive interest counters (§3.2)}
+
+    One counter per held set instance [(holder, height)]: how many
+    events the holder received for the set without matching them
+    itself ([self_fp]), and how many each member {e would} have
+    received spuriously in the holder's place ([would]). Consumed by
+    [Overlay.fp_swap_round]. *)
+
+type fp_counter = {
+  mutable self_fp : int;
+  would : (Sim.Node_id.t, int) Hashtbl.t;
+}
+
+val fp_counter : t -> Sim.Node_id.t -> int -> fp_counter
+(** [fp_counter t p h] returns (creating on first use) the counter of
+    [p]'s instance at height [h]. *)
+
+val clear_fp : t -> Sim.Node_id.t -> int -> unit
+(** Forget the counter of one instance — called whenever a role
+    exchange or condensation moves the set, since the accumulated
+    interest no longer describes the new holder. *)
+
+val fp_entries : t -> ((Sim.Node_id.t * int) * fp_counter) list
+(** All live counters, in deterministic (id, height) order. *)
+
+val reset_fp : t -> unit
+
+(** {2 Event delivery records} *)
+
+type event_record = {
+  matched : Sim.Node_id.Set.t;
+  origin : Sim.Node_id.t;
+  mutable received : Sim.Node_id.Set.t;
+  mutable delivered : Sim.Node_id.Set.t;
+  mutable max_hops : int;
+}
+
+val fresh_event_id : t -> int
+(** Allocate an event id without registering a record (tests that
+    hand-craft dissemination use the id alone). *)
+
+val register_event :
+  t ->
+  event_id:int ->
+  matched:Sim.Node_id.Set.t ->
+  origin:Sim.Node_id.t ->
+  event_record
+
+val event : t -> int -> event_record option
+
+(** {2 Pretty-printing} *)
+
+val pp_round : Format.formatter -> round_report -> unit
+val pp : Format.formatter -> t -> unit

@@ -169,10 +169,20 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
         in
         match converged with
         | None ->
-            fail `Final "no convergence within %d rounds%s" budget
+            (* The last round's telemetry tells a diverging repair loop
+               (repairs still firing every round) apart from a checker
+               blind spot (zero repairs, yet still illegal). *)
+            let tele =
+              match Drtree.Telemetry.last_round (O.telemetry ov) with
+              | Some r ->
+                  Format.asprintf " [last %a]" Drtree.Telemetry.pp_round r
+              | None -> ""
+            in
+            fail `Final "no convergence within %d rounds%s%s" budget
               (match describe_violations ov with
               | Some d -> ": " ^ d
               | None -> "")
+              tele
         | Some _ ->
             let deg = Inv.max_degree ov in
             if deg > tr.Trace.max_fill then

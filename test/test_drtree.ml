@@ -86,7 +86,7 @@ let test_single_node () =
   let id = O.join ov (rect 0.0 0.0 1.0 1.0) in
   check_int "size" 1 (O.size ov);
   check_int "height" 0 (O.height ov);
-  check_bool "is root" true (O.find_root ov = Some id);
+  check_bool "is root" true (O.designated_root ov = Some id);
   check_bool "legal" true (legal ov)
 
 let test_two_nodes_root_election () =
@@ -96,8 +96,8 @@ let test_two_nodes_root_election () =
   let small = O.join ov (rect 4.0 4.0 5.0 5.0) in
   let big = O.join ov (rect 0.0 0.0 10.0 10.0) in
   check_int "height" 1 (O.height ov);
-  check_bool "big is root" true (O.find_root ov = Some big);
-  check_bool "small not root" true (O.find_root ov <> Some small);
+  check_bool "big is root" true (O.designated_root ov = Some big);
+  check_bool "small not root" true (O.designated_root ov <> Some small);
   check_bool "legal" true (legal ov)
 
 let test_joins_preserve_legality () =
@@ -281,7 +281,7 @@ let interior_of ov =
   List.find
     (fun id ->
       match O.state ov id with
-      | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+      | Some s -> St.top s >= 1 && O.designated_root ov <> Some id
       | None -> false)
     (O.alive_ids ov)
 
@@ -327,7 +327,7 @@ let detectors =
     detector_case "dangling parent"
       (fun ov ->
         let id =
-          List.find (fun id -> O.find_root ov <> Some id) (O.alive_ids ov)
+          List.find (fun id -> O.designated_root ov <> Some id) (O.alive_ids ov)
         in
         let s = Option.get (O.state ov id) in
         (St.level_exn s (St.top s)).St.parent <- 999_999)

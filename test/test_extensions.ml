@@ -42,7 +42,7 @@ let test_leave_reconnect_interior () =
     List.find
       (fun id ->
         match O.state ov id with
-        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | Some s -> St.top s >= 1 && O.designated_root ov <> Some id
         | None -> false)
       (O.alive_ids ov)
   in
@@ -59,12 +59,12 @@ let test_leave_reconnect_interior () =
 
 let test_leave_reconnect_root () =
   let ov = build ~seed:2 50 in
-  let root = Option.get (O.find_root ov) in
+  let root = Option.get (O.designated_root ov) in
   O.leave_reconnect ov root;
   check_bool "stabilizes after root reconnection-leave" true
     (O.stabilize ~legal:Inv.is_legal ov <> None);
   check_bool "new root" true
-    (O.find_root ov <> None && O.find_root ov <> Some root)
+    (O.designated_root ov <> None && O.designated_root ov <> Some root)
 
 let test_leave_reconnect_sequence () =
   let ov = build ~seed:3 80 in

@@ -175,6 +175,163 @@ let prop_rtree_vs_drtree_height =
       let rt_height = Rtree.Tree.height t - 1 in
       O.height ov <= (2 * rt_height) + 2)
 
+(* Differential checks of the compaction helpers Repair exposes
+   (Fig. 14's Best_Set_Cover / Search_Compaction_Candidate), against
+   brute-force recomputation of their documented contracts. *)
+
+module Acc = Drtree.Access
+module Rep = Drtree.Repair
+module St = Drtree.State
+module Set = Sim.Node_id.Set
+
+let build_random_overlay seed n =
+  let rng = Sim.Rng.make (seed * 37) in
+  let ov = O.create ~seed () in
+  for _ = 1 to n do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  ov
+
+let prop_best_set_cover_minimal =
+  QCheck2.Test.make
+    ~name:"best_set_cover: minimal uncovered area, ties keep first" ~count:12
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let ov = build_random_overlay seed 48 in
+      let net = O.access ov in
+      let uncovered mbr id =
+        match Acc.read net id with
+        | Some st ->
+            R.area (R.union mbr (St.filter st)) -. R.area (St.filter st)
+        | None -> infinity
+      in
+      let ok = ref true in
+      O.iter_states ov (fun _ s ->
+          for h = 1 to St.top s do
+            match St.level s h with
+            | None -> ()
+            | Some l ->
+                let members = Set.elements l.St.children in
+                List.iter
+                  (fun a ->
+                    List.iter
+                      (fun b ->
+                        if not (Sim.Node_id.equal a b) then begin
+                          let w = Rep.best_set_cover net a b (h - 1) in
+                          match
+                            ( Acc.mbr_of net (h - 1) a,
+                              Acc.mbr_of net (h - 1) b )
+                          with
+                          | Some ma, Some mb ->
+                              let mbr = R.union ma mb in
+                              let ua = uncovered mbr a
+                              and ub = uncovered mbr b in
+                              let expect = if ua <= ub then a else b in
+                              if not (Sim.Node_id.equal w expect) then
+                                ok := false
+                          | _ ->
+                              if
+                                not
+                                  (Sim.Node_id.equal w a
+                                  || Sim.Node_id.equal w b)
+                              then ok := false
+                        end)
+                      members)
+                  members
+          done);
+      !ok)
+
+let prop_compaction_candidate =
+  QCheck2.Test.make
+    ~name:
+      "search_compaction_candidate: feasible, minimal area, conserves members"
+    ~count:12
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let ov = build_random_overlay seed 56 in
+      let net = O.access ov in
+      let cfg = O.cfg ov in
+      let members_of hs id =
+        match Acc.read net id with
+        | Some s when St.is_active s (hs - 1) ->
+            (St.level_exn s (hs - 1)).St.children
+        | Some _ | None -> Set.empty
+      in
+      let ok = ref true in
+      let merges = ref [] in
+      O.iter_states ov (fun p sp ->
+          for hs = 2 to St.top sp do
+            match St.level sp hs with
+            | None -> ()
+            | Some l ->
+                let siblings = Set.elements l.St.children in
+                List.iter
+                  (fun q ->
+                    let qc = members_of hs q in
+                    let q_mbr = Acc.mbr_of net (hs - 1) q in
+                    (* The documented contract, recomputed naively. *)
+                    let feasible =
+                      List.filter_map
+                        (fun t ->
+                          if Sim.Node_id.equal t q then None
+                          else
+                            match Acc.read net t with
+                            | Some st when St.is_active st (hs - 1) ->
+                                let tc =
+                                  (St.level_exn st (hs - 1)).St.children
+                                in
+                                if
+                                  Set.cardinal (Set.union tc qc)
+                                  <= cfg.Cfg.max_fill
+                                then
+                                  let score =
+                                    match
+                                      (Acc.mbr_of net (hs - 1) t, q_mbr)
+                                    with
+                                    | Some mt, Some mq ->
+                                        R.area (R.union mt mq)
+                                    | Some mt, None -> R.area mt
+                                    | None, Some mq -> R.area mq
+                                    | None, None -> infinity
+                                  in
+                                  Some (t, score)
+                                else None
+                            | Some _ | None -> None)
+                        siblings
+                    in
+                    match Rep.search_compaction_candidate net sp q hs with
+                    | None -> if feasible <> [] then ok := false
+                    | Some (t, score) ->
+                        (match List.assoc_opt t feasible with
+                        | None -> ok := false
+                        | Some s' ->
+                            if not (Float.equal s' score) then ok := false);
+                        List.iter
+                          (fun (_, s') -> if s' < score then ok := false)
+                          feasible;
+                        if
+                          (not (Sim.Node_id.equal q p))
+                          && not (Sim.Node_id.equal t p)
+                        then merges := (sp, q, t, hs) :: !merges)
+                  siblings
+          done);
+      (* Never drops a member: committing one merge keeps the union of
+         both member sets under the winner, and the overlay
+         restabilizes (check_structure's cleanup runs as repair). *)
+      (match List.rev !merges with
+      | [] -> ()
+      | (_, q, t, hs) :: _ ->
+          let qc = members_of hs q and tc = members_of hs t in
+          let expected = Set.union qc tc in
+          let winner = Rep.best_set_cover net q t (hs - 1) in
+          let loser = if Sim.Node_id.equal winner q then t else q in
+          Rep.merge_children net winner loser (hs - 1);
+          if not (Set.equal (members_of hs winner) expected) then ok := false;
+          if O.stabilize ~max_rounds:150 ~legal:Inv.is_legal ov = None then
+            ok := false);
+      !ok)
+
 let () =
   let suite =
     List.map QCheck_alcotest.to_alcotest
@@ -188,4 +345,9 @@ let () =
         prop_rtree_vs_drtree_height;
       ]
   in
-  Alcotest.run "properties" [ ("end-to-end", suite) ]
+  let compaction =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_best_set_cover_minimal; prop_compaction_candidate ]
+  in
+  Alcotest.run "properties"
+    [ ("end-to-end", suite); ("compaction helpers", compaction) ]

@@ -72,7 +72,7 @@ let test_leave_interior () =
     List.find
       (fun id ->
         match O.state ov id with
-        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | Some s -> St.top s >= 1 && O.designated_root ov <> Some id
         | None -> false)
       (O.alive_ids ov)
   in
@@ -82,12 +82,12 @@ let test_leave_interior () =
 
 let test_leave_root () =
   let ov = build ~seed:4 50 in
-  let root = Option.get (O.find_root ov) in
+  let root = Option.get (O.designated_root ov) in
   O.leave ov root;
   check_int "size dropped" 49 (O.size ov);
   check_bool "stabilizes after root leave" true (stabilizes ov);
-  check_bool "new root exists" true (O.find_root ov <> None);
-  check_bool "new root differs" true (O.find_root ov <> Some root)
+  check_bool "new root exists" true (O.designated_root ov <> None);
+  check_bool "new root differs" true (O.designated_root ov <> Some root)
 
 let test_leave_many () =
   let ov = build ~seed:5 80 in
@@ -131,7 +131,7 @@ let test_crash_interior () =
     List.find
       (fun id ->
         match O.state ov id with
-        | Some s -> St.top s >= 1 && O.find_root ov <> Some id
+        | Some s -> St.top s >= 1 && O.designated_root ov <> Some id
         | None -> false)
       (O.alive_ids ov)
   in
@@ -141,10 +141,10 @@ let test_crash_interior () =
 
 let test_crash_root () =
   let ov = build ~seed:9 50 in
-  let root = Option.get (O.find_root ov) in
+  let root = Option.get (O.designated_root ov) in
   O.crash ov root;
   check_bool "stabilizes after root crash" true (stabilizes ov);
-  check_bool "new root" true (O.find_root ov <> None && O.find_root ov <> Some root)
+  check_bool "new root" true (O.designated_root ov <> None && O.designated_root ov <> Some root)
 
 let test_crash_quarter () =
   let ov = build ~seed:10 100 in
@@ -159,7 +159,7 @@ let test_crash_simultaneous_root_and_children () =
   (* Kill the root and every member of its top-level children set at
      once: the survivors must re-form a tree. *)
   let ov = build ~seed:11 60 in
-  let root = Option.get (O.find_root ov) in
+  let root = Option.get (O.designated_root ov) in
   let top_children =
     match O.state ov root with
     | Some s -> (St.level_exn s (St.top s)).St.children
@@ -301,7 +301,7 @@ let test_check_parent_triggers_rejoin () =
   (* Pick a non-root top instance and point its parent at a ghost. *)
   let id =
     List.find
-      (fun id -> O.find_root ov <> Some id)
+      (fun id -> O.designated_root ov <> Some id)
       (O.alive_ids ov)
   in
   let s = Option.get (O.state ov id) in
@@ -371,10 +371,10 @@ let test_mp_corruption_recovery () =
 
 let test_mp_root_crash () =
   let ov = build ~seed:63 60 in
-  let root = Option.get (O.find_root ov) in
+  let root = Option.get (O.designated_root ov) in
   O.crash ov root;
   check_bool "mp mode repairs root crash" true (stabilizes_mp ov);
-  check_bool "new root" true (O.find_root ov <> None && O.find_root ov <> Some root)
+  check_bool "new root" true (O.designated_root ov <> None && O.designated_root ov <> Some root)
 
 let test_mp_costs_messages () =
   (* The whole point of the mode: detection costs counted messages. *)
@@ -526,6 +526,45 @@ let test_accuracy_after_duplicated_joins () =
     check_int "zero FN after duplicated joins" 0 rep.O.false_negatives
   done
 
+let test_leave_reconnect_under_loss () =
+  (* The subtree-reconnection departure rides ordinary lossy links: its
+     handover JOINs may be dropped, in which case the stabilization
+     modules must finish the repair within the Lemma 3.4/3.6 round
+     budget (the fuzzer's 4N + 20 bound). *)
+  let ov = O.create ~drop_rate:0.1 ~seed:75 () in
+  let rng = Sim.Rng.make (75 * 131) in
+  for _ = 1 to 40 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  let bound = (4 * max 4 (O.size ov)) + 20 in
+  check_bool "builds to legal under loss" true (stabilizes ~max_rounds:bound ov);
+  for _ = 1 to 6 do
+    if O.size ov > 4 then begin
+      let victim =
+        let ids = O.alive_ids ov in
+        (* Prefer an interior departer: its subtrees exercise the
+           reconnection path. *)
+        match
+          List.find_opt
+            (fun id ->
+              match O.state ov id with
+              | Some s -> St.top s >= 1 && O.designated_root ov <> Some id
+              | None -> false)
+            ids
+        with
+        | Some id -> id
+        | None -> List.hd ids
+      in
+      O.leave_reconnect ov victim;
+      check_bool "victim gone" true (not (O.is_alive ov victim));
+      check_bool "re-stabilizes within the round bound" true
+        (stabilizes ~max_rounds:bound ov)
+    end
+  done;
+  check_bool "legal" true (legal ov);
+  (* Everyone who did not depart is still a member. *)
+  check_int "membership tracks departures" 34 (O.size ov)
+
 (* --- Churn while stabilizing (E8 machinery) --------------------------------------- *)
 
 let test_churn_trace_replay () =
@@ -629,6 +668,8 @@ let () =
             test_stale_direct_injections;
           Alcotest.test_case "accuracy after duplicated joins" `Quick
             test_accuracy_after_duplicated_joins;
+          Alcotest.test_case "leave_reconnect under message loss" `Quick
+            test_leave_reconnect_under_loss;
         ] );
       ( "churn",
         [ Alcotest.test_case "poisson churn replay" `Slow
