@@ -10,7 +10,10 @@
      E_churn      — fault recovery, stabilization modes + telemetry,
                     churn, leave variants, message loss, Chord
      E_baselines  — §4 related-work router comparisons
-     E_scale      — laptop-scale stress *)
+     E_scale      — laptop-scale stress
+     E_agg        — in-network aggregation (lib/agg): traffic vs
+                    flooding under the TiNA tolerance, error under
+                    churn/loss *)
 
 let register () =
   Harness.register "E1" "height is O(log_m N)" E_structure.e1;
@@ -38,4 +41,8 @@ let register () =
     E_baselines.e20;
   Harness.register "E21" "filter sets vs one leaf per filter" E_pubsub.e21;
   Harness.register "E22" "fan-out (m/M) sweep" E_structure.e22;
-  Harness.register "E23" "laptop-scale stress" E_scale.e23
+  Harness.register "E23" "laptop-scale stress" E_scale.e23;
+  Harness.register "E24" "aggregation traffic vs flooding (tct sweep)"
+    E_agg.e24;
+  Harness.register "E25" "aggregate error under churn and message loss"
+    E_agg.e25

@@ -1,17 +1,21 @@
 (* Command-line driver for the DR-tree library.
 
    Subcommands:
-     build     build an overlay from a workload and print its shape
-     publish   build, publish events, report accuracy/cost
-     churn     build, apply faults, watch stabilization repair
-     inspect   dump the tree structure of a small overlay
-     fuzz      adversarial model checking: fuzz, shrink, replay traces
+     build      build an overlay from a workload and print its shape
+     publish    build, publish events, report accuracy/cost
+     churn      build, apply faults, watch stabilization repair
+     inspect    dump the tree structure of a small overlay
+     export     render the overlay (dot, ascii, svg, edge list)
+     aggregate  run a standing aggregate query over epochs (lib/agg)
+     fuzz       adversarial model checking: fuzz, shrink, replay traces
 
    Examples:
      drtree_cli build -n 512 --workload clustered
      drtree_cli publish -n 256 --events 500 --event-workload hotspot
      drtree_cli churn -n 200 --crash 0.2 --corrupt 0.1
      drtree_cli inspect -n 20
+     drtree_cli export -n 64 --format dot
+     drtree_cli aggregate -n 256 --fn sum --tct 2 --epochs 20
      drtree_cli fuzz --traces 500 --drop 0.1
      drtree_cli fuzz --replay repro/counterexample-42.trace *)
 
@@ -268,6 +272,129 @@ let export_cmd =
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
       $ split_t $ format_t)
 
+(* --- aggregate --------------------------------------------------------------- *)
+
+let aggregate_cmd =
+  let fn_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun fn -> (Agg.Aggregate.fn_to_string fn, fn))
+                Agg.Aggregate.all_fns))
+          Agg.Aggregate.Sum
+      & info [ "fn" ] ~docv:"FN"
+          ~doc:"Aggregate function: count, sum, min, max or avg.")
+  in
+  let tct_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tct" ] ~docv:"TOL"
+          ~doc:
+            "Temporal coherency tolerance: suppress a child's report when \
+             its partial moved by at most this much since the last sent \
+             value.")
+  in
+  let epochs_t =
+    Arg.(
+      value & opt int 20
+      & info [ "epochs" ] ~docv:"COUNT" ~doc:"Evaluation epochs to run.")
+  in
+  let rect_t =
+    Arg.(
+      value
+      & opt (t4 ~sep:',' float float float float) (0.0, 0.0, 100.0, 100.0)
+      & info [ "rect" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query rectangle.")
+  in
+  let run seed n workload min_fill max_fill split fn tct epochs
+      (x0, y0, x1, y1) =
+    let cfg = make_cfg min_fill max_fill split in
+    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    print_shape ov;
+    let rt = Agg.Runtime.attach ov in
+    let owner = List.hd (O.alive_ids ov) in
+    let rect = Geometry.Rect.make2 ~x0 ~y0 ~x1 ~y1 in
+    let qid = Agg.Runtime.register rt ~tct ~owner ~rect fn in
+    Printf.printf "\nquery       : %s over [%g,%g]x[%g,%g], tct=%g\n"
+      (Agg.Aggregate.fn_to_string fn)
+      x0 x1 y0 y1 tct;
+    (* One integer-valued reading per node per epoch at its filter
+       center, random-walking in occasional steps (the slowly-changing
+       signal the suppression exploits). *)
+    let values = Hashtbl.create 256 in
+    let emit () =
+      List.iter
+        (fun id ->
+          match O.state ov id with
+          | None -> ()
+          | Some s ->
+              let v =
+                match Hashtbl.find_opt values id with
+                | Some v ->
+                    if Rng.float rng 1.0 < 0.2 then
+                      v +. float_of_int (Rng.int rng 7 - 3)
+                    else v
+                | None -> float_of_int (20 + Rng.int rng 60)
+              in
+              Hashtbl.replace values id v;
+              Agg.Runtime.inject rt ~from:id
+                (Geometry.Rect.center (St.filter s))
+                v)
+        (O.alive_ids ov)
+    in
+    let tele = O.telemetry ov in
+    Printf.printf "\n%8s %12s %12s %8s %8s %10s\n" "epoch" "value" "oracle"
+      "|err|" "sent" "suppressed";
+    for _ = 1 to epochs do
+      emit ();
+      Agg.Runtime.run_epoch rt;
+      let e = Agg.Runtime.epoch rt in
+      let vs = function None -> "none" | Some v -> Printf.sprintf "%g" v in
+      let got =
+        match Agg.Runtime.result rt qid with
+        | Some (re, v) when re = e -> v
+        | Some _ | None -> None
+      in
+      let expect =
+        match Agg.Runtime.oracle rt ~epoch:e qid with
+        | Some v -> v
+        | None -> None
+      in
+      let err =
+        match (got, expect) with
+        | Some g, Some x -> abs_float (g -. x)
+        | None, None -> 0.0
+        | Some v, None | None, Some v -> abs_float v
+      in
+      let r =
+        match Drtree.Telemetry.last_agg_epoch tele with
+        | Some r -> r
+        | None -> assert false
+      in
+      Printf.printf "%8d %12s %12s %8.2f %8d %10d\n" e (vs got) (vs expect)
+        err r.Drtree.Telemetry.partials_sent r.Drtree.Telemetry.suppressed
+    done;
+    let sent = Drtree.Telemetry.agg_sent tele
+    and suppr = Drtree.Telemetry.agg_suppressed tele in
+    let tree = sent + epochs and flood = n * epochs in
+    Printf.printf
+      "\ntotals      : %d partials sent, %d suppressed, %d stale-dropped\n"
+      sent suppr
+      (Drtree.Telemetry.agg_stale_dropped tele);
+    Printf.printf "traffic     : %d msgs vs %d flooding (%.1f%% reduction)\n"
+      tree flood
+      (100.0 *. (1.0 -. (float_of_int tree /. float_of_int flood)))
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:
+         "Run a standing spatial aggregate query (TAG/TiNA-style in-network \
+          aggregation) over epochs of synthetic readings.")
+    Term.(
+      const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
+      $ split_t $ fn_t $ tct_t $ epochs_t $ rect_t)
+
 (* --- fuzz -------------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -449,4 +576,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ build_cmd; publish_cmd; churn_cmd; inspect_cmd; export_cmd;
-            fuzz_cmd ]))
+            aggregate_cmd; fuzz_cmd ]))

@@ -1,0 +1,14 @@
+type t = Drtree.Message.agg_query = {
+  query_id : int;
+  q_rect : Geometry.Rect.t;
+  q_fn : Aggregate.fn;
+  q_tct : float;
+  q_owner : Sim.Node_id.t;
+}
+
+let matches q p = Geometry.Rect.contains_point q.q_rect p
+
+let pp ppf q =
+  Format.fprintf ppf "q%d: %s over %a (tct=%g, owner %a)" q.query_id
+    (Aggregate.fn_to_string q.q_fn)
+    Geometry.Rect.pp q.q_rect q.q_tct Sim.Node_id.pp q.q_owner

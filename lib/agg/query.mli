@@ -1,0 +1,13 @@
+(** A standing aggregate query: a function over the values of events
+    falling inside a rectangle, re-evaluated every epoch. *)
+
+type t = Drtree.Message.agg_query = {
+  query_id : int;
+  q_rect : Geometry.Rect.t;
+  q_fn : Aggregate.fn;
+  q_tct : float;  (** temporal coherency tolerance (see {!Runtime}) *)
+  q_owner : Sim.Node_id.t;
+}
+
+val matches : t -> Geometry.Point.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,422 @@
+module O = Drtree.Overlay
+module Msg = Drtree.Message
+module State = Drtree.State
+module Tele = Drtree.Telemetry
+module Access = Drtree.Access
+module Engine = Sim.Engine
+module Node_id = Sim.Node_id
+module P = Geometry.Point
+
+(* Per-process soft state. Everything here may be lost, duplicated or
+   invalidated by churn; the repair pass reconciles it against the
+   (repairing) tree, never the other way around. *)
+type node_state = {
+  queries : (int, Query.t) Hashtbl.t;
+      (* standing queries known to this process *)
+  pending : (int, Aggregate.t) Hashtbl.t;
+      (* query_id -> fold of this epoch's own matching readings *)
+  rx : (int * Node_id.t, int * Aggregate.t) Hashtbl.t;
+      (* (query_id, child) -> (epoch, partial): the child's last
+         received subtree partial — reused when the child suppresses *)
+  sent : (int, Node_id.t * Aggregate.t) Hashtbl.t;
+      (* query_id -> (parent, partial) this process last reported —
+         the suppression reference *)
+}
+
+type t = {
+  ov : O.t;
+  net : Access.net;
+  nodes : node_state Node_id.Table.t;
+  registry : (int, Query.t) Hashtbl.t; (* client-side: every register *)
+  results : (int, int * float option) Hashtbl.t;
+      (* query_id -> (epoch, value) freshest Agg_result delivered *)
+  mutable log : (int * Node_id.t * P.t * float) list;
+      (* raw event log (epoch, producer, point, value) — the oracle's
+         ground truth, newest first *)
+  mutable readings : (Node_id.t * P.t * float) list;
+      (* injected since the last epoch, newest first *)
+  mutable epoch : int;
+  mutable next_query : int;
+}
+
+let overlay t = t.ov
+let epoch t = t.epoch
+let tele t = O.telemetry t.ov
+
+let node_state t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | Some ns -> ns
+  | None ->
+      let ns =
+        { queries = Hashtbl.create 8; pending = Hashtbl.create 8;
+          rx = Hashtbl.create 16; sent = Hashtbl.create 8 }
+      in
+      Node_id.Table.replace t.nodes id ns;
+      ns
+
+let sorted_query_ids tbl =
+  List.sort compare (Hashtbl.fold (fun qid _ acc -> qid :: acc) tbl [])
+
+(* {2 Message handling} *)
+
+let forward_subscribe ctx s query hops =
+  let p = State.id s in
+  for l = 1 to State.top s do
+    match State.level s l with
+    | Some lvl ->
+        Node_id.Set.iter
+          (fun c ->
+            if not (Node_id.equal c p) then
+              Engine.send ctx c (Msg.Agg_subscribe { query; hops = hops + 1 }))
+          lvl.State.children
+    | None -> ()
+  done
+
+let handle t ctx s msg =
+  match msg with
+  | Msg.Agg_subscribe { query; hops } ->
+      let ns = node_state t (State.id s) in
+      let fresh = not (Hashtbl.mem ns.queries query.Query.query_id) in
+      Hashtbl.replace ns.queries query.Query.query_id query;
+      (* TTL-guarded flood down the children sets, like Publish. *)
+      if fresh && hops < t.net.Access.cfg.Drtree.Config.publish_ttl then
+        forward_subscribe ctx s query hops
+  | Msg.Agg_partial { query_id; epoch; child; at; partial } ->
+      let ns = node_state t (State.id s) in
+      (* Stale partials — the sender lost its child role mid-flight, or
+         we lost the instance the report targets — must not pollute the
+         cache (the repair pass would have to undo them). *)
+      if not (State.is_active s at) then Tele.record_agg_stale (tele t)
+      else
+        let lvl = State.level_exn s at in
+        if not (Node_id.Set.mem child lvl.State.children) then
+          Tele.record_agg_stale (tele t)
+        else begin
+          match Hashtbl.find_opt ns.rx (query_id, child) with
+          | Some (e, _) when e > epoch ->
+              (* an out-of-order duplicate from a finished epoch *)
+              Tele.record_agg_stale (tele t)
+          | Some _ | None ->
+              Hashtbl.replace ns.rx (query_id, child) (epoch, partial)
+        end
+  | Msg.Agg_result { query_id; epoch; value } -> (
+      match Hashtbl.find_opt t.results query_id with
+      | Some (e, _) when e > epoch -> ()
+      | Some _ | None -> Hashtbl.replace t.results query_id (epoch, value))
+  | _ -> ()
+
+(* {2 Epoch driver} *)
+
+(* Fold own readings, then every external child's cached partial, over
+   all heights this process holds — the subtree partial its parent
+   should see. *)
+let combined ns s qid =
+  let p = State.id s in
+  let acc =
+    ref
+      (match Hashtbl.find_opt ns.pending qid with
+      | Some a -> a
+      | None -> Aggregate.identity)
+  in
+  for l = 1 to State.top s do
+    (match State.level s l with
+    | Some lvl ->
+        Node_id.Set.iter
+          (fun c ->
+            if not (Node_id.equal c p) then
+              match Hashtbl.find_opt ns.rx (qid, c) with
+              | Some (_, part) -> acc := Aggregate.merge !acc part
+              | None -> ())
+          lvl.State.children
+    | None -> ())
+  done;
+  !acc
+
+let report_up t id s =
+  let ns = node_state t id in
+  let top = State.top s in
+  List.iter
+    (fun qid ->
+      let q = Hashtbl.find ns.queries qid in
+      let c = combined ns s qid in
+      if State.is_root s top then
+        (* finalize at the root; one result message per query/epoch *)
+        Engine.inject t.net.Access.engine ~dst:q.Query.q_owner
+          (Msg.Agg_result
+             { query_id = qid; epoch = t.epoch;
+               value = Aggregate.finalize q.Query.q_fn c })
+      else
+        let parent = (State.level_exn s top).State.parent in
+        if not (Node_id.equal parent id) then begin
+          (* TiNA suppression: within tolerance of what this parent
+             already holds, let it reuse the cached partial. *)
+          match Hashtbl.find_opt ns.sent qid with
+          | Some (prev_parent, prev)
+            when Node_id.equal prev_parent parent
+                 && Aggregate.delta prev c <= q.Query.q_tct ->
+              Tele.record_agg_suppressed (tele t)
+          | Some _ | None ->
+              Hashtbl.replace ns.sent qid (parent, c);
+              Tele.record_agg_sent (tele t);
+              Engine.inject t.net.Access.engine ~dst:parent
+                (Msg.Agg_partial
+                   { query_id = qid; epoch = t.epoch; child = id;
+                     at = top + 1; partial = c })
+        end)
+    (sorted_query_ids ns.queries)
+
+let inject t ~from point value =
+  if O.is_alive t.ov from then t.readings <- (from, point, value) :: t.readings
+
+let run_epoch t =
+  t.epoch <- t.epoch + 1;
+  Tele.begin_agg_epoch (tele t) ~epoch:t.epoch;
+  (* Fold the readings injected since the last epoch into the leaves
+     (and the ground-truth log). *)
+  List.iter
+    (fun (id, p, v) ->
+      if O.is_alive t.ov id then begin
+        t.log <- (t.epoch, id, p, v) :: t.log;
+        let ns = node_state t id in
+        Hashtbl.iter
+          (fun qid q ->
+            if Query.matches q p then
+              let cur =
+                match Hashtbl.find_opt ns.pending qid with
+                | Some a -> a
+                | None -> Aggregate.identity
+              in
+              Hashtbl.replace ns.pending qid
+                (Aggregate.merge cur (Aggregate.of_value v)))
+          ns.queries
+      end)
+    (List.rev t.readings);
+  t.readings <- [];
+  (* Height waves: every external child's top is strictly below its
+     parent instance, so draining the engine between waves delivers
+     each partial before the wave that consumes it. One report per
+     process per query (at its topmost instance) — at most N-1 partial
+     messages per query per epoch, versus N for per-producer
+     flooding. *)
+  let ids = O.alive_ids t.ov in
+  let hmax =
+    List.fold_left
+      (fun acc id ->
+        match O.state t.ov id with
+        | Some s -> max acc (State.top s)
+        | None -> acc)
+      0 ids
+  in
+  for h = 0 to hmax do
+    List.iter
+      (fun id ->
+        match O.state t.ov id with
+        | Some s when O.is_alive t.ov id && State.top s = h ->
+            report_up t id s
+        | Some _ | None -> ())
+      ids;
+    O.run t.ov
+  done;
+  (* next epoch starts its leaf folds from scratch *)
+  Node_id.Table.iter (fun _ ns -> Hashtbl.reset ns.pending) t.nodes;
+  Tele.end_agg_epoch (tele t)
+
+(* {2 Standing-query registration and results} *)
+
+let register t ?(tct = 0.0) ~owner ~rect fn =
+  let qid = t.next_query in
+  t.next_query <- qid + 1;
+  let q =
+    { Query.query_id = qid; q_rect = rect; q_fn = fn; q_tct = tct;
+      q_owner = owner }
+  in
+  Hashtbl.replace t.registry qid q;
+  (match Access.designated_root t.net with
+  | Some root ->
+      Engine.inject t.net.Access.engine ~dst:root
+        (Msg.Agg_subscribe { query = q; hops = 0 });
+      O.run t.ov
+  | None -> ());
+  qid
+
+let query t qid = Hashtbl.find_opt t.registry qid
+let queries t = List.map (Hashtbl.find t.registry) (sorted_query_ids t.registry)
+let result t qid = Hashtbl.find_opt t.results qid
+
+(* {2 Brute-force oracle} *)
+
+let oracle t ~epoch qid =
+  match Hashtbl.find_opt t.registry qid with
+  | None -> None
+  | Some q ->
+      let acc =
+        List.fold_left
+          (fun acc (e, _who, p, v) ->
+            if e = epoch && Query.matches q p then
+              Aggregate.merge acc (Aggregate.of_value v)
+            else acc)
+          Aggregate.identity t.log
+      in
+      Some (Aggregate.finalize q.Query.q_fn acc)
+
+(* {2 The Agg_repair pass} *)
+
+(* Reconcile the soft state with the tree the CHECK_* modules just
+   repaired. Shared-state flavor, like the repair modules themselves:
+   the pass reads live structural state directly and prunes/patches
+   the aggregation tables. *)
+let repair t =
+  let ov = t.ov in
+  (* Forget crashed and departed processes' tables outright. *)
+  let dead =
+    Node_id.Table.fold
+      (fun id _ acc -> if O.is_alive ov id then acc else id :: acc)
+      t.nodes []
+  in
+  List.iter (fun id -> Node_id.Table.remove t.nodes id) dead;
+  O.iter_states ov (fun id s ->
+      match Node_id.Table.find_opt t.nodes id with
+      | None -> ()
+      | Some ns ->
+          (* rx entries whose sender is no longer in any children set
+             here are orphans of a role move or a departure. *)
+          let is_child c =
+            let found = ref false in
+            for l = 1 to State.top s do
+              match State.level s l with
+              | Some lvl ->
+                  if Node_id.Set.mem c lvl.State.children then found := true
+              | None -> ()
+            done;
+            !found
+          in
+          let orphans =
+            Hashtbl.fold
+              (fun ((_, c) as key) _ acc ->
+                if is_child c then acc else key :: acc)
+              ns.rx []
+          in
+          List.iter
+            (fun key ->
+              Hashtbl.remove ns.rx key;
+              Tele.record_agg_stale (tele t))
+            orphans;
+          (* Reconcile the suppression reference: after an
+             adjust_parent cascade (new parent) or a lost report (the
+             parent never cached what we recorded as sent), clear it so
+             the next epoch re-pulls the full partial. *)
+          let top = State.top s in
+          let invalid =
+            Hashtbl.fold
+              (fun qid (parent, part) acc ->
+                let stale =
+                  if State.is_root s top then true
+                  else
+                    let cur = (State.level_exn s top).State.parent in
+                    (not (Node_id.equal cur parent))
+                    ||
+                    match Node_id.Table.find_opt t.nodes parent with
+                    | None -> true
+                    | Some pns -> (
+                        match Hashtbl.find_opt pns.rx (qid, id) with
+                        | Some (_, cached) ->
+                            not (Aggregate.equal cached part)
+                        | None -> true)
+                in
+                if stale then qid :: acc else acc)
+              ns.sent []
+          in
+          List.iter (fun qid -> Hashtbl.remove ns.sent qid) invalid);
+  (* Query anti-entropy: lost Agg_subscribe floods and freshly joined
+     processes converge by copying queries down the repaired tree —
+     the client registry seeds the designated root, parents seed their
+     children (descending top order makes one pass propagate a query
+     down an entire path). *)
+  (match Access.designated_root t.net with
+  | Some root when O.is_alive ov root ->
+      let rns = node_state t root in
+      Hashtbl.iter
+        (fun qid q ->
+          if not (Hashtbl.mem rns.queries qid) then
+            Hashtbl.replace rns.queries qid q)
+        t.registry
+  | Some _ | None -> ());
+  let by_top =
+    List.sort
+      (fun (_, a) (_, b) -> compare (State.top b) (State.top a))
+      (List.filter_map
+         (fun id ->
+           match O.state ov id with Some s -> Some (id, s) | None -> None)
+         (O.alive_ids ov))
+  in
+  List.iter
+    (fun (id, s) ->
+      match Node_id.Table.find_opt t.nodes id with
+      | None -> ()
+      | Some ns ->
+          for l = 1 to State.top s do
+            match State.level s l with
+            | Some lvl ->
+                Node_id.Set.iter
+                  (fun c ->
+                    if (not (Node_id.equal c id)) && O.is_alive ov c then begin
+                      let cns = node_state t c in
+                      Hashtbl.iter
+                        (fun qid q ->
+                          if not (Hashtbl.mem cns.queries qid) then
+                            Hashtbl.replace cns.queries qid q)
+                        ns.queries
+                    end)
+                  lvl.State.children
+            | None -> ()
+          done)
+    by_top
+
+(* {2 Lifecycle} *)
+
+let attach ov =
+  let t =
+    {
+      ov;
+      net = O.access ov;
+      nodes = Node_id.Table.create 64;
+      registry = Hashtbl.create 8;
+      results = Hashtbl.create 8;
+      log = [];
+      readings = [];
+      epoch = 0;
+      next_query = 0;
+    }
+  in
+  O.set_agg_handler ov (Some (fun ctx s msg -> handle t ctx s msg));
+  O.set_agg_repair ov (Some (fun () -> repair t));
+  t
+
+let detach t =
+  O.set_agg_handler t.ov None;
+  O.set_agg_repair t.ov None
+
+(* {2 Test hooks} *)
+
+let debug_known_queries t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> []
+  | Some ns -> sorted_query_ids ns.queries
+
+let debug_rx t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> []
+  | Some ns ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun (qid, c) (e, part) acc -> (qid, c, e, part) :: acc)
+           ns.rx [])
+
+let debug_sent t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> []
+  | Some ns ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun qid (parent, part) acc -> (qid, parent, part) :: acc)
+           ns.sent [])

@@ -15,6 +15,13 @@ type net = {
   mutable executor : Node_id.t option;
       (* the node whose module body is currently executing; reads of
          other nodes' states count as state probes *)
+  mutable agg_handler :
+    (Message.t Engine.ctx -> State.t -> Message.t -> unit) option;
+      (* installed by Agg.Runtime.attach; receives the Agg_* messages
+         Overlay dispatches, so lib/core stays free of a dependency on
+         the aggregation subsystem *)
+  mutable agg_repair : (unit -> unit) option;
+      (* the Agg_repair pass, co-scheduled with the CHECK_* rounds *)
 }
 
 let create ?(cfg = Config.default) ?drop_rate ~seed () =
@@ -27,6 +34,8 @@ let create ?(cfg = Config.default) ?drop_rate ~seed () =
     tele = Telemetry.create ();
     last_join_hops = 0;
     executor = None;
+    agg_handler = None;
+    agg_repair = None;
   }
 
 let is_alive net id = Engine.is_alive net.engine id

@@ -23,6 +23,9 @@ type net = {
   tele : Telemetry.t;
   mutable last_join_hops : int;
   mutable executor : Sim.Node_id.t option;
+  mutable agg_handler :
+    (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option;
+  mutable agg_repair : (unit -> unit) option;
 }
 
 val create : ?cfg:Config.t -> ?drop_rate:float -> seed:int -> unit -> net

@@ -14,6 +14,38 @@ type snapshot = {
   levels : level_snapshot list;
 }
 
+type agg_fn = Count | Sum | Min | Max | Avg
+
+let agg_fn_to_string = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let agg_fn_of_string = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "avg" -> Some Avg
+  | _ -> None
+
+type agg_partial = {
+  a_count : int;
+  a_sum : float;
+  a_min : float;
+  a_max : float;
+}
+
+type agg_query = {
+  query_id : int;
+  q_rect : Geometry.Rect.t;
+  q_fn : agg_fn;
+  q_tct : float;
+  q_owner : Node_id.t;
+}
+
 type t =
   | Query of { asker : Node_id.t }
   | Report of { snapshot : snapshot }
@@ -46,6 +78,15 @@ type t =
       going_up : bool;
       hops : int;
     }
+  | Agg_subscribe of { query : agg_query; hops : int }
+  | Agg_partial of {
+      query_id : int;
+      epoch : int;
+      child : Node_id.t;
+      at : int;
+      partial : agg_partial;
+    }
+  | Agg_result of { query_id : int; epoch : int; value : float option }
 
 let tag = function
   | Query _ -> "QUERY"
@@ -61,6 +102,9 @@ let tag = function
   | Cover_sweep _ -> "COVER_SWEEP"
   | Initiate_new_connection _ -> "INITIATE_NEW_CONNECTION"
   | Publish _ -> "PUBLISH"
+  | Agg_subscribe _ -> "AGG_SUBSCRIBE"
+  | Agg_partial _ -> "AGG_PARTIAL"
+  | Agg_result _ -> "AGG_RESULT"
 
 let pp ppf = function
   | Query { asker } -> Format.fprintf ppf "QUERY(from %a)" Node_id.pp asker
@@ -87,3 +131,13 @@ let pp ppf = function
       Format.fprintf ppf "PUBLISH(e%d,h%d,%s,hops=%d)" event_id at
         (if going_up then "up" else "down")
         hops
+  | Agg_subscribe { query; hops } ->
+      Format.fprintf ppf "AGG_SUBSCRIBE(q%d,%s,tct=%g,hops=%d)" query.query_id
+        (agg_fn_to_string query.q_fn)
+        query.q_tct hops
+  | Agg_partial { query_id; epoch; child; at; partial } ->
+      Format.fprintf ppf "AGG_PARTIAL(q%d,e%d,from %a,h%d,n=%d)" query_id epoch
+        Node_id.pp child at partial.a_count
+  | Agg_result { query_id; epoch; value } ->
+      Format.fprintf ppf "AGG_RESULT(q%d,e%d,%s)" query_id epoch
+        (match value with None -> "none" | Some v -> Format.sprintf "%g" v)

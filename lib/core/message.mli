@@ -26,6 +26,36 @@ type snapshot = {
     shared-state model's neighbor reads with one [Query]/[Report]
     round trip per neighbor per round. *)
 
+type agg_fn = Count | Sum | Min | Max | Avg
+(** Aggregation function of a standing query (TAG's classic five). *)
+
+val agg_fn_to_string : agg_fn -> string
+val agg_fn_of_string : string -> agg_fn option
+
+type agg_partial = {
+  a_count : int;
+  a_sum : float;
+  a_min : float;
+  a_max : float;
+}
+(** A partial aggregate: the one merge-closed summary from which every
+    {!agg_fn} finalizes ([a_min]/[a_max] are [infinity]/[neg_infinity]
+    when [a_count = 0]). Kept in {!Message} so [Agg_*] messages are
+    self-contained; {!module:Agg.Aggregate} re-exports it with the
+    algebra. *)
+
+type agg_query = {
+  query_id : int;
+  q_rect : Geometry.Rect.t;  (** aggregate events inside this rectangle *)
+  q_fn : agg_fn;
+  q_tct : float;
+      (** temporal coherency tolerance: a child suppresses its report
+          when its partial moved by at most [q_tct] (component-wise)
+          since the value it last sent *)
+  q_owner : Sim.Node_id.t;  (** where [Agg_result]s are delivered *)
+}
+(** A standing aggregate query, as flooded by [Agg_subscribe]. *)
+
 type t =
   | Query of { asker : Sim.Node_id.t }
       (** please send me your state snapshot *)
@@ -76,6 +106,22 @@ type t =
       going_up : bool;
       hops : int;
     }
+  | Agg_subscribe of { query : agg_query; hops : int }
+      (** install a standing query; floods down the children sets,
+          guarded by the publish TTL *)
+  | Agg_partial of {
+      query_id : int;
+      epoch : int;
+      child : Sim.Node_id.t;  (** sender: a member of the receiver's
+                                  children set at [at] *)
+      at : int;  (** height of the receiving instance *)
+      partial : agg_partial;
+    }
+      (** one epoch's combined partial for [child]'s subtree, climbing
+          one edge of the parent chain *)
+  | Agg_result of { query_id : int; epoch : int; value : float option }
+      (** finalized aggregate, root to query owner; [None] when no
+          event matched (MIN/MAX/AVG of an empty set) *)
 
 val pp : Format.formatter -> t -> unit
 val tag : t -> string

@@ -78,7 +78,15 @@ let handle (ov : t) ctx msg =
           | Message.Publish { event_id; point; at; from_child; going_up; hops }
             ->
               Dissemination.handle_publish ov ctx sp ~event_id ~point ~at
-                ~from_child ~going_up ~hops)
+                ~from_child ~going_up ~hops
+          | Message.Agg_subscribe _ | Message.Agg_partial _
+          | Message.Agg_result _ -> (
+              (* Aggregation is an optional subsystem layered on top of
+                 the overlay (lib/agg); without a runtime attached its
+                 messages are inert. *)
+              match ov.Access.agg_handler with
+              | Some h -> h ctx sp msg
+              | None -> ()))
 
 (* --- Membership drivers -------------------------------------------------- *)
 
@@ -170,6 +178,9 @@ let stabilize_round (ov : t) =
         Repair.check_structure ov s h
       done);
   Election.shrink_root ov;
+  (* Agg_repair, co-scheduled with the CHECK_* modules: reconcile the
+     aggregation subsystem's soft state with the repaired tree. *)
+  (match ov.Access.agg_repair with Some f -> f () | None -> ());
   run ov;
   Telemetry.end_round ov.Access.tele
     ~messages:(Engine.messages_sent ov.Access.engine)
@@ -239,6 +250,7 @@ let stabilize_round_mp (ov : t) =
         Repair.check_structure ov s h
       done);
   Election.shrink_root ov;
+  (match ov.Access.agg_repair with Some f -> f () | None -> ());
   run ov;
   Telemetry.end_round ov.Access.tele
     ~messages:(Engine.messages_sent ov.Access.engine)
@@ -259,3 +271,8 @@ let stabilize_mp ?(max_rounds = 50) ~legal ov =
 let state_probes (ov : t) = Telemetry.probes ov.Access.tele
 let reset_state_probes (ov : t) = Telemetry.reset_probes ov.Access.tele
 let fp_swap_round = Dissemination.fp_swap_round
+
+(* --- Aggregation hooks ----------------------------------------------------- *)
+
+let set_agg_handler (ov : t) h = ov.Access.agg_handler <- h
+let set_agg_repair (ov : t) r = ov.Access.agg_repair <- r

@@ -175,3 +175,18 @@ val fp_swap_round : t -> int
     have experienced in its place, and swaps roles with the best child
     when beneficial. Clears the counters. Returns the number of swaps
     performed. *)
+
+(** {2 Aggregation hooks}
+
+    The in-network aggregation subsystem ([lib/agg]) layers on top of
+    the overlay without a reverse dependency: [Agg.Runtime.attach]
+    installs a message handler (receiving the [Agg_subscribe] /
+    [Agg_partial] / [Agg_result] dispatches) and a repair pass that
+    both stabilization round drivers co-schedule with the CHECK_*
+    modules. Without a handler installed, [Agg_*] messages are
+    inert. *)
+
+val set_agg_handler :
+  t -> (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option -> unit
+
+val set_agg_repair : t -> (unit -> unit) option -> unit

@@ -29,6 +29,13 @@ type round_report = {
   repairs : int array;
 }
 
+type agg_epoch_report = {
+  epoch : int;
+  partials_sent : int;
+  suppressed : int;
+  stale_dropped : int;
+}
+
 type fp_counter = {
   mutable self_fp : int;
   would : (Node_id.t, int) Hashtbl.t;
@@ -51,6 +58,11 @@ type t = {
   fp : (Node_id.t * int, fp_counter) Hashtbl.t;
   events : (int, event_record) Hashtbl.t;
   mutable next_event : int;
+  mutable agg_sent : int;
+  mutable agg_suppressed : int;
+  mutable agg_stale : int;
+  mutable agg_epochs : agg_epoch_report list; (* newest first *)
+  mutable agg_mark : (int * (int * int * int)) option;
 }
 
 let create () =
@@ -63,6 +75,11 @@ let create () =
     fp = Hashtbl.create 64;
     events = Hashtbl.create 64;
     next_event = 0;
+    agg_sent = 0;
+    agg_suppressed = 0;
+    agg_stale = 0;
+    agg_epochs = [];
+    agg_mark = None;
   }
 
 (* {2 State probes} *)
@@ -108,6 +125,42 @@ let reset_rounds t =
 
 let round_repairs (r : round_report) kind = r.repairs.(repair_index kind)
 let round_total_repairs (r : round_report) = Array.fold_left ( + ) 0 r.repairs
+
+(* {2 Aggregation epoch counters} *)
+
+let record_agg_sent t = t.agg_sent <- t.agg_sent + 1
+let record_agg_suppressed t = t.agg_suppressed <- t.agg_suppressed + 1
+let record_agg_stale t = t.agg_stale <- t.agg_stale + 1
+let agg_sent t = t.agg_sent
+let agg_suppressed t = t.agg_suppressed
+let agg_stale_dropped t = t.agg_stale
+
+let begin_agg_epoch t ~epoch =
+  t.agg_mark <- Some (epoch, (t.agg_sent, t.agg_suppressed, t.agg_stale))
+
+let end_agg_epoch t =
+  match t.agg_mark with
+  | None -> ()
+  | Some (epoch, (s0, u0, d0)) ->
+      let report =
+        { epoch; partials_sent = t.agg_sent - s0;
+          suppressed = t.agg_suppressed - u0;
+          stale_dropped = t.agg_stale - d0 }
+      in
+      t.agg_epochs <- report :: t.agg_epochs;
+      t.agg_mark <- None
+
+let agg_epochs t = List.rev t.agg_epochs
+
+let last_agg_epoch t =
+  match t.agg_epochs with [] -> None | r :: _ -> Some r
+
+let reset_agg t =
+  t.agg_sent <- 0;
+  t.agg_suppressed <- 0;
+  t.agg_stale <- 0;
+  t.agg_epochs <- [];
+  t.agg_mark <- None
 
 (* {2 False-positive interest counters (§3.2 dynamic reorganization)} *)
 
@@ -160,6 +213,10 @@ let pp_round ppf (r : round_report) =
   Format.fprintf ppf "round %d: probes=%d messages=%d repairs=[%s]" r.round
     r.probes r.messages
     (String.concat " " nonzero)
+
+let pp_agg_epoch ppf (r : agg_epoch_report) =
+  Format.fprintf ppf "epoch %d: sent=%d suppressed=%d stale=%d" r.epoch
+    r.partials_sent r.suppressed r.stale_dropped
 
 let pp ppf t =
   Format.fprintf ppf "probes=%d repairs=%d rounds=%d" t.probes

@@ -69,6 +69,42 @@ val reset_rounds : t -> unit
 val round_repairs : round_report -> repair -> int
 val round_total_repairs : round_report -> int
 
+(** {2 Aggregation epoch counters}
+
+    Per-epoch traffic of the in-network aggregation subsystem
+    ([lib/agg]): partials actually sent up the parent chain, reports
+    suppressed by the temporal coherency tolerance, and stale partials
+    dropped (sender no longer a child / receiver no longer active at
+    the target height / obsolete epoch). Same mark/delta pattern as
+    the round reports. *)
+
+type agg_epoch_report = {
+  epoch : int;
+  partials_sent : int;
+  suppressed : int;
+  stale_dropped : int;
+}
+
+val record_agg_sent : t -> unit
+val record_agg_suppressed : t -> unit
+val record_agg_stale : t -> unit
+val agg_sent : t -> int
+val agg_suppressed : t -> int
+val agg_stale_dropped : t -> int
+
+val begin_agg_epoch : t -> epoch:int -> unit
+val end_agg_epoch : t -> unit
+(** Close the epoch opened by {!begin_agg_epoch} and append an
+    {!agg_epoch_report} with the deltas; ignored without a matching
+    mark. *)
+
+val agg_epochs : t -> agg_epoch_report list
+(** All completed epochs, oldest first. *)
+
+val last_agg_epoch : t -> agg_epoch_report option
+val reset_agg : t -> unit
+val pp_agg_epoch : Format.formatter -> agg_epoch_report -> unit
+
 (** {2 False-positive interest counters (§3.2)}
 
     One counter per held set instance [(holder, height)]: how many

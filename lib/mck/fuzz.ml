@@ -69,6 +69,9 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
      stabilization repairs. So immediate checks apply under FIFO
      only. *)
   let strict = (not faulty) && tr.Trace.sched = Schedule.Fifo in
+  (* Attached on the first Agg_query op; traces without one never pay
+     for the aggregation runtime. *)
+  let agg = lazy (Agg.Runtime.attach ov) in
   let dirty = ref false in
   let failure = ref None in
   let fail at fmt =
@@ -90,6 +93,38 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
     match O.alive_ids ov with
     | [] -> None
     | ids -> Some (List.nth ids (idx mod List.length ids))
+  in
+  (* One integer-valued reading per live process, from a sub-seed:
+     sums are then exact under any merge order, so tree-vs-oracle
+     equality is a protocol property, not a rounding accident. *)
+  let agg_inject_readings rt sub_seed =
+    let arng = Rng.make sub_seed in
+    List.iter
+      (fun id ->
+        Agg.Runtime.inject rt ~from:id
+          (P.make2
+             (float_of_int (Rng.int arng 100))
+             (float_of_int (Rng.int arng 100)))
+          (float_of_int (Rng.int arng 100)))
+      (O.alive_ids ov)
+  in
+  let value_str = function
+    | None -> "none"
+    | Some v -> Printf.sprintf "%.17g" v
+  in
+  let check_agg at rt qid =
+    let e = Agg.Runtime.epoch rt in
+    match Agg.Runtime.oracle rt ~epoch:e qid with
+    | None -> ()
+    | Some expect -> (
+        match Agg.Runtime.result rt qid with
+        | Some (re, v) when re = e ->
+            if v <> expect then
+              fail at "agg oracle: q%d = %s, want %s" qid (value_str v)
+                (value_str expect)
+        | Some (re, _) ->
+            fail at "agg oracle: q%d result stale (epoch %d, want %d)" qid re e
+        | None -> fail at "agg oracle: q%d no result at epoch %d" qid e)
   in
   let stabilize_rounds k =
     for _ = 1 to k do
@@ -151,7 +186,20 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
                       | Error e -> fail at "differential oracle: %s" e)
             | Trace.Stabilize k ->
                 stabilize_rounds (max 1 k);
-                if Inv.is_legal ov then dirty := false)
+                if Inv.is_legal ov then dirty := false
+            | Trace.Agg_query (fn, r) -> (
+                match O.alive_ids ov with
+                | [] -> ()
+                | owner :: _ ->
+                    let rt = Lazy.force agg in
+                    let qid = Agg.Runtime.register rt ~owner ~rect:r fn in
+                    agg_inject_readings rt
+                      (tr.Trace.seed lxor (0xa66 * (i + 1)));
+                    Agg.Runtime.run_epoch rt;
+                    (* Exactness (tct = 0) is a legal-state, reliable-
+                       FIFO property, like the publish oracle. *)
+                    if strict && (not !dirty) && Inv.is_legal ov then
+                      check_agg at rt qid))
       end)
     tr.Trace.ops;
   (* Convergence within the round budget, then the structural bounds and
@@ -207,6 +255,23 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
                   | Error e -> fail `Final "differential oracle: %s" e
                 end
               done
+            end;
+            (* Every standing query must be exact again once the state
+               is legal and delivery reliable: one repair pass (query
+               anti-entropy + cache reconciliation), a fresh epoch of
+               readings, then tree vs brute force. *)
+            if Lazy.is_val agg && n > 0 && !failure = None then begin
+              let rt = Lazy.force agg in
+              Agg.Runtime.repair rt;
+              agg_inject_readings rt (tr.Trace.seed lxor 0xa99);
+              Agg.Runtime.run_epoch rt;
+              List.iter
+                (fun q ->
+                  if
+                    !failure = None
+                    && O.is_alive ov q.Agg.Query.q_owner
+                  then check_agg `Final rt q.Agg.Query.query_id)
+                (Agg.Runtime.queries rt)
             end)
   end;
   Schedule.uninstall eng;
@@ -220,7 +285,7 @@ let random_rect rng =
   R.make2 ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h)
 
 let random_op rng =
-  match Rng.int rng 11 with
+  match Rng.int rng 12 with
   | 0 | 1 | 2 -> Trace.Join (random_rect rng)
   | 3 -> Trace.Leave (Rng.int rng 64)
   | 4 -> Trace.Crash (Rng.int rng 64)
@@ -228,6 +293,9 @@ let random_op rng =
   | 7 | 8 ->
       Trace.Publish
         (P.make2 (Rng.range rng 0.0 100.0) (Rng.range rng 0.0 100.0))
+  | 9 ->
+      Trace.Agg_query
+        (Rng.pick rng Agg.Aggregate.all_fns, random_rect rng)
   | _ -> Trace.Stabilize (1 + Rng.int rng 3)
 
 let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)

@@ -44,7 +44,8 @@ let is_repair (m : Drtree.Message.t) =
   | Check_structure _ | Cover_sweep _ ->
       true
   | Query _ | Report _ | Join _ | Add_child _ | Leave _
-  | Initiate_new_connection _ | Publish _ ->
+  | Initiate_new_connection _ | Publish _ | Agg_subscribe _ | Agg_partial _
+  | Agg_result _ ->
       false
 
 (* The view is in (time, sequence) order and never empty, so index 0 is

@@ -79,6 +79,8 @@ let simpler_op = function
       if i > 0 then Some (Trace.Corrupt (0, s)) else None
   | Trace.Publish p -> Option.map (fun p -> Trace.Publish p) (simpler_point p)
   | Trace.Stabilize k -> if k > 1 then Some (Trace.Stabilize 1) else None
+  | Trace.Agg_query (fn, r) ->
+      Option.map (fun r -> Trace.Agg_query (fn, r)) (simpler_rect r)
 
 let replace_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
 

@@ -17,6 +17,7 @@ type op =
   | Corrupt of int * int
   | Publish of P.t
   | Stabilize of int
+  | Agg_query of Drtree.Message.agg_fn * R.t
 
 type t = {
   seed : int;
@@ -38,6 +39,10 @@ let pp_op ppf = function
   | Corrupt (i, s) -> Format.fprintf ppf "corrupt #%d seed=%d" i s
   | Publish p -> Format.fprintf ppf "publish %a" P.pp p
   | Stabilize k -> Format.fprintf ppf "stabilize %d" k
+  | Agg_query (fn, r) ->
+      Format.fprintf ppf "agg %s over %a"
+        (Drtree.Message.agg_fn_to_string fn)
+        R.pp r
 
 let pp ppf t =
   Format.fprintf ppf
@@ -75,6 +80,9 @@ let op_str = function
   | Corrupt (i, s) -> Printf.sprintf "op corrupt %d %d" i s
   | Publish p -> "op publish " ^ point_str p
   | Stabilize k -> Printf.sprintf "op stabilize %d" k
+  | Agg_query (fn, r) ->
+      Printf.sprintf "op agg %s %s" (Drtree.Message.agg_fn_to_string fn)
+        (rect_str r)
 
 let to_string t =
   let b = Buffer.create 512 in
@@ -146,6 +154,10 @@ let parse_op ctx = function
   | [ "corrupt"; i; s ] -> Corrupt (int_of ctx i, int_of ctx s)
   | "publish" :: rest -> Publish (parse_point ctx rest)
   | [ "stabilize"; k ] -> Stabilize (int_of ctx k)
+  | "agg" :: fn :: rest -> (
+      match Drtree.Message.agg_fn_of_string fn with
+      | Some fn -> Agg_query (fn, parse_rect ctx rest)
+      | None -> fail "%s: unknown aggregate function %S" ctx fn)
   | w :: _ -> fail "%s: unknown op %S" ctx w
   | [] -> fail "%s: empty op" ctx
 

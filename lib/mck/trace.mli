@@ -27,6 +27,11 @@ type op =
           ({!Drtree.Corrupt.any}) driven by its own sub-seed *)
   | Publish of Geometry.Point.t  (** publish from the lowest live id *)
   | Stabilize of int  (** run [k] stabilization rounds *)
+  | Agg_query of Drtree.Message.agg_fn * Geometry.Rect.t
+      (** register a standing aggregate query (tct 0, owned by the
+          lowest live id), inject seeded integer-valued readings, run
+          one epoch; under strict schedules from a legal state the
+          result must equal the brute-force oracle *)
 
 type t = {
   seed : int;

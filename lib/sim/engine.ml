@@ -14,7 +14,7 @@ type choice = Deliver of int | Drop of int | Duplicate of int
 type 'm t = {
   rng : Rng.t;
   latency : latency;
-  drop_rate : float;
+  mutable drop_rate : float;
   queue : 'm delivery Heap.t;
   handlers : ('m ctx -> 'm -> unit) option Node_id.Table.t;
   mutable next_id : int;
@@ -197,6 +197,11 @@ let messages_sent t = t.sent
 let self_messages t = t.selfs
 let messages_dropped t = t.dropped
 let messages_lost t = t.lost
+
+let set_drop_rate t r =
+  if r < 0.0 || r >= 1.0 then
+    invalid_arg "Engine.set_drop_rate: rate outside [0, 1)";
+  t.drop_rate <- r
 let messages_duplicated t = t.duplicated
 let events_processed t = t.processed
 

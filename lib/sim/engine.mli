@@ -94,6 +94,11 @@ val messages_dropped : 'm t -> int
 val messages_lost : 'm t -> int
 (** Messages lost to the [drop_rate] at send time. *)
 
+val set_drop_rate : 'm t -> float -> unit
+(** Change the loss rate mid-run (e.g. an experiment measuring error
+    under loss, then disabling loss to verify exact recovery).
+    @raise Invalid_argument outside [\[0, 1)]. *)
+
 val events_processed : 'm t -> int
 val reset_counters : 'm t -> unit
 

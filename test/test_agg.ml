@@ -1,0 +1,418 @@
+(* Tests for in-network aggregation (lib/agg): the partial-aggregate
+   algebra, end-to-end exactness against the brute-force oracle,
+   TiNA-style suppression and its tct error bound, query
+   anti-entropy, and soft-state repair under churn and corruption
+   (DESIGN.md §8, experiments E24/E25). *)
+
+module R = Geometry.Rect
+module P = Geometry.Point
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module St = Drtree.State
+module Tele = Drtree.Telemetry
+module Rng = Sim.Rng
+module A = Agg.Aggregate
+module Rt = Agg.Runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let rect x0 y0 x1 y1 = R.make2 ~x0 ~y0 ~x1 ~y1
+let full = rect 0.0 0.0 100.0 100.0
+
+let random_rect rng =
+  let x0 = Rng.range rng 0.0 90.0 and y0 = Rng.range rng 0.0 90.0 in
+  let w = Rng.range rng 1.0 10.0 and h = Rng.range rng 1.0 10.0 in
+  rect x0 y0 (x0 +. w) (y0 +. h)
+
+let build ~seed n =
+  let rng = Rng.make (seed * 31) in
+  let ov = O.create ~seed () in
+  for _ = 1 to n do
+    ignore (O.join ov (random_rect rng))
+  done;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> Alcotest.fail "overlay did not stabilize");
+  ov
+
+(* Each live process produces at its filter center. *)
+let centers ov =
+  List.filter_map
+    (fun id ->
+      match O.state ov id with
+      | Some s -> Some (id, R.center (St.filter s))
+      | None -> None)
+    (O.alive_ids ov)
+
+(* One integer-valued reading per live process: sums (hence AVG) are
+   exact under any merge order, so tree-vs-oracle comparisons demand
+   float equality, not tolerance. *)
+let emit rt ~seed =
+  let rng = Rng.make seed in
+  List.iter
+    (fun (id, p) -> Rt.inject rt ~from:id p (float_of_int (Rng.int rng 100)))
+    (centers (Rt.overlay rt))
+
+(* The freshest delivered result must exist, carry the current epoch,
+   and equal the brute-force oracle bit-for-bit. [None] means exact. *)
+let fresh_error rt qid =
+  let e = Rt.epoch rt in
+  match Rt.oracle rt ~epoch:e qid with
+  | None -> Some (Printf.sprintf "query %d unknown to the oracle" qid)
+  | Some expect -> (
+      match Rt.result rt qid with
+      | Some (re, got) when re = e ->
+          let same =
+            match (got, expect) with
+            | Some g, Some x -> g = x
+            | None, None -> true
+            | Some _, None | None, Some _ -> false
+          in
+          if same then None
+          else
+            Some
+              (Printf.sprintf "query %d: epoch %d result differs from oracle"
+                 qid e)
+      | Some (re, _) ->
+          Some
+            (Printf.sprintf "query %d: stale result (epoch %d, want %d)" qid
+               re e)
+      | None -> Some (Printf.sprintf "query %d: no result delivered" qid))
+
+let alco_exact rt qid =
+  match fresh_error rt qid with None -> () | Some m -> Alcotest.fail m
+
+(* --- The partial algebra (qcheck) ---------------------------------------------- *)
+
+let partial_of_list vs =
+  List.fold_left
+    (fun acc v -> A.merge acc (A.of_value (float_of_int v)))
+    A.identity vs
+
+let gen_vals = QCheck2.Gen.(list_size (int_range 0 20) (int_range (-50) 100))
+
+let algebra_monoid =
+  QCheck2.Test.make ~name:"merge is a commutative monoid (integer values)"
+    ~count:200
+    QCheck2.Gen.(triple gen_vals gen_vals gen_vals)
+    (fun (xs, ys, zs) ->
+      let a = partial_of_list xs
+      and b = partial_of_list ys
+      and c = partial_of_list zs in
+      A.equal (A.merge a b) (A.merge b a)
+      && A.equal (A.merge (A.merge a b) c) (A.merge a (A.merge b c))
+      && A.equal (A.merge a A.identity) a
+      && A.equal (A.merge A.identity a) a)
+
+let algebra_finalize =
+  QCheck2.Test.make ~name:"finalize matches direct computation" ~count:200
+    gen_vals
+    (fun vs ->
+      let p = partial_of_list vs in
+      let fs = List.map float_of_int vs in
+      let sum = List.fold_left ( +. ) 0.0 fs in
+      let direct fn =
+        match (fn, fs) with
+        | A.Count, _ -> Some (float_of_int (List.length fs))
+        | A.Sum, _ -> Some sum
+        | (A.Min | A.Max | A.Avg), [] -> None
+        | A.Min, _ -> Some (List.fold_left Float.min infinity fs)
+        | A.Max, _ -> Some (List.fold_left Float.max neg_infinity fs)
+        | A.Avg, _ -> Some (sum /. float_of_int (List.length fs))
+      in
+      List.for_all (fun fn -> A.finalize fn p = direct fn) A.all_fns)
+
+let algebra_delta =
+  QCheck2.Test.make ~name:"delta: zero iff equal, |v-w| on singletons"
+    ~count:200
+    QCheck2.Gen.(
+      quad gen_vals gen_vals (int_range (-50) 100) (int_range (-50) 100))
+    (fun (xs, ys, v, w) ->
+      let a = partial_of_list xs and b = partial_of_list ys in
+      A.delta a a = 0.0
+      && A.delta A.identity A.identity = 0.0
+      && A.delta a b = A.delta b a
+      && (A.delta a b = 0.0) = A.equal a b
+      && A.delta
+           (A.of_value (float_of_int v))
+           (A.of_value (float_of_int w))
+         = abs_float (float_of_int (v - w)))
+
+(* --- End-to-end exactness on a healthy overlay ---------------------------------- *)
+
+let test_exact_all_fns () =
+  let ov = build ~seed:42 48 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qids = List.map (fun fn -> Rt.register rt ~owner ~rect:full fn) A.all_fns in
+  emit rt ~seed:421;
+  Rt.run_epoch rt;
+  List.iter (alco_exact rt) qids;
+  (* fresh readings in the next epoch stay exact *)
+  emit rt ~seed:422;
+  Rt.run_epoch rt;
+  List.iter (alco_exact rt) qids;
+  check_int "two epochs recorded" 2
+    (List.length (Tele.agg_epochs (O.telemetry ov)));
+  Rt.detach rt
+
+let test_empty_match_set () =
+  let ov = build ~seed:43 16 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let nowhere = rect 200.0 200.0 210.0 210.0 in
+  let count = Rt.register rt ~owner ~rect:nowhere A.Count in
+  let minq = Rt.register rt ~owner ~rect:nowhere A.Min in
+  emit rt ~seed:431;
+  Rt.run_epoch rt;
+  (match Rt.result rt count with
+  | Some (1, Some v) -> check_float "COUNT of nothing is 0" 0.0 v
+  | _ -> Alcotest.fail "COUNT over empty match set");
+  (match Rt.result rt minq with
+  | Some (1, None) -> ()
+  | _ -> Alcotest.fail "MIN over empty match set must be None");
+  Rt.detach rt
+
+(* --- Suppression --------------------------------------------------------------- *)
+
+let test_suppression_static_signal () =
+  (* Identical readings in consecutive epochs: with tct = 0 every
+     non-root report is suppressed (bit-identical partials) and the
+     cached result stays exact. *)
+  let ov = build ~seed:44 48 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qid = Rt.register rt ~owner ~rect:full A.Sum in
+  emit rt ~seed:441;
+  Rt.run_epoch rt;
+  let tele = O.telemetry ov in
+  (match Tele.last_agg_epoch tele with
+  | Some rep ->
+      check_bool "first epoch sends partials" true (rep.Tele.partials_sent > 0)
+  | None -> Alcotest.fail "no epoch report");
+  emit rt ~seed:441;
+  Rt.run_epoch rt;
+  (match Tele.last_agg_epoch tele with
+  | Some rep ->
+      check_int "unchanged signal sends nothing" 0 rep.Tele.partials_sent;
+      check_bool "and suppresses the reports instead" true
+        (rep.Tele.suppressed > 0)
+  | None -> Alcotest.fail "no epoch report");
+  alco_exact rt qid;
+  Rt.detach rt
+
+let test_tct_bounds_staleness () =
+  (* All producers read 10. One pure leaf moves to 13 — inside
+     tct = 5, so the report is suppressed and the SUM result goes
+     stale by exactly 3. A later move beyond the tolerance forces the
+     resend and restores exactness. *)
+  let ov = build ~seed:45 32 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qid = Rt.register rt ~tct:5.0 ~owner ~rect:full A.Sum in
+  let pts = centers ov in
+  let n = List.length pts in
+  let leaf, _ =
+    List.find
+      (fun (id, _) ->
+        match O.state ov id with Some s -> St.top s = 0 | None -> false)
+      pts
+  in
+  let emit_with v_leaf =
+    List.iter
+      (fun (id, p) ->
+        Rt.inject rt ~from:id p
+          (if Sim.Node_id.equal id leaf then v_leaf else 10.0))
+      pts
+  in
+  emit_with 10.0;
+  Rt.run_epoch rt;
+  (match Rt.result rt qid with
+  | Some (1, Some v) -> check_float "baseline sum" (10.0 *. float_of_int n) v
+  | _ -> Alcotest.fail "no baseline result");
+  emit_with 13.0;
+  Rt.run_epoch rt;
+  (match Rt.result rt qid with
+  | Some (2, Some v) ->
+      check_float "change within tct is suppressed: stale by exactly 3"
+        (10.0 *. float_of_int n) v
+  | _ -> Alcotest.fail "no epoch-2 result");
+  emit_with 23.0;
+  Rt.run_epoch rt;
+  (match Rt.result rt qid with
+  | Some (3, Some v) ->
+      check_float "change beyond tct propagates"
+        ((10.0 *. float_of_int n) +. 13.0)
+        v
+  | _ -> Alcotest.fail "no epoch-3 result");
+  Rt.detach rt
+
+(* --- Query anti-entropy and soft-state repair ----------------------------------- *)
+
+let test_join_learns_queries () =
+  (* The subscription flood happened before this process existed; the
+     repair pass's top-down anti-entropy must teach it the query. *)
+  let ov = build ~seed:46 24 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qid = Rt.register rt ~owner ~rect:full A.Count in
+  let fresh = O.join ov (rect 40.0 40.0 45.0 45.0) in
+  check_bool "flood predates the join" false
+    (List.mem qid (Rt.debug_known_queries rt fresh));
+  (* one stabilization round co-runs Agg_repair (stabilize may take
+     zero rounds when the join already left the overlay legal) *)
+  O.stabilize_round ov;
+  check_bool "late joiner learned the standing query" true
+    (List.mem qid (Rt.debug_known_queries rt fresh));
+  Rt.detach rt
+
+let test_rx_purged_after_crash () =
+  let ov = build ~seed:47 40 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let _qid = Rt.register rt ~owner ~rect:full A.Sum in
+  emit rt ~seed:471;
+  Rt.run_epoch rt;
+  let victim =
+    List.find
+      (fun id -> not (Sim.Node_id.equal id owner))
+      (List.rev (O.alive_ids ov))
+  in
+  O.crash ov victim;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not re-stabilize");
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (_, child, _, _) ->
+          check_bool "no cached partial from the departed process" false
+            (Sim.Node_id.equal child victim))
+        (Rt.debug_rx rt id))
+    (O.alive_ids ov);
+  Rt.detach rt
+
+let test_sent_cache_names_current_parent () =
+  (* After churn plus stabilization (which co-runs Agg_repair), every
+     surviving suppression reference must point at the process's
+     current top-level parent — stale references would let a new
+     parent miss reports forever. *)
+  let ov = build ~seed:48 40 in
+  let rt = Rt.attach ov in
+  let rng = Rng.make 481 in
+  let owner = List.hd (O.alive_ids ov) in
+  let qid = Rt.register rt ~owner ~rect:full A.Sum in
+  emit rt ~seed:482;
+  Rt.run_epoch rt;
+  for _ = 1 to 4 do
+    (match List.filter (fun id -> not (Sim.Node_id.equal id owner))
+             (O.alive_ids ov) with
+    | [] -> ()
+    | ids -> O.crash ov (Rng.pick rng ids));
+    ignore (O.join ov (random_rect rng))
+  done;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not re-stabilize");
+  List.iter
+    (fun id ->
+      match O.state ov id with
+      | None -> ()
+      | Some s ->
+          let top = St.top s in
+          let parent = (St.level_exn s top).St.parent in
+          List.iter
+            (fun (_, p, _) ->
+              check_bool "suppression reference names the current parent" true
+                (Sim.Node_id.equal p parent))
+            (Rt.debug_sent rt id))
+    (O.alive_ids ov);
+  (* and the repaired tree still answers exactly *)
+  emit rt ~seed:483;
+  Rt.run_epoch rt;
+  alco_exact rt qid;
+  Rt.detach rt
+
+(* --- Differential: tct=0 exactness survives churn + corruption ------------------ *)
+
+let churn_exactness =
+  QCheck2.Test.make
+    ~name:"tct=0 result equals oracle once legal again (churn + corruption)"
+    ~count:10
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let fail : string -> unit = QCheck2.Test.fail_report in
+      let exact rt qid =
+        match fresh_error rt qid with None -> () | Some m -> fail m
+      in
+      let rng = Rng.make seed in
+      let ov = O.create ~seed () in
+      for _ = 1 to 25 + (seed mod 15) do
+        ignore (O.join ov (random_rect rng))
+      done;
+      (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+      | Some _ -> ()
+      | None -> fail "overlay did not stabilize");
+      let rt = Rt.attach ov in
+      let owner = List.hd (O.alive_ids ov) in
+      let qids =
+        Rt.register rt ~owner ~rect:full A.Sum
+        :: List.map
+             (fun fn -> Rt.register rt ~owner ~rect:(random_rect rng) fn)
+             A.all_fns
+      in
+      (* a healthy epoch is exact *)
+      emit rt ~seed:(seed lxor 0x5a5a);
+      Rt.run_epoch rt;
+      List.iter (exact rt) qids;
+      (* crash or corrupt a fifth of the network, then let the
+         stabilization rounds (which co-run Agg_repair) recover *)
+      let victims = Drtree.Corrupt.random_victims ov rng ~fraction:0.2 in
+      List.iteri
+        (fun i v ->
+          if Sim.Node_id.equal v owner then ()
+          else if i mod 2 = 0 then O.crash ov v
+          else ignore (Drtree.Corrupt.any ov rng v))
+        victims;
+      (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+      | Some _ -> ()
+      | None -> fail "did not re-stabilize");
+      emit rt ~seed:(seed lxor 0x3c3c);
+      Rt.run_epoch rt;
+      List.iter (exact rt) qids;
+      Rt.detach rt;
+      true)
+
+let () =
+  Alcotest.run "agg"
+    [
+      ( "algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [ algebra_monoid; algebra_finalize; algebra_delta ] );
+      ( "exactness",
+        [
+          Alcotest.test_case "all five functions vs oracle" `Quick
+            test_exact_all_fns;
+          Alcotest.test_case "empty match set" `Quick test_empty_match_set;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "static signal sends nothing" `Quick
+            test_suppression_static_signal;
+          Alcotest.test_case "tct bounds the staleness" `Quick
+            test_tct_bounds_staleness;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "late joiner learns queries" `Quick
+            test_join_learns_queries;
+          Alcotest.test_case "rx purged after crash" `Quick
+            test_rx_purged_after_crash;
+          Alcotest.test_case "sent cache tracks the parent" `Quick
+            test_sent_cache_names_current_parent;
+        ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest churn_exactness ] );
+    ]

@@ -188,6 +188,29 @@ let test_fp_swap_reduces_fp () =
     check_int "still zero FN" 0 rep.O.false_negatives
   done
 
+let test_fp_swap_round_clears_counters () =
+  (* The pass consumes the interest record: with nothing recorded it
+     performs zero swaps, and after any pass the per-instance counters
+     are gone so the next window starts from scratch. *)
+  let ov = build ~seed:9 40 in
+  let tele = O.telemetry ov in
+  check_int "no swaps without recorded FP interest" 0 (O.fp_swap_round ov);
+  check_int "no counters without traffic" 0
+    (List.length (Drtree.Telemetry.fp_entries tele));
+  let rng = Sim.Rng.make 7 in
+  let all = O.alive_ids ov in
+  for _ = 1 to 40 do
+    let p =
+      P.make2 (Sim.Rng.range rng 0.0 100.0) (Sim.Rng.range rng 0.0 100.0)
+    in
+    ignore (O.publish ov ~from:(Sim.Rng.pick rng all) p)
+  done;
+  ignore (O.fp_swap_round ov);
+  check_int "counters cleared after the pass" 0
+    (List.length (Drtree.Telemetry.fp_entries tele));
+  check_int "a pass over cleared counters swaps nothing" 0
+    (O.fp_swap_round ov)
+
 (* --- Typed pub/sub facade ------------------------------------------------------- *)
 
 let schema = Filter.Schema.make [ "price"; "volume" ]
@@ -280,7 +303,11 @@ let () =
           Alcotest.test_case "dead publisher" `Quick test_publish_dead_publisher;
         ] );
       ( "reorganization",
-        [ Alcotest.test_case "fp swap" `Quick test_fp_swap_reduces_fp ] );
+        [
+          Alcotest.test_case "fp swap" `Quick test_fp_swap_reduces_fp;
+          Alcotest.test_case "counters cleared after pass" `Quick
+            test_fp_swap_round_clears_counters;
+        ] );
       ( "pubsub",
         [
           Alcotest.test_case "typed basics" `Quick test_pubsub_basic;

@@ -198,6 +198,7 @@ let exemplar =
         Trace.Crash 0;
         Trace.Corrupt (2, 991);
         Trace.Publish (P.make2 55.5 66.25);
+        Trace.Agg_query (Drtree.Message.Sum, rect 10.0 10.0 60.0 60.0);
         Trace.Stabilize 2;
       ];
   }
@@ -225,7 +226,10 @@ let test_codec_rejects_garbage () =
     (Result.is_error
        (Trace.of_string "drtree-trace v1\nop warp 1 2 3\nend\n"));
   check_bool "bad float" true
-    (Result.is_error (Trace.of_string "drtree-trace v1\ndrop zeal\nend\n"))
+    (Result.is_error (Trace.of_string "drtree-trace v1\ndrop zeal\nend\n"));
+  check_bool "bad aggregate function" true
+    (Result.is_error
+       (Trace.of_string "drtree-trace v1\nop agg zeal 0 0 1 1\nend\n"))
 
 let test_codec_save_load () =
   let file = Filename.temp_file "drtree-mck" ".trace" in

@@ -107,6 +107,55 @@ let test_table_csv () =
   check_bool "comma quoted" true (contains_sub csv "\"with,comma\",2");
   check_bool "quote escaped" true (contains_sub csv "\"with\"\"quote\",3")
 
+let e24_title =
+  "E24  aggregation traffic vs flooding baseline, tct sweep (N=256, 50 \
+   epochs, 4 queries; TiNA: ~50% reduction at modest tolerance)"
+
+let e25_title =
+  "E25  aggregate error under churn + 10% loss (N=200, 30 epochs, tct=0), \
+   then exact recovery after stabilization"
+
+let test_table_csv_env_mirror () =
+  (* DRTREE_CSV_DIR mirrors every printed table as a slugged .csv —
+     bench/Harness funnels through this same Table.print path, so this
+     pins the mechanism for the E24/E25 aggregation tables. *)
+  let dir = Filename.temp_file "drtree-csv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Unix.putenv "DRTREE_CSV_DIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DRTREE_CSV_DIR" "";
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let print title columns row =
+        let t = T.create ~title ~columns in
+        T.add_row t row;
+        T.print t
+      in
+      print e24_title [ "tct"; "tree msgs/ep" ] [ "0"; "278.1" ];
+      print e25_title [ "query"; "mean |err|" ] [ "sum"; "0.000" ];
+      let files = Array.to_list (Sys.readdir dir) in
+      let mirrored prefix =
+        List.exists
+          (fun f ->
+            String.length f >= String.length prefix
+            && String.sub f 0 (String.length prefix) = prefix
+            && Filename.check_suffix f ".csv"
+            &&
+            let ic = open_in (Filename.concat dir f) in
+            let header = input_line ic in
+            close_in ic;
+            contains_sub header ",")
+          files
+      in
+      check_int "one file per printed table" 2 (List.length files);
+      check_bool "E24 table mirrored with its header" true (mirrored "e24_");
+      check_bool "E25 table mirrored with its header" true (mirrored "e25_"))
+
 let () =
   Alcotest.run "stats"
     [
@@ -129,5 +178,7 @@ let () =
         [
           Alcotest.test_case "rendering" `Quick test_table_plain;
           Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "env-var CSV mirror (E24/E25)" `Quick
+            test_table_csv_env_mirror;
         ] );
     ]
