@@ -105,17 +105,24 @@ let e24 () =
       ~title:
         (Printf.sprintf
            "E24  aggregation traffic vs flooding baseline, tct sweep (N=%d, \
-            %d epochs, 4 queries; TiNA: ~50%% reduction at modest tolerance)"
+            %d epochs, 4 queries, wire transport; TiNA: ~50%% reduction at \
+            modest tolerance)"
            n epochs)
       ~columns:
         [ "tct"; "tree msgs/ep"; "suppr/ep"; "flood msgs/ep"; "reduction %";
+          "tree B/ep"; "flood B/ep"; "byte red %";
           "mean |err|"; "max |err|"; "max |err|/src" ]
   in
+  (* per-kind wire traffic of the tct = 0 run, captured for the
+     breakdown below the table *)
+  let traffic0 = ref [] in
   List.iter
     (fun tct ->
       let rng = Rng.make 2401 in
       let rects = Sg.uniform () space rng n in
-      let ov = build_overlay ~seed:24 rects in
+      let ov =
+        build_overlay ~transport:Drtree.Message.Codec.transport ~seed:24 rects
+      in
       let ids_points =
         List.map (fun id ->
             match O.state ov id with
@@ -142,6 +149,7 @@ let e24 () =
       in
       let err_sum = ref 0.0 and err_max = ref 0.0 and err_n = ref 0 in
       let err_src_max = ref 0.0 in
+      let bytes0 = Engine.bytes_sent (O.engine ov) in
       for _ = 1 to epochs do
         producers_emit prod rt ov;
         Agg.Runtime.run_epoch rt;
@@ -165,15 +173,55 @@ let e24 () =
         float_of_int (Tele.agg_sent tele + (nq * epochs)) /. fe
       in
       let flood = float_of_int (n * nq) in
-      Table.add_rowf table "%g|%.1f|%.1f|%.0f|%.1f|%.3f|%.3f|%.3f" tct tree
+      (* bytes: the engine's frame counter over the epoch loop (the
+         wire transport sizes every Agg_partial / Agg_result exactly);
+         the flooding baseline pays one representative partial frame
+         per producer per query per epoch. *)
+      let tree_bytes =
+        float_of_int (Engine.bytes_sent (O.engine ov) - bytes0) /. fe
+      in
+      let partial_frame =
+        Drtree.Message.Codec.encoded_size
+          (Drtree.Message.Agg_partial
+             {
+               query_id = 0;
+               epoch = epochs;
+               child = owner;
+               at = 1;
+               partial =
+                 { a_count = n; a_sum = 12345.0; a_min = 20.0; a_max = 80.0 };
+             })
+      in
+      let flood_bytes = flood *. float_of_int partial_frame in
+      if tct = 0.0 then traffic0 := Tele.traffic_entries tele;
+      Table.add_rowf table "%g|%.1f|%.1f|%.0f|%.1f|%.0f|%.0f|%.1f|%.3f|%.3f|%.3f"
+        tct tree
         (float_of_int (Tele.agg_suppressed tele) /. fe)
         flood
         (100.0 *. (1.0 -. (tree /. flood)))
+        tree_bytes flood_bytes
+        (100.0 *. (1.0 -. (tree_bytes /. flood_bytes)))
         (!err_sum /. float_of_int (max 1 !err_n))
         !err_max !err_src_max;
       Agg.Runtime.detach rt)
     [ 0.0; 1.0; 2.0; 4.0; 8.0 ];
-  Table.print table
+  Table.print table;
+  (* Per-kind breakdown of the tct = 0 run: where the bytes actually
+     go (dominated by Agg_partial, with the one-off Agg_subscribe
+     flood and per-epoch Agg_result beside it). *)
+  let bt =
+    Table.create ~title:"E24b per-kind wire traffic, tct=0 run (whole run)"
+      ~columns:[ "kind"; "sent"; "sent B"; "B/msg"; "recv"; "recv B" ]
+  in
+  List.iter
+    (fun (kind, tr) ->
+      Table.add_rowf bt "%s|%d|%d|%.1f|%d|%d" kind tr.Tele.sent_msgs
+        tr.Tele.sent_bytes
+        (float_of_int tr.Tele.sent_bytes
+        /. float_of_int (max 1 tr.Tele.sent_msgs))
+        tr.Tele.recv_msgs tr.Tele.recv_bytes)
+    !traffic0;
+  Table.print bt
 
 (* --- E25: aggregate error under churn and message loss ------------------- *)
 

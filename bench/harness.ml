@@ -12,9 +12,12 @@ let space = Workload.Space.default
 let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
 let log_base b x = log x /. log b
 
-(* Build an overlay from a subscription workload and stabilize it. *)
-let build_overlay ?(cfg = Drtree.Config.default) ~seed rects =
-  let ov = O.create ~cfg ~seed () in
+(* Build an overlay from a subscription workload and stabilize it.
+   [transport] defaults to the engine's [Inproc]; the wire transport
+   never changes a run's schedule (no extra randomness), only adds
+   byte accounting, so experiments opt in where bytes are reported. *)
+let build_overlay ?(cfg = Drtree.Config.default) ?transport ~seed rects =
+  let ov = O.create ~cfg ?transport ~seed () in
   List.iter (fun r -> ignore (O.join ov r)) rects;
   ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
   ov

@@ -85,6 +85,49 @@ let tests () =
     Test.make ~name:"drtree invariant check (N=256)"
       (Staged.stage (fun () -> ignore (Drtree.Invariant.check ov)))
   in
+  (* Wire codec: one cheap fixed-size message and one snapshot-bearing
+     Report (the fattest frame the protocol sends — 4 levels here). *)
+  let module M = Drtree.Message in
+  let check_msg = M.Check_mbr 3 in
+  let report_msg =
+    let levels =
+      List.init 4 (fun h ->
+          {
+            M.height = h;
+            mbr = rects.(h);
+            parent = ids.(0);
+            children =
+              Array.fold_left
+                (fun s i -> Sim.Node_id.Set.add i s)
+                Sim.Node_id.Set.empty (Array.sub ids 0 8);
+          })
+    in
+    M.Report
+      {
+        snapshot =
+          { M.responder = ids.(0); top = 3; filter = rects.(0); levels };
+      }
+  in
+  let check_frame = M.Codec.encode check_msg in
+  let report_frame = M.Codec.encode report_msg in
+  let t_enc_check =
+    Test.make ~name:"codec encode Check_mbr (6 B)"
+      (Staged.stage (fun () -> ignore (M.Codec.encode check_msg)))
+  in
+  let t_enc_report =
+    Test.make
+      ~name:(Printf.sprintf "codec encode Report (%d B)"
+               (String.length report_frame))
+      (Staged.stage (fun () -> ignore (M.Codec.encode report_msg)))
+  in
+  let t_dec_check =
+    Test.make ~name:"codec decode Check_mbr"
+      (Staged.stage (fun () -> ignore (M.Codec.decode check_frame)))
+  in
+  let t_dec_report =
+    Test.make ~name:"codec decode Report"
+      (Staged.stage (fun () -> ignore (M.Codec.decode report_frame)))
+  in
   [
     t_union;
     t_contains;
@@ -96,6 +139,10 @@ let tests () =
     t_publish;
     t_stab_round;
     t_invariant;
+    t_enc_check;
+    t_enc_report;
+    t_dec_check;
+    t_dec_report;
   ]
 
 let run () =

@@ -64,13 +64,27 @@ let split_t =
         Rtree.Split.Quadratic
     & info [ "split" ] ~docv:"KIND" ~doc:"Split policy (linear, quadratic, rstar).")
 
+let transport_t =
+  Arg.(
+    value
+    & opt (enum [ ("inproc", `Inproc); ("wire", `Wire) ]) `Inproc
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:
+          "Message transport: inproc (values handed directly to the \
+           receiver) or wire (every message serialized through the binary \
+           codec and re-decoded at delivery, with byte accounting).")
+
+let to_transport = function
+  | `Inproc -> Sim.Transport.inproc
+  | `Wire -> Drtree.Message.Codec.transport
+
 let make_cfg min_fill max_fill split = Cfg.make ~min_fill ~max_fill ~split ()
 
-let build_overlay ~cfg ~seed ~n ~workload =
+let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let rng = Rng.make (seed * 31) in
   let gen = List.assoc workload Workload.Subscription_gen.catalog in
   let rects = gen space rng n in
-  let ov = O.create ~cfg ~seed () in
+  let ov = O.create ~cfg ~transport:(to_transport transport) ~seed () in
   List.iter (fun r -> ignore (O.join ov r)) rects;
   ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
   (ov, rng)
@@ -83,21 +97,31 @@ let print_shape ov =
   Printf.printf "mean memory : %.1f words/node\n" (Inv.mean_memory_words ov);
   Printf.printf "legal state : %b\n" (Inv.is_legal ov);
   Printf.printf "weak containment violations : %d\n"
-    (Inv.weak_containment_violations ov)
+    (Inv.weak_containment_violations ov);
+  let eng = O.engine ov in
+  match Sim.Engine.transport eng with
+  | Sim.Transport.Inproc -> ()
+  | Sim.Transport.Wire _ ->
+      Printf.printf
+        "wire bytes  : %d sent, %d received, %d lost, %d decode errors\n"
+        (Sim.Engine.bytes_sent eng)
+        (Sim.Engine.bytes_received eng)
+        (Sim.Engine.bytes_lost eng)
+        (Sim.Engine.decode_errors eng)
 
 (* --- build ------------------------------------------------------------------- *)
 
 let build_cmd =
-  let run seed n workload min_fill max_fill split =
+  let run seed n workload min_fill max_fill split transport =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
     print_shape ov
   in
   Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t)
+      $ split_t $ transport_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -111,9 +135,9 @@ let publish_cmd =
       & opt (enum [ ("uniform", "uniform"); ("hotspot", "hotspot"); ("zipf", "zipf"); ("targeted", "targeted") ]) "uniform"
       & info [ "event-workload" ] ~docv:"NAME" ~doc:"Event distribution.")
   in
-  let run seed n workload min_fill max_fill split events event_workload =
+  let run seed n workload min_fill max_fill split transport events event_workload =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     let rects =
       List.filter_map
         (fun id ->
@@ -150,7 +174,7 @@ let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Publish events and report accuracy/cost.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ events_t $ event_workload_t)
+      $ split_t $ transport_t $ events_t $ event_workload_t)
 
 (* --- churn ------------------------------------------------------------------- *)
 
@@ -164,9 +188,9 @@ let churn_cmd =
   let leave_t =
     Arg.(value & opt float 0.0 & info [ "leave" ] ~docv:"FRAC" ~doc:"Fraction of controlled departures.")
   in
-  let run seed n workload min_fill max_fill split crash corrupt leave =
+  let run seed n workload min_fill max_fill split transport crash corrupt leave =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Printf.printf "before faults:\n";
     print_shape ov;
     if leave > 0.0 then
@@ -193,14 +217,14 @@ let churn_cmd =
     (Cmd.info "churn" ~doc:"Apply faults and watch stabilization repair them.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ crash_t $ corrupt_t $ leave_t)
+      $ split_t $ transport_t $ crash_t $ corrupt_t $ leave_t)
 
 (* --- inspect ----------------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run seed n workload min_fill max_fill split =
+  let run seed n workload min_fill max_fill split transport =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
     Printf.printf "\n";
     (* Print the tree from the root downward. *)
@@ -237,7 +261,7 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Dump the logical tree of a (small) overlay.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t)
+      $ split_t $ transport_t)
 
 (* --- export ------------------------------------------------------------------ *)
 
@@ -253,9 +277,9 @@ let export_cmd =
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Output format: dot, ascii, edges or svg.")
   in
-  let run seed n workload min_fill max_fill split format =
+  let run seed n workload min_fill max_fill split transport format =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, _ = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     match format with
     | `Dot -> print_string (Drtree.Export.to_dot ov)
     | `Ascii -> print_string (Drtree.Export.to_ascii ov)
@@ -270,7 +294,7 @@ let export_cmd =
        ~doc:"Export the overlay structure (GraphViz dot, ascii or edge list).")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ format_t)
+      $ split_t $ transport_t $ format_t)
 
 (* --- aggregate --------------------------------------------------------------- *)
 
@@ -307,10 +331,10 @@ let aggregate_cmd =
       & opt (t4 ~sep:',' float float float float) (0.0, 0.0, 100.0, 100.0)
       & info [ "rect" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query rectangle.")
   in
-  let run seed n workload min_fill max_fill split fn tct epochs
+  let run seed n workload min_fill max_fill split transport fn tct epochs
       (x0, y0, x1, y1) =
     let cfg = make_cfg min_fill max_fill split in
-    let ov, rng = build_overlay ~cfg ~seed ~n ~workload in
+    let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
     let rt = Agg.Runtime.attach ov in
     let owner = List.hd (O.alive_ids ov) in
@@ -393,7 +417,7 @@ let aggregate_cmd =
           aggregation) over epochs of synthetic readings.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ fn_t $ tct_t $ epochs_t $ rect_t)
+      $ split_t $ transport_t $ fn_t $ tct_t $ epochs_t $ rect_t)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -475,6 +499,19 @@ let fuzz_cmd =
       & info [ "probes" ] ~docv:"COUNT"
           ~doc:"Oracle probe publications at the end of each trace.")
   in
+  let fuzz_transport_t =
+    Arg.(
+      value
+      & opt
+          (enum [ ("inproc", Mck.Trace.Inproc); ("wire", Mck.Trace.Wire) ])
+          Mck.Trace.Inproc
+      & info [ "transport" ] ~docv:"KIND"
+          ~doc:
+            "Transport for generated traces: inproc or wire (every message \
+             through the binary codec; a decode failure is a \
+             counterexample). Replayed traces carry their own transport \
+             directive.")
+  in
   let replay file =
     match Mck.Trace.load file with
     | Error e ->
@@ -489,7 +526,7 @@ let fuzz_cmd =
             exit 1)
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes =
+      plant probes transport =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -525,8 +562,8 @@ let fuzz_cmd =
                 if !found = None && not (stop ()) then begin
                   let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
                   let gen _ =
-                    Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m ~sched:sk
-                      ~drop ~dup ~cover_sweep:(not plant) ()
+                    Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m ~transport
+                      ~sched:sk ~drop ~dup ~cover_sweep:(not plant) ()
                   in
                   match
                     Mck.Fuzz.fuzz ~probes ~stop
@@ -567,7 +604,8 @@ let fuzz_cmd =
           schedules, shrink and save counterexamples, replay saved traces.")
     Term.(
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
-      $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t)
+      $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
+      $ fuzz_transport_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

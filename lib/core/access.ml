@@ -24,19 +24,28 @@ type net = {
       (* the Agg_repair pass, co-scheduled with the CHECK_* rounds *)
 }
 
-let create ?(cfg = Config.default) ?drop_rate ~seed () =
-  {
-    cfg;
-    engine = Engine.create ?drop_rate ~seed ();
-    states = Node_id.Table.create 256;
-    rng = Sim.Rng.make (seed lxor 0x7ee1);
-    snapshots = Hashtbl.create 256;
-    tele = Telemetry.create ();
-    last_join_hops = 0;
-    executor = None;
-    agg_handler = None;
-    agg_repair = None;
-  }
+let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
+  let net =
+    {
+      cfg;
+      engine = Engine.create ?transport ?drop_rate ~seed ();
+      states = Node_id.Table.create 256;
+      rng = Sim.Rng.make (seed lxor 0x7ee1);
+      snapshots = Hashtbl.create 256;
+      tele = Telemetry.create ();
+      last_join_hops = 0;
+      executor = None;
+      agg_handler = None;
+      agg_repair = None;
+    }
+  in
+  (* Per-message-kind traffic accounting: the engine is polymorphic in
+     the message type, so the tag-keyed byte counters live here. *)
+  Engine.set_meter net.engine
+    (Some
+       (fun dir msg bytes ->
+         Telemetry.record_traffic net.tele dir ~kind:(Message.tag msg) ~bytes));
+  net
 
 let is_alive net id = Engine.is_alive net.engine id
 let state net id = Node_id.Table.find_opt net.states id

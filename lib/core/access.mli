@@ -28,7 +28,17 @@ type net = {
   mutable agg_repair : (unit -> unit) option;
 }
 
-val create : ?cfg:Config.t -> ?drop_rate:float -> seed:int -> unit -> net
+val create :
+  ?cfg:Config.t ->
+  ?transport:Message.t Sim.Transport.t ->
+  ?drop_rate:float ->
+  seed:int ->
+  unit ->
+  net
+(** [transport] (default [Inproc]) selects how the engine carries
+    messages — pass {!Message.Codec.transport} to serialize every
+    inter-process hop. Also installs the engine meter feeding
+    {!Telemetry}'s per-kind traffic table. *)
 
 val is_alive : net -> Sim.Node_id.t -> bool
 

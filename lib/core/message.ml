@@ -106,6 +106,377 @@ let tag = function
   | Agg_partial _ -> "AGG_PARTIAL"
   | Agg_result _ -> "AGG_RESULT"
 
+(* {2 Wire codec}
+
+   Length-prefixed binary frames: a u32 big-endian body length, a tag
+   byte, then the payload. Integers travel as zigzag LEB128 varints
+   (total over the whole OCaml int range), floats as their IEEE-754
+   bits (8 bytes big-endian, so infinities and degenerate bounds
+   round-trip exactly). The decoder is paranoid: truncation, trailing
+   bytes, unknown tags, and payloads violating the geometric
+   invariants (NaN bounds, low > high) are all rejected with [Error],
+   never an exception — an undecodable frame must look like a lost
+   message, not a crash. *)
+
+module Codec = struct
+  exception Bad of string
+
+  let err fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+  (* Zigzag over int64 so 63-bit OCaml ints of either sign stay total;
+     small non-negative values (heights, hops, ids) cost one byte. *)
+  let add_varint b n =
+    let v = Int64.of_int n in
+    let z = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63) in
+    let rec go z =
+      let low = Int64.to_int (Int64.logand z 0x7FL) in
+      let rest = Int64.shift_right_logical z 7 in
+      if Int64.equal rest 0L then Buffer.add_char b (Char.chr low)
+      else begin
+        Buffer.add_char b (Char.chr (low lor 0x80));
+        go rest
+      end
+    in
+    go z
+
+  let read_byte s pos =
+    if !pos >= String.length s then err "truncated at byte %d" !pos;
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+
+  let read_varint s pos =
+    let rec go shift acc =
+      if shift > 63 then err "varint overflow at byte %d" !pos;
+      let c = read_byte s pos in
+      let acc =
+        Int64.logor acc (Int64.shift_left (Int64.of_int (c land 0x7F)) shift)
+      in
+      if c land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    let z = go 0 0L in
+    Int64.to_int
+      (Int64.logxor
+         (Int64.shift_right_logical z 1)
+         (Int64.neg (Int64.logand z 1L)))
+
+  let add_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+  let read_float s pos =
+    if !pos + 8 > String.length s then err "truncated float at byte %d" !pos;
+    let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    v
+
+  let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+  let read_bool s pos =
+    match read_byte s pos with
+    | 0 -> false
+    | 1 -> true
+    | c -> err "bad bool byte %d" c
+
+  let add_id b id = add_varint b (id : Node_id.t)
+  let read_id s pos : Node_id.t = read_varint s pos
+
+  (* Remaining bytes bound collection counts: every element costs at
+     least one byte, so a hostile count cannot force an allocation
+     larger than the frame itself. *)
+  let read_count what s pos =
+    let n = read_varint s pos in
+    if n < 0 || n > String.length s - !pos then
+      err "bad %s count %d at byte %d" what n !pos;
+    n
+
+  let add_rect b r =
+    let d = Geometry.Rect.dims r in
+    add_varint b d;
+    for i = 0 to d - 1 do
+      add_float b (Geometry.Rect.low r i)
+    done;
+    for i = 0 to d - 1 do
+      add_float b (Geometry.Rect.high r i)
+    done
+
+  let read_rect s pos =
+    let d = read_varint s pos in
+    if d < 1 || d > (String.length s - !pos) / 8 then
+      err "bad rect dimensionality %d" d;
+    let low = Array.init d (fun _ -> read_float s pos) in
+    let high = Array.init d (fun _ -> read_float s pos) in
+    (* Rect.make re-validates the invariant (no NaN, low <= high). *)
+    Geometry.Rect.make ~low ~high
+
+  let add_point b p =
+    let d = Geometry.Point.dims p in
+    add_varint b d;
+    for i = 0 to d - 1 do
+      add_float b (Geometry.Point.coord p i)
+    done
+
+  let read_point s pos =
+    let d = read_varint s pos in
+    if d < 1 || d > (String.length s - !pos) / 8 then
+      err "bad point dimensionality %d" d;
+    Geometry.Point.make (Array.init d (fun _ -> read_float s pos))
+
+  let add_id_set b set =
+    add_varint b (Node_id.Set.cardinal set);
+    Node_id.Set.iter (fun id -> add_id b id) set
+
+  let read_id_set s pos =
+    let n = read_count "children set" s pos in
+    let rec go acc k =
+      if k = 0 then acc else go (Node_id.Set.add (read_id s pos) acc) (k - 1)
+    in
+    go Node_id.Set.empty n
+
+  let add_id_option b = function
+    | None -> add_bool b false
+    | Some id ->
+        add_bool b true;
+        add_id b id
+
+  let read_id_option s pos =
+    if read_bool s pos then Some (read_id s pos) else None
+
+  let add_level b (l : level_snapshot) =
+    add_varint b l.height;
+    add_rect b l.mbr;
+    add_id b l.parent;
+    add_id_set b l.children
+
+  let read_level s pos =
+    let height = read_varint s pos in
+    let mbr = read_rect s pos in
+    let parent = read_id s pos in
+    let children = read_id_set s pos in
+    { height; mbr; parent; children }
+
+  let add_snapshot b (snap : snapshot) =
+    add_id b snap.responder;
+    add_varint b snap.top;
+    add_rect b snap.filter;
+    add_varint b (List.length snap.levels);
+    List.iter (add_level b) snap.levels
+
+  let read_snapshot s pos =
+    let responder = read_id s pos in
+    let top = read_varint s pos in
+    let filter = read_rect s pos in
+    let n = read_count "snapshot level" s pos in
+    let levels = List.init n (fun _ -> read_level s pos) in
+    { responder; top; filter; levels }
+
+  let agg_fn_byte = function
+    | Count -> 0
+    | Sum -> 1
+    | Min -> 2
+    | Max -> 3
+    | Avg -> 4
+
+  let agg_fn_of_byte = function
+    | 0 -> Count
+    | 1 -> Sum
+    | 2 -> Min
+    | 3 -> Max
+    | 4 -> Avg
+    | c -> err "bad aggregate function byte %d" c
+
+  let add_partial b (p : agg_partial) =
+    add_varint b p.a_count;
+    add_float b p.a_sum;
+    add_float b p.a_min;
+    add_float b p.a_max
+
+  let read_partial s pos =
+    let a_count = read_varint s pos in
+    let a_sum = read_float s pos in
+    let a_min = read_float s pos in
+    let a_max = read_float s pos in
+    { a_count; a_sum; a_min; a_max }
+
+  let add_query b (q : agg_query) =
+    add_varint b q.query_id;
+    add_rect b q.q_rect;
+    Buffer.add_char b (Char.chr (agg_fn_byte q.q_fn));
+    add_float b q.q_tct;
+    add_id b q.q_owner
+
+  let read_query s pos =
+    let query_id = read_varint s pos in
+    let q_rect = read_rect s pos in
+    let q_fn = agg_fn_of_byte (read_byte s pos) in
+    let q_tct = read_float s pos in
+    let q_owner = read_id s pos in
+    { query_id; q_rect; q_fn; q_tct; q_owner }
+
+  let add_body b = function
+    | Query { asker } ->
+        Buffer.add_char b '\000';
+        add_id b asker
+    | Report { snapshot } ->
+        Buffer.add_char b '\001';
+        add_snapshot b snapshot
+    | Join { joiner; mbr; height; phase; hops } ->
+        Buffer.add_char b '\002';
+        add_id b joiner;
+        add_rect b mbr;
+        add_varint b height;
+        (match phase with
+        | `Up -> add_bool b false
+        | `Down at ->
+            add_bool b true;
+            add_varint b at);
+        add_varint b hops
+    | Add_child { child; mbr; height; hops } ->
+        Buffer.add_char b '\003';
+        add_id b child;
+        add_rect b mbr;
+        add_varint b height;
+        add_varint b hops
+    | Leave { who; height } ->
+        Buffer.add_char b '\004';
+        add_id b who;
+        add_varint b height
+    | Check_mbr h ->
+        Buffer.add_char b '\005';
+        add_varint b h
+    | Check_parent h ->
+        Buffer.add_char b '\006';
+        add_varint b h
+    | Check_children h ->
+        Buffer.add_char b '\007';
+        add_varint b h
+    | Check_cover h ->
+        Buffer.add_char b '\008';
+        add_varint b h
+    | Check_structure h ->
+        Buffer.add_char b '\009';
+        add_varint b h
+    | Cover_sweep h ->
+        Buffer.add_char b '\010';
+        add_varint b h
+    | Initiate_new_connection h ->
+        Buffer.add_char b '\011';
+        add_varint b h
+    | Publish { event_id; point; at; from_child; going_up; hops } ->
+        Buffer.add_char b '\012';
+        add_varint b event_id;
+        add_point b point;
+        add_varint b at;
+        add_id_option b from_child;
+        add_bool b going_up;
+        add_varint b hops
+    | Agg_subscribe { query; hops } ->
+        Buffer.add_char b '\013';
+        add_query b query;
+        add_varint b hops
+    | Agg_partial { query_id; epoch; child; at; partial } ->
+        Buffer.add_char b '\014';
+        add_varint b query_id;
+        add_varint b epoch;
+        add_id b child;
+        add_varint b at;
+        add_partial b partial
+    | Agg_result { query_id; epoch; value } ->
+        Buffer.add_char b '\015';
+        add_varint b query_id;
+        add_varint b epoch;
+        (match value with
+        | None -> add_bool b false
+        | Some v ->
+            add_bool b true;
+            add_float b v)
+
+  let read_body s pos =
+    match read_byte s pos with
+    | 0 -> Query { asker = read_id s pos }
+    | 1 -> Report { snapshot = read_snapshot s pos }
+    | 2 ->
+        let joiner = read_id s pos in
+        let mbr = read_rect s pos in
+        let height = read_varint s pos in
+        let phase =
+          if read_bool s pos then `Down (read_varint s pos) else `Up
+        in
+        let hops = read_varint s pos in
+        Join { joiner; mbr; height; phase; hops }
+    | 3 ->
+        let child = read_id s pos in
+        let mbr = read_rect s pos in
+        let height = read_varint s pos in
+        let hops = read_varint s pos in
+        Add_child { child; mbr; height; hops }
+    | 4 ->
+        let who = read_id s pos in
+        let height = read_varint s pos in
+        Leave { who; height }
+    | 5 -> Check_mbr (read_varint s pos)
+    | 6 -> Check_parent (read_varint s pos)
+    | 7 -> Check_children (read_varint s pos)
+    | 8 -> Check_cover (read_varint s pos)
+    | 9 -> Check_structure (read_varint s pos)
+    | 10 -> Cover_sweep (read_varint s pos)
+    | 11 -> Initiate_new_connection (read_varint s pos)
+    | 12 ->
+        let event_id = read_varint s pos in
+        let point = read_point s pos in
+        let at = read_varint s pos in
+        let from_child = read_id_option s pos in
+        let going_up = read_bool s pos in
+        let hops = read_varint s pos in
+        Publish { event_id; point; at; from_child; going_up; hops }
+    | 13 ->
+        let query = read_query s pos in
+        let hops = read_varint s pos in
+        Agg_subscribe { query; hops }
+    | 14 ->
+        let query_id = read_varint s pos in
+        let epoch = read_varint s pos in
+        let child = read_id s pos in
+        let at = read_varint s pos in
+        let partial = read_partial s pos in
+        Agg_partial { query_id; epoch; child; at; partial }
+    | 15 ->
+        let query_id = read_varint s pos in
+        let epoch = read_varint s pos in
+        let value =
+          if read_bool s pos then Some (read_float s pos) else None
+        in
+        Agg_result { query_id; epoch; value }
+    | t -> err "unknown message tag %d" t
+
+  let encode msg =
+    let body = Buffer.create 64 in
+    add_body body msg;
+    let n = Buffer.length body in
+    let frame = Buffer.create (n + 4) in
+    Buffer.add_int32_be frame (Int32.of_int n);
+    Buffer.add_buffer frame body;
+    Buffer.contents frame
+
+  let decode s =
+    try
+      if String.length s < 4 then err "frame shorter than its length prefix";
+      let n = Int32.to_int (String.get_int32_be s 0) in
+      if n < 0 || n <> String.length s - 4 then
+        err "length prefix %d does not match body of %d bytes" n
+          (String.length s - 4);
+      let pos = ref 4 in
+      let msg = read_body s pos in
+      if !pos <> String.length s then
+        err "%d trailing byte(s) after %s" (String.length s - !pos) (tag msg);
+      Ok msg
+    with
+    | Bad e -> Error e
+    | Invalid_argument e -> Error ("malformed payload: " ^ e)
+
+  let encoded_size msg = String.length (encode msg)
+
+  let transport = Sim.Transport.wire { Sim.Transport.encode; decode }
+end
+
 let pp ppf = function
   | Query { asker } -> Format.fprintf ppf "QUERY(from %a)" Node_id.pp asker
   | Report { snapshot } ->

@@ -126,3 +126,32 @@ type t =
 val pp : Format.formatter -> t -> unit
 val tag : t -> string
 (** Constructor name, for tracing and per-kind counters. *)
+
+(** Binary wire codec: length-prefixed frames for every message
+    variant (including the [Agg_*] payloads), the serialization the
+    [Wire] transport runs on every inter-process hop.
+
+    Format: a u32 big-endian body length, one tag byte, then the
+    payload — integers as zigzag LEB128 varints, floats as their
+    IEEE-754 bits (8 bytes big-endian, so unbounded and degenerate
+    rectangle bounds round-trip exactly), sets and snapshot levels
+    counted then enumerated. The codec is {e total}: every [t] value
+    encodes, and [decode (encode m) = Ok m]. The decoder rejects —
+    with [Error], never an exception — truncated frames, trailing
+    bytes, unknown tags, counts exceeding the frame, and payloads
+    violating the geometric invariants (NaN bounds, [low > high]). *)
+module Codec : sig
+  val encode : t -> string
+  (** The full frame, length prefix included. *)
+
+  val decode : string -> (t, string) result
+  (** Inverse of {!encode}; [Error] describes the first malformation. *)
+
+  val encoded_size : t -> int
+  (** [String.length (encode msg)]: the message's cost on the wire. *)
+
+  val transport : t Sim.Transport.t
+  (** The [Wire] transport over this codec — pass to
+      [Overlay.create ~transport] to run the overlay with every
+      message serialized, byte-counted and re-parsed on each hop. *)
+end

@@ -149,7 +149,8 @@ let each (ov : t) f =
    actions over live neighbor state (reads counted as probes). *)
 let stabilize_round (ov : t) =
   Telemetry.begin_round ov.Access.tele
-    ~messages:(Engine.messages_sent ov.Access.engine);
+    ~messages:(Engine.messages_sent ov.Access.engine)
+    ~bytes:(Engine.bytes_sent ov.Access.engine);
   Election.reconcile_roots ov;
   run ov;
   each ov (fun s ->
@@ -184,6 +185,7 @@ let stabilize_round (ov : t) =
   run ov;
   Telemetry.end_round ov.Access.tele
     ~messages:(Engine.messages_sent ov.Access.engine)
+    ~bytes:(Engine.bytes_sent ov.Access.engine)
 
 let stabilize ?(max_rounds = 50) ~legal ov =
   let rec loop rounds =
@@ -204,7 +206,8 @@ let stabilize ?(max_rounds = 50) ~legal ov =
    exchanges. *)
 let stabilize_round_mp (ov : t) =
   Telemetry.begin_round ov.Access.tele
-    ~messages:(Engine.messages_sent ov.Access.engine);
+    ~messages:(Engine.messages_sent ov.Access.engine)
+    ~bytes:(Engine.bytes_sent ov.Access.engine);
   Access.reset_snapshots ov;
   Election.reconcile_roots ov;
   run ov;
@@ -254,6 +257,7 @@ let stabilize_round_mp (ov : t) =
   run ov;
   Telemetry.end_round ov.Access.tele
     ~messages:(Engine.messages_sent ov.Access.engine)
+    ~bytes:(Engine.bytes_sent ov.Access.engine)
 
 let stabilize_mp ?(max_rounds = 50) ~legal ov =
   let rec loop rounds =

@@ -15,11 +15,21 @@
 
 type t
 
-val create : ?cfg:Config.t -> ?drop_rate:float -> seed:int -> unit -> t
-(** [drop_rate] loses that fraction of inter-process messages
-    (default 0): joins and publications may then fail transiently and
-    are healed by the stabilization rounds — see the message-loss
-    tests and experiment E18. *)
+val create :
+  ?cfg:Config.t ->
+  ?transport:Message.t Sim.Transport.t ->
+  ?drop_rate:float ->
+  seed:int ->
+  unit ->
+  t
+(** [transport] (default [Inproc]) selects how the engine carries
+    messages: pass {!Message.Codec.transport} to encode, byte-count
+    and re-decode every inter-process message (byte-accurate traffic
+    accounting; identical schedules under equal seeds). [drop_rate]
+    loses that fraction of inter-process messages (default 0): joins
+    and publications may then fail transiently and are healed by the
+    stabilization rounds — see the message-loss tests and experiment
+    E18. *)
 
 val cfg : t -> Config.t
 val engine : t -> Message.t Sim.Engine.t

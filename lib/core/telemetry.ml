@@ -26,7 +26,15 @@ type round_report = {
   round : int;
   probes : int;
   messages : int;
+  bytes : int;
   repairs : int array;
+}
+
+type traffic = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
 }
 
 type agg_epoch_report = {
@@ -54,7 +62,10 @@ type t = {
   repairs : int array;
   mutable rounds : round_report list; (* newest first *)
   mutable round_count : int;
-  mutable round_mark : (int * int * int array) option;
+  mutable round_mark : (int * int * int * int array) option;
+  traffic : (string, traffic) Hashtbl.t;
+      (* message kind (Message.tag) -> wire traffic, fed by the
+         engine's meter hook *)
   fp : (Node_id.t * int, fp_counter) Hashtbl.t;
   events : (int, event_record) Hashtbl.t;
   mutable next_event : int;
@@ -72,6 +83,7 @@ let create () =
     rounds = [];
     round_count = 0;
     round_mark = None;
+    traffic = Hashtbl.create 16;
     fp = Hashtbl.create 64;
     events = Hashtbl.create 64;
     next_event = 0;
@@ -97,19 +109,52 @@ let record_repair t kind =
 let repair_count t kind = t.repairs.(repair_index kind)
 let total_repairs t = Array.fold_left ( + ) 0 t.repairs
 
+(* {2 Per-kind wire traffic} *)
+
+let traffic_counter t kind =
+  match Hashtbl.find_opt t.traffic kind with
+  | Some c -> c
+  | None ->
+      let c = { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0; recv_bytes = 0 } in
+      Hashtbl.replace t.traffic kind c;
+      c
+
+let record_traffic t dir ~kind ~bytes =
+  let c = traffic_counter t kind in
+  match dir with
+  | `Sent ->
+      c.sent_msgs <- c.sent_msgs + 1;
+      c.sent_bytes <- c.sent_bytes + bytes
+  | `Received ->
+      c.recv_msgs <- c.recv_msgs + 1;
+      c.recv_bytes <- c.recv_bytes + bytes
+
+let traffic_of t kind =
+  match Hashtbl.find_opt t.traffic kind with
+  | Some c -> { c with sent_msgs = c.sent_msgs } (* defensive copy *)
+  | None -> { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0; recv_bytes = 0 }
+
+(* Deterministic (kind-sorted) order, like fp_entries. *)
+let traffic_entries t =
+  Hashtbl.fold (fun kind c acc -> (kind, { c with sent_msgs = c.sent_msgs }) :: acc)
+    t.traffic []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_traffic t = Hashtbl.reset t.traffic
+
 (* {2 Round reports} *)
 
-let begin_round t ~messages =
-  t.round_mark <- Some (t.probes, messages, Array.copy t.repairs)
+let begin_round t ~messages ~bytes =
+  t.round_mark <- Some (t.probes, messages, bytes, Array.copy t.repairs)
 
-let end_round t ~messages =
+let end_round t ~messages ~bytes =
   match t.round_mark with
   | None -> ()
-  | Some (p0, m0, r0) ->
+  | Some (p0, m0, b0, r0) ->
       let repairs = Array.mapi (fun i r -> r - r0.(i)) t.repairs in
       let report =
         { round = t.round_count; probes = t.probes - p0;
-          messages = messages - m0; repairs }
+          messages = messages - m0; bytes = bytes - b0; repairs }
       in
       t.rounds <- report :: t.rounds;
       t.round_count <- t.round_count + 1;
@@ -210,8 +255,9 @@ let pp_round ppf (r : round_report) =
         else None)
       repair_kinds
   in
-  Format.fprintf ppf "round %d: probes=%d messages=%d repairs=[%s]" r.round
+  Format.fprintf ppf "round %d: probes=%d messages=%d%s repairs=[%s]" r.round
     r.probes r.messages
+    (if r.bytes > 0 then Printf.sprintf " bytes=%d" r.bytes else "")
     (String.concat " " nonzero)
 
 let pp_agg_epoch ppf (r : agg_epoch_report) =

@@ -43,20 +43,50 @@ val record_repair : t -> repair -> unit
 val repair_count : t -> repair -> int
 val total_repairs : t -> int
 
+(** {2 Per-kind wire traffic}
+
+    Byte-accurate accounting next to the message counts: one counter
+    per message kind ({!Message.tag}), fed by the engine's meter hook
+    (installed by [Access.create]) on every inter-process send and
+    every successfully decoded delivery. Under the [Inproc] transport
+    messages carry no frames, so the byte fields stay [0] while the
+    counts still accumulate. *)
+
+type traffic = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
+}
+
+val record_traffic :
+  t -> [ `Sent | `Received ] -> kind:string -> bytes:int -> unit
+
+val traffic_of : t -> string -> traffic
+(** Snapshot of one kind's counters (zeros if never seen). *)
+
+val traffic_entries : t -> (string * traffic) list
+(** All kinds seen so far, as snapshots in deterministic
+    (kind-sorted) order. *)
+
+val reset_traffic : t -> unit
+
 (** {2 Per-round reports} *)
 
 type round_report = {
   round : int;  (** 0-based round number since creation/reset *)
   probes : int;  (** remote state probes performed in this round *)
   messages : int;  (** engine messages sent during this round *)
+  bytes : int;
+      (** frame bytes sent during this round ([0] under [Inproc]) *)
   repairs : int array;  (** per-kind counts; index with {!round_repairs} *)
 }
 
-val begin_round : t -> messages:int -> unit
-(** Mark the start of a stabilization round; [messages] is the
-    engine's cumulative sent count at that moment. *)
+val begin_round : t -> messages:int -> bytes:int -> unit
+(** Mark the start of a stabilization round; [messages] and [bytes]
+    are the engine's cumulative sent counters at that moment. *)
 
-val end_round : t -> messages:int -> unit
+val end_round : t -> messages:int -> bytes:int -> unit
 (** Close the round opened by {!begin_round} and append a
     {!round_report} with the deltas. A call without a matching
     [begin_round] is ignored. *)

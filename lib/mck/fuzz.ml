@@ -52,10 +52,23 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
       ~cover_sweep:tr.Trace.cover_sweep ()
   in
-  let ov = O.create ~cfg ~seed:tr.Trace.seed () in
+  let transport =
+    match tr.Trace.transport with
+    | Trace.Inproc -> Sim.Transport.inproc
+    | Trace.Wire -> Drtree.Message.Codec.transport
+  in
+  let ov = O.create ~cfg ~transport ~seed:tr.Trace.seed () in
   let eng = O.engine ov in
   let strat =
-    Schedule.make ~drop:tr.Trace.drop ~dup:tr.Trace.dup
+    (* Wire traces meter the adversary's duplication budget in frame
+       bytes (same default allowance scaled by a typical small frame),
+       so a fat Report costs more adversary power than a Check_mbr. *)
+    let dup_budget =
+      match tr.Trace.transport with
+      | Trace.Inproc -> Schedule.Messages 64
+      | Trace.Wire -> Schedule.Bytes (64 * 32)
+    in
+    Schedule.make ~drop:tr.Trace.drop ~dup:tr.Trace.dup ~dup_budget
       ~seed:(tr.Trace.seed lxor 0x5eed) tr.Trace.sched
   in
   Schedule.install strat eng;
@@ -275,6 +288,12 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
             end)
   end;
   Schedule.uninstall eng;
+  (* The wire codec is total: any frame the decoder rejected is a codec
+     bug, and a counterexample regardless of what else happened. *)
+  let errs = Sim.Engine.decode_errors eng in
+  if errs > 0 then
+    fail `Final "%d wire decode error(s); last: %s" errs
+      (Option.value ~default:"?" (Sim.Engine.last_decode_error eng));
   match !failure with None -> Passed | Some f -> Failed f
 
 (* {2 Random traces} *)
@@ -299,13 +318,14 @@ let random_op rng =
   | _ -> Trace.Stabilize (1 + Rng.int rng 3)
 
 let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
-    ?(sched = Schedule.Random) ?(drop = 0.0) ?(dup = 0.0)
-    ?(cover_sweep = true) () =
+    ?(transport = Trace.Inproc) ?(sched = Schedule.Random) ?(drop = 0.0)
+    ?(dup = 0.0) ?(cover_sweep = true) () =
   let seed = 1 + Rng.int rng 1_000_000 in
   let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
   {
     Trace.seed;
     mode;
+    transport;
     min_fill = 2;
     max_fill = 4;
     sched;

@@ -22,6 +22,10 @@
       first), the maximum degree is at most [M], the tree height is at
       most the information-theoretic bound for the population, and
       random probe publications pass the oracle.
+    - {b Wire traces}: the run ends with zero decode errors — under
+      [Trace.Wire] every inter-process message crosses
+      {!Drtree.Message.Codec}, so a frame the decoder rejects is a
+      codec bug and a counterexample in itself.
 
     Traces with [drop > 0] or [dup > 0] ("faulty") only assert the
     no-exception and final-convergence clauses: a dropped JOIN
@@ -55,6 +59,7 @@ val random_trace :
   ?nodes:int ->
   ?ops:int ->
   ?mode:Trace.mode ->
+  ?transport:Trace.transport ->
   ?sched:Schedule.kind ->
   ?drop:float ->
   ?dup:float ->

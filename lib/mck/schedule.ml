@@ -19,21 +19,29 @@ let kind_of_string = function
 
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
 
+type budget = Messages of int | Bytes of int
+
 type t = {
   kind : kind;
   drop : float;
   dup : float;
   rng : Sim.Rng.t;
+  by_bytes : bool;  (** duplication budget metered in frame bytes *)
   mutable dups_left : int;
   mutable rr_last : int;  (** last destination served (Round_robin) *)
 }
 
-let make ?(drop = 0.0) ?(dup = 0.0) ?(max_dups = 64) ~seed kind =
+let make ?(drop = 0.0) ?(dup = 0.0) ?(dup_budget = Messages 64) ~seed kind =
   if drop < 0.0 || drop >= 1.0 then
     invalid_arg "Schedule.make: drop outside [0, 1)";
   if dup < 0.0 || dup >= 1.0 then invalid_arg "Schedule.make: dup outside [0, 1)";
   if drop +. dup >= 1.0 then invalid_arg "Schedule.make: drop + dup >= 1";
-  { kind; drop; dup; rng = Sim.Rng.make seed; dups_left = max_dups;
+  let by_bytes, dups_left =
+    match dup_budget with
+    | Messages n -> (false, n)
+    | Bytes n -> (true, n)
+  in
+  { kind; drop; dup; rng = Sim.Rng.make seed; by_bytes; dups_left;
     rr_last = -1 }
 
 let kind t = t.kind
@@ -98,8 +106,13 @@ let choose t view =
          chain spawning [dup] extra copies makes any long chain (the
          TTL allows 128 hops) supercritical — expected population
          [(1+dup)^128]. A finite fault budget is the usual
-         model-checking discipline and keeps runs terminating. *)
-      t.dups_left <- t.dups_left - 1;
+         model-checking discipline and keeps runs terminating. A
+         byte-granular budget charges each duplication its frame size
+         (min 1, so sizeless inproc messages still cost something). *)
+      let cost =
+        if t.by_bytes then max 1 view.(i).Engine.p_bytes else 1
+      in
+      t.dups_left <- t.dups_left - cost;
       Engine.Duplicate i
     end
     else Engine.Deliver i

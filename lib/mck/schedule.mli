@@ -25,13 +25,22 @@ val pp_kind : Format.formatter -> kind -> unit
 
 type t
 
-val make : ?drop:float -> ?dup:float -> ?max_dups:int -> seed:int -> kind -> t
+type budget =
+  | Messages of int  (** each duplication costs 1 *)
+  | Bytes of int
+      (** each duplication costs its frame size in bytes (min 1) —
+          byte-granular fault budgets for [Wire]-transport runs, where
+          duplicating a fat [Report] burns more adversary power than a
+          2-byte [Check_mbr] *)
+
+val make :
+  ?drop:float -> ?dup:float -> ?dup_budget:budget -> seed:int -> kind -> t
 (** [drop] (resp. [dup]) is the probability that the chosen message is
     lost (resp. delivered twice) at each step; both default to [0].
-    [max_dups] (default 64) caps the total duplications per strategy:
-    unbounded duplication makes any TTL-length forwarding chain
-    supercritical (expected population [(1+dup)^128]), so the fault
-    budget is what keeps adversarial runs terminating.
+    [dup_budget] (default [Messages 64]) caps the total duplications
+    per strategy: unbounded duplication makes any TTL-length forwarding
+    chain supercritical (expected population [(1+dup)^128]), so the
+    fault budget is what keeps adversarial runs terminating.
     @raise Invalid_argument if either rate is outside [0, 1) or they
     sum to [>= 1]. *)
 

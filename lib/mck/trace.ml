@@ -10,6 +10,15 @@ let mode_of_string = function
   | "mp" -> Ok Message_passing
   | s -> Error (Printf.sprintf "unknown mode %S" s)
 
+type transport = Inproc | Wire
+
+let transport_to_string = function Inproc -> "inproc" | Wire -> "wire"
+
+let transport_of_string = function
+  | "inproc" -> Ok Inproc
+  | "wire" -> Ok Wire
+  | s -> Error (Printf.sprintf "unknown transport %S" s)
+
 type op =
   | Join of R.t
   | Leave of int
@@ -22,6 +31,7 @@ type op =
 type t = {
   seed : int;
   mode : mode;
+  transport : transport;
   min_fill : int;
   max_fill : int;
   sched : Schedule.kind;
@@ -46,10 +56,13 @@ let pp_op ppf = function
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>seed=%d mode=%s m=%d M=%d sched=%a drop=%g dup=%g cover_sweep=%b@,\
+    "@[<v>seed=%d mode=%s transport=%s m=%d M=%d sched=%a drop=%g dup=%g \
+     cover_sweep=%b@,\
      prelude (%d joins):@,%a@,ops (%d):@,%a@]"
-    t.seed (mode_to_string t.mode) t.min_fill t.max_fill Schedule.pp_kind
-    t.sched t.drop t.dup t.cover_sweep (List.length t.prelude)
+    t.seed (mode_to_string t.mode)
+    (transport_to_string t.transport)
+    t.min_fill t.max_fill Schedule.pp_kind t.sched t.drop t.dup t.cover_sweep
+    (List.length t.prelude)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf r ->
          Format.fprintf ppf "  join %a" R.pp r))
     t.prelude (List.length t.ops)
@@ -90,6 +103,7 @@ let to_string t =
   line "%s" header;
   line "seed %d" t.seed;
   line "mode %s" (mode_to_string t.mode);
+  line "transport %s" (transport_to_string t.transport);
   line "min_fill %d" t.min_fill;
   line "max_fill %d" t.max_fill;
   line "sched %s" (Schedule.kind_to_string t.sched);
@@ -105,6 +119,7 @@ let default =
   {
     seed = 1;
     mode = Shared;
+    transport = Inproc;
     min_fill = 2;
     max_fill = 4;
     sched = Schedule.Fifo;
@@ -183,6 +198,10 @@ let of_string s =
             | [ "mode"; v ] -> (
                 match mode_of_string v with
                 | Ok m -> t := { !t with mode = m }
+                | Error e -> fail "%s: %s" ctx e)
+            | [ "transport"; v ] -> (
+                match transport_of_string v with
+                | Ok tr -> t := { !t with transport = tr }
                 | Error e -> fail "%s: %s" ctx e)
             | [ "min_fill"; v ] -> t := { !t with min_fill = int_of ctx v }
             | [ "max_fill"; v ] -> t := { !t with max_fill = int_of ctx v }

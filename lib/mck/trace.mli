@@ -16,6 +16,17 @@ type mode = Shared | Message_passing
 val mode_to_string : mode -> string
 val mode_of_string : string -> (mode, string) result
 
+type transport = Inproc | Wire
+(** Which {!Sim.Transport} the replayed overlay runs on. [Wire] routes
+    every inter-process message through {!Drtree.Message.Codec}, so a
+    trace also model-checks the serialization boundary: any decode
+    failure during the run is a counterexample. Traces without a
+    [transport] line parse as [Inproc] (the format is
+    backward-compatible). *)
+
+val transport_to_string : transport -> string
+val transport_of_string : string -> (transport, string) result
+
 type op =
   | Join of Geometry.Rect.t
   | Leave of int
@@ -36,6 +47,7 @@ type op =
 type t = {
   seed : int;
   mode : mode;
+  transport : transport;
   min_fill : int;
   max_fill : int;
   sched : Schedule.kind;
@@ -47,8 +59,8 @@ type t = {
 }
 
 val default : t
-(** Seed 1, shared mode, [m = 2], [M = 4], FIFO schedule, no faults,
-    cover sweep on, empty prelude and ops. *)
+(** Seed 1, shared mode, inproc transport, [m = 2], [M = 4], FIFO
+    schedule, no faults, cover sweep on, empty prelude and ops. *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

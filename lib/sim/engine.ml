@@ -1,12 +1,22 @@
 type latency = Fixed of float | Uniform of float * float
+type loss_model = Per_message | Per_byte
 
-type 'm delivery = { src : Node_id.t option; dst : Node_id.t; msg : 'm }
+type 'm delivery = {
+  src : Node_id.t option;
+  dst : Node_id.t;
+  msg : 'm;
+  frame : string option;
+      (* Wire transport: the encoded bytes the link actually carries;
+         the receiver decodes these, never reuses [msg] *)
+  bytes : int; (* String.length of [frame]; 0 inproc and for selfs *)
+}
 
 type 'm pending_event = {
   p_time : float;
   p_src : Node_id.t option;
   p_dst : Node_id.t;
   p_msg : 'm;
+  p_bytes : int;
 }
 
 type choice = Deliver of int | Drop of int | Duplicate of int
@@ -14,7 +24,9 @@ type choice = Deliver of int | Drop of int | Duplicate of int
 type 'm t = {
   rng : Rng.t;
   latency : latency;
+  transport : 'm Transport.t;
   mutable drop_rate : float;
+  mutable loss_model : loss_model;
   queue : 'm delivery Heap.t;
   handlers : ('m ctx -> 'm -> unit) option Node_id.Table.t;
   mutable next_id : int;
@@ -27,25 +39,37 @@ type 'm t = {
   mutable lost : int;
   mutable duplicated : int;
   mutable processed : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable bytes_lost : int;
+  mutable decode_errors : int;
+  mutable last_decode_error : string option;
   mutable scheduler : ('m pending_event array -> choice) option;
+  mutable meter : ([ `Sent | `Received ] -> 'm -> int -> unit) option;
   mutable tracer :
     (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) option;
 }
 
 and 'm ctx = { eng : 'm t; id : Node_id.t }
 
-let create ?(latency = Fixed 1.0) ?(drop_rate = 0.0) ~seed () =
+let validate_drop_rate ~who drop_rate =
+  if drop_rate < 0.0 || drop_rate >= 1.0 then
+    invalid_arg (who ^ ": drop_rate outside [0, 1)")
+
+let create ?(latency = Fixed 1.0) ?(transport = Transport.Inproc)
+    ?(drop_rate = 0.0) ~seed () =
   (match latency with
   | Fixed l when l < 0.0 -> invalid_arg "Engine.create: negative latency"
   | Uniform (lo, hi) when lo < 0.0 || hi < lo ->
       invalid_arg "Engine.create: bad latency range"
   | Fixed _ | Uniform _ -> ());
-  if drop_rate < 0.0 || drop_rate >= 1.0 then
-    invalid_arg "Engine.create: drop_rate outside [0, 1)";
+  validate_drop_rate ~who:"Engine.create" drop_rate;
   {
     rng = Rng.make seed;
     latency;
+    transport;
     drop_rate;
+    loss_model = Per_message;
     queue = Heap.create ();
     handlers = Node_id.Table.create 256;
     next_id = 0;
@@ -58,12 +82,19 @@ let create ?(latency = Fixed 1.0) ?(drop_rate = 0.0) ~seed () =
     lost = 0;
     duplicated = 0;
     processed = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    bytes_lost = 0;
+    decode_errors = 0;
+    last_decode_error = None;
     scheduler = None;
+    meter = None;
     tracer = None;
   }
 
 let rng t = t.rng
 let now t = t.time
+let transport t = t.transport
 
 let spawn t handler =
   let id = t.next_id in
@@ -98,6 +129,19 @@ let sample_latency t =
   | Fixed l -> l
   | Uniform (lo, hi) -> Rng.range t.rng lo hi
 
+(* Per-byte loss: each byte of the frame is lost independently with
+   probability [drop_rate], so a frame of [n] bytes survives with
+   probability (1 - p)^n — one RNG draw either way, so switching the
+   model never perturbs the deterministic schedule. Sizeless messages
+   (inproc, selfs — though selfs are never dropped) fall back to the
+   per-message rate. *)
+let effective_drop t bytes =
+  match t.loss_model with
+  | Per_message -> t.drop_rate
+  | Per_byte ->
+      if bytes <= 0 then t.drop_rate
+      else 1.0 -. ((1.0 -. t.drop_rate) ** float_of_int bytes)
+
 let enqueue t src dst msg =
   let is_self =
     match src with Some s -> Node_id.equal s dst | None -> false
@@ -105,13 +149,32 @@ let enqueue t src dst msg =
   (match src with
   | Some s when Node_id.equal s dst -> t.selfs <- t.selfs + 1
   | Some _ | None -> t.sent <- t.sent + 1);
-  (* Self-messages model local computation and are never lost. *)
-  if (not is_self) && t.drop_rate > 0.0 && Rng.float t.rng 1.0 < t.drop_rate
-  then t.lost <- t.lost + 1
+  (* Self-messages model local computation: they bypass the transport
+     (no frame, no bytes) and are never lost. *)
+  let frame =
+    if is_self then None
+    else
+      match t.transport with
+      | Transport.Inproc -> None
+      | Transport.Wire codec -> Some (codec.Transport.encode msg)
+  in
+  let bytes = match frame with Some f -> String.length f | None -> 0 in
+  if not is_self then begin
+    t.bytes_sent <- t.bytes_sent + bytes;
+    match t.meter with Some f -> f `Sent msg bytes | None -> ()
+  end;
+  if
+    (not is_self) && t.drop_rate > 0.0
+    && Rng.float t.rng 1.0 < effective_drop t bytes
+  then begin
+    t.lost <- t.lost + 1;
+    t.bytes_lost <- t.bytes_lost + bytes
+  end
   else begin
     let delay = sample_latency t in
     t.seq <- t.seq + 1;
-    Heap.add t.queue ~priority:(t.time +. delay) ~seq:t.seq { src; dst; msg }
+    Heap.add t.queue ~priority:(t.time +. delay) ~seq:t.seq
+      { src; dst; msg; frame; bytes }
   end
 
 let inject t ~dst msg = enqueue t None dst msg
@@ -120,13 +183,39 @@ let self ctx = ctx.id
 let engine ctx = ctx.eng
 let send ctx dst msg = enqueue ctx.eng (Some ctx.id) dst msg
 
-let deliver t { src; dst; msg } =
+let deliver t { src; dst; msg; frame; bytes } =
   match Node_id.Table.find_opt t.handlers dst with
-  | Some (Some handler) ->
-      (match t.tracer with
-      | Some trace -> trace t.time ~src ~dst msg
-      | None -> ());
-      handler { eng = t; id = dst } msg
+  | Some (Some handler) -> (
+      (* The wire boundary: what the handler sees is what the decoder
+         produced from the frame, never the sender's value. *)
+      let received =
+        match frame with
+        | None -> Some msg
+        | Some f -> (
+            match t.transport with
+            | Transport.Wire codec -> (
+                match codec.Transport.decode f with
+                | Ok m -> Some m
+                | Error e ->
+                    t.decode_errors <- t.decode_errors + 1;
+                    t.last_decode_error <- Some e;
+                    None)
+            | Transport.Inproc -> Some msg)
+      in
+      match received with
+      | None -> () (* an undecodable frame is silently discarded *)
+      | Some m ->
+          let is_self =
+            match src with Some s -> Node_id.equal s dst | None -> false
+          in
+          if not is_self then begin
+            t.bytes_received <- t.bytes_received + bytes;
+            match t.meter with Some f -> f `Received m bytes | None -> ()
+          end;
+          (match t.tracer with
+          | Some trace -> trace t.time ~src ~dst m
+          | None -> ());
+          handler { eng = t; id = dst } m)
   | Some None | None -> t.dropped <- t.dropped + 1
 
 (* Adversarial stepping: materialize the whole enabled set in (time,
@@ -146,7 +235,8 @@ let step_scheduled t sched =
       let view =
         Array.map
           (fun (prio, _, d) ->
-            { p_time = prio; p_src = d.src; p_dst = d.dst; p_msg = d.msg })
+            { p_time = prio; p_src = d.src; p_dst = d.dst; p_msg = d.msg;
+              p_bytes = d.bytes })
           entries
       in
       let valid i = if i >= 0 && i < Array.length entries then i else 0 in
@@ -163,7 +253,9 @@ let step_scheduled t sched =
       let prio, _, d = entries.(chosen) in
       t.processed <- t.processed + 1;
       (match fate with
-      | `Drop -> t.lost <- t.lost + 1
+      | `Drop ->
+          t.lost <- t.lost + 1;
+          t.bytes_lost <- t.bytes_lost + d.bytes
       | `Deliver | `Duplicate ->
           (if fate = `Duplicate then begin
              t.duplicated <- t.duplicated + 1;
@@ -197,11 +289,18 @@ let messages_sent t = t.sent
 let self_messages t = t.selfs
 let messages_dropped t = t.dropped
 let messages_lost t = t.lost
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received
+let bytes_lost t = t.bytes_lost
+let decode_errors t = t.decode_errors
+let last_decode_error t = t.last_decode_error
 
 let set_drop_rate t r =
-  if r < 0.0 || r >= 1.0 then
-    invalid_arg "Engine.set_drop_rate: rate outside [0, 1)";
+  validate_drop_rate ~who:"Engine.set_drop_rate" r;
   t.drop_rate <- r
+
+let set_loss_model t m = t.loss_model <- m
+let loss_model t = t.loss_model
 let messages_duplicated t = t.duplicated
 let events_processed t = t.processed
 
@@ -211,7 +310,13 @@ let reset_counters t =
   t.dropped <- 0;
   t.lost <- 0;
   t.duplicated <- 0;
-  t.processed <- 0
+  t.processed <- 0;
+  t.bytes_sent <- 0;
+  t.bytes_received <- 0;
+  t.bytes_lost <- 0;
+  t.decode_errors <- 0;
+  t.last_decode_error <- None
 
 let set_tracer t tracer = t.tracer <- Some tracer
+let set_meter t meter = t.meter <- meter
 let set_scheduler t sched = t.scheduler <- sched

@@ -9,7 +9,15 @@
 
     Self-messages are free (a process consulting its own state); only
     messages between distinct processes count toward the message
-    complexity counters. *)
+    complexity counters.
+
+    All inter-process communication goes through a {!Transport}: under
+    [Inproc] (default) the OCaml value is handed straight to the
+    receiver — the historical behavior, bit-identical traces; under
+    [Wire] every message is encoded to a binary frame at send time,
+    the engine carries and counts the frame's bytes, and the receiver
+    decodes the frame — byte-accurate traffic accounting with the
+    serialization boundary exercised on every hop. *)
 
 type 'm t
 (** An engine carrying messages of type ['m]. *)
@@ -22,14 +30,34 @@ type latency =
   | Uniform of float * float
       (** per-message latency uniform on [lo, hi) — models jitter *)
 
-val create : ?latency:latency -> ?drop_rate:float -> seed:int -> unit -> 'm t
+(** How [drop_rate] is applied to a message (see {!set_loss_model}). *)
+type loss_model =
+  | Per_message  (** every inter-process message is lost with
+                     probability [drop_rate] regardless of size *)
+  | Per_byte
+      (** each byte of the frame is lost independently with
+          probability [drop_rate]: a frame of [n] bytes survives with
+          probability [(1 - drop_rate)^n], so long messages are
+          proportionally more fragile — the honest model once messages
+          have sizes. Requires a [Wire] transport to bite; sizeless
+          messages fall back to the per-message rate. *)
+
+val create :
+  ?latency:latency ->
+  ?transport:'m Transport.t ->
+  ?drop_rate:float ->
+  seed:int ->
+  unit ->
+  'm t
 (** [create ~seed ()] is an empty engine at time [0.]. Default latency
-    is [Fixed 1.]. [drop_rate] (default [0.]) silently loses that
-    fraction of inter-process messages at send time (self-messages are
-    never dropped — a process always hears itself); lost messages are
-    counted in {!messages_lost}. Protocols built on this engine must
-    tolerate loss through their periodic repair — exactly what the
-    DR-tree's stabilization provides.
+    is [Fixed 1.]; default transport is [Inproc]. [drop_rate] (default
+    [0.]) silently loses that fraction of inter-process messages at
+    send time (self-messages are never dropped — a process always
+    hears itself); lost messages are counted in {!messages_lost}.
+    Protocols built on this engine must tolerate loss through their
+    periodic repair — exactly what the DR-tree's stabilization
+    provides. Neither transport consumes engine randomness, so under
+    equal seeds [Inproc] and [Wire] runs deliver the same schedule.
     @raise Invalid_argument if outside [0, 1). *)
 
 val rng : 'm t -> Rng.t
@@ -38,6 +66,8 @@ val rng : 'm t -> Rng.t
 
 val now : 'm t -> float
 (** Current virtual time. *)
+
+val transport : 'm t -> 'm Transport.t
 
 val spawn : 'm t -> ('m ctx -> 'm -> unit) -> Node_id.t
 (** [spawn t handler] creates a live process and returns its id. *)
@@ -56,7 +86,8 @@ val spawned_count : 'm t -> int
 val inject : 'm t -> dst:Node_id.t -> 'm -> unit
 (** Message from the environment (no source process): delivered after
     the link latency. Used to start joins, publications, and
-    stabilization rounds. Counted as a message. *)
+    stabilization rounds. Counted as a message (and framed under a
+    [Wire] transport, like any inter-process message). *)
 
 val run : ?max_events:int -> 'm t -> [ `Quiescent | `Limit ]
 (** Process queued events until none remain ([`Quiescent]) or
@@ -92,20 +123,61 @@ val messages_dropped : 'm t -> int
 (** Messages whose destination was dead at delivery time. *)
 
 val messages_lost : 'm t -> int
-(** Messages lost to the [drop_rate] at send time. *)
+(** Messages lost to the [drop_rate] at send time (or dropped by an
+    adversarial scheduler). *)
+
+val bytes_sent : 'm t -> int
+(** Total frame bytes of inter-process messages at send time. Always
+    [0] under [Inproc] (no wire representation) — the bytes
+    counterpart of {!messages_sent}. *)
+
+val bytes_received : 'm t -> int
+(** Frame bytes successfully decoded and handled at delivery;
+    [bytes_sent - bytes_received] is what loss, dead destinations,
+    in-flight frames and decode failures consumed. *)
+
+val bytes_lost : 'm t -> int
+(** Frame bytes lost to [drop_rate] or a scheduler's [Drop]. *)
+
+val decode_errors : 'm t -> int
+(** Frames the [Wire] codec rejected at delivery. Always [0] for a
+    correct codec: any increment is a codec bug (the model checker
+    treats it as a counterexample). The offending message is
+    discarded, exactly like a lost message. *)
+
+val last_decode_error : 'm t -> string option
+(** The most recent decode failure, for diagnostics. *)
 
 val set_drop_rate : 'm t -> float -> unit
 (** Change the loss rate mid-run (e.g. an experiment measuring error
     under loss, then disabling loss to verify exact recovery).
+    Validates exactly like {!create}.
     @raise Invalid_argument outside [\[0, 1)]. *)
+
+val set_loss_model : 'm t -> loss_model -> unit
+(** Default [Per_message]. Switching models never perturbs the
+    deterministic schedule: both spend one RNG draw per candidate
+    message. *)
+
+val loss_model : 'm t -> loss_model
 
 val events_processed : 'm t -> int
 val reset_counters : 'm t -> unit
 
 val set_tracer :
   'm t -> (float -> src:Node_id.t option -> dst:Node_id.t -> 'm -> unit) -> unit
-(** Invoked at each delivery (before the handler). For debugging and
-    the examples' narration. *)
+(** Invoked at each delivery (before the handler), with the message
+    the handler will see — under [Wire], the decoded frame. For
+    debugging and the examples' narration. *)
+
+val set_meter : 'm t -> ([ `Sent | `Received ] -> 'm -> int -> unit) option -> unit
+(** [set_meter t (Some f)] observes every inter-process message with
+    its frame byte size ([0] under [Inproc]): [f `Sent m bytes] at
+    send time (before any loss), [f `Received m bytes] after a
+    successful decode at delivery. Self-messages are not metered,
+    mirroring {!messages_sent}. The overlay's {!Telemetry} uses this
+    hook for per-message-kind traffic accounting without the engine
+    knowing the message type. *)
 
 (** {2 Adversarial scheduling}
 
@@ -121,7 +193,10 @@ type 'm pending_event = {
   p_time : float;  (** nominal delivery time *)
   p_src : Node_id.t option;  (** [None] for environment injections *)
   p_dst : Node_id.t;
-  p_msg : 'm;
+  p_msg : 'm;  (** the sender's value (frames are not re-decoded for
+                   the view) *)
+  p_bytes : int;  (** frame size on the wire; [0] under [Inproc] —
+                      lets fault budgets meter bytes, not messages *)
 }
 
 type choice =

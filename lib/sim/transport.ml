@@ -1,0 +1,11 @@
+type 'm codec = {
+  encode : 'm -> string;
+  decode : string -> ('m, string) result;
+}
+
+type 'm t = Inproc | Wire of 'm codec
+
+let inproc = Inproc
+let wire codec = Wire codec
+
+let to_string = function Inproc -> "inproc" | Wire _ -> "wire"

@@ -1,0 +1,40 @@
+(** Pluggable message transport for the engine.
+
+    The engine itself is agnostic about how a message travels from
+    sender to receiver; a transport decides. [Inproc] hands the OCaml
+    value straight to the receiving handler — the historical behavior,
+    zero serialization cost, no wire representation, and therefore no
+    byte-accurate traffic accounting. [Wire] runs every inter-process
+    message through a {!codec}: the sender encodes the message into a
+    self-contained binary frame, the engine carries (and counts) only
+    the frame's bytes, and the receiver decodes it back — so the wire
+    boundary is actually exercised on every hop, exactly as a socket
+    implementation would exercise it.
+
+    Self-messages (a process consulting its own state) bypass the
+    transport in both modes: they model local computation, carry no
+    bytes, and are never subject to loss.
+
+    The codec is supplied by the protocol layer (the engine is
+    polymorphic in ['m] and cannot know the message type); for the
+    DR-tree overlay it is [Drtree.Message.Codec.transport]. *)
+
+type 'm codec = {
+  encode : 'm -> string;
+      (** Total: every ['m] value must produce a frame. The frame must
+          be self-contained — [decode] sees nothing but the string. *)
+  decode : string -> ('m, string) result;
+      (** Must reject truncated or trailing-garbage frames with
+          [Error]; never raises. [decode (encode m) = Ok m]. *)
+}
+
+type 'm t =
+  | Inproc  (** direct value passing; no wire representation *)
+  | Wire of 'm codec
+      (** encode at send, decode at delivery; frame length is the
+          message's byte size *)
+
+val inproc : 'm t
+val wire : 'm codec -> 'm t
+val to_string : 'm t -> string
+(** ["inproc"] or ["wire"] (for CLI flags and trace files). *)

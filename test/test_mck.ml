@@ -122,6 +122,20 @@ let test_run_trace_deterministic () =
     check_string "same trace, same outcome" (outcome_str a) (outcome_str b)
   done
 
+let test_wire_transport_traces () =
+  (* The same traces must pass with every message serialized through
+     the binary codec on every hop — and produce the same verdict as
+     the inproc run, since the wire transport never alters the
+     schedule. A decode failure would surface as a Final failure. *)
+  let rng = Sim.Rng.make 0xdada in
+  for i = 0 to 19 do
+    let tr = gen_trace rng Trace.Shared i in
+    let inproc = Fuzz.run_trace { tr with Trace.transport = Trace.Inproc } in
+    let wire = Fuzz.run_trace { tr with Trace.transport = Trace.Wire } in
+    check_string "wire verdict = inproc verdict" (outcome_str inproc)
+      (outcome_str wire)
+  done
+
 (* --- The planted cover-sweep bug ------------------------------------------------ *)
 
 let find_planted_failure () =
@@ -184,6 +198,7 @@ let exemplar =
   {
     Trace.seed = 77;
     mode = Trace.Message_passing;
+    transport = Trace.Wire;
     min_fill = 2;
     max_fill = 5;
     sched = Schedule.Delay_checks;
@@ -284,6 +299,8 @@ let () =
           fuzz_mode "200 traces, message-passing mode" Trace.Message_passing;
           Alcotest.test_case "run_trace is deterministic" `Quick
             test_run_trace_deterministic;
+          Alcotest.test_case "wire transport, same verdicts" `Quick
+            test_wire_transport_traces;
         ] );
       ( "planted-bug",
         [

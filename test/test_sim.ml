@@ -224,6 +224,180 @@ let test_engine_drop_rate () =
     (try ignore (Engine.create ~drop_rate:1.0 ~seed:1 ()); false
      with Invalid_argument _ -> true)
 
+(* --- Engine: transports ------------------------------------------------------ *)
+
+(* A toy framing codec for string messages: 2-byte marker + payload,
+   so frames have observable sizes and decoding can actually fail. *)
+let toy_codec =
+  {
+    Sim.Transport.encode = (fun s -> "F:" ^ s);
+    decode =
+      (fun f ->
+        let n = String.length f in
+        if n >= 2 && f.[0] = 'F' && f.[1] = ':' then Ok (String.sub f 2 (n - 2))
+        else Error "bad frame marker");
+  }
+
+let test_engine_wire_roundtrip () =
+  let eng = Engine.create ~transport:(Sim.Transport.wire toy_codec) ~seed:1 () in
+  let log = ref [] in
+  let a = Engine.spawn eng (fun _ msg -> log := msg :: !log) in
+  let b =
+    Engine.spawn eng (fun ctx msg ->
+        log := msg :: !log;
+        if msg = "ping" then Engine.send ctx a "pong!")
+  in
+  Engine.inject eng ~dst:b "ping";
+  ignore (Engine.run eng);
+  check_bool "decoded values delivered" true
+    (List.rev !log = [ "ping"; "pong!" ]);
+  (* "F:ping" = 6 bytes, "F:pong!" = 7 bytes. *)
+  check_int "bytes sent" 13 (Engine.bytes_sent eng);
+  check_int "bytes received" 13 (Engine.bytes_received eng);
+  check_int "no decode errors" 0 (Engine.decode_errors eng);
+  (* Self-messages bypass the transport: no frames, no bytes. *)
+  let eng2 = Engine.create ~transport:(Sim.Transport.wire toy_codec) ~seed:1 () in
+  let count = ref 0 in
+  let c =
+    Engine.spawn eng2 (fun ctx _ ->
+        incr count;
+        if !count < 3 then Engine.send ctx (Engine.self ctx) "again")
+  in
+  Engine.inject eng2 ~dst:c "go";
+  ignore (Engine.run eng2);
+  check_int "self chain ran" 3 !count;
+  check_int "only the injection framed" 4 (Engine.bytes_sent eng2);
+  Engine.reset_counters eng;
+  check_int "bytes reset" 0 (Engine.bytes_sent eng + Engine.bytes_received eng)
+
+let test_engine_decode_failure () =
+  (* decode rejects what encode produced: the engine must count the
+     error, surface the description, and discard the message. *)
+  let poisoned =
+    {
+      Sim.Transport.encode = toy_codec.Sim.Transport.encode;
+      decode =
+        (fun f ->
+          if f = "F:poison" then Error "poisoned frame"
+          else toy_codec.Sim.Transport.decode f);
+    }
+  in
+  let eng = Engine.create ~transport:(Sim.Transport.wire poisoned) ~seed:1 () in
+  let got = ref [] in
+  let a = Engine.spawn eng (fun _ msg -> got := msg :: !got) in
+  Engine.inject eng ~dst:a "ok";
+  Engine.inject eng ~dst:a "poison";
+  Engine.inject eng ~dst:a "ok2";
+  ignore (Engine.run eng);
+  check_bool "only clean frames delivered" true
+    (List.rev !got = [ "ok"; "ok2" ]);
+  check_int "decode errors" 1 (Engine.decode_errors eng);
+  check_bool "last error kept" true
+    (Engine.last_decode_error eng = Some "poisoned frame");
+  (* the rejected frame was sent but never received *)
+  check_int "sent counts all three" 3 (Engine.messages_sent eng);
+  check_int "received skips the bad frame" 9 (Engine.bytes_received eng)
+
+let test_engine_wire_schedule_identity () =
+  (* The transport must not perturb the deterministic schedule: same
+     seed, same jittered latencies, same delivery order — wire only
+     adds byte accounting. *)
+  let run_with transport =
+    let eng = Engine.create ~transport ~seed:7 ~latency:(Engine.Uniform (0.5, 2.0)) () in
+    let log = ref [] in
+    let nodes =
+      List.init 5 (fun i ->
+          Engine.spawn eng (fun _ msg -> log := (i, msg) :: !log))
+    in
+    List.iteri (fun i dst -> Engine.inject eng ~dst (string_of_int i)) nodes;
+    ignore (Engine.run eng);
+    (!log, Engine.messages_sent eng, Engine.bytes_sent eng)
+  in
+  let log_i, sent_i, bytes_i = run_with Sim.Transport.inproc in
+  let log_w, sent_w, bytes_w = run_with (Sim.Transport.wire toy_codec) in
+  check_bool "same delivery log" true (log_i = log_w);
+  check_int "same message count" sent_i sent_w;
+  check_int "inproc carries no bytes" 0 bytes_i;
+  check_bool "wire counts bytes" true (bytes_w > 0)
+
+let test_engine_per_byte_loss () =
+  let eng = Engine.create ~transport:(Sim.Transport.wire toy_codec)
+      ~drop_rate:0.02 ~seed:11 ()
+  in
+  Engine.set_loss_model eng Engine.Per_byte;
+  check_bool "model installed" true (Engine.loss_model eng = Engine.Per_byte);
+  let short_got = ref 0 and long_got = ref 0 in
+  let a = Engine.spawn eng (fun _ _ -> incr short_got) in
+  let b = Engine.spawn eng (fun _ _ -> incr long_got) in
+  let long_payload = String.make 100 'x' in
+  for _ = 1 to 300 do
+    Engine.inject eng ~dst:a "s";
+    (* 3-byte frame: survives w.p. 0.98^3 ~ 0.94 *)
+    Engine.inject eng ~dst:b long_payload
+    (* 102-byte frame: survives w.p. 0.98^102 ~ 0.13 *)
+  done;
+  ignore (Engine.run eng);
+  check_bool "short frames mostly survive" true (!short_got > 250);
+  check_bool "long frames mostly lost" true (!long_got < 100);
+  check_bool "losses accounted in bytes" true (Engine.bytes_lost eng > 0);
+  check_int "conservation" 600
+    (!short_got + !long_got + Engine.messages_lost eng)
+
+let test_engine_meter () =
+  let eng = Engine.create ~transport:(Sim.Transport.wire toy_codec) ~seed:1 () in
+  let sent = ref 0 and sent_bytes = ref 0 and recv = ref 0 in
+  Engine.set_meter eng
+    (Some
+       (fun dir _msg bytes ->
+         match dir with
+         | `Sent ->
+             incr sent;
+             sent_bytes := !sent_bytes + bytes
+         | `Received -> incr recv));
+  let a =
+    Engine.spawn eng (fun ctx msg ->
+        (* self-messages must not be metered *)
+        if msg = "first" then Engine.send ctx (Engine.self ctx) "self")
+  in
+  Engine.inject eng ~dst:a "first";
+  ignore (Engine.run eng);
+  check_int "metered sends mirror messages_sent" (Engine.messages_sent eng)
+    !sent;
+  check_int "metered bytes mirror bytes_sent" (Engine.bytes_sent eng)
+    !sent_bytes;
+  check_int "metered receives" 1 !recv;
+  Engine.set_meter eng None;
+  Engine.inject eng ~dst:a "unmetered";
+  ignore (Engine.run eng);
+  check_int "uninstalled" 1 !sent
+
+let test_engine_drop_rate_validation () =
+  (* create and set_drop_rate must validate identically (both ends of
+     the interval, both entry points). *)
+  let raises f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  List.iter
+    (fun bad ->
+      check_bool
+        (Printf.sprintf "create rejects %g" bad)
+        true
+        (raises (fun () -> ignore (Engine.create ~drop_rate:bad ~seed:1 ())));
+      check_bool
+        (Printf.sprintf "set_drop_rate rejects %g" bad)
+        true
+        (raises (fun () ->
+             let eng = Engine.create ~seed:1 () in
+             Engine.set_drop_rate eng bad)))
+    [ -0.1; -1e-9; 1.0; 1.5; infinity ];
+  (* Boundary values both accept. *)
+  let eng = Engine.create ~drop_rate:0.0 ~seed:1 () in
+  Engine.set_drop_rate eng 0.999999;
+  Engine.set_drop_rate eng 0.0
+
 let test_engine_alive_nodes () =
   let eng = Engine.create ~seed:1 () in
   let ids = List.init 4 (fun _ -> Engine.spawn eng (fun _ _ -> ())) in
@@ -302,6 +476,17 @@ let () =
           Alcotest.test_case "counter reset" `Quick test_engine_counters_reset;
           Alcotest.test_case "message loss" `Quick test_engine_drop_rate;
           Alcotest.test_case "alive tracking" `Quick test_engine_alive_nodes;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_engine_wire_roundtrip;
+          Alcotest.test_case "decode failure" `Quick test_engine_decode_failure;
+          Alcotest.test_case "schedule identity" `Quick
+            test_engine_wire_schedule_identity;
+          Alcotest.test_case "per-byte loss" `Quick test_engine_per_byte_loss;
+          Alcotest.test_case "meter hook" `Quick test_engine_meter;
+          Alcotest.test_case "drop-rate validation" `Quick
+            test_engine_drop_rate_validation;
         ] );
       ( "churn",
         [

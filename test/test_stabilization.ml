@@ -593,6 +593,37 @@ let test_churn_trace_replay () =
   check_bool "stabilizes after churn storm" true (stabilizes ~max_rounds:100 ov);
   check_bool "legal" true (legal ov)
 
+(* --- Wire transport --------------------------------------------------------------- *)
+
+let test_wire_round_bytes () =
+  let seed = 77 in
+  let rng = Sim.Rng.make (seed * 131) in
+  let ov = O.create ~transport:Drtree.Message.Codec.transport ~seed () in
+  for _ = 1 to 32 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  O.stabilize_round_mp ov;
+  let eng = O.engine ov in
+  let tele = O.telemetry ov in
+  check_bool "frames flowed" true (Sim.Engine.bytes_sent eng > 0);
+  check_int "no decode errors" 0 (Sim.Engine.decode_errors eng);
+  (* The per-kind traffic table must account for every frame the engine
+     framed on send (self-messages bypass the transport on both sides). *)
+  let sent_bytes =
+    List.fold_left
+      (fun acc (_, tr) -> acc + tr.Drtree.Telemetry.sent_bytes)
+      0
+      (Drtree.Telemetry.traffic_entries tele)
+  in
+  check_int "traffic sums to engine bytes" (Sim.Engine.bytes_sent eng)
+    sent_bytes;
+  (match Drtree.Telemetry.last_round tele with
+  | None -> Alcotest.fail "round report expected"
+  | Some r ->
+      check_bool "round bytes recorded" true (r.Drtree.Telemetry.bytes > 0));
+  check_bool "legal" true (legal ov)
+
 let () =
   Alcotest.run "stabilization"
     [
@@ -674,4 +705,7 @@ let () =
       ( "churn",
         [ Alcotest.test_case "poisson churn replay" `Slow
             test_churn_trace_replay ] );
+      ( "wire-transport",
+        [ Alcotest.test_case "round bytes + per-kind traffic" `Quick
+            test_wire_round_bytes ] );
     ]
