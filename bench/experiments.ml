@@ -45,4 +45,6 @@ let register () =
   Harness.register "E24" "aggregation traffic vs flooding (tct sweep)"
     E_agg.e24;
   Harness.register "E25" "aggregate error under churn and message loss"
-    E_agg.e25
+    E_agg.e25;
+  Harness.register "E26" "repair scheduling: full sweep vs incremental"
+    E_scale.e26

@@ -12,6 +12,11 @@ let space = Workload.Space.default
 let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
 let log_base b x = log x /. log b
 
+let now () = Unix.gettimeofday ()
+(* Wall clock for build/stabilize timings. [Sys.time] is {e CPU} time
+   and saturates coarsely on some platforms; the experiments report
+   elapsed seconds, so they must read a real-time clock. *)
+
 (* Build an overlay from a subscription workload and stabilize it.
    [transport] defaults to the engine's [Inproc]; the wire transport
    never changes a run's schedule (no extra randomness), only adds

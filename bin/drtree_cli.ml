@@ -78,7 +78,20 @@ let to_transport = function
   | `Inproc -> Sim.Transport.inproc
   | `Wire -> Drtree.Message.Codec.transport
 
-let make_cfg min_fill max_fill split = Cfg.make ~min_fill ~max_fill ~split ()
+let make_cfg ?(scheduler = Cfg.Full_sweep) min_fill max_fill split =
+  Cfg.make ~min_fill ~max_fill ~split ~scheduler ()
+
+let scheduler_t =
+  Arg.(
+    value
+    & opt
+        (enum [ ("full", Cfg.Full_sweep); ("incremental", Cfg.Incremental) ])
+        Cfg.Full_sweep
+    & info [ "scheduler" ] ~docv:"KIND"
+        ~doc:
+          "Repair scheduler for stabilization rounds: full (every module at \
+           every height each round) or incremental (drain the dirty set plus \
+           a background scan lane).")
 
 let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let rng = Rng.make (seed * 31) in
@@ -112,8 +125,8 @@ let print_shape ov =
 (* --- build ------------------------------------------------------------------- *)
 
 let build_cmd =
-  let run seed n workload min_fill max_fill split transport =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
     print_shape ov
@@ -121,7 +134,7 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t)
+      $ split_t $ transport_t $ scheduler_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -135,8 +148,9 @@ let publish_cmd =
       & opt (enum [ ("uniform", "uniform"); ("hotspot", "hotspot"); ("zipf", "zipf"); ("targeted", "targeted") ]) "uniform"
       & info [ "event-workload" ] ~docv:"NAME" ~doc:"Event distribution.")
   in
-  let run seed n workload min_fill max_fill split transport events event_workload =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler events
+      event_workload =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     let rects =
       List.filter_map
@@ -174,7 +188,7 @@ let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Publish events and report accuracy/cost.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ events_t $ event_workload_t)
+      $ split_t $ transport_t $ scheduler_t $ events_t $ event_workload_t)
 
 (* --- churn ------------------------------------------------------------------- *)
 
@@ -188,8 +202,9 @@ let churn_cmd =
   let leave_t =
     Arg.(value & opt float 0.0 & info [ "leave" ] ~docv:"FRAC" ~doc:"Fraction of controlled departures.")
   in
-  let run seed n workload min_fill max_fill split transport crash corrupt leave =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler crash
+      corrupt leave =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Printf.printf "before faults:\n";
     print_shape ov;
@@ -217,13 +232,13 @@ let churn_cmd =
     (Cmd.info "churn" ~doc:"Apply faults and watch stabilization repair them.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ crash_t $ corrupt_t $ leave_t)
+      $ split_t $ transport_t $ scheduler_t $ crash_t $ corrupt_t $ leave_t)
 
 (* --- inspect ----------------------------------------------------------------- *)
 
 let inspect_cmd =
-  let run seed n workload min_fill max_fill split transport =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
     Printf.printf "\n";
@@ -261,7 +276,7 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Dump the logical tree of a (small) overlay.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t)
+      $ split_t $ transport_t $ scheduler_t)
 
 (* --- export ------------------------------------------------------------------ *)
 
@@ -277,8 +292,8 @@ let export_cmd =
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Output format: dot, ascii, edges or svg.")
   in
-  let run seed n workload min_fill max_fill split transport format =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler format =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     match format with
     | `Dot -> print_string (Drtree.Export.to_dot ov)
@@ -294,7 +309,7 @@ let export_cmd =
        ~doc:"Export the overlay structure (GraphViz dot, ascii or edge list).")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ format_t)
+      $ split_t $ transport_t $ scheduler_t $ format_t)
 
 (* --- aggregate --------------------------------------------------------------- *)
 
@@ -331,9 +346,9 @@ let aggregate_cmd =
       & opt (t4 ~sep:',' float float float float) (0.0, 0.0, 100.0, 100.0)
       & info [ "rect" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query rectangle.")
   in
-  let run seed n workload min_fill max_fill split transport fn tct epochs
-      (x0, y0, x1, y1) =
-    let cfg = make_cfg min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler fn tct
+      epochs (x0, y0, x1, y1) =
+    let cfg = make_cfg ~scheduler min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
     let rt = Agg.Runtime.attach ov in
@@ -417,7 +432,7 @@ let aggregate_cmd =
           aggregation) over epochs of synthetic readings.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ fn_t $ tct_t $ epochs_t $ rect_t)
+      $ split_t $ transport_t $ scheduler_t $ fn_t $ tct_t $ epochs_t $ rect_t)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -470,7 +485,7 @@ let fuzz_cmd =
     Arg.(
       value & opt float 0.0
       & info [ "max-seconds" ] ~docv:"SECS"
-          ~doc:"Stop fuzzing after this much CPU time (0 = no cap).")
+          ~doc:"Stop fuzzing after this much wall-clock time (0 = no cap).")
   in
   let out_t =
     Arg.(
@@ -512,6 +527,22 @@ let fuzz_cmd =
              counterexample). Replayed traces carry their own transport \
              directive.")
   in
+  let fuzz_scheduler_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("full", `Full); ("incremental", `Incremental);
+               ("differential", `Differential) ])
+          `Full
+      & info [ "scheduler" ] ~docv:"KIND"
+          ~doc:
+            "Repair scheduler for generated traces: full, incremental, or \
+             differential — run every trace under both schedulers and \
+             require verdict (and, on clean FIFO traces, final-shape) \
+             agreement. Replayed traces carry their own scheduler \
+             directive.")
+  in
   let replay file =
     match Mck.Trace.load file with
     | Error e ->
@@ -526,7 +557,7 @@ let fuzz_cmd =
             exit 1)
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes transport =
+      plant probes transport scheduler =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -537,7 +568,7 @@ let fuzz_cmd =
     end;
     match replay_file with
     | Some file -> replay file
-    | None ->
+    | None -> (
         let modes =
           match mode with
           | `Shared -> [ Mck.Trace.Shared ]
@@ -548,54 +579,111 @@ let fuzz_cmd =
           match sched with `All -> Mck.Schedule.all_kinds | `Kind k -> [ k ]
         in
         let deadline =
-          if max_seconds > 0.0 then Some (Sys.time () +. max_seconds) else None
+          if max_seconds > 0.0 then Some (Unix.gettimeofday () +. max_seconds)
+          else None
         in
         let stop () =
-          match deadline with Some d -> Sys.time () > d | None -> false
+          match deadline with
+          | Some d -> Unix.gettimeofday () > d
+          | None -> false
+        in
+        let save_trace prefix (tr : Mck.Trace.t) =
+          if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+          let file =
+            Filename.concat out
+              (Printf.sprintf "%s-%d.trace" prefix tr.Mck.Trace.seed)
+          in
+          Mck.Trace.save file tr;
+          file
         in
         let total = ref 0 in
-        let found = ref None in
-        List.iteri
-          (fun mi m ->
+        match scheduler with
+        | `Differential -> (
+            (* Every generated trace runs under both schedulers; a
+               verdict or strict-shape disagreement is the
+               counterexample (saved unshrunk — the shrinker minimizes
+               single-run failures). *)
+            let failed = ref None in
             List.iteri
-              (fun si sk ->
-                if !found = None && not (stop ()) then begin
-                  let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
-                  let gen _ =
-                    Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m ~transport
-                      ~sched:sk ~drop ~dup ~cover_sweep:(not plant) ()
-                  in
-                  match
-                    Mck.Fuzz.fuzz ~probes ~stop
-                      ~on_trace:(fun _ _ _ -> incr total)
-                      ~traces ~gen ()
-                  with
-                  | None -> ()
-                  | Some (i, tr, f) -> found := Some (i, tr, f)
-                end)
-              scheds)
-          modes;
-        (match !found with
-        | None ->
-            Printf.printf "fuzz: %d trace(s) passed%s\n" !total
-              (if stop () then " (time cap reached)" else "")
-        | Some (i, tr, f) ->
-            Format.printf "trace %d FAILED at %a@." i Mck.Fuzz.pp_failure f;
-            let small, sf = Mck.Shrink.shrink ~probes tr in
-            Format.printf
-              "shrunk to %d prelude join(s) + %d op(s), failing at %a:@.%a@."
-              (List.length small.Mck.Trace.prelude)
-              (List.length small.Mck.Trace.ops)
-              Mck.Fuzz.pp_failure sf Mck.Trace.pp small;
-            if not (Sys.file_exists out) then Sys.mkdir out 0o755;
-            let file =
-              Filename.concat out
-                (Printf.sprintf "counterexample-%d.trace" small.Mck.Trace.seed)
+              (fun mi m ->
+                List.iteri
+                  (fun si sk ->
+                    if !failed = None && not (stop ()) then begin
+                      let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                      let i = ref 0 in
+                      while !i < traces && !failed = None && not (stop ()) do
+                        let tr =
+                          Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
+                            ~transport ~sched:sk ~drop ~dup
+                            ~cover_sweep:(not plant) ()
+                        in
+                        (match
+                           Mck.Fuzz.run_scheduler_differential ~probes tr
+                         with
+                        | Ok _ -> incr total
+                        | Error e -> failed := Some (tr, e));
+                        incr i
+                      done
+                    end)
+                  scheds)
+              modes;
+            match !failed with
+            | None ->
+                Printf.printf "fuzz: %d trace(s) scheduler-equivalent%s\n"
+                  !total
+                  (if stop () then " (time cap reached)" else "")
+            | Some (tr, e) ->
+                Format.printf "scheduler differential FAILED: %s@.%a@." e
+                  Mck.Trace.pp tr;
+                let file = save_trace "differential" tr in
+                Printf.printf "saved %s\n" file;
+                exit 1)
+        | (`Full | `Incremental) as s -> (
+            let trace_scheduler =
+              match s with
+              | `Full -> Drtree.Config.Full_sweep
+              | `Incremental -> Drtree.Config.Incremental
             in
-            Mck.Trace.save file small;
-            Printf.printf "saved %s\nreplay with: drtree_cli fuzz --replay %s\n"
-              file file;
-            exit 1)
+            let found = ref None in
+            List.iteri
+              (fun mi m ->
+                List.iteri
+                  (fun si sk ->
+                    if !found = None && not (stop ()) then begin
+                      let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                      let gen _ =
+                        Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
+                          ~transport ~sched:sk ~drop ~dup
+                          ~cover_sweep:(not plant)
+                          ~scheduler:trace_scheduler ()
+                      in
+                      match
+                        Mck.Fuzz.fuzz ~probes ~stop
+                          ~on_trace:(fun _ _ _ -> incr total)
+                          ~traces ~gen ()
+                      with
+                      | None -> ()
+                      | Some (i, tr, f) -> found := Some (i, tr, f)
+                    end)
+                  scheds)
+              modes;
+            match !found with
+            | None ->
+                Printf.printf "fuzz: %d trace(s) passed%s\n" !total
+                  (if stop () then " (time cap reached)" else "")
+            | Some (i, tr, f) ->
+                Format.printf "trace %d FAILED at %a@." i Mck.Fuzz.pp_failure f;
+                let small, sf = Mck.Shrink.shrink ~probes tr in
+                Format.printf
+                  "shrunk to %d prelude join(s) + %d op(s), failing at %a:@.%a@."
+                  (List.length small.Mck.Trace.prelude)
+                  (List.length small.Mck.Trace.ops)
+                  Mck.Fuzz.pp_failure sf Mck.Trace.pp small;
+                let file = save_trace "counterexample" small in
+                Printf.printf
+                  "saved %s\nreplay with: drtree_cli fuzz --replay %s\n" file
+                  file;
+                exit 1))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -605,7 +693,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
       $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
-      $ fuzz_transport_t)
+      $ fuzz_transport_t $ fuzz_scheduler_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

@@ -11,6 +11,20 @@ type net = {
       (* (asker, responder) -> responder's state as reported this
          message-passing stabilization round *)
   tele : Telemetry.t;
+  dirty : Dirty.t;
+      (* the incremental scheduler's work queue; every write path marks
+         through {!mark} below *)
+  claimants : unit Node_id.Table.t;
+      (* cached root-claimant set, maintained by {!mark} (a process's
+         claim can only change when its state is written, and every
+         write path marks): turns the O(N)-per-join root scan of
+         {!root_claimants} into an O(#claimants) lookup. Entries are
+         re-verified on read; silent corruption can leave the cache
+         stale, so full-sweep rounds rescan and an empty verified set
+         falls back to a full rescan. *)
+  mutable scan_cursor : int;
+      (* round-robin position of the incremental scheduler's background
+         scan lane over the sorted live-id list *)
   mutable last_join_hops : int;
   mutable executor : Node_id.t option;
       (* the node whose module body is currently executing; reads of
@@ -33,6 +47,9 @@ let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
       rng = Sim.Rng.make (seed lxor 0x7ee1);
       snapshots = Hashtbl.create 256;
       tele = Telemetry.create ();
+      dirty = Dirty.create ();
+      claimants = Node_id.Table.create 8;
+      scan_cursor = 0;
       last_join_hops = 0;
       executor = None;
       agg_handler = None;
@@ -81,6 +98,36 @@ let alive_ids net =
     (Engine.alive_nodes net.engine)
 
 let size net = List.length (alive_ids net)
+
+(* {2 Dirty marking and the root-claimant cache}
+
+   [mark] is THE write-path hook: every mutation of a (process,
+   height) entry flags it here so the incremental scheduler knows
+   where to repair, and — since a process's root claim is a function
+   of its own state — the same hook keeps the claimant cache current.
+   Marking is always on, whatever the configured scheduler: the cache
+   feeds the contact oracle on every join, and full-sweep runs simply
+   ignore the queue. *)
+
+let refresh_claimant net id =
+  match state net id with
+  | Some s when is_alive net id && State.is_root s (State.top s) ->
+      Node_id.Table.replace net.claimants id ()
+  | Some _ | None -> Node_id.Table.remove net.claimants id
+
+let mark net p h =
+  Dirty.mark net.dirty p h;
+  refresh_claimant net p
+
+let rescan_claimants net =
+  Node_id.Table.reset net.claimants;
+  List.iter
+    (fun id ->
+      match state net id with
+      | Some s when State.is_root s (State.top s) ->
+          Node_id.Table.replace net.claimants id ()
+      | Some _ | None -> ())
+    (alive_ids net)
 
 let iter_states net f =
   List.iter
@@ -214,13 +261,28 @@ let attached_to v ~parent ~h =
 
 (* {2 Root discovery and the contact oracle} *)
 
+(* Verified read of the claimant cache: entries that no longer claim
+   (displaced, crashed) are dropped; if verification leaves nothing in
+   a non-empty overlay — silent corruption erased the cached claim, or
+   the cache went stale wholesale — a full rescan restores the ground
+   truth. Sorted ascending, like the [alive_ids] scan it replaces. *)
 let root_claimants net =
-  List.filter
-    (fun id ->
+  let live = ref [] and stale = ref [] in
+  Node_id.Table.iter
+    (fun id () ->
       match read net id with
-      | Some s -> State.is_root s (State.top s)
-      | None -> false)
-    (alive_ids net)
+      | Some s when State.is_root s (State.top s) -> live := id :: !live
+      | Some _ | None -> stale := id :: !stale)
+    net.claimants;
+  List.iter (fun id -> Node_id.Table.remove net.claimants id) !stale;
+  let live =
+    if !live = [] && size net > 0 then begin
+      rescan_claimants net;
+      Node_id.Table.fold (fun id () acc -> id :: acc) net.claimants []
+    end
+    else !live
+  in
+  List.sort Node_id.compare live
 
 (* Among claimants, the designated root is the one with the largest
    top-level MBR (the root-election principle of Fig. 6), ties broken

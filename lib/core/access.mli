@@ -21,6 +21,9 @@ type net = {
   rng : Sim.Rng.t;
   snapshots : (Sim.Node_id.t * Sim.Node_id.t, Message.snapshot) Hashtbl.t;
   tele : Telemetry.t;
+  dirty : Dirty.t;
+  claimants : unit Sim.Node_id.Table.t;
+  mutable scan_cursor : int;
   mutable last_join_hops : int;
   mutable executor : Sim.Node_id.t option;
   mutable agg_handler :
@@ -63,6 +66,28 @@ val confirm_alive : net -> Sim.Node_id.t -> bool
 val alive_ids : net -> Sim.Node_id.t list
 val size : net -> int
 val iter_states : net -> (Sim.Node_id.t -> State.t -> unit) -> unit
+
+(** {2 Dirty marking}
+
+    Every write path of the protocol flags the (process, height)
+    entries it mutates, feeding both the incremental repair scheduler
+    ({!Dirty}) and the root-claimant cache behind {!root_claimants}.
+    Marking is an optimization hint, never a soundness requirement:
+    entries the tracking misses are found by the background scan lane
+    (see DESIGN.md §10). *)
+
+val mark : net -> Sim.Node_id.t -> int -> unit
+(** Flag [(p, h)] as possibly in need of repair and refresh [p]'s
+    entry in the claimant cache. Negative heights are ignored. *)
+
+val refresh_claimant : net -> Sim.Node_id.t -> unit
+(** Re-derive one process's root-claimant cache entry from its state
+    (without queueing repair work). *)
+
+val rescan_claimants : net -> unit
+(** Rebuild the claimant cache from scratch over all live processes —
+    run by every full-sweep round, so cache staleness never outlives
+    one round under the paper's periodic model. *)
 
 (** {2 Direct neighbor reads} *)
 
@@ -121,6 +146,11 @@ val attached_to : t -> parent:Sim.Node_id.t -> h:int -> bool
 (** {2 Root discovery and the contact oracle} *)
 
 val root_claimants : net -> Sim.Node_id.t list
+(** Live processes whose topmost instance is its own parent, sorted
+    ascending. Served from the claimant cache (verified entry by
+    entry, falling back to a full rescan when verification empties a
+    non-empty overlay) — O(#claimants) instead of the former O(N)
+    scan, which dominated join cost at scale (E23). *)
 
 val designated_root : net -> Sim.Node_id.t option
 (** Among claimants, the one with the largest top-level MBR (Fig. 6),

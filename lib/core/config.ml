@@ -1,4 +1,14 @@
 type oracle = Root_oracle | Random_oracle
+type scheduler = Full_sweep | Incremental
+
+let scheduler_to_string = function
+  | Full_sweep -> "full"
+  | Incremental -> "incremental"
+
+let scheduler_of_string = function
+  | "full" -> Ok Full_sweep
+  | "incremental" -> Ok Incremental
+  | s -> Error (Printf.sprintf "unknown scheduler %S" s)
 
 type t = {
   min_fill : int;
@@ -7,25 +17,41 @@ type t = {
   oracle : oracle;
   cover_sweep : bool;
   publish_ttl : int;
+  scheduler : scheduler;
+  scan_fraction : float;
+  seen_capacity : int;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
-    oracle = Root_oracle; cover_sweep = true; publish_ttl = 128 }
+    oracle = Root_oracle; cover_sweep = true; publish_ttl = 128;
+    scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096 }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
     ?(cover_sweep = default.cover_sweep)
-    ?(publish_ttl = default.publish_ttl) () =
+    ?(publish_ttl = default.publish_ttl)
+    ?(scheduler = default.scheduler)
+    ?(scan_fraction = default.scan_fraction)
+    ?(seen_capacity = default.seen_capacity) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
   if publish_ttl < 1 then invalid_arg "Drtree.Config.make: publish_ttl < 1";
-  { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl }
+  if not (scan_fraction >= 0.0 && scan_fraction <= 1.0) then
+    invalid_arg "Drtree.Config.make: scan_fraction outside [0, 1]";
+  if seen_capacity < 1 then
+    invalid_arg "Drtree.Config.make: seen_capacity < 1";
+  { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl; scheduler;
+    scan_fraction; seen_capacity }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s" c.min_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s" c.min_fill
     c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
     c.publish_ttl
+    (match c.scheduler with
+    | Full_sweep -> ""
+    | Incremental ->
+        Printf.sprintf " sched=incremental(scan=%g)" c.scan_fraction)
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

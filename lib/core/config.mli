@@ -11,6 +11,21 @@ type oracle =
   | Random_oracle  (** a uniformly random live node; the join is then
                       redirected upward to the root as per §3.2 *)
 
+(** How the stabilization round drivers schedule the CHECK_* modules
+    (DESIGN.md §10). *)
+type scheduler =
+  | Full_sweep
+      (** the paper's periodic model: every live process runs every
+          module at every active height, each round *)
+  | Incremental
+      (** dirty-set scheduling: rounds drain the (process, height)
+          entries the protocol's write paths marked, plus a
+          [scan_fraction] background lane that preserves the
+          self-stabilization guarantee against silent corruption *)
+
+val scheduler_to_string : scheduler -> string
+val scheduler_of_string : string -> (scheduler, string) result
+
 type t = {
   min_fill : int;  (** m *)
   max_fill : int;  (** M *)
@@ -30,11 +45,25 @@ type t = {
           reached in legal states, where hop counts are bounded by the
           tree height, so the default (128) is far above any
           realistic height and does not affect correct executions. *)
+  scheduler : scheduler;
+  scan_fraction : float;
+      (** Under [Incremental]: the fraction of live processes each
+          round additionally sweeps in full (round-robin over the id
+          space, at least one per round). Bounds the repair latency of
+          corruption the dirty tracking cannot see to roughly
+          [1 / scan_fraction] rounds. Ignored under [Full_sweep]. *)
+  seen_capacity : int;
+      (** Capacity of the per-process event-dedup window
+          ({!State.mark_seen}): the oldest entries are evicted beyond
+          it, keeping long-lived processes' memory flat. Event ids are
+          monotonically increasing and redelivery windows are short
+          (one dissemination), so a few thousand suffices. *)
 }
 
 val default : t
 (** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on,
-    [publish_ttl = 128]. *)
+    [publish_ttl = 128], full-sweep scheduler, [scan_fraction = 0.05],
+    [seen_capacity = 4096]. *)
 
 val make :
   ?min_fill:int ->
@@ -43,10 +72,14 @@ val make :
   ?oracle:oracle ->
   ?cover_sweep:bool ->
   ?publish_ttl:int ->
+  ?scheduler:scheduler ->
+  ?scan_fraction:float ->
+  ?seen_capacity:int ->
   unit ->
   t
 (** @raise Invalid_argument if [min_fill < 2],
     [max_fill < 2 * min_fill] ([m >= 2] keeps interior nodes binary
-    or wider, matching the R-tree root rule), or [publish_ttl < 1]. *)
+    or wider, matching the R-tree root rule), [publish_ttl < 1],
+    [scan_fraction] outside [0, 1], or [seen_capacity < 1]. *)
 
 val pp : Format.formatter -> t -> unit

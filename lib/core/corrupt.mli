@@ -6,25 +6,33 @@
     and returns whether anything was corrupted (the victim may be dead
     or inactive at the chosen level). The stabilization modules must
     recover (Lemma 3.6); the E7 experiment and the failure-injection
-    tests drive these. *)
+    tests drive these.
 
-val parent : Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
+    By default every primitive also marks the damaged (process,
+    height) entries — the victim's instance plus the neighbors whose
+    CHECK_* guards observe the inconsistency — on the dirty set, so
+    the incremental scheduler repairs them as fast as the full sweep.
+    Pass [~mark:false] for {e silent} corruption: nothing is flagged
+    and only the background scan lane can find it (the
+    self-stabilization guarantee the scan lane exists to keep). *)
+
+val parent : ?mark:bool -> Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
 (** Set the parent pointer of a random active instance of the victim
     to a random process id (possibly dead or nonsense). *)
 
-val children : Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
+val children : ?mark:bool -> Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
 (** Replace the children set of a random interior instance with a
     random subset of process ids (may drop members, add strangers, or
     both). The victim stays in its own set half of the time — the
     repair must handle both. *)
 
-val mbr : Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
+val mbr : ?mark:bool -> Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
 (** Replace the MBR of a random instance with a random rectangle. *)
 
-val underloaded : Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
+val underloaded : ?mark:bool -> Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
 (** Flip the underloaded flag of a random interior instance. *)
 
-val any : Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
+val any : ?mark:bool -> Overlay.t -> Sim.Rng.t -> Sim.Node_id.t -> bool
 (** One of the above, chosen uniformly. *)
 
 val random_victims : Overlay.t -> Sim.Rng.t -> fraction:float -> Sim.Node_id.t list

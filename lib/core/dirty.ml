@@ -1,0 +1,35 @@
+module Node_id = Sim.Node_id
+
+(* The work queue of the incremental repair scheduler: a set of
+   (process, height) entries whose state some mutation may have left
+   in need of repair. Every write path of the protocol marks here (via
+   [Access.mark]); the round driver drains the set and runs the
+   CHECK_* modules over the drained entries only. A plain hashtable
+   set — insertion is O(1) and hot (every mutation), draining is
+   per-round and sorts for determinism. *)
+
+type t = { table : (Node_id.t * int, unit) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+(* Negative heights arrive naturally from call sites computing [h - 1]
+   at a leaf; they denote no instance, so they are dropped rather than
+   burdening every caller with the guard. *)
+let mark t p h = if h >= 0 then Hashtbl.replace t.table (p, h) ()
+let mem t p h = Hashtbl.mem t.table (p, h)
+let is_empty t = Hashtbl.length t.table = 0
+let cardinal t = Hashtbl.length t.table
+let clear t = Hashtbl.reset t.table
+
+(* Deterministic order: every run is a pure function of its seeds, so
+   the scheduler must visit entries in a stable order, not hashtable
+   order. *)
+let entries t =
+  Hashtbl.fold (fun e () acc -> e :: acc) t.table []
+  |> List.sort (fun (p1, h1) (p2, h2) ->
+         match Node_id.compare p1 p2 with 0 -> Int.compare h1 h2 | c -> c)
+
+let drain t =
+  let es = entries t in
+  clear t;
+  es

@@ -1,0 +1,29 @@
+(** The incremental repair scheduler's work queue: (process, height)
+    entries that some mutation may have left in need of repair.
+
+    Every state-mutating path of the protocol marks the entries it
+    touches (through [Access.mark], which also maintains the root-
+    claimant cache); the round driver drains the set and runs the
+    CHECK_* modules over the drained entries plus a low-rate background
+    scan lane (see DESIGN.md §10). Marks are an optimization, never a
+    soundness requirement: corruption that bypasses the set is still
+    found by the background lane. *)
+
+type t
+
+val create : unit -> t
+
+val mark : t -> Sim.Node_id.t -> int -> unit
+(** Add one (process, height) entry. Negative heights are ignored
+    (call sites computing [h - 1] at a leaf). Idempotent. *)
+
+val mem : t -> Sim.Node_id.t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val clear : t -> unit
+
+val entries : t -> (Sim.Node_id.t * int) list
+(** All entries in deterministic (id, height) order, without clearing. *)
+
+val drain : t -> (Sim.Node_id.t * int) list
+(** {!entries}, then {!clear}: the per-round hand-off to the driver. *)

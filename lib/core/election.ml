@@ -23,11 +23,13 @@ let create_root (net : Access.net) left right h =
       lw.State.parent <- winner;
       Repair.compute_mbr net sw (h + 1);
       Repair.update_underloaded net.Access.cfg lw;
+      Access.mark net winner (h + 1);
       List.iter
         (fun id ->
           match Access.read net id with
           | Some s when State.is_active s h ->
-              (State.level_exn s h).State.parent <- winner
+              (State.level_exn s h).State.parent <- winner;
+              Access.mark net id h
           | Some _ | None -> ())
         [ left; loser ]
 
@@ -51,6 +53,7 @@ let shrink_root (net : Access.net) =
           let condense () =
             State.deactivate_above s (top - 1);
             (State.level_exn s (top - 1)).State.parent <- id;
+            Access.mark net id (top - 1);
             Telemetry.clear_fp net.Access.tele id top;
             Telemetry.record_repair net.Access.tele Telemetry.Root
           in
@@ -66,6 +69,7 @@ let shrink_root (net : Access.net) =
               match Access.read net only with
               | Some so when State.is_active so (top - 1) ->
                   (State.level_exn so (top - 1)).State.parent <- only;
+                  Access.mark net only (top - 1);
                   condense ();
                   shrink only
               | Some _ | None -> ())

@@ -25,6 +25,111 @@ let ancestors ov id =
   in
   climb id (Node_id.Set.singleton id) []
 
+(* One instance's clauses of Definition 3.1 (self-chain, attachment,
+   occupancy, children coherence, MBR exactness, cover optimality) —
+   the per-(process, height) unit both the global {!check} and the
+   targeted {!check_at} are built from. Global facts (root uniqueness,
+   reachability) live in {!check} only. *)
+let check_level ~m ~big_m ~read ~add p s h =
+  let top = State.top s in
+  match State.level s h with
+  | None -> add (violation p h "gap in the self-chain (inactive level)")
+  | Some l ->
+      (* Self-chain parents. *)
+      if h < top && not (Node_id.equal l.State.parent p) then
+        add (violation p h "non-top instance not self-parented");
+      (* Membership in the parent's children set. *)
+      (if h = top && not (Node_id.equal l.State.parent p) then
+         match read l.State.parent with
+         | None -> add (violation p h "parent is dead or unknown")
+         | Some spar -> (
+             match State.level spar (h + 1) with
+             | None -> add (violation p h "parent inactive at the level above")
+             | Some lpar ->
+                 if not (Node_id.Set.mem p lpar.State.children) then
+                   add (violation p h "absent from the parent's children set")));
+      if h >= 1 then begin
+        (* Occupancy. *)
+        let occ = Node_id.Set.cardinal l.State.children in
+        let is_root_here = State.is_root s h in
+        if is_root_here then begin
+          if occ < 2 then
+            add (violation p h "interior root with fewer than 2 children")
+        end
+        else if occ < m then add (violation p h "underfull (%d < %d)" occ m);
+        if occ > big_m then add (violation p h "overfull (%d > %d)" occ big_m);
+        if l.State.underloaded <> (occ < m) then
+          add (violation p h "stale underloaded flag");
+        (* Self-membership. *)
+        if not (Node_id.Set.mem p l.State.children) then
+          add (violation p h "process missing from its own children set");
+        (* Children coherence + balance. *)
+        Node_id.Set.iter
+          (fun c ->
+            if not (Node_id.equal c p) then
+              match read c with
+              | None -> add (violation p h "dead child in children set")
+              | Some sc ->
+                  if not (State.is_active sc (h - 1)) then
+                    add
+                      (violation p h "child %a inactive at member height"
+                         Node_id.pp c)
+                  else if
+                    not
+                      (Node_id.equal
+                         (State.level_exn sc (h - 1)).State.parent p)
+                  then
+                    add (violation p h "child %a has another parent" Node_id.pp c)
+                  else if State.top sc <> h - 1 then
+                    add
+                      (violation p h "child %a is active above its member height"
+                         Node_id.pp c))
+          l.State.children;
+        (* MBR correctness. *)
+        let expected =
+          Node_id.Set.fold
+            (fun c acc ->
+              match read c with
+              | Some sc -> (
+                  match State.mbr_at sc (h - 1) with
+                  | Some r -> (
+                      match acc with
+                      | None -> Some r
+                      | Some u -> Some (Rect.union u r))
+                  | None -> acc)
+              | None -> acc)
+            l.State.children None
+        in
+        (match expected with
+        | Some e when not (Rect.equal e l.State.mbr) ->
+            add (violation p h "MBR is not the union of member MBRs")
+        | Some _ | None -> ());
+        (* Cover optimality (Def. 3.1, third clause). *)
+        let own_area =
+          match State.mbr_at s (h - 1) with
+          | Some r -> Rect.area r
+          | None -> neg_infinity
+        in
+        Node_id.Set.iter
+          (fun c ->
+            if not (Node_id.equal c p) then
+              match read c with
+              | Some sc -> (
+                  match State.mbr_at sc (h - 1) with
+                  | Some r ->
+                      if Rect.area r > own_area then
+                        add
+                          (violation p h "member %a offers a better cover"
+                             Node_id.pp c)
+                  | None -> ())
+              | None -> ())
+          l.State.children
+      end
+      else if
+        (* Leaf MBR equals the filter. *)
+        not (Rect.equal l.State.mbr (State.filter s))
+      then add (violation p h "leaf MBR differs from the filter")
+
 let check ov =
   let cfg = Overlay.cfg ov in
   let m = cfg.Config.min_fill and big_m = cfg.Config.max_fill in
@@ -52,115 +157,8 @@ let check ov =
   let root = match claimants with [ r ] -> Some r | _ -> None in
   (* Per-process structural checks. *)
   Overlay.iter_states ov (fun p s ->
-      let top = State.top s in
-      for h = 0 to top do
-        match State.level s h with
-        | None -> add (violation p h "gap in the self-chain (inactive level)")
-        | Some l ->
-            (* Self-chain parents. *)
-            if h < top && not (Node_id.equal l.State.parent p) then
-              add (violation p h "non-top instance not self-parented");
-            (* Membership in the parent's children set. *)
-            (if h = top && not (Node_id.equal l.State.parent p) then
-               match read l.State.parent with
-               | None ->
-                   add (violation p h "parent is dead or unknown")
-               | Some spar -> (
-                   match State.level spar (h + 1) with
-                   | None ->
-                       add
-                         (violation p h "parent inactive at the level above")
-                   | Some lpar ->
-                       if not (Node_id.Set.mem p lpar.State.children) then
-                         add
-                           (violation p h
-                              "absent from the parent's children set")));
-            if h >= 1 then begin
-              (* Occupancy. *)
-              let occ = Node_id.Set.cardinal l.State.children in
-              let is_root_here = State.is_root s h in
-              if is_root_here then begin
-                if occ < 2 then
-                  add (violation p h "interior root with fewer than 2 children")
-              end
-              else if occ < m then
-                add (violation p h "underfull (%d < %d)" occ m);
-              if occ > big_m then
-                add (violation p h "overfull (%d > %d)" occ big_m);
-              if l.State.underloaded <> (occ < m) then
-                add (violation p h "stale underloaded flag");
-              (* Self-membership. *)
-              if not (Node_id.Set.mem p l.State.children) then
-                add (violation p h "process missing from its own children set");
-              (* Children coherence + balance. *)
-              Node_id.Set.iter
-                (fun c ->
-                  if not (Node_id.equal c p) then
-                    match read c with
-                    | None -> add (violation p h "dead child in children set")
-                    | Some sc ->
-                        if not (State.is_active sc (h - 1)) then
-                          add
-                            (violation p h "child %a inactive at member height"
-                               Node_id.pp c)
-                        else if
-                          not
-                            (Node_id.equal
-                               (State.level_exn sc (h - 1)).State.parent p)
-                        then
-                          add
-                            (violation p h "child %a has another parent"
-                               Node_id.pp c)
-                        else if State.top sc <> h - 1 then
-                          add
-                            (violation p h
-                               "child %a is active above its member height"
-                               Node_id.pp c))
-                l.State.children;
-              (* MBR correctness. *)
-              let expected =
-                Node_id.Set.fold
-                  (fun c acc ->
-                    match read c with
-                    | Some sc -> (
-                        match State.mbr_at sc (h - 1) with
-                        | Some r -> (
-                            match acc with
-                            | None -> Some r
-                            | Some u -> Some (Rect.union u r))
-                        | None -> acc)
-                    | None -> acc)
-                  l.State.children None
-              in
-              (match expected with
-              | Some e when not (Rect.equal e l.State.mbr) ->
-                  add (violation p h "MBR is not the union of member MBRs")
-              | Some _ | None -> ());
-              (* Cover optimality (Def. 3.1, third clause). *)
-              let own_area =
-                match State.mbr_at s (h - 1) with
-                | Some r -> Rect.area r
-                | None -> neg_infinity
-              in
-              Node_id.Set.iter
-                (fun c ->
-                  if not (Node_id.equal c p) then
-                    match read c with
-                    | Some sc -> (
-                        match State.mbr_at sc (h - 1) with
-                        | Some r ->
-                            if Rect.area r > own_area then
-                              add
-                                (violation p h "member %a offers a better cover"
-                                   Node_id.pp c)
-                        | None -> ())
-                    | None -> ())
-                l.State.children
-            end
-            else if
-              (* Leaf MBR equals the filter. *)
-              not (Rect.equal l.State.mbr (State.filter s))
-            then add (violation p h "leaf MBR differs from the filter")
+      for h = 0 to State.top s do
+        check_level ~m ~big_m ~read ~add p s h
       done);
   (* Reachability from the root. *)
   (match root with
@@ -189,6 +187,20 @@ let check ov =
   List.rev !violations
 
 let is_legal ov = check ov = []
+
+let check_at ov p h =
+  let cfg = Overlay.cfg ov in
+  let m = cfg.Config.min_fill and big_m = cfg.Config.max_fill in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let read id = if Overlay.is_alive ov id then Overlay.state ov id else None in
+  (match read p with
+  | Some s when h >= 0 && h <= State.top s ->
+      check_level ~m ~big_m ~read ~add p s h
+  | Some _ | None -> ());
+  List.rev !violations
+
+let is_legal_at ov p h = check_at ov p h = []
 
 let height = Overlay.height
 

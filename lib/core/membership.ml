@@ -56,6 +56,7 @@ let rec handle_add_child (net : Access.net) sp msg_child q_mbr hq hops =
         l.State.parent <- p;
         below.State.parent <- p;
         Repair.update_underloaded cfg l;
+        Access.mark net p h;
         grow (h + 1)
       end
     in
@@ -94,6 +95,9 @@ let rec handle_add_child (net : Access.net) sp msg_child q_mbr hq hops =
       l.State.mbr <- Rect.union l.State.mbr q_mbr;
       Repair.compute_mbr net sp hs;
       Repair.update_underloaded cfg l;
+      Access.mark net p hs;
+      Access.mark net msg_child hq;
+      Repair.mark_up net sp hs;
       net.Access.last_join_hops <- hops;
       if Repair.is_better_mbr_cover net sp msg_child hs then
         Repair.adjust_parent net sp msg_child hs;
@@ -128,11 +132,14 @@ let rec handle_add_child (net : Access.net) sp msg_child q_mbr hq hops =
         (fun c ->
           match Access.read net c with
           | Some sc when State.is_active sc hq ->
-              (State.level_exn sc hq).State.parent <- p
+              (State.level_exn sc hq).State.parent <- p;
+              Access.mark net c hq
           | Some _ | None -> ())
         l.State.children;
       Repair.compute_mbr net sp hs;
       Repair.update_underloaded cfg l;
+      Access.mark net p hs;
+      Repair.mark_up net sp hs;
       let leader = elect_group_leader g_away in
       match Access.read net leader with
       | None -> ()
@@ -144,11 +151,13 @@ let rec handle_add_child (net : Access.net) sp msg_child q_mbr hq hops =
             (fun c ->
               match Access.read net c with
               | Some sc when State.is_active sc hq ->
-                  (State.level_exn sc hq).State.parent <- leader
+                  (State.level_exn sc hq).State.parent <- leader;
+                  Access.mark net c hq
               | Some _ | None -> ())
             ll.State.children;
           Repair.compute_mbr net slead hs;
           Repair.update_underloaded cfg ll;
+          Access.mark net leader hs;
           net.Access.last_join_hops <- hops;
           (* Deferred cover check on the kept half (the split keeps p
              as holder regardless of coverage). The led-away half needs
@@ -210,6 +219,7 @@ and descend_join net ctx sp ~joiner ~mbr:q_mbr ~height:hq ~at ~hops =
        member. *)
     let l = State.level_exn sp at in
     l.State.mbr <- Rect.union l.State.mbr q_mbr;
+    Access.mark net p at;
     match choose_best_child net sp at q_mbr with
     | None -> handle_add_child net sp joiner q_mbr hq hops
     | Some (c, _) when Node_id.equal c p ->
@@ -232,7 +242,9 @@ let handle_leave (net : Access.net) sp ~who ~height:hq =
     if Node_id.Set.mem who l.State.children then begin
       l.State.children <- Node_id.Set.remove who l.State.children;
       Repair.compute_mbr net sp hs;
-      Repair.update_underloaded net.Access.cfg l
+      Repair.update_underloaded net.Access.cfg l;
+      Access.mark net (State.id sp) hs;
+      Repair.mark_up net sp hs
     end;
     Repair.check_parent (Access.direct net sp) hs;
     (* ancestors' MBRs must shrink too, and cover optimality may have
@@ -265,6 +277,7 @@ let rec handle_initiate_new_connection (net : Access.net) sp h =
     let l0 = State.level_exn sp 0 in
     l0.State.parent <- p;
     l0.State.mbr <- State.filter sp;
+    Access.mark net p 0;
     Access.initiate_join net ~joiner:p ~mbr:(State.filter sp) ~height:0
   end
 

@@ -109,19 +109,30 @@ val publish : t -> from:Sim.Node_id.t -> Geometry.Point.t -> publish_report
     MBR contains [p]) and reports accuracy and cost. Runs the engine.
     @raise Invalid_argument if [from] is not alive. *)
 
-(** {2 Stabilization} *)
+(** {2 Stabilization}
+
+    Rounds are scheduled by [Config.scheduler] (DESIGN.md §10).
+    [Full_sweep] (the paper's periodic model) runs every module at
+    every active height of every live process. [Incremental] drains
+    only the dirty (process, height) entries the protocol's write
+    paths marked, plus a [scan_fraction] background lane — same
+    module/process/height order, so with complete marks a round
+    performs exactly the repairs a full sweep would. *)
 
 val stabilize_round : t -> unit
-(** One round: every live process triggers, at every active height,
+(** One round: the scheduled (process, height) entries trigger
     CHECK_MBR (bottom-up), CHECK_CHILDREN, CHECK_PARENT, CHECK_COVER
     and CHECK_STRUCTURE, in deterministic id order, then the engine
     drains (re-joins triggered by repairs complete). *)
 
 val stabilize : ?max_rounds:int -> legal:(t -> bool) -> t -> int option
-(** [stabilize ~legal ov] runs {!stabilize_round} until [legal ov]
-    holds (pass [Invariant.is_legal]). Returns the number of rounds
-    taken ([Some 0] when already legal), or [None] if [max_rounds]
-    (default 50) was not enough. *)
+(** [stabilize ~legal ov] runs {!stabilize_round} until quiescence —
+    an empty dirty set, confirmed by one [legal ov] check (pass
+    [Invariant.is_legal]) — so converged runs pay one global scan
+    instead of one per round. A quiescent-but-illegal state (silent
+    corruption) escalates to a full-sweep-equivalent round. Returns
+    the number of rounds taken ([Some 0] when already quiescent and
+    legal), or [None] if [max_rounds] (default 50) was not enough. *)
 
 val stabilize_round_mp : t -> unit
 (** The message-passing variant of {!stabilize_round}: each node
@@ -161,6 +172,19 @@ val telemetry : t -> Telemetry.t
 val access : t -> Access.net
 (** The underlying state-access layer — for white-box tests that
     drive {!Repair} helpers directly. *)
+
+(** {2 Dirty set (repair scheduler)} *)
+
+val mark_dirty : t -> Sim.Node_id.t -> int -> unit
+(** Flag one (process, height) entry for the incremental scheduler
+    (and refresh the process's root-claimant cache entry) — what every
+    in-protocol write path does; exposed for fault injection and
+    tests. *)
+
+val dirty_size : t -> int
+(** Current dirty-set population (0 at quiescence). *)
+
+val is_dirty : t -> Sim.Node_id.t -> int -> bool
 
 val enable_logging : t -> unit
 (** Install an engine tracer that reports every message delivery on

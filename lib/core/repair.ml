@@ -16,6 +16,19 @@ let update_underloaded cfg l =
   l.State.underloaded <-
     Node_id.Set.cardinal l.State.children < cfg.Config.min_fill
 
+(* Mark the holder of the set that contains [sp]'s instance at height
+   [h] — an MBR change at [h] invalidates the union one level up. For
+   a non-top instance that holder is [sp] itself (self-chain); for the
+   top instance it is the external parent, unless [sp] is the root. *)
+let mark_up net sp h =
+  let p = State.id sp in
+  if h < State.top sp then Access.mark net p (h + 1)
+  else
+    match State.level sp h with
+    | Some l when not (Node_id.equal l.State.parent p) ->
+        Access.mark net l.State.parent (h + 1)
+    | Some _ | None -> ()
+
 (* Compute_MBR: the instance MBR is the union of the children MBRs
    (leaf instances carry their filter). Unreadable children are
    skipped; CHECK_CHILDREN evicts them. *)
@@ -73,10 +86,12 @@ let adjust_parent (net : Access.net) sp q h =
       (fun s ->
         match Access.read net s with
         | Some ss when State.is_active ss (k - 1) ->
-            (State.level_exn ss (k - 1)).State.parent <- q
+            (State.level_exn ss (k - 1)).State.parent <- q;
+            Access.mark net s (k - 1)
         | Some _ | None -> ())
       lq.State.children;
     update_underloaded net.Access.cfg lq;
+    Access.mark net q k;
     Telemetry.clear_fp net.Access.tele p k;
     Telemetry.clear_fp net.Access.tele q k
   done;
@@ -90,9 +105,12 @@ let adjust_parent (net : Access.net) sp q h =
          let lpar = State.level_exn spar (top + 1) in
          if Node_id.Set.mem p lpar.State.children then
            lpar.State.children <-
-             Node_id.Set.add q (Node_id.Set.remove p lpar.State.children)
+             Node_id.Set.add q (Node_id.Set.remove p lpar.State.children);
+         Access.mark net upper_parent (top + 1)
      | Some _ | None -> ());
-  State.deactivate_above sp (h - 1)
+  State.deactivate_above sp (h - 1);
+  Access.mark net q top;
+  Access.mark net p (h - 1)
 
 (* Fig. 10: repair the MBR value. *)
 let check_mbr v h =
@@ -105,8 +123,12 @@ let check_mbr v h =
         l.State.mbr <- State.filter sp
     end
     else compute_mbr_v v h;
-    if not (Rect.equal before l.State.mbr) then
-      Telemetry.record_repair (Access.network v).Access.tele Telemetry.Mbr
+    if not (Rect.equal before l.State.mbr) then begin
+      let net = Access.network v in
+      Access.mark net (State.id sp) h;
+      mark_up net sp h;
+      Telemetry.record_repair net.Access.tele Telemetry.Mbr
+    end
   end
 
 (* Fig. 12: evict children that are dead, inactive at the child
@@ -127,7 +149,10 @@ let check_children v h =
     if not (Node_id.Set.equal kept l.State.children) then begin
       l.State.children <- kept;
       compute_mbr_v v h;
-      Telemetry.record_repair (Access.network v).Access.tele Telemetry.Children
+      let net = Access.network v in
+      Access.mark net p h;
+      mark_up net sp h;
+      Telemetry.record_repair net.Access.tele Telemetry.Children
     end;
     update_underloaded (Access.network v).Access.cfg l
   end
@@ -145,6 +170,7 @@ let check_parent v h =
     if h < State.top sp then begin
       if not (Node_id.equal l.State.parent p) then begin
         l.State.parent <- p;
+        Access.mark net p h;
         Telemetry.record_repair net.Access.tele Telemetry.Parent
       end
     end
@@ -152,6 +178,7 @@ let check_parent v h =
       let attached = Access.attached_to v ~parent:l.State.parent ~h:(h + 1) in
       if not attached then begin
         l.State.parent <- p;
+        Access.mark net p h;
         Access.initiate_join net ~joiner:p ~mbr:l.State.mbr ~height:h;
         Telemetry.record_repair net.Access.tele Telemetry.Parent
       end
@@ -224,13 +251,17 @@ let merge_children (net : Access.net) winner loser h =
         (fun s ->
           match Access.read net s with
           | Some ss when State.is_active ss (h - 1) ->
-              (State.level_exn ss (h - 1)).State.parent <- winner
+              (State.level_exn ss (h - 1)).State.parent <- winner;
+              Access.mark net s (h - 1)
           | Some _ | None -> ())
         ll.State.children;
       State.deactivate_above sl (h - 1);
       Telemetry.clear_fp net.Access.tele loser h;
       compute_mbr net sw h;
-      update_underloaded net.Access.cfg lw
+      update_underloaded net.Access.cfg lw;
+      Access.mark net winner h;
+      Access.mark net loser (h - 1);
+      mark_up net sw h
   | _, _ -> ()
 
 let member_underloaded net cfg h id =
@@ -299,6 +330,9 @@ let move_member (net : Access.net) from_ to_ c hs =
       compute_mbr net st (hs - 1);
       update_underloaded net.Access.cfg lf;
       update_underloaded net.Access.cfg lt;
+      Access.mark net from_ (hs - 1);
+      Access.mark net to_ (hs - 1);
+      Access.mark net c (hs - 2);
       true
   | _, _, _ -> false
 
@@ -332,6 +366,8 @@ let check_structure (net : Access.net) sp hs =
       l.State.children;
     let cfg = net.Access.cfg in
     let record_structure () =
+      Access.mark net p hs;
+      mark_up net sp hs;
       Telemetry.record_repair net.Access.tele Telemetry.Structure
     in
     let siblings_with_room q =
@@ -444,6 +480,7 @@ let check_structure (net : Access.net) sp hs =
                         State.deactivate_above sq (hs - 2);
                         l.State.children <-
                           Node_id.Set.remove q l.State.children;
+                        Access.mark net q (hs - 2);
                         (match Access.read net t with
                         | Some st when State.is_active st (hs - 1) ->
                             let lt = State.level_exn st (hs - 1) in
@@ -451,7 +488,8 @@ let check_structure (net : Access.net) sp hs =
                               Node_id.Set.add q lt.State.children;
                             (State.level_exn sq (hs - 2)).State.parent <- t;
                             compute_mbr net st (hs - 1);
-                            update_underloaded net.Access.cfg lt
+                            update_underloaded net.Access.cfg lt;
+                            Access.mark net t (hs - 1)
                         | Some _ | None -> ())
                     | Some _ | None ->
                         l.State.children <-

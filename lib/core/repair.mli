@@ -13,6 +13,12 @@
 
 val update_underloaded : Config.t -> State.level -> unit
 
+val mark_up : Access.net -> State.t -> int -> unit
+(** Mark the holder of the set containing [sp]'s instance at height
+    [h] dirty at [h + 1] (an MBR change at [h] invalidates the union
+    one level up): [sp] itself below its top, the external parent at
+    the top, nobody when [sp] is the root. *)
+
 val compute_mbr_v : Access.t -> int -> unit
 (** Compute_MBR (Fig. 7) through a view: the instance MBR is the
     union of the children MBRs as observed; unreadable children are

@@ -14,16 +14,22 @@ type t = {
   levels : (int, level) Hashtbl.t;
   mutable top : int;
   seen : (int, unit) Hashtbl.t;
+  seen_order : int Queue.t;
+      (* insertion order of [seen], oldest first: the eviction queue
+         that keeps the dedup window at [seen_capacity] entries *)
+  seen_capacity : int;
 }
 
 let fresh_level ~id ~filter =
   { children = Node_id.Set.empty; mbr = filter; parent = id;
     underloaded = false }
 
-let create ~id ~filter =
+let create ?(seen_capacity = 4096) ~id ~filter () =
+  if seen_capacity < 1 then invalid_arg "State.create: seen_capacity < 1";
   let levels = Hashtbl.create 4 in
   Hashtbl.replace levels 0 (fresh_level ~id ~filter);
-  { id; filter; levels; top = 0; seen = Hashtbl.create 16 }
+  { id; filter; levels; top = 0; seen = Hashtbl.create 16;
+    seen_order = Queue.create (); seen_capacity }
 
 let id s = s.id
 let filter s = s.filter
@@ -92,7 +98,15 @@ let mark_seen s event_id =
   if Hashtbl.mem s.seen event_id then false
   else begin
     Hashtbl.replace s.seen event_id ();
+    Queue.push event_id s.seen_order;
+    while Hashtbl.length s.seen > s.seen_capacity do
+      Hashtbl.remove s.seen (Queue.pop s.seen_order)
+    done;
     true
   end
 
-let clear_seen s = Hashtbl.reset s.seen
+let seen_size s = Hashtbl.length s.seen
+
+let clear_seen s =
+  Hashtbl.reset s.seen;
+  Queue.clear s.seen_order

@@ -33,9 +33,13 @@ type level = {
 
 type t
 
-val create : id:Sim.Node_id.t -> filter:Geometry.Rect.t -> t
+val create :
+  ?seen_capacity:int -> id:Sim.Node_id.t -> filter:Geometry.Rect.t -> unit -> t
 (** A fresh, isolated process: active at height [0] only, with
-    [mbr = filter] and [parent = id] (it is its own root). *)
+    [mbr = filter] and [parent = id] (it is its own root).
+    [seen_capacity] (default 4096, see {!Config.t}) bounds the
+    {!mark_seen} dedup window.
+    @raise Invalid_argument if [seen_capacity < 1]. *)
 
 val id : t -> Sim.Node_id.t
 val filter : t -> Geometry.Rect.t
@@ -83,6 +87,13 @@ val mark_seen : t -> int -> bool
 (** [mark_seen s event_id] registers that this process was touched by
     the event; returns [true] the first time, [false] on duplicates
     (transport-level dedup, makes dissemination idempotent under
-    corrupted topologies). *)
+    corrupted topologies). The table is a FIFO window of at most
+    [seen_capacity] ids — the oldest is evicted beyond that, so a
+    long-lived process's memory stays flat; dedup holds within the
+    window, which spans far more than one dissemination. *)
+
+val seen_size : t -> int
+(** Current population of the dedup window (for the memory-flatness
+    regression test). *)
 
 val clear_seen : t -> unit

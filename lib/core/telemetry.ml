@@ -28,6 +28,9 @@ type round_report = {
   messages : int;
   bytes : int;
   repairs : int array;
+  queue_depth : int;
+  execs : int;
+  skipped : int;
 }
 
 type traffic = {
@@ -60,9 +63,13 @@ type event_record = {
 type t = {
   mutable probes : int;
   repairs : int array;
+  mutable execs : int;
+      (* CHECK_* module invocations actually executed by the round
+         drivers — under the incremental scheduler the gap to the
+         full-sweep-equivalent count is the per-round [skipped] gauge *)
   mutable rounds : round_report list; (* newest first *)
   mutable round_count : int;
-  mutable round_mark : (int * int * int * int array) option;
+  mutable round_mark : (int * int * int * int array * int * int) option;
   traffic : (string, traffic) Hashtbl.t;
       (* message kind (Message.tag) -> wire traffic, fed by the
          engine's meter hook *)
@@ -80,6 +87,7 @@ let create () =
   {
     probes = 0;
     repairs = Array.make n_repair_kinds 0;
+    execs = 0;
     rounds = [];
     round_count = 0;
     round_mark = None;
@@ -108,6 +116,11 @@ let record_repair t kind =
 
 let repair_count t kind = t.repairs.(repair_index kind)
 let total_repairs t = Array.fold_left ( + ) 0 t.repairs
+
+(* {2 Repair-module executions} *)
+
+let record_exec t = t.execs <- t.execs + 1
+let execs t = t.execs
 
 (* {2 Per-kind wire traffic} *)
 
@@ -144,17 +157,19 @@ let reset_traffic t = Hashtbl.reset t.traffic
 
 (* {2 Round reports} *)
 
-let begin_round t ~messages ~bytes =
-  t.round_mark <- Some (t.probes, messages, bytes, Array.copy t.repairs)
+let begin_round t ~messages ~bytes ~queue_depth =
+  t.round_mark <-
+    Some (t.probes, messages, bytes, Array.copy t.repairs, t.execs, queue_depth)
 
-let end_round t ~messages ~bytes =
+let end_round t ~messages ~bytes ~skipped =
   match t.round_mark with
   | None -> ()
-  | Some (p0, m0, b0, r0) ->
+  | Some (p0, m0, b0, r0, e0, queue_depth) ->
       let repairs = Array.mapi (fun i r -> r - r0.(i)) t.repairs in
       let report =
         { round = t.round_count; probes = t.probes - p0;
-          messages = messages - m0; bytes = bytes - b0; repairs }
+          messages = messages - m0; bytes = bytes - b0; repairs;
+          queue_depth; execs = t.execs - e0; skipped }
       in
       t.rounds <- report :: t.rounds;
       t.round_count <- t.round_count + 1;
@@ -255,9 +270,13 @@ let pp_round ppf (r : round_report) =
         else None)
       repair_kinds
   in
-  Format.fprintf ppf "round %d: probes=%d messages=%d%s repairs=[%s]" r.round
-    r.probes r.messages
+  Format.fprintf ppf "round %d: probes=%d messages=%d%s execs=%d%s repairs=[%s]"
+    r.round r.probes r.messages
     (if r.bytes > 0 then Printf.sprintf " bytes=%d" r.bytes else "")
+    r.execs
+    (if r.skipped > 0 then
+       Printf.sprintf " skipped=%d queue=%d" r.skipped r.queue_depth
+     else "")
     (String.concat " " nonzero)
 
 let pp_agg_epoch ppf (r : agg_epoch_report) =

@@ -47,10 +47,19 @@ let describe_violations ov =
               Inv.pp_violation)
            shown)
 
-let run_trace ?(probes = 3) (tr : Trace.t) =
+(* Shape fingerprint of the overlay a trace leaves behind — the
+   cross-scheduler differential compares these (size/height always
+   meaningful; [legal] records the final verdict of the invariant). *)
+type summary = { final_size : int; final_height : int; final_legal : bool }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d height=%d legal=%b" s.final_size s.final_height
+    s.final_legal
+
+let run_trace_summary ?(probes = 3) (tr : Trace.t) =
   let cfg =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
-      ~cover_sweep:tr.Trace.cover_sweep ()
+      ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler ()
   in
   let transport =
     match tr.Trace.transport with
@@ -294,7 +303,61 @@ let run_trace ?(probes = 3) (tr : Trace.t) =
   if errs > 0 then
     fail `Final "%d wire decode error(s); last: %s" errs
       (Option.value ~default:"?" (Sim.Engine.last_decode_error eng));
-  match !failure with None -> Passed | Some f -> Failed f
+  let outcome = match !failure with None -> Passed | Some f -> Failed f in
+  ( outcome,
+    {
+      final_size = O.size ov;
+      final_height = O.height ov;
+      final_legal = Inv.is_legal ov;
+    } )
+
+let run_trace ?probes tr = fst (run_trace_summary ?probes tr)
+
+(* {2 Cross-scheduler differential}
+
+   The same trace under [Full_sweep] and [Incremental] must reach the
+   same verdict; under a strict schedule (clean FIFO) the final
+   membership and legality must also agree. Height is deliberately
+   NOT part of the strict comparison: an instance written mid-round is
+   visited by a full sweep's later passes the same round but deferred
+   to the next round by the start-of-round incremental plan, so
+   interacting repairs (rare — roughly one trace in a thousand) can
+   settle on different, equally legal trees; see DESIGN.md §10. *)
+
+let run_scheduler_differential ?probes (tr : Trace.t) =
+  let of_sched scheduler = { tr with Trace.scheduler } in
+  let o_full, s_full =
+    run_trace_summary ?probes (of_sched Drtree.Config.Full_sweep)
+  in
+  let o_inc, s_inc =
+    run_trace_summary ?probes (of_sched Drtree.Config.Incremental)
+  in
+  let verdict = function
+    | Passed -> "pass"
+    | Failed f -> Format.asprintf "fail at %a" pp_location f.at
+  in
+  let strict =
+    tr.Trace.drop = 0.0 && tr.Trace.dup = 0.0 && tr.Trace.sched = Schedule.Fifo
+  in
+  let agree =
+    match (o_full, o_inc) with
+    | Passed, Passed | Failed _, Failed _ -> true
+    | Passed, Failed _ | Failed _, Passed -> false
+  in
+  if not agree then
+    Error
+      (Printf.sprintf "scheduler verdicts differ: full=%s incremental=%s"
+         (verdict o_full) (verdict o_inc))
+  else if
+    strict
+    && (s_full.final_size <> s_inc.final_size
+       || s_full.final_legal <> s_inc.final_legal)
+  then
+    Error
+      (Format.asprintf "size/legality differ under a strict schedule: \
+                        full=%a incremental=%a"
+         pp_summary s_full pp_summary s_inc)
+  else Ok (o_full, s_full)
 
 (* {2 Random traces} *)
 
@@ -319,7 +382,8 @@ let random_op rng =
 
 let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     ?(transport = Trace.Inproc) ?(sched = Schedule.Random) ?(drop = 0.0)
-    ?(dup = 0.0) ?(cover_sweep = true) () =
+    ?(dup = 0.0) ?(cover_sweep = true)
+    ?(scheduler = Drtree.Config.Full_sweep) () =
   let seed = 1 + Rng.int rng 1_000_000 in
   let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
   {
@@ -332,6 +396,7 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     drop;
     dup;
     cover_sweep;
+    scheduler;
     prelude = List.init n_pre (fun _ -> random_rect rng);
     ops = List.init ops (fun _ -> random_op rng);
   }

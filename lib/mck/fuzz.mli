@@ -50,6 +50,31 @@ val run_trace : ?probes:int -> Trace.t -> outcome
 (** Execute one trace from scratch; deterministic in the trace.
     [probes] (default 3) is the number of final oracle publications. *)
 
+type summary = { final_size : int; final_height : int; final_legal : bool }
+(** Shape fingerprint of the overlay a trace leaves behind. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run_trace_summary : ?probes:int -> Trace.t -> outcome * summary
+(** {!run_trace}, also returning the final shape. *)
+
+val run_scheduler_differential :
+  ?probes:int -> Trace.t -> (outcome * summary, string) result
+(** Run the trace twice — under [Config.Full_sweep] and
+    [Config.Incremental] (overriding its [scheduler] field) — and
+    compare: the verdicts must agree, and under a strict schedule
+    (clean FIFO) the final membership and legality must also be
+    identical — an incremental round with complete dirty marks
+    performs the repairs a full sweep would for the marks present at
+    round start. Height is not compared even then: an instance
+    written mid-round is repaired the same round by a full sweep's
+    later passes but one round later by the incremental plan, so
+    interacting repairs occasionally (~1/1000 traces) settle on
+    different, equally legal trees (DESIGN.md §10). [Error] describes
+    the divergence —
+    a scheduler-equivalence counterexample; [Ok] carries the full-sweep
+    run's outcome and shape. *)
+
 val random_rect : Sim.Rng.t -> Geometry.Rect.t
 (** Uniform filter in the default \[0,100\]² space, extent 1–10 per
     axis. *)
@@ -64,6 +89,7 @@ val random_trace :
   ?drop:float ->
   ?dup:float ->
   ?cover_sweep:bool ->
+  ?scheduler:Drtree.Config.scheduler ->
   unit ->
   Trace.t
 (** A random trace: a prelude of 3 to [nodes] joins, then [ops]

@@ -38,6 +38,7 @@ type t = {
   drop : float;
   dup : float;
   cover_sweep : bool;
+  scheduler : Drtree.Config.scheduler;
   prelude : R.t list;
   ops : op list;
 }
@@ -57,11 +58,12 @@ let pp_op ppf = function
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>seed=%d mode=%s transport=%s m=%d M=%d sched=%a drop=%g dup=%g \
-     cover_sweep=%b@,\
+     cover_sweep=%b scheduler=%s@,\
      prelude (%d joins):@,%a@,ops (%d):@,%a@]"
     t.seed (mode_to_string t.mode)
     (transport_to_string t.transport)
     t.min_fill t.max_fill Schedule.pp_kind t.sched t.drop t.dup t.cover_sweep
+    (Drtree.Config.scheduler_to_string t.scheduler)
     (List.length t.prelude)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf r ->
          Format.fprintf ppf "  join %a" R.pp r))
@@ -110,6 +112,7 @@ let to_string t =
   line "drop %s" (float_str t.drop);
   line "dup %s" (float_str t.dup);
   line "cover_sweep %s" (if t.cover_sweep then "on" else "off");
+  line "scheduler %s" (Drtree.Config.scheduler_to_string t.scheduler);
   List.iter (fun r -> line "prelude %s" (rect_str r)) t.prelude;
   List.iter (fun o -> line "%s" (op_str o)) t.ops;
   line "end";
@@ -126,6 +129,7 @@ let default =
     drop = 0.0;
     dup = 0.0;
     cover_sweep = true;
+    scheduler = Drtree.Config.Full_sweep;
     prelude = [];
     ops = [];
   }
@@ -213,6 +217,10 @@ let of_string s =
             | [ "dup"; v ] -> t := { !t with dup = float_of ctx v }
             | [ "cover_sweep"; "on" ] -> t := { !t with cover_sweep = true }
             | [ "cover_sweep"; "off" ] -> t := { !t with cover_sweep = false }
+            | [ "scheduler"; v ] -> (
+                match Drtree.Config.scheduler_of_string v with
+                | Ok sch -> t := { !t with scheduler = sch }
+                | Error e -> fail "%s: %s" ctx e)
             | "prelude" :: rest -> prelude := parse_rect ctx rest :: !prelude
             | "op" :: rest -> ops := parse_op ctx rest :: !ops
             | [ "end" ] -> ()

@@ -54,13 +54,18 @@ type t = {
   drop : float;
   dup : float;
   cover_sweep : bool;  (** [false] plants the known cover-sweep bug *)
+  scheduler : Drtree.Config.scheduler;
+      (** which repair scheduler the replayed overlay runs
+          (DESIGN.md §10); traces without a [scheduler] line parse as
+          [Full_sweep] (backward-compatible) *)
   prelude : Geometry.Rect.t list;
   ops : op list;
 }
 
 val default : t
 (** Seed 1, shared mode, inproc transport, [m = 2], [M = 4], FIFO
-    schedule, no faults, cover sweep on, empty prelude and ops. *)
+    schedule, no faults, cover sweep on, full-sweep scheduler, empty
+    prelude and ops. *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

@@ -39,7 +39,7 @@ let stabilized ov = O.stabilize ~legal:Inv.is_legal ov <> None
 (* --- State ---------------------------------------------------------------- *)
 
 let test_state_create () =
-  let s = St.create ~id:7 ~filter:(rect 0.0 0.0 1.0 1.0) in
+  let s = St.create ~id:7 ~filter:(rect 0.0 0.0 1.0 1.0) () in
   check_int "top" 0 (St.top s);
   check_bool "active at 0" true (St.is_active s 0);
   check_bool "inactive at 1" false (St.is_active s 1);
@@ -49,7 +49,7 @@ let test_state_create () =
   check_bool "memory positive" true (St.memory_words s > 0)
 
 let test_state_activate_deactivate () =
-  let s = St.create ~id:1 ~filter:(rect 0.0 0.0 1.0 1.0) in
+  let s = St.create ~id:1 ~filter:(rect 0.0 0.0 1.0 1.0) () in
   let _l3 = St.activate s 3 in
   check_int "top raised" 3 (St.top s);
   check_bool "intermediate filled" true (St.is_active s 2);
@@ -60,7 +60,7 @@ let test_state_activate_deactivate () =
   check_int "unchanged" 1 (St.top s)
 
 let test_state_seen () =
-  let s = St.create ~id:1 ~filter:(rect 0.0 0.0 1.0 1.0) in
+  let s = St.create ~id:1 ~filter:(rect 0.0 0.0 1.0 1.0) () in
   check_bool "first" true (St.mark_seen s 42);
   check_bool "duplicate" false (St.mark_seen s 42);
   check_bool "other id" true (St.mark_seen s 43);

@@ -205,6 +205,7 @@ let exemplar =
     drop = 0.125;
     dup = 0.0625;
     cover_sweep = false;
+    scheduler = Drtree.Config.Incremental;
     prelude = [ rect 1.5 2.25 8.75 9.125; rect 0.1 0.2 0.3 0.4 ];
     ops =
       [
