@@ -11,9 +11,19 @@ open Harness
 
 (* --- E23: laptop-scale stress ------------------------------------------- *)
 
+(* The top of this range runs on the flat interned layout (DESIGN.md
+   §11, the library default); override the populations for a CI smoke
+   run with e.g. DRTREE_E23_SIZES=1024,4096. *)
+let e23_sizes () =
+  match Sys.getenv_opt "DRTREE_E23_SIZES" with
+  | None -> [ 1024; 2048; 4096; 8192; 16384; 65536 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
+
 let e23 () =
   let table =
-    Table.create ~title:"E23  scale: build cost and shape up to N=8192"
+    Table.create ~title:"E23  scale: build cost and shape up to N=65536"
       ~columns:
         [
           "N"; "build s"; "join msgs"; "height"; "FP %"; "msgs/event";
@@ -34,7 +44,7 @@ let e23 () =
       Table.add_rowf table "%d|%.2f|%d|%d|%.2f|%.1f|%d" n dt build_msgs
         (O.height ov) (pct acc.fp_rate) acc.msgs_per_event
         (Inv.max_memory_words ov))
-    [ 1024; 2048; 4096; 8192 ];
+    (e23_sizes ());
   Table.print table
 
 (* --- E26: repair scheduling — full sweep vs incremental ------------------ *)

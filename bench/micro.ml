@@ -85,6 +85,48 @@ let tests () =
     Test.make ~name:"drtree invariant check (N=256)"
       (Staged.stage (fun () -> ignore (Drtree.Invariant.check ov)))
   in
+  (* Flat state layout (DESIGN.md §11): per-height level access on a
+     mid-tree instance, the dirty-queue mark, and the intern table that
+     backs the store's dense indexing. *)
+  let next_id () =
+    idx := (!idx + 1) land 1023;
+    ids.(!idx mod Array.length ids)
+  in
+  let deep_state =
+    let s =
+      Drtree.State.create ~id:ids.(0) ~filter:rects.(0) ()
+    in
+    ignore (Drtree.State.activate s 6);
+    s
+  in
+  let t_state_get =
+    Test.make ~name:"state level get (h=3 of top=6)"
+      (Staged.stage (fun () -> ignore (Drtree.State.level deep_state 3)))
+  in
+  let t_state_set =
+    Test.make ~name:"state level set mbr"
+      (Staged.stage (fun () ->
+           let lvl = Drtree.State.level_exn deep_state 3 in
+           lvl.Drtree.State.mbr <- next rects))
+  in
+  let net = O.access ov in
+  let t_mark =
+    Test.make ~name:"access mark (packed dirty key)"
+      (Staged.stage (fun () ->
+           Drtree.Access.mark net (next_id ()) (!idx land 7)))
+  in
+  let intern_tbl = Drtree.Intern.create () in
+  Array.iter (fun id -> ignore (Drtree.Intern.intern intern_tbl id)) ids;
+  let t_intern =
+    Test.make ~name:"intern hit (N=256 live)"
+      (Staged.stage (fun () ->
+           ignore (Drtree.Intern.intern intern_tbl (next_id ()))))
+  in
+  let t_intern_find =
+    Test.make ~name:"intern find"
+      (Staged.stage (fun () ->
+           ignore (Drtree.Intern.find intern_tbl (next_id ()))))
+  in
   (* Wire codec: one cheap fixed-size message and one snapshot-bearing
      Report (the fattest frame the protocol sends — 4 levels here). *)
   let module M = Drtree.Message in
@@ -139,6 +181,11 @@ let tests () =
     t_publish;
     t_stab_round;
     t_invariant;
+    t_state_get;
+    t_state_set;
+    t_mark;
+    t_intern;
+    t_intern_find;
     t_enc_check;
     t_enc_report;
     t_dec_check;

@@ -78,8 +78,9 @@ let to_transport = function
   | `Inproc -> Sim.Transport.inproc
   | `Wire -> Drtree.Message.Codec.transport
 
-let make_cfg ?(scheduler = Cfg.Full_sweep) min_fill max_fill split =
-  Cfg.make ~min_fill ~max_fill ~split ~scheduler ()
+let make_cfg ?(scheduler = Cfg.Full_sweep) ?(layout = Cfg.Flat) min_fill
+    max_fill split =
+  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ()
 
 let scheduler_t =
   Arg.(
@@ -92,6 +93,16 @@ let scheduler_t =
           "Repair scheduler for stabilization rounds: full (every module at \
            every height each round) or incremental (drain the dirty set plus \
            a background scan lane).")
+
+let layout_t =
+  Arg.(
+    value
+    & opt (enum [ ("hashed", Cfg.Hashed); ("flat", Cfg.Flat) ]) Cfg.Flat
+    & info [ "layout" ] ~docv:"KIND"
+        ~doc:
+          "State-store layout: flat (contiguous arrays over an int-interned \
+           id space) or hashed (the original per-process hashtables; the \
+           layout-differential baseline).")
 
 let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let rng = Rng.make (seed * 31) in
@@ -125,8 +136,8 @@ let print_shape ov =
 (* --- build ------------------------------------------------------------------- *)
 
 let build_cmd =
-  let run seed n workload min_fill max_fill split transport scheduler =
-    let cfg = make_cfg ~scheduler min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler layout =
+    let cfg = make_cfg ~scheduler ~layout min_fill max_fill split in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
     print_shape ov
@@ -134,7 +145,7 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ scheduler_t)
+      $ split_t $ transport_t $ scheduler_t $ layout_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -543,6 +554,21 @@ let fuzz_cmd =
              agreement. Replayed traces carry their own scheduler \
              directive.")
   in
+  let fuzz_layout_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("hashed", `Hashed); ("flat", `Flat);
+               ("differential", `Differential) ])
+          `Flat
+      & info [ "layout" ] ~docv:"KIND"
+          ~doc:
+            "State-store layout for generated traces: hashed, flat, or \
+             differential — run every trace under both layouts and require \
+             bit-identical verdicts, final shapes and telemetry/byte \
+             counters. Replayed traces carry their own layout directive.")
+  in
   let replay file =
     match Mck.Trace.load file with
     | Error e ->
@@ -557,7 +583,7 @@ let fuzz_cmd =
             exit 1)
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes transport scheduler =
+      plant probes transport scheduler layout =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -597,8 +623,62 @@ let fuzz_cmd =
           file
         in
         let total = ref 0 in
-        match scheduler with
-        | `Differential -> (
+        if scheduler = `Differential && layout = `Differential then begin
+          Format.eprintf
+            "fuzz: --scheduler differential and --layout differential cannot \
+             be combined (run them as two passes)@.";
+          exit 124
+        end;
+        let trace_layout =
+          match layout with
+          | `Hashed -> Drtree.Config.Hashed
+          | `Flat | `Differential -> Drtree.Config.Flat
+        in
+        match (layout, scheduler) with
+        | `Differential, (`Full | `Incremental) -> (
+            (* Every generated trace runs under both layouts; any
+               divergence at all — verdict, shape, or a single counter
+               — is the counterexample (saved unshrunk, like the
+               scheduler differential). *)
+            let trace_scheduler =
+              match scheduler with
+              | `Incremental -> Drtree.Config.Incremental
+              | `Full | `Differential -> Drtree.Config.Full_sweep
+            in
+            let failed = ref None in
+            List.iteri
+              (fun mi m ->
+                List.iteri
+                  (fun si sk ->
+                    if !failed = None && not (stop ()) then begin
+                      let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                      let i = ref 0 in
+                      while !i < traces && !failed = None && not (stop ()) do
+                        let tr =
+                          Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
+                            ~transport ~sched:sk ~drop ~dup
+                            ~cover_sweep:(not plant)
+                            ~scheduler:trace_scheduler ()
+                        in
+                        (match Mck.Fuzz.run_layout_differential ~probes tr with
+                        | Ok _ -> incr total
+                        | Error e -> failed := Some (tr, e));
+                        incr i
+                      done
+                    end)
+                  scheds)
+              modes;
+            match !failed with
+            | None ->
+                Printf.printf "fuzz: %d trace(s) layout-identical%s\n" !total
+                  (if stop () then " (time cap reached)" else "")
+            | Some (tr, e) ->
+                Format.printf "layout differential FAILED: %s@.%a@." e
+                  Mck.Trace.pp tr;
+                let file = save_trace "layout" tr in
+                Printf.printf "saved %s\n" file;
+                exit 1)
+        | _, `Differential -> (
             (* Every generated trace runs under both schedulers; a
                verdict or strict-shape disagreement is the
                counterexample (saved unshrunk — the shrinker minimizes
@@ -615,7 +695,7 @@ let fuzz_cmd =
                         let tr =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
-                            ~cover_sweep:(not plant) ()
+                            ~cover_sweep:(not plant) ~layout:trace_layout ()
                         in
                         (match
                            Mck.Fuzz.run_scheduler_differential ~probes tr
@@ -638,7 +718,7 @@ let fuzz_cmd =
                 let file = save_trace "differential" tr in
                 Printf.printf "saved %s\n" file;
                 exit 1)
-        | (`Full | `Incremental) as s -> (
+        | (`Hashed | `Flat), ((`Full | `Incremental) as s) -> (
             let trace_scheduler =
               match s with
               | `Full -> Drtree.Config.Full_sweep
@@ -655,7 +735,7 @@ let fuzz_cmd =
                         Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                           ~transport ~sched:sk ~drop ~dup
                           ~cover_sweep:(not plant)
-                          ~scheduler:trace_scheduler ()
+                          ~scheduler:trace_scheduler ~layout:trace_layout ()
                       in
                       match
                         Mck.Fuzz.fuzz ~probes ~stop
@@ -693,7 +773,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
       $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
-      $ fuzz_transport_t $ fuzz_scheduler_t)
+      $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

@@ -2,10 +2,22 @@ module Rect = Geometry.Rect
 module Node_id = Sim.Node_id
 module Engine = Sim.Engine
 
+(* The process store, in the configured layout (DESIGN.md §11).
+   [S_hashed] is the seed realization. [S_flat] indexes a plain array
+   by intern slot: the intern table assigns each process a stable slot
+   on insertion, so [state] is two array reads and no hashing — the
+   difference that carries E23 to N=65536+. Neither layout ever
+   removes an entry: a crashed process's state must stay readable
+   ({!Invariant} follows ancestor links through dead processes), so
+   the overlay inserts but never releases. *)
+type store =
+  | S_hashed of State.t Node_id.Table.t
+  | S_flat of { intern : Intern.t; mutable arr : State.t option array }
+
 type net = {
   cfg : Config.t;
   engine : Message.t Engine.t;
-  states : State.t Node_id.Table.t;
+  states : store;
   rng : Sim.Rng.t;
   snapshots : (Node_id.t * Node_id.t, Message.snapshot) Hashtbl.t;
       (* (asker, responder) -> responder's state as reported this
@@ -39,11 +51,17 @@ type net = {
 }
 
 let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
+  let states =
+    match cfg.Config.layout with
+    | Config.Hashed -> S_hashed (Node_id.Table.create 256)
+    | Config.Flat ->
+        S_flat { intern = Intern.create ~capacity:256 (); arr = Array.make 256 None }
+  in
   let net =
     {
       cfg;
       engine = Engine.create ?transport ?drop_rate ~seed ();
-      states = Node_id.Table.create 256;
+      states;
       rng = Sim.Rng.make (seed lxor 0x7ee1);
       snapshots = Hashtbl.create 256;
       tele = Telemetry.create ();
@@ -65,7 +83,32 @@ let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
   net
 
 let is_alive net id = Engine.is_alive net.engine id
-let state net id = Node_id.Table.find_opt net.states id
+
+let state net id =
+  match net.states with
+  | S_hashed tbl -> Node_id.Table.find_opt tbl id
+  | S_flat f -> (
+      match Intern.find f.intern id with
+      | Some slot -> f.arr.(slot)
+      | None -> None)
+
+(* The one insertion path: {!Overlay.join_async} registers every fresh
+   process here. Under the flat layout this is where the process gets
+   its intern slot. *)
+let add_state net s =
+  let id = State.id s in
+  match net.states with
+  | S_hashed tbl -> Node_id.Table.replace tbl id s
+  | S_flat f ->
+      let slot = Intern.intern f.intern id in
+      let cap = Array.length f.arr in
+      if slot >= cap then begin
+        let ncap = max (slot + 1) (2 * cap) in
+        let arr = Array.make ncap None in
+        Array.blit f.arr 0 arr 0 cap;
+        f.arr <- arr
+      end;
+      f.arr.(slot) <- Some s
 
 (* Protocol-level read: a crashed process's memory is unreachable.
    When a module body executing at another node reads this state, the
@@ -93,9 +136,7 @@ let as_executor net id f =
 let confirm_alive net id = is_alive net id && state net id <> None
 
 let alive_ids net =
-  List.filter
-    (fun id -> Node_id.Table.mem net.states id)
-    (Engine.alive_nodes net.engine)
+  List.filter (fun id -> state net id <> None) (Engine.alive_nodes net.engine)
 
 let size net = List.length (alive_ids net)
 

@@ -14,10 +14,17 @@
     {!Election}, {!Overlay}) can share it without a facade of
     accessors. External consumers go through {!Overlay}. *)
 
+type store
+(** The process store in the configured {!Config.layout}: the seed's
+    hashtable, or a flat array indexed through an {!Intern} table
+    (DESIGN.md §11). Abstract — all access goes through {!state},
+    {!add_state} and the iteration helpers, so the rest of the library
+    is layout-agnostic. *)
+
 type net = {
   cfg : Config.t;
   engine : Message.t Sim.Engine.t;
-  states : State.t Sim.Node_id.Table.t;
+  states : store;
   rng : Sim.Rng.t;
   snapshots : (Sim.Node_id.t * Sim.Node_id.t, Message.snapshot) Hashtbl.t;
   tele : Telemetry.t;
@@ -47,7 +54,15 @@ val is_alive : net -> Sim.Node_id.t -> bool
 
 val state : net -> Sim.Node_id.t -> State.t option
 (** The process state whether alive or crashed ([None] if never
-    spawned); never counts a probe. *)
+    spawned); never counts a probe. Under the flat layout this is two
+    array reads — no hashing. *)
+
+val add_state : net -> State.t -> unit
+(** Register a fresh process in the store (the {!Overlay.join_async}
+    insertion path). Under the flat layout this assigns the process
+    its intern slot. Entries are never removed: crashed processes'
+    state must stay readable ({!Invariant} follows ancestor links
+    through dead processes). *)
 
 val read : net -> Sim.Node_id.t -> State.t option
 (** Protocol-level read: [None] for crashed processes; counted as a

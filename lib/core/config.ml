@@ -10,6 +10,15 @@ let scheduler_of_string = function
   | "incremental" -> Ok Incremental
   | s -> Error (Printf.sprintf "unknown scheduler %S" s)
 
+type layout = Hashed | Flat
+
+let layout_to_string = function Hashed -> "hashed" | Flat -> "flat"
+
+let layout_of_string = function
+  | "hashed" -> Ok Hashed
+  | "flat" -> Ok Flat
+  | s -> Error (Printf.sprintf "unknown layout %S" s)
+
 type t = {
   min_fill : int;
   max_fill : int;
@@ -20,12 +29,14 @@ type t = {
   scheduler : scheduler;
   scan_fraction : float;
   seen_capacity : int;
+  layout : layout;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
     oracle = Root_oracle; cover_sweep = true; publish_ttl = 128;
-    scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096 }
+    scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096;
+    layout = Flat }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
@@ -33,7 +44,8 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(publish_ttl = default.publish_ttl)
     ?(scheduler = default.scheduler)
     ?(scan_fraction = default.scan_fraction)
-    ?(seen_capacity = default.seen_capacity) () =
+    ?(seen_capacity = default.seen_capacity)
+    ?(layout = default.layout) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
@@ -43,10 +55,10 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
   if seen_capacity < 1 then
     invalid_arg "Drtree.Config.make: seen_capacity < 1";
   { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl; scheduler;
-    scan_fraction; seen_capacity }
+    scan_fraction; seen_capacity; layout }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s" c.min_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s" c.min_fill
     c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
     c.publish_ttl
@@ -54,4 +66,5 @@ let pp ppf c =
     | Full_sweep -> ""
     | Incremental ->
         Printf.sprintf " sched=incremental(scan=%g)" c.scan_fraction)
+    (match c.layout with Flat -> "" | Hashed -> " layout=hashed")
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

@@ -26,6 +26,25 @@ type scheduler =
 val scheduler_to_string : scheduler -> string
 val scheduler_of_string : string -> (scheduler, string) result
 
+(** How {!State} and {!Access} store the per-(process, height) variables
+    (DESIGN.md §11). The two layouts are observationally identical — the
+    layout-differential harness in [lib/mck] proves equal verdicts,
+    membership, telemetry and byte accounting on every trace — so the
+    choice is purely a performance knob. *)
+type layout =
+  | Hashed
+      (** the seed realization: a hashtable of processes, each holding a
+          hashtable of per-height level records — the pre-refactor
+          semantics, kept as the differential baseline *)
+  | Flat
+      (** contiguous arrays over an int-interned id space: per-process
+          dense level arrays delimited by [top], and the process store
+          itself an intern-indexed array — O(1) un-hashed access on
+          every hot read, the layout that carries N = 10⁵+ (E23) *)
+
+val layout_to_string : layout -> string
+val layout_of_string : string -> (layout, string) result
+
 type t = {
   min_fill : int;  (** m *)
   max_fill : int;  (** M *)
@@ -58,12 +77,13 @@ type t = {
           it, keeping long-lived processes' memory flat. Event ids are
           monotonically increasing and redelivery windows are short
           (one dissemination), so a few thousand suffices. *)
+  layout : layout;
 }
 
 val default : t
 (** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on,
     [publish_ttl = 128], full-sweep scheduler, [scan_fraction = 0.05],
-    [seen_capacity = 4096]. *)
+    [seen_capacity = 4096], flat layout. *)
 
 val make :
   ?min_fill:int ->
@@ -75,6 +95,7 @@ val make :
   ?scheduler:scheduler ->
   ?scan_fraction:float ->
   ?seen_capacity:int ->
+  ?layout:layout ->
   unit ->
   t
 (** @raise Invalid_argument if [min_fill < 2],

@@ -4,30 +4,56 @@ module Node_id = Sim.Node_id
    (process, height) entries whose state some mutation may have left
    in need of repair. Every write path of the protocol marks here (via
    [Access.mark]); the round driver drains the set and runs the
-   CHECK_* modules over the drained entries only. A plain hashtable
-   set — insertion is O(1) and hot (every mutation), draining is
-   per-round and sorts for determinism. *)
+   CHECK_* modules over the drained entries only.
 
-type t = { table : (Node_id.t * int, unit) Hashtbl.t }
+   Entries are keyed on a single packed int, [id * 2^20 + h]: one
+   word, no tuple allocation per mark, and — because heights are far
+   below 2^20 — packing is strictly monotone in (id, height), so
+   sorting the packed keys IS the deterministic lexicographic drain
+   order. The key packs the {e process id}, not its intern slot:
+   corruption writes arbitrary ids into parent/children fields and
+   departure marking forwards them here, so marks must be valid for
+   ids that were never spawned (and thus have no slot) — see
+   DESIGN.md §11. *)
+
+let height_bits = 20
+let height_stride = 1 lsl height_bits
+
+type t = { table : (int, unit) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 64 }
+let pack p h = (p * height_stride) + h
+
+(* Floor (not truncating) division, so pack/unpack stays a bijection
+   even for negative ids — unreachable today, but the queue accepted
+   arbitrary ids when it was tuple-keyed and keeps doing so. *)
+let unpack key =
+  let p = if key >= 0 then key / height_stride
+          else (key - (height_stride - 1)) / height_stride in
+  (p, key - (p * height_stride))
 
 (* Negative heights arrive naturally from call sites computing [h - 1]
    at a leaf; they denote no instance, so they are dropped rather than
-   burdening every caller with the guard. *)
-let mark t p h = if h >= 0 then Hashtbl.replace t.table (p, h) ()
-let mem t p h = Hashtbl.mem t.table (p, h)
+   burdening every caller with the guard. Heights at or above the
+   stride cannot arise (tree heights are logarithmic in N and
+   [Corrupt] only writes heights up to [top]); the guard keeps the
+   packing total anyway. *)
+let mark t p h =
+  if h >= 0 && h < height_stride then Hashtbl.replace t.table (pack p h) ()
+
+let mem t p h =
+  h >= 0 && h < height_stride && Hashtbl.mem t.table (pack p h)
+
 let is_empty t = Hashtbl.length t.table = 0
 let cardinal t = Hashtbl.length t.table
 let clear t = Hashtbl.reset t.table
 
 (* Deterministic order: every run is a pure function of its seeds, so
    the scheduler must visit entries in a stable order, not hashtable
-   order. *)
+   order. Packed keys sort exactly like the (id, height) pairs. *)
 let entries t =
-  Hashtbl.fold (fun e () acc -> e :: acc) t.table []
-  |> List.sort (fun (p1, h1) (p2, h2) ->
-         match Node_id.compare p1 p2 with 0 -> Int.compare h1 h2 | c -> c)
+  Hashtbl.fold (fun key () acc -> key :: acc) t.table []
+  |> List.sort Int.compare |> List.map unpack
 
 let drain t =
   let es = entries t in

@@ -7,7 +7,14 @@
     CHECK_* modules over the drained entries plus a low-rate background
     scan lane (see DESIGN.md §10). Marks are an optimization, never a
     soundness requirement: corruption that bypasses the set is still
-    found by the background lane. *)
+    found by the background lane.
+
+    Entries are stored as packed ints, [id * 2^20 + height] — one word
+    per mark, and monotone in (id, height) so the packed sort is the
+    deterministic drain order. The key carries the raw process id, not
+    an intern slot: marks must stay valid for ids that were never
+    spawned (corrupted pointers reach here through departure marking).
+    See DESIGN.md §11. *)
 
 type t
 
@@ -15,7 +22,9 @@ val create : unit -> t
 
 val mark : t -> Sim.Node_id.t -> int -> unit
 (** Add one (process, height) entry. Negative heights are ignored
-    (call sites computing [h - 1] at a leaf). Idempotent. *)
+    (call sites computing [h - 1] at a leaf), as are heights at or
+    above [2^20] (unreachable: heights are logarithmic in N).
+    Idempotent. *)
 
 val mem : t -> Sim.Node_id.t -> int -> bool
 val is_empty : t -> bool

@@ -123,21 +123,70 @@ module Codec = struct
 
   let err fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
 
+  (* Scratch frame writer: one module-level growable byte buffer reused
+     across encodes, so the steady-state Wire hot loop allocates only
+     the final frame string per message (the allocation-regression test
+     in test_sim.ml holds it to that). [Buffer] cannot patch a length
+     prefix in place, hence raw [Bytes]: {!encode} reserves a 4-byte
+     placeholder, writes the body, then back-patches the length and
+     takes a single [Bytes.sub_string]. Not reentrant — safe because
+     the [add_*] writers never call user code. *)
+  type writer = { mutable buf : Bytes.t; mutable len : int }
+
+  let scratch = { buf = Bytes.create 256; len = 0 }
+
+  let ensure w n =
+    let need = w.len + n in
+    if need > Bytes.length w.buf then begin
+      let cap = ref (2 * Bytes.length w.buf) in
+      while need > !cap do
+        cap := 2 * !cap
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit w.buf 0 buf 0 w.len;
+      w.buf <- buf
+    end
+
+  let put_char w c =
+    ensure w 1;
+    Bytes.unsafe_set w.buf w.len c;
+    w.len <- w.len + 1
+
+  let put_int64_be w v =
+    ensure w 8;
+    Bytes.set_int64_be w.buf w.len v;
+    w.len <- w.len + 8
+
   (* Zigzag over int64 so 63-bit OCaml ints of either sign stay total;
-     small non-negative values (heights, hops, ids) cost one byte. *)
-  let add_varint b n =
+     small non-negative values (heights, hops, ids) cost one byte.
+     When |n| < 2^61 the zigzag fits the native int, so the common case
+     (every id, height, hop and count) runs without boxing a single
+     Int64 — byte-identical to the general path, which only the
+     outermost 1/4 of the int range ever reaches. *)
+  let add_varint_slow b n =
     let v = Int64.of_int n in
     let z = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63) in
     let rec go z =
       let low = Int64.to_int (Int64.logand z 0x7FL) in
       let rest = Int64.shift_right_logical z 7 in
-      if Int64.equal rest 0L then Buffer.add_char b (Char.chr low)
+      if Int64.equal rest 0L then put_char b (Char.chr low)
       else begin
-        Buffer.add_char b (Char.chr (low lor 0x80));
+        put_char b (Char.chr (low lor 0x80));
         go rest
       end
     in
     go z
+
+  let add_varint b n =
+    if n >= -0x1000_0000_0000_0000 && n < 0x1000_0000_0000_0000 then begin
+      let z = ref ((n lsl 1) lxor (n asr 62)) in
+      while !z lsr 7 <> 0 do
+        put_char b (Char.unsafe_chr ((!z land 0x7F) lor 0x80));
+        z := !z lsr 7
+      done;
+      put_char b (Char.unsafe_chr !z)
+    end
+    else add_varint_slow b n
 
   let read_byte s pos =
     if !pos >= String.length s then err "truncated at byte %d" !pos;
@@ -160,7 +209,7 @@ module Codec = struct
          (Int64.shift_right_logical z 1)
          (Int64.neg (Int64.logand z 1L)))
 
-  let add_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+  let add_float b f = put_int64_be b (Int64.bits_of_float f)
 
   let read_float s pos =
     if !pos + 8 > String.length s then err "truncated float at byte %d" !pos;
@@ -168,7 +217,7 @@ module Codec = struct
     pos := !pos + 8;
     v
 
-  let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+  let add_bool b v = put_char b (if v then '\001' else '\000')
 
   let read_bool s pos =
     match read_byte s pos with
@@ -299,7 +348,7 @@ module Codec = struct
   let add_query b (q : agg_query) =
     add_varint b q.query_id;
     add_rect b q.q_rect;
-    Buffer.add_char b (Char.chr (agg_fn_byte q.q_fn));
+    put_char b (Char.chr (agg_fn_byte q.q_fn));
     add_float b q.q_tct;
     add_id b q.q_owner
 
@@ -313,13 +362,13 @@ module Codec = struct
 
   let add_body b = function
     | Query { asker } ->
-        Buffer.add_char b '\000';
+        put_char b '\000';
         add_id b asker
     | Report { snapshot } ->
-        Buffer.add_char b '\001';
+        put_char b '\001';
         add_snapshot b snapshot
     | Join { joiner; mbr; height; phase; hops } ->
-        Buffer.add_char b '\002';
+        put_char b '\002';
         add_id b joiner;
         add_rect b mbr;
         add_varint b height;
@@ -330,38 +379,38 @@ module Codec = struct
             add_varint b at);
         add_varint b hops
     | Add_child { child; mbr; height; hops } ->
-        Buffer.add_char b '\003';
+        put_char b '\003';
         add_id b child;
         add_rect b mbr;
         add_varint b height;
         add_varint b hops
     | Leave { who; height } ->
-        Buffer.add_char b '\004';
+        put_char b '\004';
         add_id b who;
         add_varint b height
     | Check_mbr h ->
-        Buffer.add_char b '\005';
+        put_char b '\005';
         add_varint b h
     | Check_parent h ->
-        Buffer.add_char b '\006';
+        put_char b '\006';
         add_varint b h
     | Check_children h ->
-        Buffer.add_char b '\007';
+        put_char b '\007';
         add_varint b h
     | Check_cover h ->
-        Buffer.add_char b '\008';
+        put_char b '\008';
         add_varint b h
     | Check_structure h ->
-        Buffer.add_char b '\009';
+        put_char b '\009';
         add_varint b h
     | Cover_sweep h ->
-        Buffer.add_char b '\010';
+        put_char b '\010';
         add_varint b h
     | Initiate_new_connection h ->
-        Buffer.add_char b '\011';
+        put_char b '\011';
         add_varint b h
     | Publish { event_id; point; at; from_child; going_up; hops } ->
-        Buffer.add_char b '\012';
+        put_char b '\012';
         add_varint b event_id;
         add_point b point;
         add_varint b at;
@@ -369,18 +418,18 @@ module Codec = struct
         add_bool b going_up;
         add_varint b hops
     | Agg_subscribe { query; hops } ->
-        Buffer.add_char b '\013';
+        put_char b '\013';
         add_query b query;
         add_varint b hops
     | Agg_partial { query_id; epoch; child; at; partial } ->
-        Buffer.add_char b '\014';
+        put_char b '\014';
         add_varint b query_id;
         add_varint b epoch;
         add_id b child;
         add_varint b at;
         add_partial b partial
     | Agg_result { query_id; epoch; value } ->
-        Buffer.add_char b '\015';
+        put_char b '\015';
         add_varint b query_id;
         add_varint b epoch;
         (match value with
@@ -448,13 +497,13 @@ module Codec = struct
     | t -> err "unknown message tag %d" t
 
   let encode msg =
-    let body = Buffer.create 64 in
-    add_body body msg;
-    let n = Buffer.length body in
-    let frame = Buffer.create (n + 4) in
-    Buffer.add_int32_be frame (Int32.of_int n);
-    Buffer.add_buffer frame body;
-    Buffer.contents frame
+    let w = scratch in
+    w.len <- 0;
+    ensure w 4;
+    w.len <- 4 (* length-prefix placeholder, patched below *);
+    add_body w msg;
+    Bytes.set_int32_be w.buf 0 (Int32.of_int (w.len - 4));
+    Bytes.sub_string w.buf 0 w.len
 
   let decode s =
     try

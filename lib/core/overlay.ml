@@ -99,10 +99,10 @@ let handle (ov : t) ctx msg =
 let join_async (ov : t) filter =
   let id = Engine.spawn ov.Access.engine (fun ctx msg -> handle ov ctx msg) in
   let s =
-    State.create ~seen_capacity:ov.Access.cfg.Config.seen_capacity ~id ~filter
-      ()
+    State.create ~seen_capacity:ov.Access.cfg.Config.seen_capacity
+      ~layout:ov.Access.cfg.Config.layout ~id ~filter ()
   in
-  Node_id.Table.replace ov.Access.states id s;
+  Access.add_state ov s;
   Access.mark ov id 0;
   (match Access.oracle ov ~exclude:id with
   | None -> () (* first subscriber: it is the root *)

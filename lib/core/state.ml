@@ -8,10 +8,24 @@ type level = {
   mutable underloaded : bool;
 }
 
+(* Two realizations of the per-height instance variables (DESIGN.md
+   §11). [Hashed] is the seed layout: a hashtable keyed by height, one
+   lookup per state access. [Flat] exploits the protocol invariant that
+   active heights are always the dense range 0..top ([activate] fills
+   every height below, [deactivate_above] only trims from the top, so
+   gaps are unrepresentable): a plain array delimited by [top], making
+   every hot-path read an array index. Cells above [top] are inert
+   spares — re-activation resets them in place to the fresh-level
+   values, so the two layouts are observationally identical (the
+   layout-differential harness in lib/mck holds them to that). *)
+type repr =
+  | Hashed of (int, level) Hashtbl.t
+  | Flat of { mutable arr : level array }
+
 type t = {
   id : Node_id.t;
   filter : Rect.t;
-  levels : (int, level) Hashtbl.t;
+  repr : repr;
   mutable top : int;
   seen : (int, unit) Hashtbl.t;
   seen_order : int Queue.t;
@@ -24,18 +38,45 @@ let fresh_level ~id ~filter =
   { children = Node_id.Set.empty; mbr = filter; parent = id;
     underloaded = false }
 
-let create ?(seen_capacity = 4096) ~id ~filter () =
+(* In-place equivalent of installing a [fresh_level]: flat cells are
+   reused across deactivate/activate cycles instead of reallocated. *)
+let reset_level ~id ~filter l =
+  l.children <- Node_id.Set.empty;
+  l.mbr <- filter;
+  l.parent <- id;
+  l.underloaded <- false
+
+let create ?(seen_capacity = 4096) ?(layout = Config.Flat) ~id ~filter () =
   if seen_capacity < 1 then invalid_arg "State.create: seen_capacity < 1";
-  let levels = Hashtbl.create 4 in
-  Hashtbl.replace levels 0 (fresh_level ~id ~filter);
-  { id; filter; levels; top = 0; seen = Hashtbl.create 16;
+  let repr =
+    match layout with
+    | Config.Hashed ->
+        let levels = Hashtbl.create 4 in
+        Hashtbl.replace levels 0 (fresh_level ~id ~filter);
+        Hashed levels
+    | Config.Flat ->
+        Flat { arr = Array.init 4 (fun _ -> fresh_level ~id ~filter) }
+  in
+  { id; filter; repr; top = 0; seen = Hashtbl.create 16;
     seen_order = Queue.create (); seen_capacity }
 
 let id s = s.id
 let filter s = s.filter
 let top s = s.top
-let is_active s h = h >= 0 && h <= s.top && Hashtbl.mem s.levels h
-let level s h = if h < 0 then None else Hashtbl.find_opt s.levels h
+
+let layout s =
+  match s.repr with Hashed _ -> Config.Hashed | Flat _ -> Config.Flat
+
+let is_active s h =
+  h >= 0 && h <= s.top
+  && (match s.repr with Hashed levels -> Hashtbl.mem levels h | Flat _ -> true)
+
+let level s h =
+  if h < 0 || h > s.top then None
+  else
+    match s.repr with
+    | Hashed levels -> Hashtbl.find_opt levels h
+    | Flat f -> Some f.arr.(h)
 
 let level_exn s h =
   match level s h with
@@ -47,18 +88,37 @@ let level_exn s h =
 
 let activate s h =
   if h < 0 then invalid_arg "State.activate: negative height";
-  for h' = 0 to h do
-    if not (Hashtbl.mem s.levels h') then
-      Hashtbl.replace s.levels h' (fresh_level ~id:s.id ~filter:s.filter)
-  done;
+  (match s.repr with
+  | Hashed levels ->
+      for h' = 0 to h do
+        if not (Hashtbl.mem levels h') then
+          Hashtbl.replace levels h' (fresh_level ~id:s.id ~filter:s.filter)
+      done
+  | Flat f ->
+      let cap = Array.length f.arr in
+      if h >= cap then begin
+        let ncap = max (h + 1) (2 * cap) in
+        f.arr <-
+          Array.init ncap (fun i ->
+              if i < cap then f.arr.(i)
+              else fresh_level ~id:s.id ~filter:s.filter)
+      end;
+      (* Spare cells above [top] may hold stale values from a previous
+         activation; bring the newly active range up fresh. *)
+      for h' = s.top + 1 to h do
+        reset_level ~id:s.id ~filter:s.filter f.arr.(h')
+      done);
   if h > s.top then s.top <- h;
-  Hashtbl.find s.levels h
+  level_exn s h
 
 let deactivate_above s h =
   let h = max h 0 in
-  for h' = h + 1 to s.top do
-    Hashtbl.remove s.levels h'
-  done;
+  (match s.repr with
+  | Hashed levels ->
+      for h' = h + 1 to s.top do
+        Hashtbl.remove levels h'
+      done
+  | Flat _ -> () (* cells above [top] are inert; [activate] resets them *));
   if s.top > h then s.top <- h
 
 let is_root s h =
@@ -71,11 +131,15 @@ let is_root s h =
 let mbr_at s h = Option.map (fun l -> l.mbr) (level s h)
 
 let memory_words s =
-  let per_level _h l acc =
+  let per_level l acc =
     acc + Node_id.Set.cardinal l.children + 4 (* mbr bounds *) + 1 (* parent *)
     + 1 (* flag *)
   in
-  Hashtbl.fold per_level s.levels 0
+  let acc = ref 0 in
+  for h = 0 to s.top do
+    match level s h with Some l -> acc := per_level l !acc | None -> ()
+  done;
+  !acc
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>%a filter=%a top=%d" Node_id.pp s.id Rect.pp

@@ -56,10 +56,47 @@ let pp_summary ppf s =
   Format.fprintf ppf "n=%d height=%d legal=%b" s.final_size s.final_height
     s.final_legal
 
-let run_trace_summary ?(probes = 3) (tr : Trace.t) =
+(* Counter fingerprint of a run: every telemetry and engine counter
+   that could observe a layout difference. The layout differential
+   compares these {e exactly} on every trace — the layouts share every
+   RNG draw and every iteration-order-sensitive path sorts before use,
+   so any divergence at all is a bug, never schedule noise (contrast
+   the looser cross-scheduler comparison below). *)
+type fingerprint = {
+  fp_probes : int;
+  fp_execs : int;
+  fp_repairs : int;
+  fp_rounds : int;
+  fp_msgs_sent : int;
+  fp_selfs : int;
+  fp_lost : int;
+  fp_duplicated : int;
+  fp_events : int;
+  fp_bytes_sent : int;
+  fp_bytes_received : int;
+  fp_bytes_lost : int;
+  fp_traffic : (string * int * int * int * int) list;
+      (* kind, sent msgs/bytes, recv msgs/bytes; kind-sorted *)
+}
+
+let pp_fingerprint ppf f =
+  Format.fprintf ppf
+    "probes=%d execs=%d repairs=%d rounds=%d sent=%d selfs=%d lost=%d dup=%d \
+     events=%d bytes=%d/%d/%d traffic=[%a]"
+    f.fp_probes f.fp_execs f.fp_repairs f.fp_rounds f.fp_msgs_sent f.fp_selfs
+    f.fp_lost f.fp_duplicated f.fp_events f.fp_bytes_sent f.fp_bytes_received
+    f.fp_bytes_lost
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (k, sm, sb, rm, rb) ->
+         Format.fprintf ppf "%s:%d/%d/%d/%d" k sm sb rm rb))
+    f.fp_traffic
+
+let run_trace_full ?(probes = 3) (tr : Trace.t) =
   let cfg =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
-      ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler ()
+      ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler
+      ~layout:tr.Trace.layout ()
   in
   let transport =
     match tr.Trace.transport with
@@ -304,12 +341,39 @@ let run_trace_summary ?(probes = 3) (tr : Trace.t) =
     fail `Final "%d wire decode error(s); last: %s" errs
       (Option.value ~default:"?" (Sim.Engine.last_decode_error eng));
   let outcome = match !failure with None -> Passed | Some f -> Failed f in
+  let tele = O.telemetry ov in
+  let fp =
+    {
+      fp_probes = Drtree.Telemetry.probes tele;
+      fp_execs = Drtree.Telemetry.execs tele;
+      fp_repairs = Drtree.Telemetry.total_repairs tele;
+      fp_rounds = List.length (Drtree.Telemetry.rounds tele);
+      fp_msgs_sent = Sim.Engine.messages_sent eng;
+      fp_selfs = Sim.Engine.self_messages eng;
+      fp_lost = Sim.Engine.messages_lost eng;
+      fp_duplicated = Sim.Engine.messages_duplicated eng;
+      fp_events = Sim.Engine.events_processed eng;
+      fp_bytes_sent = Sim.Engine.bytes_sent eng;
+      fp_bytes_received = Sim.Engine.bytes_received eng;
+      fp_bytes_lost = Sim.Engine.bytes_lost eng;
+      fp_traffic =
+        List.map
+          (fun (k, (tf : Drtree.Telemetry.traffic)) ->
+            (k, tf.sent_msgs, tf.sent_bytes, tf.recv_msgs, tf.recv_bytes))
+          (Drtree.Telemetry.traffic_entries tele);
+    }
+  in
   ( outcome,
     {
       final_size = O.size ov;
       final_height = O.height ov;
       final_legal = Inv.is_legal ov;
-    } )
+    },
+    fp )
+
+let run_trace_summary ?probes tr =
+  let outcome, summary, _ = run_trace_full ?probes tr in
+  (outcome, summary)
 
 let run_trace ?probes tr = fst (run_trace_summary ?probes tr)
 
@@ -359,6 +423,45 @@ let run_scheduler_differential ?probes (tr : Trace.t) =
          pp_summary s_full pp_summary s_inc)
   else Ok (o_full, s_full)
 
+(* {2 Layout differential}
+
+   The same trace under [Hashed] and [Flat] must be bit-identical in
+   every observable: exact verdict (location and message), exact final
+   shape {e including height}, and exact counter fingerprint down to
+   the byte accounting — on every trace, faulty or hostile included.
+   The layout touches no RNG draw and no schedule decision, so unlike
+   the cross-scheduler differential there is no legitimate source of
+   divergence to excuse. *)
+
+let run_layout_differential ?probes (tr : Trace.t) =
+  let of_layout layout = { tr with Trace.layout } in
+  let o_h, s_h, f_h = run_trace_full ?probes (of_layout Drtree.Config.Hashed) in
+  let o_f, s_f, f_f = run_trace_full ?probes (of_layout Drtree.Config.Flat) in
+  let describe = function
+    | Passed -> "pass"
+    | Failed f -> Format.asprintf "fail at %a: %s" pp_location f.at f.what
+  in
+  let outcomes_equal =
+    match (o_h, o_f) with
+    | Passed, Passed -> true
+    | Failed a, Failed b -> a.at = b.at && a.what = b.what
+    | Passed, Failed _ | Failed _, Passed -> false
+  in
+  if not outcomes_equal then
+    Error
+      (Printf.sprintf "layout verdicts differ: hashed=%s flat=%s"
+         (describe o_h) (describe o_f))
+  else if s_h <> s_f then
+    Error
+      (Format.asprintf "layout shapes differ: hashed=%a flat=%a" pp_summary
+         s_h pp_summary s_f)
+  else if f_h <> f_f then
+    Error
+      (Format.asprintf
+         "layout fingerprints differ:@ hashed=%a@ flat=%a" pp_fingerprint f_h
+         pp_fingerprint f_f)
+  else Ok (o_f, s_f)
+
 (* {2 Random traces} *)
 
 let random_rect rng =
@@ -383,7 +486,8 @@ let random_op rng =
 let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     ?(transport = Trace.Inproc) ?(sched = Schedule.Random) ?(drop = 0.0)
     ?(dup = 0.0) ?(cover_sweep = true)
-    ?(scheduler = Drtree.Config.Full_sweep) () =
+    ?(scheduler = Drtree.Config.Full_sweep)
+    ?(layout = Drtree.Config.Flat) () =
   let seed = 1 + Rng.int rng 1_000_000 in
   let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
   {
@@ -397,6 +501,7 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     dup;
     cover_sweep;
     scheduler;
+    layout;
     prelude = List.init n_pre (fun _ -> random_rect rng);
     ops = List.init ops (fun _ -> random_op rng);
   }

@@ -58,6 +58,30 @@ val pp_summary : Format.formatter -> summary -> unit
 val run_trace_summary : ?probes:int -> Trace.t -> outcome * summary
 (** {!run_trace}, also returning the final shape. *)
 
+type fingerprint = {
+  fp_probes : int;
+  fp_execs : int;
+  fp_repairs : int;
+  fp_rounds : int;
+  fp_msgs_sent : int;
+  fp_selfs : int;
+  fp_lost : int;
+  fp_duplicated : int;
+  fp_events : int;
+  fp_bytes_sent : int;
+  fp_bytes_received : int;
+  fp_bytes_lost : int;
+  fp_traffic : (string * int * int * int * int) list;
+      (** kind, sent msgs/bytes, recv msgs/bytes; kind-sorted *)
+}
+(** Counter fingerprint of a run: every telemetry and engine counter
+    that could observe a state-layout difference. *)
+
+val pp_fingerprint : Format.formatter -> fingerprint -> unit
+
+val run_trace_full : ?probes:int -> Trace.t -> outcome * summary * fingerprint
+(** {!run_trace_summary}, also returning the counter fingerprint. *)
+
 val run_scheduler_differential :
   ?probes:int -> Trace.t -> (outcome * summary, string) result
 (** Run the trace twice — under [Config.Full_sweep] and
@@ -75,6 +99,19 @@ val run_scheduler_differential :
     a scheduler-equivalence counterexample; [Ok] carries the full-sweep
     run's outcome and shape. *)
 
+val run_layout_differential :
+  ?probes:int -> Trace.t -> (outcome * summary, string) result
+(** Run the trace twice — under [Config.Hashed] and [Config.Flat]
+    (overriding its [layout] field) — and require bit-identical
+    observables on {e every} trace, faulty or hostile included: exact
+    verdict (failure location and message), exact final shape
+    including height, and exact {!fingerprint} down to the byte
+    accounting. Strictly harsher than {!run_scheduler_differential}:
+    the layout touches no RNG draw and no schedule decision, so there
+    is no legitimate source of divergence to excuse — any [Error] is a
+    layout bug (DESIGN.md §11). [Ok] carries the flat run's outcome
+    and shape. *)
+
 val random_rect : Sim.Rng.t -> Geometry.Rect.t
 (** Uniform filter in the default \[0,100\]² space, extent 1–10 per
     axis. *)
@@ -90,6 +127,7 @@ val random_trace :
   ?dup:float ->
   ?cover_sweep:bool ->
   ?scheduler:Drtree.Config.scheduler ->
+  ?layout:Drtree.Config.layout ->
   unit ->
   Trace.t
 (** A random trace: a prelude of 3 to [nodes] joins, then [ops]

@@ -39,6 +39,7 @@ type t = {
   dup : float;
   cover_sweep : bool;
   scheduler : Drtree.Config.scheduler;
+  layout : Drtree.Config.layout;
   prelude : R.t list;
   ops : op list;
 }
@@ -58,12 +59,13 @@ let pp_op ppf = function
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>seed=%d mode=%s transport=%s m=%d M=%d sched=%a drop=%g dup=%g \
-     cover_sweep=%b scheduler=%s@,\
+     cover_sweep=%b scheduler=%s layout=%s@,\
      prelude (%d joins):@,%a@,ops (%d):@,%a@]"
     t.seed (mode_to_string t.mode)
     (transport_to_string t.transport)
     t.min_fill t.max_fill Schedule.pp_kind t.sched t.drop t.dup t.cover_sweep
     (Drtree.Config.scheduler_to_string t.scheduler)
+    (Drtree.Config.layout_to_string t.layout)
     (List.length t.prelude)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf r ->
          Format.fprintf ppf "  join %a" R.pp r))
@@ -113,6 +115,7 @@ let to_string t =
   line "dup %s" (float_str t.dup);
   line "cover_sweep %s" (if t.cover_sweep then "on" else "off");
   line "scheduler %s" (Drtree.Config.scheduler_to_string t.scheduler);
+  line "layout %s" (Drtree.Config.layout_to_string t.layout);
   List.iter (fun r -> line "prelude %s" (rect_str r)) t.prelude;
   List.iter (fun o -> line "%s" (op_str o)) t.ops;
   line "end";
@@ -130,6 +133,7 @@ let default =
     dup = 0.0;
     cover_sweep = true;
     scheduler = Drtree.Config.Full_sweep;
+    layout = Drtree.Config.Flat;
     prelude = [];
     ops = [];
   }
@@ -220,6 +224,10 @@ let of_string s =
             | [ "scheduler"; v ] -> (
                 match Drtree.Config.scheduler_of_string v with
                 | Ok sch -> t := { !t with scheduler = sch }
+                | Error e -> fail "%s: %s" ctx e)
+            | [ "layout"; v ] -> (
+                match Drtree.Config.layout_of_string v with
+                | Ok l -> t := { !t with layout = l }
                 | Error e -> fail "%s: %s" ctx e)
             | "prelude" :: rest -> prelude := parse_rect ctx rest :: !prelude
             | "op" :: rest -> ops := parse_op ctx rest :: !ops

@@ -58,14 +58,20 @@ type t = {
       (** which repair scheduler the replayed overlay runs
           (DESIGN.md §10); traces without a [scheduler] line parse as
           [Full_sweep] (backward-compatible) *)
+  layout : Drtree.Config.layout;
+      (** which state-store layout the replayed overlay runs
+          (DESIGN.md §11); traces without a [layout] line parse as
+          [Flat] (backward-compatible — the layouts are held
+          observationally identical by the layout differential, so old
+          counterexamples replay unchanged) *)
   prelude : Geometry.Rect.t list;
   ops : op list;
 }
 
 val default : t
 (** Seed 1, shared mode, inproc transport, [m = 2], [M = 4], FIFO
-    schedule, no faults, cover sweep on, full-sweep scheduler, empty
-    prelude and ops. *)
+    schedule, no faults, cover sweep on, full-sweep scheduler, flat
+    layout, empty prelude and ops. *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

@@ -278,11 +278,29 @@ let step t =
           deliver t delivery;
           true)
 
+(* The delivery hot loop. The common (no adversarial scheduler) path
+   drains the heap with [min_prio]/[pop_exn] instead of [Heap.pop], so
+   a run allocates nothing per event beyond what the handlers and the
+   transport do — the allocation-regression test in test_sim.ml holds
+   it to that. The scheduler is re-read every iteration because a
+   handler may install or remove one mid-run. *)
 let run ?(max_events = 10_000_000) t =
-  let rec loop budget =
-    if budget <= 0 then `Limit else if step t then loop (budget - 1) else `Quiescent
-  in
-  loop max_events
+  let budget = ref max_events in
+  let quiescent = ref false in
+  while (not !quiescent) && !budget > 0 do
+    match t.scheduler with
+    | Some sched ->
+        if step_scheduled t sched then decr budget else quiescent := true
+    | None ->
+        if Heap.is_empty t.queue then quiescent := true
+        else begin
+          t.time <- Float.max t.time (Heap.min_prio t.queue);
+          t.processed <- t.processed + 1;
+          deliver t (Heap.pop_exn t.queue);
+          decr budget
+        end
+  done;
+  if !quiescent then `Quiescent else `Limit
 
 let pending t = Heap.length t.queue
 let messages_sent t = t.sent

@@ -42,31 +42,41 @@ let peek h =
     let e = h.data.(0) in
     Some (e.prio, e.seq, e.value)
 
+let min_prio h =
+  if h.size = 0 then invalid_arg "Heap.min_prio: empty heap";
+  h.data.(0).prio
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top.value
+
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.data.(!i) in
-          h.data.(!i) <- h.data.(!smallest);
-          h.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.prio, top.seq, top.value)
+    let prio = h.data.(0).prio and seq = h.data.(0).seq in
+    let value = pop_exn h in
+    Some (prio, seq, value)
   end
 
 let clear h = h.size <- 0

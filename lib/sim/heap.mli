@@ -16,6 +16,16 @@ val add : 'a t -> priority:float -> seq:int -> 'a -> unit
 val pop : 'a t -> (float * int * 'a) option
 (** Remove and return the minimum element, or [None] when empty. *)
 
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum element's value only — no option or
+    tuple allocation, for the engine's delivery hot loop (pair with
+    {!min_prio} when the timestamp is needed).
+    @raise Invalid_argument when empty. *)
+
+val min_prio : 'a t -> float
+(** Priority of the minimum element without removing it.
+    @raise Invalid_argument when empty. *)
+
 val peek : 'a t -> (float * int * 'a) option
 (** The minimum element without removing it. *)
 

@@ -206,6 +206,7 @@ let exemplar =
     dup = 0.0625;
     cover_sweep = false;
     scheduler = Drtree.Config.Incremental;
+    layout = Drtree.Config.Hashed;
     prelude = [ rect 1.5 2.25 8.75 9.125; rect 0.1 0.2 0.3 0.4 ];
     ops =
       [
