@@ -47,4 +47,5 @@ let register () =
   Harness.register "E25" "aggregate error under churn and message loss"
     E_agg.e25;
   Harness.register "E26" "repair scheduling: full sweep vs incremental"
-    E_scale.e26
+    E_scale.e26;
+  Harness.register "E27" "domain-parallel round execution" E_scale.e27

@@ -12,10 +12,12 @@ let space = Workload.Space.default
 let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
 let log_base b x = log x /. log b
 
-let now () = Unix.gettimeofday ()
-(* Wall clock for build/stabilize timings. [Sys.time] is {e CPU} time
-   and saturates coarsely on some platforms; the experiments report
-   elapsed seconds, so they must read a real-time clock. *)
+let now () = Sim.Clock.now ()
+(* Monotonic wall clock for build/stabilize timings. [Sys.time] is
+   {e CPU} time and saturates coarsely on some platforms, and
+   [Unix.gettimeofday] can step backwards under NTP adjustment —
+   phase timings and the E27 speedup ratios must come from a clock
+   that only moves forward. *)
 
 (* Build an overlay from a subscription workload and stabilize it.
    [transport] defaults to the engine's [Inproc]; the wire transport

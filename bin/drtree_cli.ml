@@ -78,9 +78,14 @@ let to_transport = function
   | `Inproc -> Sim.Transport.inproc
   | `Wire -> Drtree.Message.Codec.transport
 
-let make_cfg ?(scheduler = Cfg.Full_sweep) ?(layout = Cfg.Flat) min_fill
-    max_fill split =
-  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ()
+let make_cfg ?(scheduler = Cfg.Full_sweep) ?(layout = Cfg.Flat) ?(domains = 1)
+    min_fill max_fill split =
+  if domains < 1 || domains > Sim.Pool.max_domains then begin
+    Format.eprintf "drtree_cli: --domains must lie in 1..%d@."
+      Sim.Pool.max_domains;
+    exit 124
+  end;
+  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ~domains ()
 
 let scheduler_t =
   Arg.(
@@ -103,6 +108,16 @@ let layout_t =
           "State-store layout: flat (contiguous arrays over an int-interned \
            id space) or hashed (the original per-process hashtables; the \
            layout-differential baseline).")
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for round execution (1 = sequential). Any count \
+           produces bit-identical results — the parallel round sections are \
+           read-only audits plus order-preserving merges ($(b,fuzz --domains \
+           differential) proves it) — so this knob only changes wall-clock.")
 
 let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let rng = Rng.make (seed * 31) in
@@ -136,8 +151,9 @@ let print_shape ov =
 (* --- build ------------------------------------------------------------------- *)
 
 let build_cmd =
-  let run seed n workload min_fill max_fill split transport scheduler layout =
-    let cfg = make_cfg ~scheduler ~layout min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler layout
+      domains =
+    let cfg = make_cfg ~scheduler ~layout ~domains min_fill max_fill split in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
     print_shape ov
@@ -145,7 +161,7 @@ let build_cmd =
   Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ scheduler_t $ layout_t)
+      $ split_t $ transport_t $ scheduler_t $ layout_t $ domains_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -357,9 +373,9 @@ let aggregate_cmd =
       & opt (t4 ~sep:',' float float float float) (0.0, 0.0, 100.0, 100.0)
       & info [ "rect" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query rectangle.")
   in
-  let run seed n workload min_fill max_fill split transport scheduler fn tct
-      epochs (x0, y0, x1, y1) =
-    let cfg = make_cfg ~scheduler min_fill max_fill split in
+  let run seed n workload min_fill max_fill split transport scheduler domains
+      fn tct epochs (x0, y0, x1, y1) =
+    let cfg = make_cfg ~scheduler ~domains min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
     let rt = Agg.Runtime.attach ov in
@@ -443,7 +459,8 @@ let aggregate_cmd =
           aggregation) over epochs of synthetic readings.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ scheduler_t $ fn_t $ tct_t $ epochs_t $ rect_t)
+      $ split_t $ transport_t $ scheduler_t $ domains_t $ fn_t $ tct_t
+      $ epochs_t $ rect_t)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -569,21 +586,57 @@ let fuzz_cmd =
              bit-identical verdicts, final shapes and telemetry/byte \
              counters. Replayed traces carry their own layout directive.")
   in
-  let replay file =
+  let fuzz_domains_t =
+    let parse = function
+      | "differential" -> Ok `Differential
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 && n <= Sim.Pool.max_domains -> Ok (`N n)
+          | Some _ | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "expected a domain count in 1..%d or \"differential\""
+                      Sim.Pool.max_domains)))
+    in
+    let print ppf = function
+      | `N n -> Format.pp_print_int ppf n
+      | `Differential -> Format.pp_print_string ppf "differential"
+    in
+    Arg.(
+      value
+      & opt (conv ~docv:"N" (parse, print)) (`N 1)
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for trace execution: a count, or differential — \
+             run every trace at 1, 2 and 4 domains and require bit-identical \
+             verdicts, final shapes and telemetry/byte counters. Not a trace \
+             field: replayed traces run at whatever count this option \
+             gives.")
+  in
+  let replay ~domains file =
     match Mck.Trace.load file with
     | Error e ->
         Printf.eprintf "cannot load %s: %s\n" file e;
         exit 2
     | Ok tr -> (
         Format.printf "replaying %s:@.%a@." file Mck.Trace.pp tr;
-        match Mck.Fuzz.run_trace tr with
-        | Mck.Fuzz.Passed -> print_endline "trace passes: no violation"
-        | Mck.Fuzz.Failed f ->
-            Format.printf "reproduced: %a@." Mck.Fuzz.pp_failure f;
-            exit 1)
+        match domains with
+        | `Differential -> (
+            match Mck.Fuzz.run_domains_differential tr with
+            | Ok _ -> print_endline "trace passes: domain-identical"
+            | Error e ->
+                Printf.printf "reproduced: %s\n" e;
+                exit 1)
+        | `N domains -> (
+            match Mck.Fuzz.run_trace ~domains tr with
+            | Mck.Fuzz.Passed -> print_endline "trace passes: no violation"
+            | Mck.Fuzz.Failed f ->
+                Format.printf "reproduced: %a@." Mck.Fuzz.pp_failure f;
+                exit 1))
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes transport scheduler layout =
+      plant probes transport scheduler layout domains =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -593,7 +646,7 @@ let fuzz_cmd =
       exit 124
     end;
     match replay_file with
-    | Some file -> replay file
+    | Some file -> replay ~domains file
     | None -> (
         let modes =
           match mode with
@@ -629,12 +682,66 @@ let fuzz_cmd =
              be combined (run them as two passes)@.";
           exit 124
         end;
+        if
+          domains = `Differential
+          && (scheduler = `Differential || layout = `Differential)
+        then begin
+          Format.eprintf
+            "fuzz: --domains differential cannot be combined with another \
+             differential mode (run them as separate passes)@.";
+          exit 124
+        end;
         let trace_layout =
           match layout with
           | `Hashed -> Drtree.Config.Hashed
           | `Flat | `Differential -> Drtree.Config.Flat
         in
-        match (layout, scheduler) with
+        match (domains, layout, scheduler) with
+        | `Differential, _, _ -> (
+            (* Every generated trace runs at 1, 2 and 4 domains; any
+               divergence at all — verdict, shape, or a single counter
+               — is a parallelism bug and the counterexample (saved
+               unshrunk, like the layout differential). *)
+            let trace_scheduler =
+              match scheduler with
+              | `Incremental -> Drtree.Config.Incremental
+              | `Full | `Differential -> Drtree.Config.Full_sweep
+            in
+            let failed = ref None in
+            List.iteri
+              (fun mi m ->
+                List.iteri
+                  (fun si sk ->
+                    if !failed = None && not (stop ()) then begin
+                      let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                      let i = ref 0 in
+                      while !i < traces && !failed = None && not (stop ()) do
+                        let tr =
+                          Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
+                            ~transport ~sched:sk ~drop ~dup
+                            ~cover_sweep:(not plant)
+                            ~scheduler:trace_scheduler ~layout:trace_layout ()
+                        in
+                        (match Mck.Fuzz.run_domains_differential ~probes tr with
+                        | Ok _ -> incr total
+                        | Error e -> failed := Some (tr, e));
+                        incr i
+                      done
+                    end)
+                  scheds)
+              modes;
+            match !failed with
+            | None ->
+                Printf.printf "fuzz: %d trace(s) domain-identical%s\n" !total
+                  (if stop () then " (time cap reached)" else "")
+            | Some (tr, e) ->
+                Format.printf "domains differential FAILED: %s@.%a@." e
+                  Mck.Trace.pp tr;
+                let file = save_trace "domains" tr in
+                Printf.printf "saved %s\n" file;
+                exit 1)
+        | `N domains, layout, scheduler -> (
+            match (layout, scheduler) with
         | `Differential, (`Full | `Incremental) -> (
             (* Every generated trace runs under both layouts; any
                divergence at all — verdict, shape, or a single counter
@@ -660,7 +767,9 @@ let fuzz_cmd =
                             ~cover_sweep:(not plant)
                             ~scheduler:trace_scheduler ()
                         in
-                        (match Mck.Fuzz.run_layout_differential ~probes tr with
+                        (match
+                           Mck.Fuzz.run_layout_differential ~probes ~domains tr
+                         with
                         | Ok _ -> incr total
                         | Error e -> failed := Some (tr, e));
                         incr i
@@ -698,7 +807,8 @@ let fuzz_cmd =
                             ~cover_sweep:(not plant) ~layout:trace_layout ()
                         in
                         (match
-                           Mck.Fuzz.run_scheduler_differential ~probes tr
+                           Mck.Fuzz.run_scheduler_differential ~probes ~domains
+                             tr
                          with
                         | Ok _ -> incr total
                         | Error e -> failed := Some (tr, e));
@@ -738,7 +848,7 @@ let fuzz_cmd =
                           ~scheduler:trace_scheduler ~layout:trace_layout ()
                       in
                       match
-                        Mck.Fuzz.fuzz ~probes ~stop
+                        Mck.Fuzz.fuzz ~probes ~domains ~stop
                           ~on_trace:(fun _ _ _ -> incr total)
                           ~traces ~gen ()
                       with
@@ -763,7 +873,7 @@ let fuzz_cmd =
                 Printf.printf
                   "saved %s\nreplay with: drtree_cli fuzz --replay %s\n" file
                   file;
-                exit 1))
+                exit 1)))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -773,7 +883,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
       $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
-      $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t)
+      $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t $ fuzz_domains_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

@@ -29,6 +29,7 @@ type net = {
   snapshots : (Sim.Node_id.t * Sim.Node_id.t, Message.snapshot) Hashtbl.t;
   tele : Telemetry.t;
   dirty : Dirty.t;
+  pool : Sim.Pool.t option;
   claimants : unit Sim.Node_id.Table.t;
   mutable scan_cursor : int;
   mutable last_join_hops : int;
@@ -140,6 +141,23 @@ val direct : net -> State.t -> t
 val snapshot : net -> State.t -> t
 (** Message-passing observation: only this round's received REPORTs;
     a neighbor without a report is treated as dead. *)
+
+val direct_counted : net -> State.t -> probes:int ref -> t
+(** Like {!direct}, but neighbor reads count into the caller-owned
+    cell instead of the shared {!Telemetry}, with the holder as the
+    implicit executor — the same probes {!direct} would record under
+    [as_executor net (State.id self)], without touching any shared
+    mutable. This is the shard-local observation mode of the parallel
+    read-only audits (DESIGN.md §12): during an audit no domain
+    writes, every read sees start-of-pass state — the explicit
+    read-snapshot/write-local discipline, the same snapshot semantics
+    the message-passing rounds already have — and the counts are
+    merged into {!Telemetry} at the barrier, in shard order. *)
+
+val snapshot_counted : net -> State.t -> probes:int ref -> t
+(** {!snapshot} with the same caller-owned counting as
+    {!direct_counted} (snapshot reads never probe, so the cell stays
+    at zero; the variant exists so audit code is mode-agnostic). *)
 
 val self : t -> State.t
 val network : t -> net

@@ -30,13 +30,14 @@ type t = {
   scan_fraction : float;
   seen_capacity : int;
   layout : layout;
+  domains : int;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
     oracle = Root_oracle; cover_sweep = true; publish_ttl = 128;
     scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096;
-    layout = Flat }
+    layout = Flat; domains = 1 }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
@@ -45,7 +46,7 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(scheduler = default.scheduler)
     ?(scan_fraction = default.scan_fraction)
     ?(seen_capacity = default.seen_capacity)
-    ?(layout = default.layout) () =
+    ?(layout = default.layout) ?(domains = default.domains) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
@@ -54,11 +55,15 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     invalid_arg "Drtree.Config.make: scan_fraction outside [0, 1]";
   if seen_capacity < 1 then
     invalid_arg "Drtree.Config.make: seen_capacity < 1";
+  if domains < 1 || domains > Sim.Pool.max_domains then
+    invalid_arg
+      (Printf.sprintf "Drtree.Config.make: domains outside 1..%d"
+         Sim.Pool.max_domains);
   { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl; scheduler;
-    scan_fraction; seen_capacity; layout }
+    scan_fraction; seen_capacity; layout; domains }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s" c.min_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s%s" c.min_fill
     c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
     c.publish_ttl
@@ -67,4 +72,5 @@ let pp ppf c =
     | Incremental ->
         Printf.sprintf " sched=incremental(scan=%g)" c.scan_fraction)
     (match c.layout with Flat -> "" | Hashed -> " layout=hashed")
+    (if c.domains = 1 then "" else Printf.sprintf " domains=%d" c.domains)
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

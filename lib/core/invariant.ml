@@ -155,11 +155,35 @@ let check ov =
         (fun id -> add (violation id (-1) "multiple root claimants"))
         claimants);
   let root = match claimants with [ r ] -> Some r | _ -> None in
-  (* Per-process structural checks. *)
-  Overlay.iter_states ov (fun p s ->
-      for h = 0 to State.top s do
-        check_level ~m ~big_m ~read ~add p s h
-      done);
+  (* Per-process structural checks. Under [Config.domains > 1] the
+     sweep shards over contiguous blocks of the sorted live ids:
+     [check_level] only reads, shard accumulators are concatenated in
+     shard order at the barrier, so the violation list is identical to
+     the sequential sweep's (DESIGN.md §12). *)
+  (match Overlay.pool ov with
+  | Some pool ->
+      let ids = Array.of_list (Overlay.alive_ids ov) in
+      let shards = Sim.Pool.domains pool in
+      let blocks = Sim.Pool.split ~shards (Array.length ids) in
+      let accs = Array.init shards (fun _ -> ref []) in
+      Sim.Pool.run pool (fun shard ->
+          let start, stop = blocks.(shard) in
+          let acc = accs.(shard) in
+          let add v = acc := v :: !acc in
+          for i = start to stop - 1 do
+            match Overlay.state ov ids.(i) with
+            | Some s ->
+                for h = 0 to State.top s do
+                  check_level ~m ~big_m ~read ~add ids.(i) s h
+                done
+            | None -> ()
+          done);
+      Array.iter (fun acc -> List.iter add (List.rev !acc)) accs
+  | None ->
+      Overlay.iter_states ov (fun p s ->
+          for h = 0 to State.top s do
+            check_level ~m ~big_m ~read ~add p s h
+          done));
   (* Reachability from the root. *)
   (match root with
   | None -> ()

@@ -92,11 +92,11 @@ let pp_fingerprint ppf f =
          Format.fprintf ppf "%s:%d/%d/%d/%d" k sm sb rm rb))
     f.fp_traffic
 
-let run_trace_full ?(probes = 3) (tr : Trace.t) =
+let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
   let cfg =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
       ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler
-      ~layout:tr.Trace.layout ()
+      ~layout:tr.Trace.layout ~domains ()
   in
   let transport =
     match tr.Trace.transport with
@@ -371,11 +371,11 @@ let run_trace_full ?(probes = 3) (tr : Trace.t) =
     },
     fp )
 
-let run_trace_summary ?probes tr =
-  let outcome, summary, _ = run_trace_full ?probes tr in
+let run_trace_summary ?probes ?domains tr =
+  let outcome, summary, _ = run_trace_full ?probes ?domains tr in
   (outcome, summary)
 
-let run_trace ?probes tr = fst (run_trace_summary ?probes tr)
+let run_trace ?probes ?domains tr = fst (run_trace_summary ?probes ?domains tr)
 
 (* {2 Cross-scheduler differential}
 
@@ -388,13 +388,13 @@ let run_trace ?probes tr = fst (run_trace_summary ?probes tr)
    interacting repairs (rare — roughly one trace in a thousand) can
    settle on different, equally legal trees; see DESIGN.md §10. *)
 
-let run_scheduler_differential ?probes (tr : Trace.t) =
+let run_scheduler_differential ?probes ?domains (tr : Trace.t) =
   let of_sched scheduler = { tr with Trace.scheduler } in
   let o_full, s_full =
-    run_trace_summary ?probes (of_sched Drtree.Config.Full_sweep)
+    run_trace_summary ?probes ?domains (of_sched Drtree.Config.Full_sweep)
   in
   let o_inc, s_inc =
-    run_trace_summary ?probes (of_sched Drtree.Config.Incremental)
+    run_trace_summary ?probes ?domains (of_sched Drtree.Config.Incremental)
   in
   let verdict = function
     | Passed -> "pass"
@@ -433,10 +433,14 @@ let run_scheduler_differential ?probes (tr : Trace.t) =
    the cross-scheduler differential there is no legitimate source of
    divergence to excuse. *)
 
-let run_layout_differential ?probes (tr : Trace.t) =
+let run_layout_differential ?probes ?domains (tr : Trace.t) =
   let of_layout layout = { tr with Trace.layout } in
-  let o_h, s_h, f_h = run_trace_full ?probes (of_layout Drtree.Config.Hashed) in
-  let o_f, s_f, f_f = run_trace_full ?probes (of_layout Drtree.Config.Flat) in
+  let o_h, s_h, f_h =
+    run_trace_full ?probes ?domains (of_layout Drtree.Config.Hashed)
+  in
+  let o_f, s_f, f_f =
+    run_trace_full ?probes ?domains (of_layout Drtree.Config.Flat)
+  in
   let describe = function
     | Passed -> "pass"
     | Failed f -> Format.asprintf "fail at %a: %s" pp_location f.at f.what
@@ -461,6 +465,55 @@ let run_layout_differential ?probes (tr : Trace.t) =
          "layout fingerprints differ:@ hashed=%a@ flat=%a" pp_fingerprint f_h
          pp_fingerprint f_f)
   else Ok (o_f, s_f)
+
+(* {2 Domains differential}
+
+   The same trace at every domain count must be bit-identical in every
+   observable, the layout differential's standard: the parallel round
+   sections are read-only audits committed only when the sequential
+   pass would have been a no-op, plus order-preserving merges
+   (DESIGN.md §12), so like the layout there is no RNG draw and no
+   schedule decision for the shard count to touch — any divergence is
+   a parallelism bug. *)
+
+let run_domains_differential ?probes ?(domain_counts = [ 1; 2; 4 ])
+    (tr : Trace.t) =
+  let describe = function
+    | Passed -> "pass"
+    | Failed f -> Format.asprintf "fail at %a: %s" pp_location f.at f.what
+  in
+  match domain_counts with
+  | [] -> invalid_arg "run_domains_differential: empty domain_counts"
+  | d0 :: rest ->
+      let o0, s0, f0 = run_trace_full ?probes ~domains:d0 tr in
+      let rec compare_rest = function
+        | [] -> Ok (o0, s0)
+        | d :: rest -> (
+            let o, s, f = run_trace_full ?probes ~domains:d tr in
+            let outcomes_equal =
+              match (o0, o) with
+              | Passed, Passed -> true
+              | Failed a, Failed b -> a.at = b.at && a.what = b.what
+              | Passed, Failed _ | Failed _, Passed -> false
+            in
+            if not outcomes_equal then
+              Error
+                (Printf.sprintf
+                   "domain verdicts differ: domains=%d %s, domains=%d %s" d0
+                   (describe o0) d (describe o))
+            else if s0 <> s then
+              Error
+                (Format.asprintf
+                   "domain shapes differ: domains=%d %a, domains=%d %a" d0
+                   pp_summary s0 d pp_summary s)
+            else if f0 <> f then
+              Error
+                (Format.asprintf
+                   "domain fingerprints differ:@ domains=%d %a@ domains=%d %a"
+                   d0 pp_fingerprint f0 d pp_fingerprint f)
+            else compare_rest rest)
+      in
+      compare_rest rest
 
 (* {2 Random traces} *)
 
@@ -506,13 +559,13 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     ops = List.init ops (fun _ -> random_op rng);
   }
 
-let fuzz ?probes ?(stop = fun () -> false) ?(on_trace = fun _ _ _ -> ())
-    ~traces ~gen () =
+let fuzz ?probes ?domains ?(stop = fun () -> false)
+    ?(on_trace = fun _ _ _ -> ()) ~traces ~gen () =
   let rec go i =
     if i >= traces || stop () then None
     else begin
       let tr = gen i in
-      let outcome = run_trace ?probes tr in
+      let outcome = run_trace ?probes ?domains tr in
       on_trace i tr outcome;
       match outcome with
       | Passed -> go (i + 1)

@@ -46,16 +46,21 @@ val height_bound : min_fill:int -> int -> int
 (** Largest height a legal tree on [n] processes can have
     ([n >= 2 * m^(h-1)]). *)
 
-val run_trace : ?probes:int -> Trace.t -> outcome
+val run_trace : ?probes:int -> ?domains:int -> Trace.t -> outcome
 (** Execute one trace from scratch; deterministic in the trace.
-    [probes] (default 3) is the number of final oracle publications. *)
+    [probes] (default 3) is the number of final oracle publications.
+    [domains] (default 1) overrides [Config.domains] for the run —
+    not a trace field, because any count is bit-identical
+    ({!run_domains_differential} proves it), so it never identifies a
+    counterexample. *)
 
 type summary = { final_size : int; final_height : int; final_legal : bool }
 (** Shape fingerprint of the overlay a trace leaves behind. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
-val run_trace_summary : ?probes:int -> Trace.t -> outcome * summary
+val run_trace_summary :
+  ?probes:int -> ?domains:int -> Trace.t -> outcome * summary
 (** {!run_trace}, also returning the final shape. *)
 
 type fingerprint = {
@@ -79,11 +84,12 @@ type fingerprint = {
 
 val pp_fingerprint : Format.formatter -> fingerprint -> unit
 
-val run_trace_full : ?probes:int -> Trace.t -> outcome * summary * fingerprint
+val run_trace_full :
+  ?probes:int -> ?domains:int -> Trace.t -> outcome * summary * fingerprint
 (** {!run_trace_summary}, also returning the counter fingerprint. *)
 
 val run_scheduler_differential :
-  ?probes:int -> Trace.t -> (outcome * summary, string) result
+  ?probes:int -> ?domains:int -> Trace.t -> (outcome * summary, string) result
 (** Run the trace twice — under [Config.Full_sweep] and
     [Config.Incremental] (overriding its [scheduler] field) — and
     compare: the verdicts must agree, and under a strict schedule
@@ -100,7 +106,7 @@ val run_scheduler_differential :
     run's outcome and shape. *)
 
 val run_layout_differential :
-  ?probes:int -> Trace.t -> (outcome * summary, string) result
+  ?probes:int -> ?domains:int -> Trace.t -> (outcome * summary, string) result
 (** Run the trace twice — under [Config.Hashed] and [Config.Flat]
     (overriding its [layout] field) — and require bit-identical
     observables on {e every} trace, faulty or hostile included: exact
@@ -111,6 +117,25 @@ val run_layout_differential :
     is no legitimate source of divergence to excuse — any [Error] is a
     layout bug (DESIGN.md §11). [Ok] carries the flat run's outcome
     and shape. *)
+
+val run_domains_differential :
+  ?probes:int ->
+  ?domain_counts:int list ->
+  Trace.t ->
+  (outcome * summary, string) result
+(** Run the trace once per entry of [domain_counts] (default
+    [\[1; 2; 4\]], first entry the baseline) and require bit-identical
+    observables at every count, on {e every} trace, faulty or hostile
+    included: exact verdict (failure location and message), exact
+    final shape including height, and exact {!fingerprint} down to
+    the byte accounting — the layout differential's standard. The
+    parallel round sections are read-only audits committed only when
+    the sequential pass would have been a no-op, plus
+    order-preserving merges (DESIGN.md §12), so the shard count
+    touches no RNG draw and no schedule decision; any [Error] is a
+    parallelism bug. [Ok] carries the baseline run's outcome and
+    shape.
+    @raise Invalid_argument on an empty [domain_counts]. *)
 
 val random_rect : Sim.Rng.t -> Geometry.Rect.t
 (** Uniform filter in the default \[0,100\]² space, extent 1–10 per
@@ -136,6 +161,7 @@ val random_trace :
 
 val fuzz :
   ?probes:int ->
+  ?domains:int ->
   ?stop:(unit -> bool) ->
   ?on_trace:(int -> Trace.t -> outcome -> unit) ->
   traces:int ->

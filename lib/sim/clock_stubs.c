@@ -1,0 +1,35 @@
+/* Monotonic wall-clock for the bench harness (ISSUE 7 satellite):
+ * CLOCK_MONOTONIC is immune to NTP step adjustments, unlike
+ * gettimeofday. Returns nanoseconds since an arbitrary epoch. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value drtree_clock_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_int64(
+      (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value drtree_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("clock_gettime(CLOCK_MONOTONIC)");
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 +
+                         (int64_t)ts.tv_nsec);
+}
+
+#endif

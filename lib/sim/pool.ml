@@ -1,0 +1,135 @@
+(* Domain pool with a reusable round barrier (DESIGN.md §12).
+
+   One process-global set of worker domains, grown on demand and never
+   torn down: OCaml caps the number of live domains (~128), and model
+   checking creates thousands of short-lived overlays, so per-overlay
+   pools would exhaust the runtime. Workers park on a condition
+   variable between jobs; [run] hands each worker a shard index, runs
+   shard 0 on the calling domain, and returns only once every shard
+   has finished (the barrier). The pool is deliberately dumb — no work
+   stealing, no queues deeper than one job — because the overlay's
+   round structure is itself the schedule: contiguous [split] blocks
+   over a canonically ordered entry array keep every merge order a
+   pure function of (input order, shard count). *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (int -> unit) option; (* protected by [mutex] *)
+  mutable shard : int;
+  mutable failure : exn option; (* from the last job; read at the barrier *)
+  mutable live : bool; (* domain spawned and parked in [worker_loop] *)
+}
+
+type t = { domains : int }
+
+let max_domains = 16
+
+(* Global worker slots, created eagerly (records only — domains are
+   spawned lazily in [get]). Slot [i] serves shard [i + 1]. *)
+let workers : worker array =
+  Array.init (max_domains - 1) (fun _ ->
+      {
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        job = None;
+        shard = 0;
+        failure = None;
+        live = false;
+      })
+
+let registry_mutex = Mutex.create ()
+let running = ref false
+
+let worker_loop w =
+  let rec next () =
+    Mutex.lock w.mutex;
+    while w.job = None do
+      Condition.wait w.cond w.mutex
+    done;
+    let f = Option.get w.job and shard = w.shard in
+    Mutex.unlock w.mutex;
+    (try f shard with e -> w.failure <- Some e);
+    Mutex.lock w.mutex;
+    w.job <- None;
+    Condition.broadcast w.cond;
+    Mutex.unlock w.mutex;
+    next ()
+  in
+  next ()
+
+let get ~domains =
+  if domains < 1 || domains > max_domains then
+    invalid_arg
+      (Printf.sprintf "Pool.get: domains must be in 1..%d (got %d)" max_domains
+         domains);
+  Mutex.lock registry_mutex;
+  for i = 0 to domains - 2 do
+    let w = workers.(i) in
+    if not w.live then begin
+      w.live <- true;
+      ignore (Domain.spawn (fun () -> worker_loop w))
+    end
+  done;
+  Mutex.unlock registry_mutex;
+  { domains }
+
+let domains t = t.domains
+
+let run t f =
+  if t.domains = 1 then f 0
+  else begin
+    if !running then invalid_arg "Pool.run: nested runs are not supported";
+    running := true;
+    let ws = Array.sub workers 0 (t.domains - 1) in
+    Array.iteri
+      (fun i w ->
+        Mutex.lock w.mutex;
+        w.failure <- None;
+        w.shard <- i + 1;
+        w.job <- Some f;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      ws;
+    let caller_failure = (try f 0; None with e -> Some e) in
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        while w.job <> None do
+          Condition.wait w.cond w.mutex
+        done;
+        Mutex.unlock w.mutex)
+      ws;
+    running := false;
+    match caller_failure with
+    | Some e -> raise e
+    | None ->
+        Array.iter (function
+            | { failure = Some e; _ } -> raise e
+            | _ -> ())
+          ws
+  end
+
+let split ~shards n =
+  if shards < 1 then invalid_arg "Pool.split: shards must be >= 1";
+  let base = n / shards and rem = n mod shards in
+  Array.init shards (fun i ->
+      let start = (i * base) + min i rem in
+      let len = base + if i < rem then 1 else 0 in
+      (start, start + len))
+
+(* Per-shard message outboxes. Each shard appends locally (no
+   synchronization); [iter] drains shard 0 first, then 1, …, each in
+   append order, so the merged sequence is the canonical (shard, seq)
+   order the engine relies on for deterministic schedules. *)
+
+type 'a outbox = { slots : 'a list ref array }
+
+let outbox t = { slots = Array.init t.domains (fun _ -> ref []) }
+
+let outbox_add ob ~shard x =
+  let slot = ob.slots.(shard) in
+  slot := x :: !slot
+
+let outbox_iter ob f =
+  Array.iter (fun slot -> List.iter f (List.rev !slot)) ob.slots

@@ -1,0 +1,66 @@
+(** Process-global domain pool with a reusable round barrier.
+
+    Workers are OCaml 5 domains parked on a condition variable between
+    jobs. The pool is global and grown on demand — domains are a
+    scarce runtime resource (hard cap ~128) and model checking creates
+    thousands of short-lived overlays, so pools are shared and never
+    torn down; idle workers cost one blocked thread each. Worker
+    domains die with the process.
+
+    Determinism contract: [run] imposes a barrier (it returns only
+    when every shard completed), [split] produces contiguous index
+    blocks, and [outbox_iter] drains per-shard buffers in (shard,
+    append) order — so any result assembled from contiguous shards
+    over a canonically ordered input, merged shard-by-shard, is a pure
+    function of (input order, shard count), independent of worker
+    interleaving. *)
+
+type t
+(** A handle requesting a fixed number of shards. *)
+
+val max_domains : int
+(** Upper bound on [domains] accepted by {!get} (16). *)
+
+val get : domains:int -> t
+(** [get ~domains] is a handle that fans work out over [domains]
+    shards, spawning any missing worker domains (callers share
+    workers; [get] is cheap after first use).
+    @raise Invalid_argument unless [1 <= domains <= max_domains]. *)
+
+val domains : t -> int
+(** Number of shards [run] will fan out over. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f shard] for every [shard] in
+    [0 .. domains t - 1] — shard 0 on the calling domain, the rest on
+    pool workers — and returns once all have finished (the barrier).
+    With [domains t = 1] this is exactly [f 0]: no locks, no
+    signalling. If any shard raises, the exception is re-raised on the
+    caller (shard 0's first, then ascending shard order). [f] must not
+    call [run] (no nesting) and shards must write only shard-local or
+    disjoint data; establishing that discipline is the caller's job. *)
+
+val split : shards:int -> int -> (int * int) array
+(** [split ~shards n] partitions [0 .. n-1] into [shards] contiguous
+    half-open blocks [(start, stop)], sizes differing by at most one
+    (earlier shards take the remainder). Blocks may be empty when
+    [n < shards]. *)
+
+(** {2 Per-shard outboxes}
+
+    Append-only buffers, one per shard, for messages produced during a
+    parallel section and injected into the engine afterwards. *)
+
+type 'a outbox
+
+val outbox : t -> 'a outbox
+(** A fresh outbox with one slot per shard of [t]. *)
+
+val outbox_add : 'a outbox -> shard:int -> 'a -> unit
+(** Append to [shard]'s slot. Only the domain running [shard] may
+    touch that slot during a {!run}. *)
+
+val outbox_iter : 'a outbox -> ('a -> unit) -> unit
+(** Drain every slot in canonical (shard, append) order: all of
+    shard 0's entries in append order, then shard 1's, … Call after
+    {!run} has returned (the barrier orders the writes). *)

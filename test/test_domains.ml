@@ -1,0 +1,295 @@
+(* Domain-parallel round execution (DESIGN.md §12): the Pool's
+   determinism contract (contiguous splits, barrier, canonical outbox
+   order, exception routing, reuse), shard-independence of every
+   observable counter — per-round telemetry reports and wire byte
+   accounting must not see the domain count — the parallel
+   Invariant.check sweep, and the mck domains differential over random
+   traces — the headline bit-identical guarantee, at test scale (CI
+   and `fuzz --domains differential` run it at thousands of traces). *)
+
+module R = Geometry.Rect
+module O = Drtree.Overlay
+module Inv = Drtree.Invariant
+module Cfg = Drtree.Config
+module Tele = Drtree.Telemetry
+module Pool = Sim.Pool
+module Rng = Sim.Rng
+module Trace = Mck.Trace
+module Fuzz = Mck.Fuzz
+
+let check_bool msg expected actual = Alcotest.(check bool) msg expected actual
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+(* --- Pool: the determinism contract -------------------------------------- *)
+
+(* Contiguous cover: blocks partition 0..n-1 in order, sizes within
+   one of each other, earlier shards taking the remainder. *)
+let pool_split =
+  QCheck2.Test.make ~name:"split yields a contiguous balanced partition"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 16) (int_range 0 1000))
+    (fun (shards, n) ->
+      let blocks = Pool.split ~shards n in
+      if Array.length blocks <> shards then
+        QCheck2.Test.fail_reportf "%d blocks for %d shards"
+          (Array.length blocks) shards;
+      let cursor = ref 0 in
+      let min_size = ref max_int and max_size = ref 0 in
+      Array.iter
+        (fun (start, stop) ->
+          if start <> !cursor then
+            QCheck2.Test.fail_reportf "block starts at %d, want %d" start
+              !cursor;
+          if stop < start then
+            QCheck2.Test.fail_reportf "negative block (%d, %d)" start stop;
+          min_size := min !min_size (stop - start);
+          max_size := max !max_size (stop - start);
+          cursor := stop)
+        blocks;
+      if !cursor <> n then
+        QCheck2.Test.fail_reportf "blocks cover %d of %d" !cursor n;
+      if !max_size - !min_size > 1 then
+        QCheck2.Test.fail_reportf "block sizes differ by %d"
+          (!max_size - !min_size);
+      true)
+
+let test_pool_run_covers () =
+  let pool = Pool.get ~domains:4 in
+  check_int "domains accessor" 4 (Pool.domains pool);
+  let hits = Array.make 4 0 in
+  Pool.run pool (fun shard -> hits.(shard) <- hits.(shard) + 1);
+  Array.iteri (fun i h -> check_int (Printf.sprintf "shard %d ran once" i) 1 h)
+    hits
+
+let test_pool_outbox_order () =
+  let pool = Pool.get ~domains:3 in
+  let ob = Pool.outbox pool in
+  Pool.run pool (fun shard ->
+      for i = 0 to 2 do
+        Pool.outbox_add ob ~shard ((shard * 10) + i)
+      done);
+  let seen = ref [] in
+  Pool.outbox_iter ob (fun x -> seen := x :: !seen);
+  check_bool "canonical (shard, append) order" true
+    (List.rev !seen = [ 0; 1; 2; 10; 11; 12; 20; 21; 22 ])
+
+let test_pool_exceptions () =
+  let pool = Pool.get ~domains:4 in
+  (* A worker shard's exception reaches the caller... *)
+  (try
+     Pool.run pool (fun shard -> if shard = 2 then failwith "boom");
+     Alcotest.fail "worker exception must propagate"
+   with Failure m -> Alcotest.(check string) "worker exn" "boom" m);
+  (* ...but the caller's own (shard 0) takes precedence when several
+     shards fail. *)
+  (try
+     Pool.run pool (fun shard -> failwith (string_of_int shard));
+     Alcotest.fail "exceptions must propagate"
+   with Failure m -> Alcotest.(check string) "shard 0 first" "0" m);
+  (* And the barrier held: the pool is immediately reusable. *)
+  let hits = Array.make 4 0 in
+  Pool.run pool (fun shard -> hits.(shard) <- 1);
+  check_int "pool survives exceptions" 4 (Array.fold_left ( + ) 0 hits)
+
+let test_pool_reuse () =
+  let pool = Pool.get ~domains:2 in
+  let total = ref 0 in
+  for _ = 1 to 1000 do
+    let a = Array.make 2 0 in
+    Pool.run pool (fun shard -> a.(shard) <- shard + 1);
+    total := !total + a.(0) + a.(1)
+  done;
+  check_int "1000 barriers" 3000 !total
+
+let test_pool_bounds () =
+  (try
+     ignore (Pool.get ~domains:0);
+     Alcotest.fail "domains=0 must be rejected"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Pool.get ~domains:(Pool.max_domains + 1));
+    Alcotest.fail "domains>max must be rejected"
+  with Invalid_argument _ -> ()
+
+(* --- Shard-independence of the observable counters ------------------------ *)
+
+(* Build, churn and re-stabilize the same seeded workload at several
+   domain counts over the wire transport; every per-round telemetry
+   report, the probe/exec/repair totals, the engine's message and byte
+   accounting, and the final shape must be independent of the shard
+   count — the tentpole's exactness property, stated over the public
+   counters (the mck differential states it over whole traces). *)
+let counter_fingerprint ov =
+  let tele = O.telemetry ov in
+  let eng = O.engine ov in
+  ( Tele.rounds tele,
+    Tele.probes tele,
+    Tele.execs tele,
+    Tele.total_repairs tele,
+    Sim.Engine.messages_sent eng,
+    Sim.Engine.bytes_sent eng,
+    Sim.Engine.bytes_received eng,
+    O.height ov,
+    O.size ov,
+    Inv.is_legal ov )
+
+let churned_overlay ~domains ~scheduler ~seed ~n =
+  let cfg = Cfg.make ~domains ~scheduler () in
+  let ov =
+    O.create ~cfg ~transport:Drtree.Message.Codec.transport ~seed ()
+  in
+  let rng = Rng.make ((seed * 7) + 1) in
+  for _ = 1 to n do
+    let x0 = Rng.range rng 0.0 90.0 and y0 = Rng.range rng 0.0 90.0 in
+    let w = Rng.range rng 1.0 10.0 and h = Rng.range rng 1.0 10.0 in
+    ignore (O.join ov (R.make2 ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h)))
+  done;
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  let crng = Rng.make ((seed * 13) + 2) in
+  List.iter
+    (fun v -> ignore (Drtree.Corrupt.any ov crng v))
+    (Drtree.Corrupt.random_victims ov crng ~fraction:0.15);
+  ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+  ov
+
+let counters_shard_independent =
+  QCheck2.Test.make
+    ~name:"round reports and byte counters are shard-count independent"
+    ~count:20
+    QCheck2.Gen.(
+      triple (int_range 0 10_000) (int_range 6 36)
+        (pair bool (int_range 2 4)))
+    (fun (seed, n, (incremental, domains)) ->
+      let scheduler = if incremental then Cfg.Incremental else Cfg.Full_sweep in
+      let base = churned_overlay ~domains:1 ~scheduler ~seed ~n in
+      let par = churned_overlay ~domains ~scheduler ~seed ~n in
+      if counter_fingerprint base <> counter_fingerprint par then
+        QCheck2.Test.fail_reportf
+          "counters diverge at domains=%d (seed %d, n %d, %s)" domains seed n
+          (if incremental then "incremental" else "full");
+      true)
+
+(* --- Parallel Invariant.check --------------------------------------------- *)
+
+(* The sharded sweep must produce the sequential violation list
+   exactly, including on a corrupted overlay where violations land in
+   many shards. *)
+let test_invariant_parallel () =
+  let build domains =
+    let cfg = Cfg.make ~domains () in
+    let ov = O.create ~cfg ~seed:77 () in
+    let rng = Rng.make 770 in
+    for _ = 1 to 60 do
+      let x0 = Rng.range rng 0.0 90.0 and y0 = Rng.range rng 0.0 90.0 in
+      ignore (O.join ov (R.make2 ~x0 ~y0 ~x1:(x0 +. 6.0) ~y1:(y0 +. 6.0)))
+    done;
+    ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
+    let crng = Rng.make 771 in
+    List.iter
+      (fun v -> ignore (Drtree.Corrupt.any ov crng v))
+      (Drtree.Corrupt.random_victims ov crng ~fraction:0.3);
+    ov
+  in
+  let seq = build 1 and par = build 4 in
+  let vs = Inv.check seq and vp = Inv.check par in
+  check_bool "corruption produced violations" true (vs <> []);
+  check_int "same violation count" (List.length vs) (List.length vp);
+  List.iter2
+    (fun a b ->
+      if a <> b then
+        Alcotest.failf "violation lists differ: %a vs %a" Inv.pp_violation a
+          Inv.pp_violation b)
+    vs vp
+
+(* --- Domains differential over random traces ------------------------------ *)
+
+let test_domains_differential () =
+  let base = 34_000 in
+  for i = 0 to 24 do
+    let rng = Rng.make (base + i) in
+    let tr = Fuzz.random_trace rng () in
+    match Fuzz.run_domains_differential ~probes:2 tr with
+    | Ok _ -> ()
+    | Error msg ->
+        Alcotest.failf "domain divergence on seed %d: %s@.%a" (base + i) msg
+          Trace.pp tr
+  done
+
+let test_domains_differential_hostile () =
+  for i = 0 to 9 do
+    let rng = Rng.make (35_000 + i) in
+    let tr =
+      Fuzz.random_trace rng ~transport:Trace.Wire ~scheduler:Cfg.Incremental
+        ~sched:Mck.Schedule.Random ~drop:0.1 ()
+    in
+    match
+      Fuzz.run_domains_differential ~probes:2 ~domain_counts:[ 1; 3; 4 ] tr
+    with
+    | Ok _ -> ()
+    | Error msg ->
+        Alcotest.failf "hostile domain divergence on seed %d: %s" (35_000 + i)
+          msg
+  done
+
+(* The detector detects: a genuinely different run must be told apart
+   by the same fingerprint the differential compares. *)
+let test_domains_differential_detects () =
+  let rng = Rng.make 36_000 in
+  let tr = Fuzz.random_trace rng () in
+  let _, _, fp1 = Fuzz.run_trace_full ~probes:2 ~domains:1 tr in
+  let _, _, fp4 = Fuzz.run_trace_full ~probes:2 ~domains:4 tr in
+  check_bool "fingerprints equal across domain counts" true (fp1 = fp4);
+  let tr' =
+    { tr with Trace.prelude = tr.Trace.prelude @ [ Fuzz.random_rect rng ] }
+  in
+  let _, _, fp' = Fuzz.run_trace_full ~probes:2 ~domains:4 tr' in
+  check_bool "a perturbed run is distinguished" true (fp1 <> fp')
+
+(* --- Config ---------------------------------------------------------------- *)
+
+let test_config_domains () =
+  check_int "default is sequential" 1 Cfg.default.Cfg.domains;
+  let cfg = Cfg.make ~domains:4 () in
+  check_int "make threads the knob" 4 cfg.Cfg.domains;
+  (try
+     ignore (Cfg.make ~domains:0 ());
+     Alcotest.fail "domains=0 must be rejected"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Cfg.make ~domains:(Pool.max_domains + 1) ());
+    Alcotest.fail "domains>max must be rejected"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "domains"
+    [
+      ( "pool",
+        [
+          QCheck_alcotest.to_alcotest pool_split;
+          Alcotest.test_case "run covers every shard" `Quick
+            test_pool_run_covers;
+          Alcotest.test_case "outbox drains in canonical order" `Quick
+            test_pool_outbox_order;
+          Alcotest.test_case "exceptions route to the caller" `Quick
+            test_pool_exceptions;
+          Alcotest.test_case "1000-barrier reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "domain count bounds" `Quick test_pool_bounds;
+        ] );
+      ( "counters",
+        [ QCheck_alcotest.to_alcotest counters_shard_independent ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "parallel check equals sequential" `Quick
+            test_invariant_parallel;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "25 random traces domain-identical" `Quick
+            test_domains_differential;
+          Alcotest.test_case "10 hostile wire traces domain-identical" `Quick
+            test_domains_differential_hostile;
+          Alcotest.test_case "fingerprints distinguish real divergence" `Quick
+            test_domains_differential_detects;
+        ] );
+      ("config", [ Alcotest.test_case "domains knob" `Quick test_config_domains ]);
+    ]
