@@ -13,7 +13,9 @@
      E_scale      — laptop-scale stress
      E_agg        — in-network aggregation (lib/agg): traffic vs
                     flooding under the TiNA tolerance, error under
-                    churn/loss *)
+                    churn/loss
+     E_fd         — heartbeat failure detection (lib/fd): latency,
+                    repair completion, heartbeat overhead *)
 
 let register () =
   Harness.register "E1" "height is O(log_m N)" E_structure.e1;
@@ -48,4 +50,6 @@ let register () =
     E_agg.e25;
   Harness.register "E26" "repair scheduling: full sweep vs incremental"
     E_scale.e26;
-  Harness.register "E27" "domain-parallel round execution" E_scale.e27
+  Harness.register "E27" "domain-parallel round execution" E_scale.e27;
+  Harness.register "E28" "heartbeat failure detection: latency and overhead"
+    E_fd.e28

@@ -79,13 +79,13 @@ let to_transport = function
   | `Wire -> Drtree.Message.Codec.transport
 
 let make_cfg ?(scheduler = Cfg.Full_sweep) ?(layout = Cfg.Flat) ?(domains = 1)
-    min_fill max_fill split =
+    ?(detector = Cfg.Oracle) min_fill max_fill split =
   if domains < 1 || domains > Sim.Pool.max_domains then begin
     Format.eprintf "drtree_cli: --domains must lie in 1..%d@."
       Sim.Pool.max_domains;
     exit 124
   end;
-  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ~domains ()
+  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ~domains ~detector ()
 
 let scheduler_t =
   Arg.(
@@ -109,6 +109,29 @@ let layout_t =
            id space) or hashed (the original per-process hashtables; the \
            layout-differential baseline).")
 
+let detector_conv =
+  let parse s =
+    match Cfg.detector_of_string s with
+    | Ok d -> Ok d
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf d = Format.pp_print_string ppf (Cfg.detector_to_string d) in
+  Arg.conv ~docv:"KIND" (parse, print)
+
+let detector_t =
+  Arg.(
+    value
+    & opt detector_conv Cfg.Oracle
+    & info [ "detector" ] ~docv:"KIND"
+        ~doc:
+          "Failure detector: oracle (crashes are known — the paper's model \
+           and the bit-identical default) or heartbeat[:PERIOD:TIMEOUT:K] \
+           (each process heartbeats its tree neighbors plus K fallback-ring \
+           contacts every PERIOD time units; a peer silent for TIMEOUT \
+           periods is suspected, challenged, and after one more silent \
+           period confirmed dead and evicted locally). $(b,heartbeat) alone \
+           means heartbeat:1:3:2.")
+
 let domains_t =
   Arg.(
     value & opt int 1
@@ -124,6 +147,9 @@ let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let gen = List.assoc workload Workload.Subscription_gen.catalog in
   let rects = gen space rng n in
   let ov = O.create ~cfg ~transport:(to_transport transport) ~seed () in
+  (match cfg.Cfg.detector with
+  | Cfg.Oracle -> ()
+  | Cfg.Heartbeat _ -> ignore (Fd.Runtime.attach ov));
   List.iter (fun r -> ignore (O.join ov r)) rects;
   ignore (O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov);
   (ov, rng)
@@ -152,16 +178,30 @@ let print_shape ov =
 
 let build_cmd =
   let run seed n workload min_fill max_fill split transport scheduler layout
-      domains =
-    let cfg = make_cfg ~scheduler ~layout ~domains min_fill max_fill split in
+      domains detector =
+    let cfg =
+      make_cfg ~scheduler ~layout ~domains ~detector min_fill max_fill split
+    in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
-    print_shape ov
+    print_shape ov;
+    (match detector with
+    | Cfg.Oracle -> ()
+    | Cfg.Heartbeat _ ->
+        let tele = O.telemetry ov in
+        Printf.printf
+          "detector    : %d suspicion(s) (%d false), %d confirm(s) (%d false \
+           kill(s))\n"
+          (Drtree.Telemetry.fd_suspicions tele)
+          (Drtree.Telemetry.fd_false_suspicions tele)
+          (Drtree.Telemetry.fd_confirms tele)
+          (Drtree.Telemetry.fd_false_kills tele))
   in
   Cmd.v (Cmd.info "build" ~doc:"Build an overlay and print its shape.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ scheduler_t $ layout_t $ domains_t)
+      $ split_t $ transport_t $ scheduler_t $ layout_t $ domains_t
+      $ detector_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -586,6 +626,19 @@ let fuzz_cmd =
              bit-identical verdicts, final shapes and telemetry/byte \
              counters. Replayed traces carry their own layout directive.")
   in
+  let fuzz_detector_t =
+    Arg.(
+      value
+      & opt detector_conv Cfg.Oracle
+      & info [ "detector" ] ~docv:"KIND"
+          ~doc:
+            "Failure detector for generated traces: oracle (crashes are \
+             known) or heartbeat[:PERIOD:TIMEOUT:K]. Heartbeat traces inject \
+             crashes silently — nobody is told — and additionally assert \
+             crash convergence: every victim confirmed dead by its monitors, \
+             and zero false kills on clean traces. Replayed traces carry \
+             their own detector directive.")
+  in
   let fuzz_domains_t =
     let parse = function
       | "differential" -> Ok `Differential
@@ -636,7 +689,7 @@ let fuzz_cmd =
                 exit 1))
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes transport scheduler layout domains =
+      plant probes transport scheduler layout detector domains =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -720,7 +773,8 @@ let fuzz_cmd =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
                             ~cover_sweep:(not plant)
-                            ~scheduler:trace_scheduler ~layout:trace_layout ()
+                            ~scheduler:trace_scheduler ~layout:trace_layout
+                            ~detector ()
                         in
                         (match Mck.Fuzz.run_domains_differential ~probes tr with
                         | Ok _ -> incr total
@@ -765,7 +819,7 @@ let fuzz_cmd =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
                             ~cover_sweep:(not plant)
-                            ~scheduler:trace_scheduler ()
+                            ~scheduler:trace_scheduler ~detector ()
                         in
                         (match
                            Mck.Fuzz.run_layout_differential ~probes ~domains tr
@@ -804,7 +858,8 @@ let fuzz_cmd =
                         let tr =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
-                            ~cover_sweep:(not plant) ~layout:trace_layout ()
+                            ~cover_sweep:(not plant) ~layout:trace_layout
+                            ~detector ()
                         in
                         (match
                            Mck.Fuzz.run_scheduler_differential ~probes ~domains
@@ -845,7 +900,8 @@ let fuzz_cmd =
                         Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                           ~transport ~sched:sk ~drop ~dup
                           ~cover_sweep:(not plant)
-                          ~scheduler:trace_scheduler ~layout:trace_layout ()
+                          ~scheduler:trace_scheduler ~layout:trace_layout
+                          ~detector ()
                       in
                       match
                         Mck.Fuzz.fuzz ~probes ~domains ~stop
@@ -883,7 +939,8 @@ let fuzz_cmd =
     Term.(
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
       $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
-      $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t $ fuzz_domains_t)
+      $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t $ fuzz_detector_t
+      $ fuzz_domains_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

@@ -97,4 +97,62 @@ let () =
     let report = O.publish ov ~from:(Rng.pick rng ids) p in
     fn := !fn + report.O.false_negatives
   done;
-  Printf.printf "false negatives after all that: %d\n" !fn
+  Printf.printf "false negatives after all that: %d\n\n" !fn;
+
+  (* Everything above used the paper's oracle: O.crash marks the
+     neighborhood dirty from the outside. Now run the same silent-crash
+     fault with the lib/fd heartbeat detector, where nobody is told —
+     the survivors must notice the silence themselves (DESIGN.md §13). *)
+  Printf.printf
+    "=== encore: the same faults with the heartbeat detector ===\n";
+  let cfg = Drtree.Config.make ~detector:Drtree.Config.default_heartbeat () in
+  let ov = O.create ~cfg ~seed:2 () in
+  let rt = Fd.Runtime.attach ov in
+  let rng = Rng.make 6 in
+  for _ = 1 to 60 do
+    ignore (O.join ov (random_rect rng))
+  done;
+  ignore (O.stabilize ~legal:Inv.is_legal ov);
+  Printf.printf "built 60 subscribers, height=%d\n" (O.height ov);
+  let crng = Rng.make 78 in
+  let victims = Drtree.Corrupt.random_victims ov crng ~fraction:0.1 in
+  Printf.printf "silently crashing %d nodes (no dirty marks, no oracle)\n"
+    (List.length victims);
+  let crash_at = Sim.Engine.now (O.engine ov) in
+  List.iter (fun v -> O.crash_silent ov v) victims;
+  let all_confirmed () =
+    List.for_all (fun v -> Fd.Runtime.is_confirmed rt v) victims
+  in
+  let rounds = ref 0 in
+  while (not (all_confirmed () && Inv.is_legal ov)) && !rounds < 50 do
+    O.stabilize_round ov;
+    incr rounds;
+    let confirmed =
+      List.length (List.filter (fun v -> Fd.Runtime.is_confirmed rt v) victims)
+    in
+    Printf.printf "  round %2d: %d/%d confirmed dead, %d standing suspicions\n"
+      !rounds confirmed (List.length victims)
+      (List.length (Fd.Runtime.suspicions rt))
+  done;
+  let tele = O.telemetry ov in
+  let detect_time =
+    List.fold_left
+      (fun acc (v, at) ->
+        if List.mem v victims then Float.max acc (at -. crash_at) else acc)
+      0.0 (Fd.Runtime.confirmed rt)
+  in
+  Printf.printf
+    "=> all %d confirmed and tree legal after %d round(s);\n\
+    \   last detection %.1f time units after the crash\n"
+    (List.length victims) !rounds detect_time;
+  (match Drtree.Telemetry.fd_mean_detection_latency tele with
+  | Some l ->
+      Printf.printf
+        "   telemetry: %d suspicion(s) (%d false), %d confirm(s) (%d false \
+         kill(s)), mean silence at conviction %.1f\n"
+        (Drtree.Telemetry.fd_suspicions tele)
+        (Drtree.Telemetry.fd_false_suspicions tele)
+        (Drtree.Telemetry.fd_confirms tele)
+        (Drtree.Telemetry.fd_false_kills tele)
+        l
+  | None -> ())

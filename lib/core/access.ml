@@ -51,6 +51,21 @@ type net = {
          the aggregation subsystem *)
   mutable agg_repair : (unit -> unit) option;
       (* the Agg_repair pass, co-scheduled with the CHECK_* rounds *)
+  mutable fd_handler :
+    (Message.t Engine.ctx -> State.t -> Message.t -> unit) option;
+      (* installed by Fd.Runtime.attach (Config.detector = Heartbeat);
+         receives the Heartbeat/Suspect messages Overlay dispatches —
+         same decoupling as [agg_handler], so lib/core stays free of a
+         dependency on the failure-detection subsystem *)
+  mutable fd_round : (unit -> unit) option;
+      (* the detector's periodic tick, run at the head of every
+         stabilization round so timeout verdicts mark the dirty set the
+         same round drains *)
+  mutable fd_contact : (Node_id.t -> Node_id.t option) option;
+      (* fallback-contact lookup: when installed, {!initiate_join}
+         asks the detector's ring for a contact before falling back to
+         the global oracle — a falsely evicted process re-attaches
+         through peers it already knows *)
 }
 
 let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
@@ -79,6 +94,9 @@ let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
       executor = None;
       agg_handler = None;
       agg_repair = None;
+      fd_handler = None;
+      fd_round = None;
+      fd_contact = None;
     }
   in
   (* Per-message-kind traffic accounting: the engine is polymorphic in
@@ -146,6 +164,23 @@ let alive_ids net =
   List.filter (fun id -> state net id <> None) (Engine.alive_nodes net.engine)
 
 let size net = List.length (alive_ids net)
+
+(* Every id ever spawned, alive or crashed, in id order — the
+   membership log (neither layout ever releases an entry). The failure
+   detector seeds its ring registry here: joins are announced by the
+   join protocol, crashes are not, so knowing who {e joined} is fair
+   game while knowing who {e died} is exactly what the detector must
+   infer (DESIGN.md §13). *)
+let iter_all_ids net f =
+  let ids =
+    match net.states with
+    | S_hashed tbl -> Node_id.Table.fold (fun id _ acc -> id :: acc) tbl []
+    | S_flat fl ->
+        let acc = ref [] in
+        Intern.iter fl.intern (fun id _ -> acc := id :: !acc);
+        !acc
+  in
+  List.iter f (List.sort Node_id.compare ids)
 
 (* {2 Dirty marking and the root-claimant cache}
 
@@ -398,9 +433,19 @@ let oracle net ~exclude =
       | [] -> None
       | ids -> Some (Sim.Rng.pick net.rng ids))
 
-(* Route a (re-)join through the contact oracle. *)
+(* Route a (re-)join through a contact: the detector's fallback ring
+   when one is installed and has a live contact for this joiner, the
+   global oracle otherwise. *)
 let initiate_join net ~joiner ~mbr ~height =
-  match oracle net ~exclude:joiner with
+  let contact =
+    match net.fd_contact with
+    | Some lookup -> (
+        match lookup joiner with
+        | Some c when is_alive net c && not (Node_id.equal c joiner) -> Some c
+        | Some _ | None -> oracle net ~exclude:joiner)
+    | None -> oracle net ~exclude:joiner
+  in
+  match contact with
   | None -> ()
   | Some contact ->
       Engine.inject net.engine ~dst:contact

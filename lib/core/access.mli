@@ -37,6 +37,10 @@ type net = {
   mutable agg_handler :
     (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option;
   mutable agg_repair : (unit -> unit) option;
+  mutable fd_handler :
+    (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option;
+  mutable fd_round : (unit -> unit) option;
+  mutable fd_contact : (Sim.Node_id.t -> Sim.Node_id.t option) option;
 }
 
 val create :
@@ -82,6 +86,14 @@ val confirm_alive : net -> Sim.Node_id.t -> bool
 val alive_ids : net -> Sim.Node_id.t list
 val size : net -> int
 val iter_states : net -> (Sim.Node_id.t -> State.t -> unit) -> unit
+
+val iter_all_ids : net -> (Sim.Node_id.t -> unit) -> unit
+(** Every id ever spawned — alive or crashed — in id order: the
+    membership log (neither store layout releases entries). The
+    failure detector ([lib/fd]) seeds its ring registry from it: joins
+    are announced by the join protocol, so knowing who joined is fair
+    game; knowing who {e died} is what the detector must infer
+    (DESIGN.md §13). *)
 
 (** {2 Dirty marking}
 
@@ -196,4 +208,9 @@ val oracle : net -> exclude:Sim.Node_id.t -> Sim.Node_id.t option
 
 val initiate_join :
   net -> joiner:Sim.Node_id.t -> mbr:Geometry.Rect.t -> height:int -> unit
-(** Route a (re-)join through the contact oracle. *)
+(** Route a (re-)join through a contact node: the failure detector's
+    fallback ring when [fd_contact] is installed and returns a live
+    contact distinct from the joiner, the global oracle otherwise —
+    so under [Config.detector = Heartbeat] a falsely evicted process
+    re-enters through peers it already monitors, with no global
+    knowledge involved (DESIGN.md §13). *)

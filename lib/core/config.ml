@@ -19,6 +19,34 @@ let layout_of_string = function
   | "flat" -> Ok Flat
   | s -> Error (Printf.sprintf "unknown layout %S" s)
 
+type detector =
+  | Oracle
+  | Heartbeat of { period : float; timeout_factor : int; fallbacks : int }
+
+let detector_to_string = function
+  | Oracle -> "oracle"
+  | Heartbeat { period; timeout_factor; fallbacks } ->
+      Printf.sprintf "heartbeat:%g:%d:%d" period timeout_factor fallbacks
+
+let default_heartbeat =
+  Heartbeat { period = 1.0; timeout_factor = 3; fallbacks = 2 }
+
+let detector_of_string s =
+  match s with
+  | "oracle" -> Ok Oracle
+  | "heartbeat" -> Ok default_heartbeat
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "heartbeat"; p; tf; k ] -> (
+          match
+            (float_of_string_opt p, int_of_string_opt tf, int_of_string_opt k)
+          with
+          | Some period, Some timeout_factor, Some fallbacks
+            when period > 0.0 && timeout_factor >= 1 && fallbacks >= 0 ->
+              Ok (Heartbeat { period; timeout_factor; fallbacks })
+          | _ -> Error (Printf.sprintf "bad heartbeat detector spec %S" s))
+      | _ -> Error (Printf.sprintf "unknown detector %S" s))
+
 type t = {
   min_fill : int;
   max_fill : int;
@@ -31,13 +59,14 @@ type t = {
   seen_capacity : int;
   layout : layout;
   domains : int;
+  detector : detector;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
     oracle = Root_oracle; cover_sweep = true; publish_ttl = 128;
     scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096;
-    layout = Flat; domains = 1 }
+    layout = Flat; domains = 1; detector = Oracle }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
@@ -46,7 +75,8 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(scheduler = default.scheduler)
     ?(scan_fraction = default.scan_fraction)
     ?(seen_capacity = default.seen_capacity)
-    ?(layout = default.layout) ?(domains = default.domains) () =
+    ?(layout = default.layout) ?(domains = default.domains)
+    ?(detector = default.detector) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
@@ -59,11 +89,20 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     invalid_arg
       (Printf.sprintf "Drtree.Config.make: domains outside 1..%d"
          Sim.Pool.max_domains);
+  (match detector with
+  | Oracle -> ()
+  | Heartbeat { period; timeout_factor; fallbacks } ->
+      if not (period > 0.0) then
+        invalid_arg "Drtree.Config.make: heartbeat period <= 0";
+      if timeout_factor < 1 then
+        invalid_arg "Drtree.Config.make: heartbeat timeout_factor < 1";
+      if fallbacks < 0 then
+        invalid_arg "Drtree.Config.make: heartbeat fallbacks < 0");
   { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl; scheduler;
-    scan_fraction; seen_capacity; layout; domains }
+    scan_fraction; seen_capacity; layout; domains; detector }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s%s" c.min_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s%s%s" c.min_fill
     c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
     c.publish_ttl
@@ -73,4 +112,8 @@ let pp ppf c =
         Printf.sprintf " sched=incremental(scan=%g)" c.scan_fraction)
     (match c.layout with Flat -> "" | Hashed -> " layout=hashed")
     (if c.domains = 1 then "" else Printf.sprintf " domains=%d" c.domains)
+    (match c.detector with
+    | Oracle -> ""
+    | Heartbeat _ ->
+        Printf.sprintf " detector=%s" (detector_to_string c.detector))
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

@@ -45,6 +45,36 @@ type layout =
 val layout_to_string : layout -> string
 val layout_of_string : string -> (layout, string) result
 
+(** How the overlay learns about departures (DESIGN.md §13). The paper
+    assumes crashes are {e known}; [Oracle] models that assumption,
+    [Heartbeat] removes it. *)
+type detector =
+  | Oracle
+      (** the seed model: [Overlay.crash]/[leave] mark the departed
+          process's neighborhood dirty from the outside, as if a global
+          observer announced every departure. Bit-identical to the
+          pre-detector behavior — no detector message is ever sent. *)
+  | Heartbeat of { period : float; timeout_factor : int; fallbacks : int }
+      (** local failure detection ([lib/fd]): every process sends
+          [Heartbeat] messages each [period] of simulated time to its
+          tree neighbors plus [fallbacks] ring successors/predecessors
+          (chord-style fallback contacts), suspects a monitored peer
+          after [timeout_factor] silent periods (challenging it with a
+          [Suspect] message), and on a confirmed timeout initiates the
+          departure locally — feeding the same [Access.mark] dirty-set
+          path the oracle used, with no global knowledge involved. *)
+
+val detector_to_string : detector -> string
+(** ["oracle"], or ["heartbeat:<period>:<timeout_factor>:<fallbacks>"]. *)
+
+val detector_of_string : string -> (detector, string) result
+(** Accepts ["oracle"], ["heartbeat"] (the default parameters:
+    period 1, timeout factor 3, 2 fallbacks), or the full
+    ["heartbeat:P:T:K"] form {!detector_to_string} emits. *)
+
+val default_heartbeat : detector
+(** [Heartbeat {period = 1.0; timeout_factor = 3; fallbacks = 2}]. *)
+
 type t = {
   min_fill : int;  (** m *)
   max_fill : int;  (** M *)
@@ -88,12 +118,18 @@ type t = {
           domains-differential harness in [lib/mck] enforces exact
           verdict, shape and fingerprint equality across counts — so
           the choice is purely a performance knob. *)
+  detector : detector;
+      (** Departure-detection model. [Oracle] (the default) is the
+          paper's known-crash assumption and is bit-identical to the
+          pre-detector system; [Heartbeat] attaches [lib/fd]'s local
+          heartbeat/timeout detector (DESIGN.md §13). *)
 }
 
 val default : t
 (** [m = 2], [M = 4], quadratic split, root oracle, cover sweep on,
     [publish_ttl = 128], full-sweep scheduler, [scan_fraction = 0.05],
-    [seen_capacity = 4096], flat layout, [domains = 1]. *)
+    [seen_capacity = 4096], flat layout, [domains = 1], oracle
+    detector. *)
 
 val make :
   ?min_fill:int ->
@@ -107,12 +143,14 @@ val make :
   ?seen_capacity:int ->
   ?layout:layout ->
   ?domains:int ->
+  ?detector:detector ->
   unit ->
   t
 (** @raise Invalid_argument if [min_fill < 2],
     [max_fill < 2 * min_fill] ([m >= 2] keeps interior nodes binary
     or wider, matching the R-tree root rule), [publish_ttl < 1],
-    [scan_fraction] outside [0, 1], [seen_capacity < 1], or [domains]
-    outside [1 .. Sim.Pool.max_domains]. *)
+    [scan_fraction] outside [0, 1], [seen_capacity < 1], [domains]
+    outside [1 .. Sim.Pool.max_domains], or a [Heartbeat] detector
+    with [period <= 0], [timeout_factor < 1] or [fallbacks < 0]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -87,6 +87,8 @@ type t =
       partial : agg_partial;
     }
   | Agg_result of { query_id : int; epoch : int; value : float option }
+  | Heartbeat of { from : Node_id.t; seq : int }
+  | Suspect of { suspect : Node_id.t; by : Node_id.t; seq : int }
 
 let tag = function
   | Query _ -> "QUERY"
@@ -105,6 +107,8 @@ let tag = function
   | Agg_subscribe _ -> "AGG_SUBSCRIBE"
   | Agg_partial _ -> "AGG_PARTIAL"
   | Agg_result _ -> "AGG_RESULT"
+  | Heartbeat _ -> "HEARTBEAT"
+  | Suspect _ -> "SUSPECT"
 
 (* {2 Wire codec}
 
@@ -437,6 +441,15 @@ module Codec = struct
         | Some v ->
             add_bool b true;
             add_float b v)
+    | Heartbeat { from; seq } ->
+        put_char b '\016';
+        add_id b from;
+        add_varint b seq
+    | Suspect { suspect; by; seq } ->
+        put_char b '\017';
+        add_id b suspect;
+        add_id b by;
+        add_varint b seq
 
   let read_body s pos =
     match read_byte s pos with
@@ -494,6 +507,15 @@ module Codec = struct
           if read_bool s pos then Some (read_float s pos) else None
         in
         Agg_result { query_id; epoch; value }
+    | 16 ->
+        let from = read_id s pos in
+        let seq = read_varint s pos in
+        Heartbeat { from; seq }
+    | 17 ->
+        let suspect = read_id s pos in
+        let by = read_id s pos in
+        let seq = read_varint s pos in
+        Suspect { suspect; by; seq }
     | t -> err "unknown message tag %d" t
 
   let encode msg =
@@ -561,3 +583,8 @@ let pp ppf = function
   | Agg_result { query_id; epoch; value } ->
       Format.fprintf ppf "AGG_RESULT(q%d,e%d,%s)" query_id epoch
         (match value with None -> "none" | Some v -> Format.sprintf "%g" v)
+  | Heartbeat { from; seq } ->
+      Format.fprintf ppf "HEARTBEAT(from %a,seq=%d)" Node_id.pp from seq
+  | Suspect { suspect; by; seq } ->
+      Format.fprintf ppf "SUSPECT(%a,by %a,seq=%d)" Node_id.pp suspect
+        Node_id.pp by seq

@@ -122,6 +122,17 @@ type t =
   | Agg_result of { query_id : int; epoch : int; value : float option }
       (** finalized aggregate, root to query owner; [None] when no
           event matched (MIN/MAX/AVG of an empty set) *)
+  | Heartbeat of { from : Sim.Node_id.t; seq : int }
+      (** [lib/fd]: "I am alive" — sent each detector period to the
+          sender's monitored peers (tree neighbors plus fallback-ring
+          contacts), and immediately in reply to a [Suspect]
+          challenge. [seq] is the sender's wave counter. *)
+  | Suspect of { suspect : Sim.Node_id.t; by : Sim.Node_id.t; seq : int }
+      (** [lib/fd]: [by] has seen [timeout_factor] silent periods from
+          [suspect] and challenges it before the confirmed-dead
+          verdict; a live recipient answers with a [Heartbeat] and
+          re-checks its own attachment (it may have been evicted
+          elsewhere on the same evidence). *)
 
 val pp : Format.formatter -> t -> unit
 val tag : t -> string

@@ -92,6 +92,13 @@ let handle (ov : t) ctx msg =
                  messages are inert. *)
               match ov.Access.agg_handler with
               | Some h -> h ctx sp msg
+              | None -> ())
+          | Message.Heartbeat _ | Message.Suspect _ -> (
+              (* Failure detection is likewise optional (lib/fd,
+                 Config.detector = Heartbeat); under the oracle model
+                 its messages are inert. *)
+              match ov.Access.fd_handler with
+              | Some h -> h ctx sp msg
               | None -> ()))
 
 (* --- Membership drivers -------------------------------------------------- *)
@@ -140,24 +147,30 @@ let mark_departure (ov : t) id =
                 l.State.children
       done
 
+(* The one departure path: every exit flavor — voluntary leaves, known
+   crashes, and the failure detector's confirmed-dead verdicts — ends
+   here, so detector-driven departures are literally the oracle's code
+   path minus the external marking. [mark = false] models a silent
+   crash: nobody is told, the dirty set stays untouched, and only
+   detection (lib/fd under Heartbeat, or the background scan lane) can
+   surface the hole. *)
+let depart ?(mark = true) (ov : t) id =
+  if mark then mark_departure ov id;
+  Engine.kill ov.Access.engine id;
+  Access.refresh_claimant ov id
+
 let leave (ov : t) id =
   Membership.leave_notify ov id;
-  mark_departure ov id;
-  Engine.kill ov.Access.engine id;
-  Access.refresh_claimant ov id;
+  depart ov id;
   run ov
 
 let leave_reconnect (ov : t) id =
   Membership.leave_handover ov id;
-  mark_departure ov id;
-  Engine.kill ov.Access.engine id;
-  Access.refresh_claimant ov id;
+  depart ov id;
   run ov
 
-let crash (ov : t) id =
-  mark_departure ov id;
-  Engine.kill ov.Access.engine id;
-  Access.refresh_claimant ov id
+let crash (ov : t) id = depart ov id
+let crash_silent (ov : t) id = depart ~mark:false ov id
 
 (* --- Publication --------------------------------------------------------- *)
 
@@ -387,6 +400,10 @@ let full_equivalent_par (ov : t) pool =
    transactions (cover exchange, compaction, root handover) remain
    atomic locked exchanges in both modes. *)
 let round_body (ov : t) ~mode =
+  (* The failure detector's tick runs first, so timeout verdicts mark
+     the dirty set this round's plan drains — detection-to-repair
+     latency is one round, not two. Inert under the oracle detector. *)
+  (match ov.Access.fd_round with Some f -> f () | None -> ());
   let plan, queue_depth = round_plan ov in
   let tele = ov.Access.tele in
   let pool = ov.Access.pool in
@@ -550,3 +567,9 @@ let fp_swap_round = Dissemination.fp_swap_round
 
 let set_agg_handler (ov : t) h = ov.Access.agg_handler <- h
 let set_agg_repair (ov : t) r = ov.Access.agg_repair <- r
+
+(* --- Failure-detection hooks ----------------------------------------------- *)
+
+let set_fd_handler (ov : t) h = ov.Access.fd_handler <- h
+let set_fd_round (ov : t) r = ov.Access.fd_round <- r
+let set_fd_contact (ov : t) c = ov.Access.fd_contact <- c

@@ -62,7 +62,17 @@ val leave_reconnect : t -> Sim.Node_id.t -> unit
 
 val crash : t -> Sim.Node_id.t -> unit
 (** Uncontrolled departure: the process dies silently. No messages.
-    Stabilization must detect and repair. *)
+    Stabilization must detect and repair. The neighborhood is still
+    marked dirty from the outside (the paper's known-crash
+    assumption, [Config.detector = Oracle]). *)
+
+val crash_silent : t -> Sim.Node_id.t -> unit
+(** {!crash} without the oracle's dirty marks: nobody is told. Under
+    [Config.detector = Heartbeat] the failure detector must notice
+    the silence and initiate the departure itself; under the oracle
+    model only the incremental scheduler's background scan lane (or a
+    full sweep) finds the hole. This is the crash the fuzz harness
+    injects in heartbeat mode (DESIGN.md §13). *)
 
 (** {2 State access (read-only views; for checkers, metrics, fault
     injection)} *)
@@ -231,3 +241,20 @@ val set_agg_handler :
   t -> (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option -> unit
 
 val set_agg_repair : t -> (unit -> unit) option -> unit
+
+(** {2 Failure-detection hooks}
+
+    Same pattern for the failure-detection subsystem ([lib/fd],
+    DESIGN.md §13): [Fd.Runtime.attach] installs a handler for the
+    [Heartbeat]/[Suspect] dispatches, a per-round tick the round
+    drivers call {e before} planning (so timeout verdicts mark the
+    dirty set the same round drains), and a fallback-contact lookup
+    {!Access.initiate_join} consults before the global oracle. All
+    [None] under [Config.detector = Oracle] — the bit-identical
+    default. *)
+
+val set_fd_handler :
+  t -> (Message.t Sim.Engine.ctx -> State.t -> Message.t -> unit) option -> unit
+
+val set_fd_round : t -> (unit -> unit) option -> unit
+val set_fd_contact : t -> (Sim.Node_id.t -> Sim.Node_id.t option) option -> unit

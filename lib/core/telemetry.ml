@@ -81,6 +81,17 @@ type t = {
   mutable agg_stale : int;
   mutable agg_epochs : agg_epoch_report list; (* newest first *)
   mutable agg_mark : (int * (int * int * int)) option;
+  mutable fd_suspicions : int;
+  mutable fd_false_suspicions : int;
+      (* suspicions raised against a process that was in fact alive *)
+  mutable fd_confirms : int;
+  mutable fd_false_kills : int;
+      (* confirmed-dead verdicts whose target was in fact alive *)
+  mutable fd_latency_sum : float;
+  mutable fd_latency_max : float;
+  mutable fd_latency_count : int;
+      (* detection latency: simulated time from a true crash to its
+         confirmed-dead verdict, over true confirms only *)
 }
 
 let create () =
@@ -100,6 +111,13 @@ let create () =
     agg_stale = 0;
     agg_epochs = [];
     agg_mark = None;
+    fd_suspicions = 0;
+    fd_false_suspicions = 0;
+    fd_confirms = 0;
+    fd_false_kills = 0;
+    fd_latency_sum = 0.0;
+    fd_latency_max = 0.0;
+    fd_latency_count = 0;
   }
 
 (* {2 State probes} *)
@@ -223,6 +241,43 @@ let reset_agg t =
   t.agg_stale <- 0;
   t.agg_epochs <- [];
   t.agg_mark <- None
+
+(* {2 Failure-detection counters (lib/fd)} *)
+
+let record_fd_suspicion t ~false_positive =
+  t.fd_suspicions <- t.fd_suspicions + 1;
+  if false_positive then
+    t.fd_false_suspicions <- t.fd_false_suspicions + 1
+
+let record_fd_confirm t ~false_kill ~latency =
+  t.fd_confirms <- t.fd_confirms + 1;
+  if false_kill then t.fd_false_kills <- t.fd_false_kills + 1
+  else begin
+    t.fd_latency_sum <- t.fd_latency_sum +. latency;
+    t.fd_latency_max <- Float.max t.fd_latency_max latency;
+    t.fd_latency_count <- t.fd_latency_count + 1
+  end
+
+let fd_suspicions t = t.fd_suspicions
+let fd_false_suspicions t = t.fd_false_suspicions
+let fd_confirms t = t.fd_confirms
+let fd_false_kills t = t.fd_false_kills
+
+let fd_mean_detection_latency t =
+  if t.fd_latency_count = 0 then None
+  else Some (t.fd_latency_sum /. float_of_int t.fd_latency_count)
+
+let fd_max_detection_latency t =
+  if t.fd_latency_count = 0 then None else Some t.fd_latency_max
+
+let reset_fd t =
+  t.fd_suspicions <- 0;
+  t.fd_false_suspicions <- 0;
+  t.fd_confirms <- 0;
+  t.fd_false_kills <- 0;
+  t.fd_latency_sum <- 0.0;
+  t.fd_latency_max <- 0.0;
+  t.fd_latency_count <- 0
 
 (* {2 False-positive interest counters (§3.2 dynamic reorganization)} *)
 

@@ -159,6 +159,33 @@ val last_agg_epoch : t -> agg_epoch_report option
 val reset_agg : t -> unit
 val pp_agg_epoch : Format.formatter -> agg_epoch_report -> unit
 
+(** {2 Failure-detection counters}
+
+    Fed by [lib/fd]'s heartbeat/timeout detector (DESIGN.md §13).
+    Suspicions count timeout verdicts (a monitored peer missed
+    [timeout_factor] periods); confirms count the confirmed-dead
+    verdicts that actually initiated a departure. Both are classified
+    against ground-truth liveness — instrumentation only, never
+    consulted by the protocol — so false suspicions (the peer was
+    alive) and false kills are first-class metrics. Detection latency
+    is simulated time from the monitor's last evidence of life to the
+    confirm, accumulated over true confirms only. Heartbeat byte
+    overhead needs no dedicated counter: the per-kind traffic table
+    above picks up [HEARTBEAT]/[SUSPECT] like any other kind. *)
+
+val record_fd_suspicion : t -> false_positive:bool -> unit
+val record_fd_confirm : t -> false_kill:bool -> latency:float -> unit
+val fd_suspicions : t -> int
+val fd_false_suspicions : t -> int
+val fd_confirms : t -> int
+val fd_false_kills : t -> int
+
+val fd_mean_detection_latency : t -> float option
+(** [None] until the first true confirm. *)
+
+val fd_max_detection_latency : t -> float option
+val reset_fd : t -> unit
+
 (** {2 False-positive interest counters (§3.2)}
 
     One counter per held set instance [(holder, height)]: how many

@@ -96,7 +96,7 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
   let cfg =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
       ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler
-      ~layout:tr.Trace.layout ~domains ()
+      ~layout:tr.Trace.layout ~detector:tr.Trace.detector ~domains ()
   in
   let transport =
     match tr.Trace.transport with
@@ -131,6 +131,15 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
   (* Attached on the first Agg_query op; traces without one never pay
      for the aggregation runtime. *)
   let agg = lazy (Agg.Runtime.attach ov) in
+  (* Heartbeat traces run the failure detector: Crash ops turn silent
+     (nobody is told — the detector must notice), and the run
+     additionally asserts the crash-convergence property at the end. *)
+  let fd =
+    match tr.Trace.detector with
+    | Drtree.Config.Oracle -> None
+    | Drtree.Config.Heartbeat _ -> Some (Fd.Runtime.attach ov)
+  in
+  let victims = ref [] in
   let dirty = ref false in
   let failure = ref None in
   let fail at fmt =
@@ -224,7 +233,12 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
             | Trace.Crash idx ->
                 if O.size ov > 2 then begin
                   (match victim idx with
-                  | Some v -> O.crash ov v
+                  | Some v ->
+                      if fd = None then O.crash ov v
+                      else begin
+                        O.crash_silent ov v;
+                        victims := v :: !victims
+                      end
                   | None -> ());
                   dirty := true
                 end
@@ -267,6 +281,36 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
     let n = O.size ov in
     if faulty then Schedule.uninstall eng;
     guard `Final (fun () ->
+        (* Crash convergence (DESIGN.md §13): with reliable delivery
+           restored, every silently crashed process must be confirmed
+           dead — each stabilization round emits at most one heartbeat
+           wave, so [timeout_factor + 1] waves convict; the budget
+           leaves generous slack. Ring monitors are what survive the
+           structural heal (the registry drops a member only on
+           conviction), so conviction is guaranteed only with
+           [fallbacks > 0]. *)
+        (match (fd, tr.Trace.detector) with
+        | ( Some rt,
+            Drtree.Config.Heartbeat { timeout_factor; fallbacks; _ } )
+          when !victims <> [] && fallbacks > 0 ->
+            let unconfirmed () =
+              List.filter
+                (fun v -> not (Fd.Runtime.is_confirmed rt v))
+                !victims
+            in
+            let budget = round_bound n + (4 * (timeout_factor + 2)) in
+            let r = ref 0 in
+            while unconfirmed () <> [] && !r < budget do
+              incr r;
+              stabilize_rounds 1
+            done;
+            let missing = unconfirmed () in
+            if missing <> [] then
+              fail `Final
+                "detector: %d crashed process(es) never confirmed within %d \
+                 rounds"
+                (List.length missing) budget
+        | _ -> ());
         let budget = round_bound n in
         let converged =
           match tr.Trace.mode with
@@ -334,6 +378,15 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
             end)
   end;
   Schedule.uninstall eng;
+  (* At drop 0 no live process is ever convicted: a challenged suspect
+     answers within the same round's drain, so any false kill on a
+     clean trace — hostile reorderings included — is a detector bug. *)
+  (match fd with
+  | Some _ when not faulty ->
+      let fk = Drtree.Telemetry.fd_false_kills (O.telemetry ov) in
+      if fk > 0 then
+        fail `Final "detector: %d false kill(s) under reliable delivery" fk
+  | _ -> ());
   (* The wire codec is total: any frame the decoder rejected is a codec
      bug, and a counterexample regardless of what else happened. *)
   let errs = Sim.Engine.decode_errors eng in
@@ -540,7 +593,8 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     ?(transport = Trace.Inproc) ?(sched = Schedule.Random) ?(drop = 0.0)
     ?(dup = 0.0) ?(cover_sweep = true)
     ?(scheduler = Drtree.Config.Full_sweep)
-    ?(layout = Drtree.Config.Flat) () =
+    ?(layout = Drtree.Config.Flat)
+    ?(detector = Drtree.Config.Oracle) () =
   let seed = 1 + Rng.int rng 1_000_000 in
   let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
   {
@@ -555,6 +609,7 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     cover_sweep;
     scheduler;
     layout;
+    detector;
     prelude = List.init n_pre (fun _ -> random_rect rng);
     ops = List.init ops (fun _ -> random_op rng);
   }

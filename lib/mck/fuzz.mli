@@ -29,7 +29,17 @@
 
     Traces with [drop > 0] or [dup > 0] ("faulty") only assert the
     no-exception and final-convergence clauses: a dropped JOIN
-    legitimately strands the joiner until stabilization. *)
+    legitimately strands the joiner until stabilization.
+
+    {b Heartbeat traces} ([Trace.detector = Heartbeat _], DESIGN.md
+    §13) additionally run the failure detector: [Crash] ops are
+    injected {e silently} ({!Drtree.Overlay.crash_silent} — nobody is
+    told), and the final phase asserts the crash-convergence
+    property — with reliable delivery restored, every crashed process
+    is confirmed dead by its monitors within a detection budget (ring
+    monitors require [fallbacks > 0]), and on traces that were never
+    faulty zero live processes were ever convicted (a challenged
+    suspect answers within the same round's drain). *)
 
 type location = [ `Prelude of int | `Op of int | `Final ]
 
@@ -153,6 +163,7 @@ val random_trace :
   ?cover_sweep:bool ->
   ?scheduler:Drtree.Config.scheduler ->
   ?layout:Drtree.Config.layout ->
+  ?detector:Drtree.Config.detector ->
   unit ->
   Trace.t
 (** A random trace: a prelude of 3 to [nodes] joins, then [ops]

@@ -40,6 +40,7 @@ type t = {
   cover_sweep : bool;
   scheduler : Drtree.Config.scheduler;
   layout : Drtree.Config.layout;
+  detector : Drtree.Config.detector;
   prelude : R.t list;
   ops : op list;
 }
@@ -59,13 +60,14 @@ let pp_op ppf = function
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>seed=%d mode=%s transport=%s m=%d M=%d sched=%a drop=%g dup=%g \
-     cover_sweep=%b scheduler=%s layout=%s@,\
+     cover_sweep=%b scheduler=%s layout=%s detector=%s@,\
      prelude (%d joins):@,%a@,ops (%d):@,%a@]"
     t.seed (mode_to_string t.mode)
     (transport_to_string t.transport)
     t.min_fill t.max_fill Schedule.pp_kind t.sched t.drop t.dup t.cover_sweep
     (Drtree.Config.scheduler_to_string t.scheduler)
     (Drtree.Config.layout_to_string t.layout)
+    (Drtree.Config.detector_to_string t.detector)
     (List.length t.prelude)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf r ->
          Format.fprintf ppf "  join %a" R.pp r))
@@ -116,6 +118,7 @@ let to_string t =
   line "cover_sweep %s" (if t.cover_sweep then "on" else "off");
   line "scheduler %s" (Drtree.Config.scheduler_to_string t.scheduler);
   line "layout %s" (Drtree.Config.layout_to_string t.layout);
+  line "detector %s" (Drtree.Config.detector_to_string t.detector);
   List.iter (fun r -> line "prelude %s" (rect_str r)) t.prelude;
   List.iter (fun o -> line "%s" (op_str o)) t.ops;
   line "end";
@@ -134,6 +137,7 @@ let default =
     cover_sweep = true;
     scheduler = Drtree.Config.Full_sweep;
     layout = Drtree.Config.Flat;
+    detector = Drtree.Config.Oracle;
     prelude = [];
     ops = [];
   }
@@ -228,6 +232,10 @@ let of_string s =
             | [ "layout"; v ] -> (
                 match Drtree.Config.layout_of_string v with
                 | Ok l -> t := { !t with layout = l }
+                | Error e -> fail "%s: %s" ctx e)
+            | [ "detector"; v ] -> (
+                match Drtree.Config.detector_of_string v with
+                | Ok d -> t := { !t with detector = d }
                 | Error e -> fail "%s: %s" ctx e)
             | "prelude" :: rest -> prelude := parse_rect ctx rest :: !prelude
             | "op" :: rest -> ops := parse_op ctx rest :: !ops

@@ -64,6 +64,14 @@ type t = {
           [Flat] (backward-compatible — the layouts are held
           observationally identical by the layout differential, so old
           counterexamples replay unchanged) *)
+  detector : Drtree.Config.detector;
+      (** which failure detector the replayed overlay runs
+          (DESIGN.md §13); traces without a [detector] line parse as
+          [Oracle] (backward-compatible — the paper's known-crash
+          model, and the bit-identical default). Under [Heartbeat _]
+          the fuzzer attaches [Fd.Runtime], injects [Crash] ops {e
+          silently} ({!Drtree.Overlay.crash_silent}) and additionally
+          asserts the crash-convergence property — see {!Fuzz}. *)
   prelude : Geometry.Rect.t list;
   ops : op list;
 }
@@ -71,7 +79,7 @@ type t = {
 val default : t
 (** Seed 1, shared mode, inproc transport, [m = 2], [M = 4], FIFO
     schedule, no faults, cover sweep on, full-sweep scheduler, flat
-    layout, empty prelude and ops. *)
+    layout, oracle detector, empty prelude and ops. *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

@@ -142,7 +142,7 @@ let effective_drop t bytes =
       if bytes <= 0 then t.drop_rate
       else 1.0 -. ((1.0 -. t.drop_rate) ** float_of_int bytes)
 
-let enqueue t src dst msg =
+let enqueue ?delay t src dst msg =
   let is_self =
     match src with Some s -> Node_id.equal s dst | None -> false
   in
@@ -171,13 +171,19 @@ let enqueue t src dst msg =
     t.bytes_lost <- t.bytes_lost + bytes
   end
   else begin
-    let delay = sample_latency t in
+    let delay =
+      match delay with Some d -> d | None -> sample_latency t
+    in
     t.seq <- t.seq + 1;
     Heap.add t.queue ~priority:(t.time +. delay) ~seq:t.seq
       { src; dst; msg; frame; bytes }
   end
 
 let inject t ~dst msg = enqueue t None dst msg
+
+let inject_delayed t ~delay ~dst msg =
+  if delay < 0.0 then invalid_arg "Engine.inject_delayed: negative delay";
+  enqueue ~delay t None dst msg
 
 let self ctx = ctx.id
 let engine ctx = ctx.eng

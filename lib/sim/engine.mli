@@ -89,6 +89,17 @@ val inject : 'm t -> dst:Node_id.t -> 'm -> unit
     stabilization rounds. Counted as a message (and framed under a
     [Wire] transport, like any inter-process message). *)
 
+val inject_delayed : 'm t -> delay:float -> dst:Node_id.t -> 'm -> unit
+(** [inject_delayed t ~delay ~dst m] is {!inject} with an explicit
+    delivery delay replacing the link latency: [m] arrives at
+    [now t +. delay]. The timer primitive for periodic protocols (the
+    failure detector schedules each heartbeat wave one period ahead
+    with it). Loss, framing, byte accounting and metering apply
+    exactly as for {!inject}; the latency sampler is simply not
+    consulted (so under [Uniform] latency a delayed injection spends
+    no jitter draw).
+    @raise Invalid_argument if [delay] is negative. *)
+
 val run : ?max_events:int -> 'm t -> [ `Quiescent | `Limit ]
 (** Process queued events until none remain ([`Quiescent]) or
     [max_events] have fired ([`Limit], default 10 million — a runaway

@@ -124,7 +124,7 @@ let gen_height = Gen.int_range 0 12
 let gen_hops = Gen.int_range 0 128
 
 (* Every variant, roughly evenly: the round-trip property must cover
-   all 16 tags, and the shrinker benefits from the simple ones. *)
+   all 18 tags, and the shrinker benefits from the simple ones. *)
 let gen_message =
   let open Gen in
   oneof
@@ -168,6 +168,11 @@ let gen_message =
       ( int_range 0 1000 >>= fun query_id ->
         int_range 0 10_000 >>= fun epoch ->
         option gen_coord >|= fun value -> M.Agg_result { query_id; epoch; value } );
+      ( gen_id >>= fun from ->
+        int_range 0 10_000 >|= fun seq -> M.Heartbeat { from; seq } );
+      ( gen_id >>= fun suspect ->
+        gen_id >>= fun by ->
+        int_range 0 10_000 >|= fun seq -> M.Suspect { suspect; by; seq } );
     ]
 
 (* Structural [=] is almost right — Message.t is immutable structural
@@ -247,8 +252,8 @@ let test_rejects_garbage () =
   check_bool "short prefix" true (err "\x00\x00");
   check_bool "prefix without body" true (err "\x00\x00\x00\x05");
   check_bool "length overclaims" true (err "\x00\x00\x00\xff\x05\x03");
-  (* tag 16 is unassigned: length 1, tag byte \x10 *)
-  check_bool "unknown tag" true (err "\x00\x00\x00\x01\x10");
+  (* tag 18 is unassigned: length 1, tag byte \x12 *)
+  check_bool "unknown tag" true (err "\x00\x00\x00\x01\x12");
   (* Check_mbr with a count-bomb in place of a varint is impossible
      (fixed shape), but a Report advertising 2^60 levels must be
      rejected by the remaining-bytes bound, not attempted. *)
@@ -279,6 +284,82 @@ let test_rejects_garbage () =
     Buffer.contents frame
   in
   check_bool "hostile level count" true (err bomb)
+
+(* Satellite of the failure-detector PR, but a format-wide guarantee:
+   every constructor owns its own wire tag byte, and the codec is
+   total over the full constructor set. The exemplar list below is
+   pinned exhaustive by [ctor_index] — adding a Message.t constructor
+   without a new exemplar (and tag arms) is a compile error under the
+   zero-warnings policy. *)
+let test_tags_unique_and_total () =
+  let r = R.make2 ~x0:0.0 ~y0:0.0 ~x1:1.0 ~y1:1.0 in
+  let snap = { M.responder = 1; top = 0; filter = r; levels = [] } in
+  let q =
+    { M.query_id = 1; q_rect = r; q_fn = M.Sum; q_tct = 0.0; q_owner = 1 }
+  in
+  let partial = { M.a_count = 1; a_sum = 1.0; a_min = 1.0; a_max = 1.0 } in
+  let exemplars =
+    [
+      M.Query { asker = 1 };
+      M.Report { snapshot = snap };
+      M.Join { joiner = 1; mbr = r; height = 0; phase = `Up; hops = 0 };
+      M.Add_child { child = 1; mbr = r; height = 0; hops = 0 };
+      M.Leave { who = 1; height = 0 };
+      M.Check_mbr 0;
+      M.Check_parent 0;
+      M.Check_children 0;
+      M.Check_cover 0;
+      M.Check_structure 0;
+      M.Cover_sweep 0;
+      M.Initiate_new_connection 0;
+      M.Publish
+        {
+          event_id = 0;
+          point = P.make2 0.5 0.5;
+          at = 0;
+          from_child = None;
+          going_up = true;
+          hops = 0;
+        };
+      M.Agg_subscribe { query = q; hops = 0 };
+      M.Agg_partial { query_id = 1; epoch = 0; child = 1; at = 0; partial };
+      M.Agg_result { query_id = 1; epoch = 0; value = None };
+      M.Heartbeat { from = 1; seq = 0 };
+      M.Suspect { suspect = 1; by = 2; seq = 0 };
+    ]
+  in
+  let ctor_index : M.t -> int = function
+    | M.Query _ -> 0
+    | M.Report _ -> 1
+    | M.Join _ -> 2
+    | M.Add_child _ -> 3
+    | M.Leave _ -> 4
+    | M.Check_mbr _ -> 5
+    | M.Check_parent _ -> 6
+    | M.Check_children _ -> 7
+    | M.Check_cover _ -> 8
+    | M.Check_structure _ -> 9
+    | M.Cover_sweep _ -> 10
+    | M.Initiate_new_connection _ -> 11
+    | M.Publish _ -> 12
+    | M.Agg_subscribe _ -> 13
+    | M.Agg_partial _ -> 14
+    | M.Agg_result _ -> 15
+    | M.Heartbeat _ -> 16
+    | M.Suspect _ -> 17
+  in
+  let covered = List.sort_uniq compare (List.map ctor_index exemplars) in
+  check_int "one exemplar per constructor" 18 (List.length covered);
+  (* The tag byte sits right after the u32 length prefix. *)
+  let tags = List.map (fun m -> (M.Codec.encode m).[4]) exemplars in
+  check_int "tag bytes pairwise unique" (List.length exemplars)
+    (List.length (List.sort_uniq Char.compare tags));
+  List.iter
+    (fun m ->
+      match M.Codec.decode (M.Codec.encode m) with
+      | Ok m' -> check_bool (M.tag m ^ " round-trips") true (msg_equal m m')
+      | Error e -> Alcotest.failf "decode failed for %s: %s" (M.tag m) e)
+    exemplars
 
 let test_known_frames () =
   (* A fixed-shape message has a stable tiny frame: u32 length, tag,
@@ -336,6 +417,8 @@ let () =
           Alcotest.test_case "unbounded rect / empty set" `Quick
             test_infinite_rect_roundtrip;
           Alcotest.test_case "known frames" `Quick test_known_frames;
+          Alcotest.test_case "tag bytes unique and total" `Quick
+            test_tags_unique_and_total;
         ] );
       ( "adversarial",
         [

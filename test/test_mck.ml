@@ -207,6 +207,7 @@ let exemplar =
     cover_sweep = false;
     scheduler = Drtree.Config.Incremental;
     layout = Drtree.Config.Hashed;
+    detector = Drtree.Config.Oracle;
     prelude = [ rect 1.5 2.25 8.75 9.125; rect 0.1 0.2 0.3 0.4 ];
     ops =
       [
