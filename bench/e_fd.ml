@@ -14,12 +14,7 @@ open Harness
 
 (* Override the populations for a CI smoke run with e.g.
    DRTREE_E28_SIZES=256. *)
-let e28_sizes () =
-  match Sys.getenv_opt "DRTREE_E28_SIZES" with
-  | None -> [ 256; 1024 ]
-  | Some s ->
-      String.split_on_char ',' s
-      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
+let e28_sizes () = sizes_of_env "DRTREE_E28_SIZES" ~default:[ 256; 1024 ]
 
 (* (timeout_factor, drop): patience × loss. Lossy cells only run on
    the wire transport — Inproc delivery is reliable by construction.

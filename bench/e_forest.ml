@@ -1,0 +1,124 @@
+(* E29: sharded rendezvous forest (DESIGN.md §14) — per-root event
+   load and publish cost vs shard count, on a clustered subscription
+   workload under a Zipf-skewed event distribution (the hot-spot
+   regime where a single designated root is the bottleneck). The same
+   seeds build the same population and publish the same events at
+   every shard count, so the per-root load columns are directly
+   comparable; the run {e asserts} that the busiest root's load
+   strictly decreases as shards are added while delivery stays exact
+   (zero false negatives — the report's matched set is the
+   brute-force containment scan). Registration lives in
+   [Experiments.register]. *)
+
+module O = Drtree.Overlay
+module Cfg = Drtree.Config
+module Rng = Sim.Rng
+module Sg = Workload.Subscription_gen
+module Eg = Workload.Event_gen
+module Table = Stats.Table
+open Harness
+
+(* Override the populations for a CI smoke run with e.g.
+   DRTREE_E29_SIZES=256. *)
+let e29_sizes () = sizes_of_env "DRTREE_E29_SIZES" ~default:[ 1024; 4096 ]
+let e29_shard_counts = [ 1; 2; 4; 8 ]
+let e29_events = 200
+
+type e29_obs = {
+  f_height : int;  (** tallest tree of the forest *)
+  f_roots : int;  (** shards with a designated root *)
+  f_max_load : int;  (** events received by the busiest root *)
+  f_mean_load : float;  (** mean over shards that have a root *)
+  f_fn : int;  (** false negatives over the whole batch *)
+  f_msgs : float;  (** messages per event *)
+  f_rate : float;  (** published events per wall second *)
+}
+
+let e29_run ~n ~shards =
+  let forest = if shards = 1 then Cfg.Single else Cfg.Sharded { shards } in
+  let cfg = Cfg.make ~forest () in
+  (* Same subscription/event/publisher seeds at every shard count:
+     only the forest shape varies across a row group. *)
+  let rng = Rng.make (29000 + n) in
+  let rects = Sg.clustered () space rng n in
+  let ov = build_overlay ~cfg ~seed:(29 + n) rects in
+  let points = Eg.zipf_grid () space (Rng.make (2900 + n)) e29_events in
+  let ids = O.alive_ids ov in
+  let prng = Rng.make (290 + n) in
+  (* Designated roots are stable across a publish-only batch. *)
+  let roots = Array.of_list (O.shard_roots ov) in
+  let loads = Array.make (Array.length roots) 0 in
+  let fn = ref 0 and msgs = ref 0 in
+  let t0 = now () in
+  List.iter
+    (fun p ->
+      let report = O.publish ov ~from:(Rng.pick prng ids) p in
+      fn := !fn + report.O.false_negatives;
+      msgs := !msgs + report.O.messages;
+      Array.iteri
+        (fun s root ->
+          match root with
+          | Some r when Sim.Node_id.Set.mem r report.O.received ->
+              loads.(s) <- loads.(s) + 1
+          | Some _ | None -> ())
+        roots)
+    points;
+  let wall = now () -. t0 in
+  let rooted =
+    Array.to_list roots |> List.filter (fun r -> r <> None) |> List.length
+  in
+  let max_load = Array.fold_left max 0 loads in
+  let total_load = Array.fold_left ( + ) 0 loads in
+  {
+    f_height = O.height ov;
+    f_roots = rooted;
+    f_max_load = max_load;
+    f_mean_load =
+      (if rooted = 0 then 0.0
+       else float_of_int total_load /. float_of_int rooted);
+    f_fn = !fn;
+    f_msgs = float_of_int !msgs /. float_of_int e29_events;
+    f_rate = (if wall > 0.0 then float_of_int e29_events /. wall else nan);
+  }
+
+let e29 () =
+  let table =
+    Table.create
+      ~title:"E29  rendezvous forest: per-root load vs shard count"
+      ~columns:
+        [
+          "N"; "shards"; "roots"; "height"; "max root load"; "mean root load";
+          "FN"; "msgs/event"; "events/s";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let prev = ref max_int in
+      List.iter
+        (fun shards ->
+          let r = e29_run ~n ~shards in
+          if r.f_fn <> 0 then
+            failwith
+              (Printf.sprintf
+                 "E29: %d false negative(s) at N=%d shards=%d — cross-shard \
+                  fan-out lost deliveries"
+                 r.f_fn n shards);
+          if r.f_max_load >= !prev then
+            failwith
+              (Printf.sprintf
+                 "E29: max root load %d at N=%d shards=%d did not drop \
+                  (previous shard count saw %d)"
+                 r.f_max_load n shards !prev);
+          prev := r.f_max_load;
+          Table.add_rowf table "%d|%d|%d|%d|%d|%.1f|%d|%.1f|%.0f" n shards
+            r.f_roots r.f_height r.f_max_load r.f_mean_load r.f_fn r.f_msgs
+            r.f_rate)
+        e29_shard_counts)
+    (e29_sizes ());
+  Table.print table;
+  Format.printf
+    "sharding the rendezvous splits the hot spot: the busiest root's event \
+     load strictly drops at every shard doubling while delivery stays exact \
+     (zero false negatives, matched = brute-force containment) — the \
+     single-root bottleneck of the paper's model is a forest knob away \
+     (DESIGN.md §14)@."

@@ -15,11 +15,8 @@ open Harness
    §11, the library default); override the populations for a CI smoke
    run with e.g. DRTREE_E23_SIZES=1024,4096. *)
 let e23_sizes () =
-  match Sys.getenv_opt "DRTREE_E23_SIZES" with
-  | None -> [ 1024; 2048; 4096; 8192; 16384; 65536 ]
-  | Some s ->
-      String.split_on_char ',' s
-      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
+  sizes_of_env "DRTREE_E23_SIZES"
+    ~default:[ 1024; 2048; 4096; 8192; 16384; 65536 ]
 
 let e23 () =
   let table =
@@ -61,11 +58,7 @@ let e23 () =
 type e26_phase = { wall : float; execs : int; skipped : int }
 
 let e26_sizes () =
-  match Sys.getenv_opt "DRTREE_E26_SIZES" with
-  | None -> [ 1024; 4096; 8192 ]
-  | Some s ->
-      String.split_on_char ',' s
-      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
+  sizes_of_env "DRTREE_E26_SIZES" ~default:[ 1024; 4096; 8192 ]
 
 let e26_quiescent_rounds = 10
 
@@ -194,12 +187,7 @@ let e26 () =
 let e27_domain_counts = [ 1; 2; 4; 8 ]
 let e27_quiescent_rounds = 10
 
-let e27_sizes () =
-  match Sys.getenv_opt "DRTREE_E27_SIZES" with
-  | None -> [ 4096; 16384 ]
-  | Some s ->
-      String.split_on_char ',' s
-      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
+let e27_sizes () = sizes_of_env "DRTREE_E27_SIZES" ~default:[ 4096; 16384 ]
 
 type e27_obs = {
   o_build : float;

@@ -15,7 +15,9 @@
                     flooding under the TiNA tolerance, error under
                     churn/loss
      E_fd         — heartbeat failure detection (lib/fd): latency,
-                    repair completion, heartbeat overhead *)
+                    repair completion, heartbeat overhead
+     E_forest     — sharded rendezvous forest (DESIGN.md §14):
+                    per-root load vs shard count *)
 
 let register () =
   Harness.register "E1" "height is O(log_m N)" E_structure.e1;
@@ -52,4 +54,6 @@ let register () =
     E_scale.e26;
   Harness.register "E27" "domain-parallel round execution" E_scale.e27;
   Harness.register "E28" "heartbeat failure detection: latency and overhead"
-    E_fd.e28
+    E_fd.e28;
+  Harness.register "E29" "rendezvous forest: per-root load vs shard count"
+    E_forest.e29

@@ -10,6 +10,17 @@ module Rng = Sim.Rng
 
 let space = Workload.Space.default
 let n_sweep = [ 64; 128; 256; 512; 1024; 2048 ]
+
+(* CI smoke runs override an experiment's population ladder through
+   its DRTREE_E*_SIZES variable — a comma-separated size list (blank
+   or non-integer entries are ignored). One parser for every
+   experiment that offers the knob, so the ladders cannot drift. *)
+let sizes_of_env var ~default =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun w -> int_of_string_opt (String.trim w))
 let log_base b x = log x /. log b
 
 let now () = Sim.Clock.now ()

@@ -78,14 +78,120 @@ let to_transport = function
   | `Inproc -> Sim.Transport.inproc
   | `Wire -> Drtree.Message.Codec.transport
 
+(* --- Overlay-mode flags -------------------------------------------------------
+
+   One table row per overlay-mode knob. The build-side commands and the
+   fuzz command both render their --<flag> help from the same row
+   ([build_doc] / [fuzz_doc]) so the two sides cannot drift: the value
+   vocabulary is shared verbatim, and the fuzz rendering appends the
+   flag's differential clause and its replay semantics. *)
+
+type mode_flag = {
+  mf_what : string;  (* prose subject, e.g. "Repair scheduler" *)
+  mf_values : string;  (* value vocabulary, shared by both renderings *)
+  mf_build_note : string option;  (* extra build-side sentence *)
+  mf_diff : string option;  (* what the fuzz differential mode asserts *)
+  mf_fuzz_note : string;  (* fuzz trailing sentence: replay semantics *)
+}
+
+let bitwise_diff =
+  "require bit-identical verdicts, final shapes and telemetry/byte counters"
+
+let scheduler_flag =
+  {
+    mf_what = "Repair scheduler";
+    mf_values =
+      "full (every module at every height each round) or incremental (drain \
+       the dirty set plus a background scan lane)";
+    mf_build_note = None;
+    mf_diff =
+      Some
+        "run every trace under both schedulers and require verdict (and, on \
+         clean FIFO traces, final-shape) agreement";
+    mf_fuzz_note = "Replayed traces carry their own scheduler directive.";
+  }
+
+let layout_flag =
+  {
+    mf_what = "State-store layout";
+    mf_values =
+      "flat (contiguous arrays over an int-interned id space) or hashed (the \
+       original per-process hashtables; the layout-differential baseline)";
+    mf_build_note = None;
+    mf_diff = Some ("run every trace under both layouts and " ^ bitwise_diff);
+    mf_fuzz_note = "Replayed traces carry their own layout directive.";
+  }
+
+let detector_flag =
+  {
+    mf_what = "Failure detector";
+    mf_values =
+      "oracle (crashes are known — the paper's model and the bit-identical \
+       default) or heartbeat[:PERIOD:TIMEOUT:K] (each process heartbeats its \
+       tree neighbors plus K fallback-ring contacts every PERIOD time units; \
+       a peer silent for TIMEOUT periods is suspected, challenged, and after \
+       one more silent period confirmed dead and evicted locally; \
+       $(b,heartbeat) alone means heartbeat:1:3:2)";
+    mf_build_note = None;
+    mf_diff = None;
+    mf_fuzz_note =
+      "Heartbeat traces inject crashes silently — nobody is told — and \
+       additionally assert crash convergence: every victim confirmed dead by \
+       its monitors, and zero false kills on clean traces. Replayed traces \
+       carry their own detector directive.";
+  }
+
+let domains_flag =
+  {
+    mf_what = "Worker domains";
+    mf_values = "a worker-domain count (1 = sequential)";
+    mf_build_note =
+      Some
+        "Any count produces bit-identical results — the parallel round \
+         sections are read-only audits plus order-preserving merges \
+         ($(b,fuzz --domains differential) proves it) — so this knob only \
+         changes wall-clock.";
+    mf_diff = Some ("run every trace at 1, 2 and 4 domains and " ^ bitwise_diff);
+    mf_fuzz_note =
+      "Not a trace field: replayed traces run at whatever count this option \
+       gives.";
+  }
+
+let forest_flag =
+  {
+    mf_what = "Rendezvous forest";
+    mf_values =
+      "single (one global DR-tree — the paper's model and the bit-identical \
+       default) or a shard count N (Z-order-partition the space into N \
+       independent DR-trees, each with its own designated root, election \
+       scope and repair sweep; events fan out to every other shard root \
+       whose MBR contains them)";
+    mf_build_note = None;
+    mf_diff =
+      Some ("run every trace under single and sharded:1 and " ^ bitwise_diff);
+    mf_fuzz_note = "Replayed traces carry their own forest directive.";
+  }
+
+let build_doc f =
+  Printf.sprintf "%s: %s.%s" f.mf_what f.mf_values
+    (match f.mf_build_note with None -> "" | Some n -> " " ^ n)
+
+let fuzz_doc f =
+  Printf.sprintf "%s for generated traces: %s%s. %s" f.mf_what f.mf_values
+    (match f.mf_diff with
+    | None -> ""
+    | Some d -> ", or differential — " ^ d)
+    f.mf_fuzz_note
+
 let make_cfg ?(scheduler = Cfg.Full_sweep) ?(layout = Cfg.Flat) ?(domains = 1)
-    ?(detector = Cfg.Oracle) min_fill max_fill split =
+    ?(detector = Cfg.Oracle) ?(forest = Cfg.Single) min_fill max_fill split =
   if domains < 1 || domains > Sim.Pool.max_domains then begin
     Format.eprintf "drtree_cli: --domains must lie in 1..%d@."
       Sim.Pool.max_domains;
     exit 124
   end;
-  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ~domains ~detector ()
+  Cfg.make ~min_fill ~max_fill ~split ~scheduler ~layout ~domains ~detector
+    ~forest ()
 
 let scheduler_t =
   Arg.(
@@ -93,21 +199,13 @@ let scheduler_t =
     & opt
         (enum [ ("full", Cfg.Full_sweep); ("incremental", Cfg.Incremental) ])
         Cfg.Full_sweep
-    & info [ "scheduler" ] ~docv:"KIND"
-        ~doc:
-          "Repair scheduler for stabilization rounds: full (every module at \
-           every height each round) or incremental (drain the dirty set plus \
-           a background scan lane).")
+    & info [ "scheduler" ] ~docv:"KIND" ~doc:(build_doc scheduler_flag))
 
 let layout_t =
   Arg.(
     value
     & opt (enum [ ("hashed", Cfg.Hashed); ("flat", Cfg.Flat) ]) Cfg.Flat
-    & info [ "layout" ] ~docv:"KIND"
-        ~doc:
-          "State-store layout: flat (contiguous arrays over an int-interned \
-           id space) or hashed (the original per-process hashtables; the \
-           layout-differential baseline).")
+    & info [ "layout" ] ~docv:"KIND" ~doc:(build_doc layout_flag))
 
 let detector_conv =
   let parse s =
@@ -122,25 +220,33 @@ let detector_t =
   Arg.(
     value
     & opt detector_conv Cfg.Oracle
-    & info [ "detector" ] ~docv:"KIND"
-        ~doc:
-          "Failure detector: oracle (crashes are known — the paper's model \
-           and the bit-identical default) or heartbeat[:PERIOD:TIMEOUT:K] \
-           (each process heartbeats its tree neighbors plus K fallback-ring \
-           contacts every PERIOD time units; a peer silent for TIMEOUT \
-           periods is suspected, challenged, and after one more silent \
-           period confirmed dead and evicted locally). $(b,heartbeat) alone \
-           means heartbeat:1:3:2.")
+    & info [ "detector" ] ~docv:"KIND" ~doc:(build_doc detector_flag))
 
 let domains_t =
   Arg.(
     value & opt int 1
-    & info [ "domains" ] ~docv:"N"
-        ~doc:
-          "Worker domains for round execution (1 = sequential). Any count \
-           produces bit-identical results — the parallel round sections are \
-           read-only audits plus order-preserving merges ($(b,fuzz --domains \
-           differential) proves it) — so this knob only changes wall-clock.")
+    & info [ "domains" ] ~docv:"N" ~doc:(build_doc domains_flag))
+
+let forest_conv =
+  (* Accept "single", "sharded:K", or a bare shard count K. *)
+  let parse s =
+    let canonical =
+      match int_of_string_opt s with
+      | Some k -> Printf.sprintf "sharded:%d" k
+      | None -> s
+    in
+    match Cfg.forest_of_string canonical with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf f = Format.pp_print_string ppf (Cfg.forest_to_string f) in
+  Arg.conv ~docv:"KIND" (parse, print)
+
+let forest_t =
+  Arg.(
+    value
+    & opt forest_conv Cfg.Single
+    & info [ "forest" ] ~docv:"KIND" ~doc:(build_doc forest_flag))
 
 let build_overlay ~cfg ~transport ~seed ~n ~workload =
   let rng = Rng.make (seed * 31) in
@@ -178,13 +284,29 @@ let print_shape ov =
 
 let build_cmd =
   let run seed n workload min_fill max_fill split transport scheduler layout
-      domains detector =
+      domains detector forest =
     let cfg =
-      make_cfg ~scheduler ~layout ~domains ~detector min_fill max_fill split
+      make_cfg ~scheduler ~layout ~domains ~detector ~forest min_fill max_fill
+        split
     in
     let ov, _ = build_overlay ~cfg ~transport ~seed ~n ~workload in
     Format.printf "config: %a@." Cfg.pp cfg;
     print_shape ov;
+    (if O.shard_count ov > 1 then begin
+       Printf.printf "forest      : %d shards\n" (O.shard_count ov);
+       List.iteri
+         (fun s root ->
+           let members =
+             List.length
+               (List.filter (fun id -> O.shard_of ov id = s) (O.alive_ids ov))
+           in
+           Printf.printf "  shard %-4d: %s, %d subscriber(s)\n" s
+             (match root with
+             | Some r -> Printf.sprintf "root n%d" r
+             | None -> "no root")
+             members)
+         (O.shard_roots ov)
+     end);
     (match detector with
     | Cfg.Oracle -> ()
     | Cfg.Heartbeat _ ->
@@ -201,7 +323,7 @@ let build_cmd =
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
       $ split_t $ transport_t $ scheduler_t $ layout_t $ domains_t
-      $ detector_t)
+      $ detector_t $ forest_t)
 
 (* --- publish ----------------------------------------------------------------- *)
 
@@ -414,10 +536,15 @@ let aggregate_cmd =
       & info [ "rect" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query rectangle.")
   in
   let run seed n workload min_fill max_fill split transport scheduler domains
-      fn tct epochs (x0, y0, x1, y1) =
-    let cfg = make_cfg ~scheduler ~domains min_fill max_fill split in
+      forest fn tct epochs (x0, y0, x1, y1) =
+    let cfg = make_cfg ~scheduler ~domains ~forest min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
+    if O.shard_count ov > 1 then
+      Printf.printf
+        "note        : aggregation runs over the designated root's own \
+         shard; the oracle covers all %d shards (DESIGN.md §14)\n"
+        (O.shard_count ov);
     let rt = Agg.Runtime.attach ov in
     let owner = List.hd (O.alive_ids ov) in
     let rect = Geometry.Rect.make2 ~x0 ~y0 ~x1 ~y1 in
@@ -499,8 +626,8 @@ let aggregate_cmd =
           aggregation) over epochs of synthetic readings.")
     Term.(
       const run $ seed_t $ size_t $ workload_t $ min_fill_t $ max_fill_t
-      $ split_t $ transport_t $ scheduler_t $ domains_t $ fn_t $ tct_t
-      $ epochs_t $ rect_t)
+      $ split_t $ transport_t $ scheduler_t $ domains_t $ forest_t $ fn_t
+      $ tct_t $ epochs_t $ rect_t)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -603,13 +730,7 @@ let fuzz_cmd =
              [ ("full", `Full); ("incremental", `Incremental);
                ("differential", `Differential) ])
           `Full
-      & info [ "scheduler" ] ~docv:"KIND"
-          ~doc:
-            "Repair scheduler for generated traces: full, incremental, or \
-             differential — run every trace under both schedulers and \
-             require verdict (and, on clean FIFO traces, final-shape) \
-             agreement. Replayed traces carry their own scheduler \
-             directive.")
+      & info [ "scheduler" ] ~docv:"KIND" ~doc:(fuzz_doc scheduler_flag))
   in
   let fuzz_layout_t =
     Arg.(
@@ -619,25 +740,13 @@ let fuzz_cmd =
              [ ("hashed", `Hashed); ("flat", `Flat);
                ("differential", `Differential) ])
           `Flat
-      & info [ "layout" ] ~docv:"KIND"
-          ~doc:
-            "State-store layout for generated traces: hashed, flat, or \
-             differential — run every trace under both layouts and require \
-             bit-identical verdicts, final shapes and telemetry/byte \
-             counters. Replayed traces carry their own layout directive.")
+      & info [ "layout" ] ~docv:"KIND" ~doc:(fuzz_doc layout_flag))
   in
   let fuzz_detector_t =
     Arg.(
       value
       & opt detector_conv Cfg.Oracle
-      & info [ "detector" ] ~docv:"KIND"
-          ~doc:
-            "Failure detector for generated traces: oracle (crashes are \
-             known) or heartbeat[:PERIOD:TIMEOUT:K]. Heartbeat traces inject \
-             crashes silently — nobody is told — and additionally assert \
-             crash convergence: every victim confirmed dead by its monitors, \
-             and zero false kills on clean traces. Replayed traces carry \
-             their own detector directive.")
+      & info [ "detector" ] ~docv:"KIND" ~doc:(fuzz_doc detector_flag))
   in
   let fuzz_domains_t =
     let parse = function
@@ -659,29 +768,51 @@ let fuzz_cmd =
     Arg.(
       value
       & opt (conv ~docv:"N" (parse, print)) (`N 1)
-      & info [ "domains" ] ~docv:"N"
-          ~doc:
-            "Worker domains for trace execution: a count, or differential — \
-             run every trace at 1, 2 and 4 domains and require bit-identical \
-             verdicts, final shapes and telemetry/byte counters. Not a trace \
-             field: replayed traces run at whatever count this option \
-             gives.")
+      & info [ "domains" ] ~docv:"N" ~doc:(fuzz_doc domains_flag))
   in
-  let replay ~domains file =
+  let fuzz_forest_t =
+    let parse = function
+      | "differential" -> Ok `Differential
+      | s -> (
+          match Arg.conv_parser forest_conv s with
+          | Ok f -> Ok (`F f)
+          | Error (`Msg e) -> Error (`Msg e))
+    in
+    let print ppf = function
+      | `F f -> Format.pp_print_string ppf (Cfg.forest_to_string f)
+      | `Differential -> Format.pp_print_string ppf "differential"
+    in
+    Arg.(
+      value
+      & opt (conv ~docv:"KIND" (parse, print)) (`F Cfg.Single)
+      & info [ "forest" ] ~docv:"KIND" ~doc:(fuzz_doc forest_flag))
+  in
+  let replay ~domains ~forest file =
     match Mck.Trace.load file with
     | Error e ->
         Printf.eprintf "cannot load %s: %s\n" file e;
         exit 2
     | Ok tr -> (
         Format.printf "replaying %s:@.%a@." file Mck.Trace.pp tr;
-        match domains with
-        | `Differential -> (
+        match (forest, domains) with
+        | `Differential, `Differential ->
+            Format.eprintf
+              "fuzz: --forest differential and --domains differential cannot \
+               be combined on a replay@.";
+            exit 124
+        | `Differential, `N domains -> (
+            match Mck.Fuzz.run_forest_differential ~domains tr with
+            | Ok _ -> print_endline "trace passes: forest-identical"
+            | Error e ->
+                Printf.printf "reproduced: %s\n" e;
+                exit 1)
+        | `F _, `Differential -> (
             match Mck.Fuzz.run_domains_differential tr with
             | Ok _ -> print_endline "trace passes: domain-identical"
             | Error e ->
                 Printf.printf "reproduced: %s\n" e;
                 exit 1)
-        | `N domains -> (
+        | `F _, `N domains -> (
             match Mck.Fuzz.run_trace ~domains tr with
             | Mck.Fuzz.Passed -> print_endline "trace passes: no violation"
             | Mck.Fuzz.Failed f ->
@@ -689,7 +820,7 @@ let fuzz_cmd =
                 exit 1))
   in
   let run seed traces ops nodes mode sched drop dup max_seconds out replay_file
-      plant probes transport scheduler layout detector domains =
+      plant probes transport scheduler layout detector domains forest =
     if not (drop >= 0.0 && drop < 1.0 && dup >= 0.0 && dup < 1.0) then begin
       Format.eprintf "fuzz: --drop and --dup must lie in [0, 1)@.";
       exit 124
@@ -699,7 +830,7 @@ let fuzz_cmd =
       exit 124
     end;
     match replay_file with
-    | Some file -> replay ~domains file
+    | Some file -> replay ~domains ~forest file
     | None -> (
         let modes =
           match mode with
@@ -744,11 +875,79 @@ let fuzz_cmd =
              differential mode (run them as separate passes)@.";
           exit 124
         end;
+        if
+          forest = `Differential
+          && (scheduler = `Differential || layout = `Differential
+             || domains = `Differential)
+        then begin
+          Format.eprintf
+            "fuzz: --forest differential cannot be combined with another \
+             differential mode (run them as separate passes)@.";
+          exit 124
+        end;
         let trace_layout =
           match layout with
           | `Hashed -> Drtree.Config.Hashed
           | `Flat | `Differential -> Drtree.Config.Flat
         in
+        let trace_forest =
+          match forest with
+          | `F f -> f
+          | `Differential -> Drtree.Config.Single
+        in
+        match forest with
+        | `Differential -> (
+            (* Every generated trace runs under both forest realizations
+               — [Single] and [Sharded {shards = 1}]; any divergence at
+               all — verdict, shape, or a single counter — is a
+               rendezvous-abstraction bug and the counterexample (saved
+               unshrunk, like the layout differential). *)
+            let trace_scheduler =
+              match scheduler with
+              | `Incremental -> Drtree.Config.Incremental
+              | `Full | `Differential -> Drtree.Config.Full_sweep
+            in
+            let run_domains =
+              match domains with `N d -> d | `Differential -> 1
+            in
+            let failed = ref None in
+            List.iteri
+              (fun mi m ->
+                List.iteri
+                  (fun si sk ->
+                    if !failed = None && not (stop ()) then begin
+                      let rng = Rng.make (seed + (1000 * mi) + (100 * si)) in
+                      let i = ref 0 in
+                      while !i < traces && !failed = None && not (stop ()) do
+                        let tr =
+                          Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
+                            ~transport ~sched:sk ~drop ~dup
+                            ~cover_sweep:(not plant)
+                            ~scheduler:trace_scheduler ~layout:trace_layout
+                            ~detector ~forest:trace_forest ()
+                        in
+                        (match
+                           Mck.Fuzz.run_forest_differential ~probes
+                             ~domains:run_domains tr
+                         with
+                        | Ok _ -> incr total
+                        | Error e -> failed := Some (tr, e));
+                        incr i
+                      done
+                    end)
+                  scheds)
+              modes;
+            match !failed with
+            | None ->
+                Printf.printf "fuzz: %d trace(s) forest-identical%s\n" !total
+                  (if stop () then " (time cap reached)" else "")
+            | Some (tr, e) ->
+                Format.printf "forest differential FAILED: %s@.%a@." e
+                  Mck.Trace.pp tr;
+                let file = save_trace "forest" tr in
+                Printf.printf "saved %s\n" file;
+                exit 1)
+        | `F _ -> (
         match (domains, layout, scheduler) with
         | `Differential, _, _ -> (
             (* Every generated trace runs at 1, 2 and 4 domains; any
@@ -774,7 +973,7 @@ let fuzz_cmd =
                             ~transport ~sched:sk ~drop ~dup
                             ~cover_sweep:(not plant)
                             ~scheduler:trace_scheduler ~layout:trace_layout
-                            ~detector ()
+                            ~detector ~forest:trace_forest ()
                         in
                         (match Mck.Fuzz.run_domains_differential ~probes tr with
                         | Ok _ -> incr total
@@ -819,7 +1018,7 @@ let fuzz_cmd =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
                             ~cover_sweep:(not plant)
-                            ~scheduler:trace_scheduler ~detector ()
+                            ~scheduler:trace_scheduler ~detector ~forest:trace_forest ()
                         in
                         (match
                            Mck.Fuzz.run_layout_differential ~probes ~domains tr
@@ -859,7 +1058,7 @@ let fuzz_cmd =
                           Mck.Fuzz.random_trace rng ~nodes ~ops ~mode:m
                             ~transport ~sched:sk ~drop ~dup
                             ~cover_sweep:(not plant) ~layout:trace_layout
-                            ~detector ()
+                            ~detector ~forest:trace_forest ()
                         in
                         (match
                            Mck.Fuzz.run_scheduler_differential ~probes ~domains
@@ -901,7 +1100,7 @@ let fuzz_cmd =
                           ~transport ~sched:sk ~drop ~dup
                           ~cover_sweep:(not plant)
                           ~scheduler:trace_scheduler ~layout:trace_layout
-                          ~detector ()
+                          ~detector ~forest:trace_forest ()
                       in
                       match
                         Mck.Fuzz.fuzz ~probes ~domains ~stop
@@ -929,7 +1128,7 @@ let fuzz_cmd =
                 Printf.printf
                   "saved %s\nreplay with: drtree_cli fuzz --replay %s\n" file
                   file;
-                exit 1)))
+                exit 1))))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -940,7 +1139,7 @@ let fuzz_cmd =
       const run $ seed_t $ traces_t $ ops_t $ nodes_t $ mode_t $ sched_t
       $ drop_t $ dup_t $ max_seconds_t $ out_t $ replay_t $ plant_t $ probes_t
       $ fuzz_transport_t $ fuzz_scheduler_t $ fuzz_layout_t $ fuzz_detector_t
-      $ fuzz_domains_t)
+      $ fuzz_domains_t $ fuzz_forest_t)
 
 let () =
   let doc = "stabilizing peer-to-peer spatial filters (DR-tree)" in

@@ -29,14 +29,20 @@ type net = {
   pool : Sim.Pool.t option;
       (* the domain pool behind [Config.domains > 1]; [None] means the
          sequential path everywhere (DESIGN.md §12) *)
-  claimants : unit Node_id.Table.t;
-      (* cached root-claimant set, maintained by {!mark} (a process's
-         claim can only change when its state is written, and every
-         write path marks): turns the O(N)-per-join root scan of
-         {!root_claimants} into an O(#claimants) lookup. Entries are
-         re-verified on read; silent corruption can leave the cache
-         stale, so full-sweep rounds rescan and an empty verified set
-         falls back to a full rescan. *)
+  rdv : Rendezvous.t;
+      (* the rendezvous layer (DESIGN.md §14): which tree of the
+         forest a process homes on. [Single] (the default) is the
+         identity mapper — one shard, shard 0 *)
+  claimants : unit Node_id.Table.t array;
+      (* cached root-claimant set, one table per shard, maintained by
+         {!mark} (a process's claim can only change when its state is
+         written, and every write path marks): turns the O(N)-per-join
+         root scan of {!root_claimants_in} into an O(#claimants)
+         lookup. A process's home shard is a pure function of its
+         immutable filter, so an entry never migrates between tables.
+         Entries are re-verified on read; silent corruption can leave
+         the cache stale, so full-sweep rounds rescan and an empty
+         verified set falls back to a full rescan of the shard. *)
   mutable scan_cursor : int;
       (* round-robin position of the incremental scheduler's background
          scan lane over the sorted live-id list *)
@@ -68,7 +74,17 @@ type net = {
          through peers it already knows *)
 }
 
-let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
+(* The default rendezvous space, matching [Workload.Space.default]
+   (lib/core cannot depend on lib/workload): the [0, 100]^2 square
+   every workload generator and the fuzzer draw from. Only consulted
+   under [Config.forest = Sharded]; pass [?space] to shard a different
+   domain. *)
+let default_space =
+  Rect.make2 ~x0:0.0 ~y0:0.0 ~x1:100.0 ~y1:100.0
+
+let create ?(cfg = Config.default) ?transport ?drop_rate
+    ?(space = default_space) ~seed () =
+  let rdv = Rendezvous.create ~forest:cfg.Config.forest ~space in
   let states =
     match cfg.Config.layout with
     | Config.Hashed -> S_hashed (Node_id.Table.create 256)
@@ -88,7 +104,9 @@ let create ?(cfg = Config.default) ?transport ?drop_rate ~seed () =
         (if cfg.Config.domains > 1 then
            Some (Sim.Pool.get ~domains:cfg.Config.domains)
          else None);
-      claimants = Node_id.Table.create 8;
+      rdv;
+      claimants =
+        Array.init (Rendezvous.shards rdv) (fun _ -> Node_id.Table.create 8);
       scan_cursor = 0;
       last_join_hops = 0;
       executor = None;
@@ -192,23 +210,47 @@ let iter_all_ids net f =
    feeds the contact oracle on every join, and full-sweep runs simply
    ignore the queue. *)
 
+(* The shard a process homes on: a pure function of its immutable
+   filter rectangle through the rendezvous mapper — probe-free (the
+   membership log keeps crashed state readable), RNG-free, and [0] for
+   every process under [Single]. *)
+let home_of net id =
+  match state net id with
+  | Some s -> Rendezvous.home_shard net.rdv (State.filter s)
+  | None -> 0
+
+let shard_count net = Array.length net.claimants
+
+let claimant_table net id = net.claimants.(home_of net id)
+
 let refresh_claimant net id =
   match state net id with
   | Some s when is_alive net id && State.is_root s (State.top s) ->
-      Node_id.Table.replace net.claimants id ()
-  | Some _ | None -> Node_id.Table.remove net.claimants id
+      Node_id.Table.replace (claimant_table net id) id ()
+  | Some _ | None -> Node_id.Table.remove (claimant_table net id) id
 
 let mark net p h =
   Dirty.mark net.dirty p h;
   refresh_claimant net p
 
+let rescan_claimants_in net shard =
+  Node_id.Table.reset net.claimants.(shard);
+  List.iter
+    (fun id ->
+      match state net id with
+      | Some s
+        when State.is_root s (State.top s) && home_of net id = shard ->
+          Node_id.Table.replace net.claimants.(shard) id ()
+      | Some _ | None -> ())
+    (alive_ids net)
+
 let rescan_claimants net =
-  Node_id.Table.reset net.claimants;
+  Array.iter Node_id.Table.reset net.claimants;
   List.iter
     (fun id ->
       match state net id with
       | Some s when State.is_root s (State.top s) ->
-          Node_id.Table.replace net.claimants id ()
+          Node_id.Table.replace (claimant_table net id) id ()
       | Some _ | None -> ())
     (alive_ids net)
 
@@ -366,84 +408,148 @@ let attached_to v ~parent ~h =
           | None -> false)
       | None -> false)
 
-(* {2 Root discovery and the contact oracle} *)
+(* {2 Root discovery and the contact oracle}
 
-(* Verified read of the claimant cache: entries that no longer claim
-   (displaced, crashed) are dropped; if verification leaves nothing in
-   a non-empty overlay — silent corruption erased the cached claim, or
-   the cache went stale wholesale — a full rescan restores the ground
-   truth. Sorted ascending, like the [alive_ids] scan it replaces. *)
-let root_claimants net =
+   All per-shard: under [Single] there is exactly one shard and every
+   body below collapses to the pre-forest code — the same list
+   traversals, the same RNG draws, the same fold orders — which is
+   what the forest-differential harness holds it to. *)
+
+(* A shard's live population. At one shard this is [size net] (every
+   process homes on shard 0), so the cache-rescue condition below
+   matches the pre-forest one exactly. *)
+let shard_size net shard =
+  List.length (List.filter (fun id -> home_of net id = shard) (alive_ids net))
+
+(* Verified read of a shard's claimant cache: entries that no longer
+   claim (displaced, crashed) are dropped; if verification leaves
+   nothing in a populated shard — silent corruption erased the cached
+   claim, or the cache went stale wholesale — a full rescan of the
+   shard restores the ground truth. Sorted ascending, like the
+   [alive_ids] scan it replaces. *)
+let root_claimants_in net shard =
+  let tbl = net.claimants.(shard) in
   let live = ref [] and stale = ref [] in
   Node_id.Table.iter
     (fun id () ->
       match read net id with
       | Some s when State.is_root s (State.top s) -> live := id :: !live
       | Some _ | None -> stale := id :: !stale)
-    net.claimants;
-  List.iter (fun id -> Node_id.Table.remove net.claimants id) !stale;
+    tbl;
+  List.iter (fun id -> Node_id.Table.remove tbl id) !stale;
   let live =
-    if !live = [] && size net > 0 then begin
-      rescan_claimants net;
-      Node_id.Table.fold (fun id () acc -> id :: acc) net.claimants []
+    if !live = [] && shard_size net shard > 0 then begin
+      rescan_claimants_in net shard;
+      Node_id.Table.fold (fun id () acc -> id :: acc) tbl []
     end
     else !live
   in
   List.sort Node_id.compare live
 
-(* Among claimants, the designated root is the one with the largest
-   top-level MBR (the root-election principle of Fig. 6), ties broken
-   by id. *)
-let designated_root net =
-  let score id =
-    match read net id with
-    | Some s -> (
-        match State.mbr_at s (State.top s) with
-        | Some r -> Rect.area r
-        | None -> neg_infinity)
-    | None -> neg_infinity
-  in
-  match root_claimants net with
+(* Every claimant across the forest, ascending (the pre-forest
+   [root_claimants] — {!Invariant} and diagnostics still want the
+   global view). *)
+let root_claimants net =
+  List.sort Node_id.compare
+    (List.concat
+       (List.init (shard_count net) (fun s -> root_claimants_in net s)))
+
+let claimant_score net id =
+  match read net id with
+  | Some s -> (
+      match State.mbr_at s (State.top s) with
+      | Some r -> Rect.area r
+      | None -> neg_infinity)
+  | None -> neg_infinity
+
+let best_claimant net = function
   | [] -> None
   | first :: rest ->
       Some
         (List.fold_left
            (fun best cand ->
-             let sb = score best and sc = score cand in
+             let sb = claimant_score net best
+             and sc = claimant_score net cand in
              if sc > sb then cand else best)
            first rest)
 
-let height net =
-  match designated_root net with
+(* Among a shard's claimants, the designated root is the one with the
+   largest top-level MBR (the root-election principle of Fig. 6), ties
+   broken by id (the fold keeps the first, and claimants are sorted
+   ascending). *)
+let designated_root_in net shard =
+  best_claimant net (root_claimants_in net shard)
+
+(* The globally designated root: the largest-MBR winner across shard
+   winners — under [Single] exactly the pre-forest [designated_root],
+   under [Sharded] the fallback coordinator for forest-agnostic
+   consumers (the aggregation attach point, diagnostics). *)
+let designated_root net =
+  let winners =
+    List.filter_map
+      (fun s -> designated_root_in net s)
+      (List.init (shard_count net) Fun.id)
+  in
+  best_claimant net winners
+
+let shard_roots net =
+  List.init (shard_count net) (fun s -> designated_root_in net s)
+
+let height_in net shard =
+  match designated_root_in net shard with
   | None -> -1
   | Some id -> ( match read net id with Some s -> State.top s | None -> -1)
 
-(* Get_Contact_Node (§3.2): a process already in the structure. *)
-let oracle net ~exclude =
+(* The forest's height: the tallest shard root. One shard = the
+   pre-forest height. *)
+let height net =
+  let rec go best s =
+    if s >= shard_count net then best
+    else go (max best (height_in net s)) (s + 1)
+  in
+  go (-1) 0
+
+(* Get_Contact_Node (§3.2), scoped to a shard: a process already in
+   that shard's structure. At one shard the filters keep everything,
+   so the list the root oracle falls back on — and the single RNG draw
+   the random oracle makes, and the list it draws from — are exactly
+   the pre-forest ones. *)
+let oracle net ~shard ~exclude =
+  let in_shard id = id <> exclude && home_of net id = shard in
   match net.cfg.Config.oracle with
   | Config.Root_oracle -> (
-      match designated_root net with
+      match designated_root_in net shard with
       | Some r when not (Node_id.equal r exclude) -> Some r
       | Some _ | None -> (
-          match List.filter (fun id -> id <> exclude) (alive_ids net) with
+          match List.filter in_shard (alive_ids net) with
           | [] -> None
           | ids -> Some (List.hd ids)))
   | Config.Random_oracle -> (
-      match List.filter (fun id -> id <> exclude) (alive_ids net) with
+      match List.filter in_shard (alive_ids net) with
       | [] -> None
       | ids -> Some (Sim.Rng.pick net.rng ids))
 
 (* Route a (re-)join through a contact: the detector's fallback ring
    when one is installed and has a live contact for this joiner, the
-   global oracle otherwise. *)
+   shard's oracle otherwise. The shard is the {e joiner's home} — a
+   function of its immutable filter, not of the (possibly subtree-
+   level) [mbr] being re-attached — so every re-entry lands back in
+   the tree the process belongs to. A ring contact homed on another
+   shard is rejected for the same reason (at one shard the guard is
+   vacuous: both homes are 0). *)
 let initiate_join net ~joiner ~mbr ~height =
+  let shard = home_of net joiner in
   let contact =
     match net.fd_contact with
     | Some lookup -> (
         match lookup joiner with
-        | Some c when is_alive net c && not (Node_id.equal c joiner) -> Some c
-        | Some _ | None -> oracle net ~exclude:joiner)
-    | None -> oracle net ~exclude:joiner
+        | Some c
+          when is_alive net c
+               && (not (Node_id.equal c joiner))
+               && home_of net c = shard ->
+            Some c
+        | Some _ | None -> oracle net ~shard ~exclude:joiner)
+    | None -> oracle net ~shard ~exclude:joiner
   in
   match contact with
   | None -> ()

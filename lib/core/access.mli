@@ -30,7 +30,8 @@ type net = {
   tele : Telemetry.t;
   dirty : Dirty.t;
   pool : Sim.Pool.t option;
-  claimants : unit Sim.Node_id.Table.t;
+  rdv : Rendezvous.t;
+  claimants : unit Sim.Node_id.Table.t array;
   mutable scan_cursor : int;
   mutable last_join_hops : int;
   mutable executor : Sim.Node_id.t option;
@@ -43,17 +44,25 @@ type net = {
   mutable fd_contact : (Sim.Node_id.t -> Sim.Node_id.t option) option;
 }
 
+val default_space : Geometry.Rect.t
+(** The rendezvous space {!create} shards when none is given: the
+    [0, 100]^2 square every workload generator draws from. *)
+
 val create :
   ?cfg:Config.t ->
   ?transport:Message.t Sim.Transport.t ->
   ?drop_rate:float ->
+  ?space:Geometry.Rect.t ->
   seed:int ->
   unit ->
   net
 (** [transport] (default [Inproc]) selects how the engine carries
     messages — pass {!Message.Codec.transport} to serialize every
     inter-process hop. Also installs the engine meter feeding
-    {!Telemetry}'s per-kind traffic table. *)
+    {!Telemetry}'s per-kind traffic table. [space] (default
+    {!default_space}) is the attribute space the rendezvous layer
+    partitions under [Config.forest = Sharded]; ignored under
+    [Single]. *)
 
 val is_alive : net -> Sim.Node_id.t -> bool
 
@@ -106,16 +115,41 @@ val iter_all_ids : net -> (Sim.Node_id.t -> unit) -> unit
 
 val mark : net -> Sim.Node_id.t -> int -> unit
 (** Flag [(p, h)] as possibly in need of repair and refresh [p]'s
-    entry in the claimant cache. Negative heights are ignored. *)
+    entry in its home shard's claimant cache. Negative heights are
+    ignored. *)
 
 val refresh_claimant : net -> Sim.Node_id.t -> unit
 (** Re-derive one process's root-claimant cache entry from its state
     (without queueing repair work). *)
 
 val rescan_claimants : net -> unit
-(** Rebuild the claimant cache from scratch over all live processes —
-    run by every full-sweep round, so cache staleness never outlives
-    one round under the paper's periodic model. *)
+(** Rebuild every shard's claimant cache from scratch over all live
+    processes — run by every full-sweep round, so cache staleness
+    never outlives one round under the paper's periodic model. *)
+
+val rescan_claimants_in : net -> int -> unit
+(** Rebuild one shard's claimant cache from scratch. *)
+
+(** {2 The rendezvous forest} (DESIGN.md §14)
+
+    Which DR-tree of the forest a process belongs to. Under
+    [Config.forest = Single] there is exactly one shard (number [0])
+    and everything below collapses to the pre-forest behavior, bit
+    for bit. *)
+
+val shard_count : net -> int
+(** Number of trees in the forest ([1] under [Single]). *)
+
+val home_of : net -> Sim.Node_id.t -> int
+(** The shard a process homes on: a pure function of its immutable
+    filter through {!Rendezvous.home_shard} — probe-free, RNG-free,
+    [0] for never-spawned ids and under [Single]. *)
+
+val shard_size : net -> int -> int
+(** Live processes homed on the shard. *)
+
+val shard_roots : net -> Sim.Node_id.t option list
+(** Each shard's designated root, by shard number. *)
 
 (** {2 Direct neighbor reads} *)
 
@@ -190,21 +224,36 @@ val attached_to : t -> parent:Sim.Node_id.t -> h:int -> bool
 
 (** {2 Root discovery and the contact oracle} *)
 
+val root_claimants_in : net -> int -> Sim.Node_id.t list
+(** Live processes homed on the shard whose topmost instance is its
+    own parent, sorted ascending. Served from the shard's claimant
+    cache (verified entry by entry, falling back to a full rescan
+    when verification empties a populated shard) — O(#claimants)
+    instead of the former O(N) scan, which dominated join cost at
+    scale (E23). *)
+
 val root_claimants : net -> Sim.Node_id.t list
-(** Live processes whose topmost instance is its own parent, sorted
-    ascending. Served from the claimant cache (verified entry by
-    entry, falling back to a full rescan when verification empties a
-    non-empty overlay) — O(#claimants) instead of the former O(N)
-    scan, which dominated join cost at scale (E23). *)
+(** Every claimant across the forest, sorted ascending. *)
+
+val designated_root_in : net -> int -> Sim.Node_id.t option
+(** Among the shard's claimants, the one with the largest top-level
+    MBR (Fig. 6), ties broken by id. *)
 
 val designated_root : net -> Sim.Node_id.t option
-(** Among claimants, the one with the largest top-level MBR (Fig. 6),
-    ties broken by id. *)
+(** The largest-MBR winner across shard winners: under [Single] the
+    pre-forest designated root; under [Sharded] a forest-agnostic
+    fallback coordinator (the aggregation attach point,
+    diagnostics). *)
+
+val height_in : net -> int -> int
+(** The shard root's top height, [-1] when the shard is empty. *)
 
 val height : net -> int
+(** The tallest shard root's top height. *)
 
-val oracle : net -> exclude:Sim.Node_id.t -> Sim.Node_id.t option
-(** Get_Contact_Node (§3.2): a process already in the structure. *)
+val oracle : net -> shard:int -> exclude:Sim.Node_id.t -> Sim.Node_id.t option
+(** Get_Contact_Node (§3.2): a process already in the shard's
+    structure. *)
 
 val initiate_join :
   net -> joiner:Sim.Node_id.t -> mbr:Geometry.Rect.t -> height:int -> unit

@@ -47,6 +47,26 @@ let detector_of_string s =
           | _ -> Error (Printf.sprintf "bad heartbeat detector spec %S" s))
       | _ -> Error (Printf.sprintf "unknown detector %S" s))
 
+type forest = Single | Sharded of { shards : int }
+
+let forest_to_string = function
+  | Single -> "single"
+  | Sharded { shards } -> Printf.sprintf "sharded:%d" shards
+
+let max_shards = 4096
+
+let forest_of_string s =
+  match s with
+  | "single" -> Ok Single
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "sharded"; k ] -> (
+          match int_of_string_opt k with
+          | Some shards when shards >= 1 && shards <= max_shards ->
+              Ok (Sharded { shards })
+          | Some _ | None -> Error (Printf.sprintf "bad forest spec %S" s))
+      | _ -> Error (Printf.sprintf "unknown forest %S" s))
+
 type t = {
   min_fill : int;
   max_fill : int;
@@ -60,13 +80,14 @@ type t = {
   layout : layout;
   domains : int;
   detector : detector;
+  forest : forest;
 }
 
 let default =
   { min_fill = 2; max_fill = 4; split = Rtree.Split.Quadratic;
     oracle = Root_oracle; cover_sweep = true; publish_ttl = 128;
     scheduler = Full_sweep; scan_fraction = 0.05; seen_capacity = 4096;
-    layout = Flat; domains = 1; detector = Oracle }
+    layout = Flat; domains = 1; detector = Oracle; forest = Single }
 
 let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(split = default.split) ?(oracle = default.oracle)
@@ -76,7 +97,7 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
     ?(scan_fraction = default.scan_fraction)
     ?(seen_capacity = default.seen_capacity)
     ?(layout = default.layout) ?(domains = default.domains)
-    ?(detector = default.detector) () =
+    ?(detector = default.detector) ?(forest = default.forest) () =
   if min_fill < 2 then invalid_arg "Drtree.Config.make: min_fill < 2";
   if max_fill < 2 * min_fill then
     invalid_arg "Drtree.Config.make: max_fill < 2 * min_fill";
@@ -98,11 +119,18 @@ let make ?(min_fill = default.min_fill) ?(max_fill = default.max_fill)
         invalid_arg "Drtree.Config.make: heartbeat timeout_factor < 1";
       if fallbacks < 0 then
         invalid_arg "Drtree.Config.make: heartbeat fallbacks < 0");
+  (match forest with
+  | Single -> ()
+  | Sharded { shards } ->
+      if shards < 1 || shards > max_shards then
+        invalid_arg
+          (Printf.sprintf "Drtree.Config.make: shards outside 1..%d"
+             max_shards));
   { min_fill; max_fill; split; oracle; cover_sweep; publish_ttl; scheduler;
-    scan_fraction; seen_capacity; layout; domains; detector }
+    scan_fraction; seen_capacity; layout; domains; detector; forest }
 
 let pp ppf c =
-  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s%s%s" c.min_fill
+  Format.fprintf ppf "m=%d M=%d split=%a oracle=%s ttl=%d%s%s%s%s%s%s" c.min_fill
     c.max_fill Rtree.Split.pp_kind c.split
     (match c.oracle with Root_oracle -> "root" | Random_oracle -> "random")
     c.publish_ttl
@@ -116,4 +144,7 @@ let pp ppf c =
     | Oracle -> ""
     | Heartbeat _ ->
         Printf.sprintf " detector=%s" (detector_to_string c.detector))
+    (match c.forest with
+    | Single -> ""
+    | Sharded _ -> Printf.sprintf " forest=%s" (forest_to_string c.forest))
     (if c.cover_sweep then "" else " [cover-sweep DISABLED]")

@@ -75,6 +75,29 @@ val detector_of_string : string -> (detector, string) result
 val default_heartbeat : detector
 (** [Heartbeat {period = 1.0; timeout_factor = 3; fallbacks = 2}]. *)
 
+(** How many independent DR-trees the overlay maintains (DESIGN.md
+    §14). [Single] is the paper's model — one global tree, one
+    designated root — and stays bit-identical to the pre-forest
+    system: the forest-differential harness in [lib/mck] proves exact
+    verdict, shape and fingerprint equality of [Sharded {shards = 1}]
+    vs [Single] on every trace. [Sharded] partitions the space by
+    Z-order into [shards] contiguous key ranges; each shard is its own
+    DR-tree with its own designated root, election scope and CHECK_*
+    sweep, and publish fans out to every other shard whose root MBR
+    contains the event. *)
+type forest = Single | Sharded of { shards : int }
+
+val forest_to_string : forest -> string
+(** ["single"], or ["sharded:<shards>"]. *)
+
+val forest_of_string : string -> (forest, string) result
+(** Accepts ["single"] or the ["sharded:K"] form
+    {!forest_to_string} emits, with [1 <= K <= max_shards]. *)
+
+val max_shards : int
+(** Upper bound on [Sharded] shard counts (4096): beyond the Z-order
+    grid's cell count a shard would own no region. *)
+
 type t = {
   min_fill : int;  (** m *)
   max_fill : int;  (** M *)
@@ -123,6 +146,12 @@ type t = {
           paper's known-crash assumption and is bit-identical to the
           pre-detector system; [Heartbeat] attaches [lib/fd]'s local
           heartbeat/timeout detector (DESIGN.md §13). *)
+  forest : forest;
+      (** Rendezvous topology (DESIGN.md §14). [Single] (the default)
+          is the paper's one-tree model and is bit-identical to the
+          pre-forest system; [Sharded {shards}] maintains one DR-tree
+          per Z-order shard of the space, each with its own designated
+          root and election/repair scope. *)
 }
 
 val default : t
@@ -144,13 +173,15 @@ val make :
   ?layout:layout ->
   ?domains:int ->
   ?detector:detector ->
+  ?forest:forest ->
   unit ->
   t
 (** @raise Invalid_argument if [min_fill < 2],
     [max_fill < 2 * min_fill] ([m >= 2] keeps interior nodes binary
     or wider, matching the R-tree root rule), [publish_ttl < 1],
     [scan_fraction] outside [0, 1], [seen_capacity < 1], [domains]
-    outside [1 .. Sim.Pool.max_domains], or a [Heartbeat] detector
-    with [period <= 0], [timeout_factor < 1] or [fallbacks < 0]. *)
+    outside [1 .. Sim.Pool.max_domains], a [Heartbeat] detector
+    with [period <= 0], [timeout_factor < 1] or [fallbacks < 0], or a
+    [Sharded] forest with [shards] outside [1 .. max_shards]. *)
 
 val pp : Format.formatter -> t -> unit

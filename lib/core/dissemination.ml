@@ -106,6 +106,31 @@ let publish (net : Access.net) ~run ~from point =
     (Message.Publish
        { event_id; point; at = top; from_child = None; going_up = true;
          hops = 0 });
+  (* Cross-shard fan-out (DESIGN.md §14): the climb above reaches only
+     the producer's own tree, so hand the event to every {e other}
+     shard root whose top MBR contains the point — exactly the roots
+     owning a subscriber that could match (a matching filter is inside
+     its home root's MBR in legal states), descending only
+     ([going_up = false]: a root has nowhere to climb). Never entered
+     under [Single]: the producer's home is the only shard. *)
+  let producer_home = Access.home_of net from in
+  for shard = 0 to Access.shard_count net - 1 do
+    if shard <> producer_home then
+      match Access.designated_root_in net shard with
+      | None -> ()
+      | Some r -> (
+          match Access.read net r with
+          | Some sr -> (
+              let rtop = State.top sr in
+              match State.mbr_at sr rtop with
+              | Some m when Rect.contains_point m point ->
+                  Engine.inject net.Access.engine ~dst:r
+                    (Message.Publish
+                       { event_id; point; at = rtop; from_child = None;
+                         going_up = false; hops = 1 })
+              | Some _ | None -> ())
+          | None -> ())
+  done;
   run ();
   let messages = Engine.messages_sent net.Access.engine - m0 - 1 in
   let spurious =

@@ -76,32 +76,41 @@ let shrink_root (net : Access.net) =
           | _ :: _ :: _ -> ()
         end
   in
-  match Access.designated_root net with None -> () | Some r -> shrink r
+  (* Per shard, ascending: each tree of the forest condenses its own
+     root (one shard under [Single] — the pre-forest body). *)
+  for s = 0 to Access.shard_count net - 1 do
+    match Access.designated_root_in net s with
+    | None -> ()
+    | Some r -> shrink r
+  done
 
 (* Competing root claimants (after partitions heal or corruption):
-   every non-designated claimant re-joins through the designated
-   one. *)
+   every non-designated claimant re-joins through the designated one.
+   Scoped per shard — claimants of different shards are not
+   competitors, they are the forest. *)
 let reconcile_roots (net : Access.net) =
-  match Access.root_claimants net with
-  | [] | [ _ ] -> ()
-  | claimants -> (
-      match Access.designated_root net with
-      | None -> ()
-      | Some chosen ->
-          List.iter
-            (fun o ->
-              if not (Node_id.equal o chosen) then
-                match Access.read net o with
-                | Some s ->
-                    let top = State.top s in
-                    let mbr =
-                      match State.mbr_at s top with
-                      | Some r -> r
-                      | None -> State.filter s
-                    in
-                    Engine.inject net.Access.engine ~dst:chosen
-                      (Message.Join
-                         { joiner = o; mbr; height = top; phase = `Up;
-                           hops = 0 })
-                | None -> ())
-            claimants)
+  for shard = 0 to Access.shard_count net - 1 do
+    match Access.root_claimants_in net shard with
+    | [] | [ _ ] -> ()
+    | claimants -> (
+        match Access.designated_root_in net shard with
+        | None -> ()
+        | Some chosen ->
+            List.iter
+              (fun o ->
+                if not (Node_id.equal o chosen) then
+                  match Access.read net o with
+                  | Some s ->
+                      let top = State.top s in
+                      let mbr =
+                        match State.mbr_at s top with
+                        | Some r -> r
+                        | None -> State.filter s
+                      in
+                      Engine.inject net.Access.engine ~dst:chosen
+                        (Message.Join
+                           { joiner = o; mbr; height = top; phase = `Up;
+                             hops = 0 })
+                  | None -> ())
+              claimants)
+  done

@@ -1,13 +1,26 @@
 module Rect = Geometry.Rect
 module Node_id = Sim.Node_id
 
-type violation = { node : Node_id.t; height : int; what : string }
+type violation = {
+  node : Node_id.t;
+  height : int;
+  shard : int option;
+  what : string;
+}
 
+(* [shard = None] prints exactly the pre-forest form — single-tree
+   overlays (and [Sharded {shards = 1}], which must stay byte-
+   identical to [Single]) never decorate; an actual forest annotates
+   every violation with the shard it belongs to, so shrunk fuzz
+   counterexamples name the tree as well as the process and height. *)
 let pp_violation ppf v =
-  Format.fprintf ppf "%a@h%d: %s" Node_id.pp v.node v.height v.what
+  match v.shard with
+  | None -> Format.fprintf ppf "%a@h%d: %s" Node_id.pp v.node v.height v.what
+  | Some s ->
+      Format.fprintf ppf "%a@s%d@h%d: %s" Node_id.pp v.node s v.height v.what
 
 let violation node height fmt =
-  Format.kasprintf (fun what -> { node; height; what }) fmt
+  Format.kasprintf (fun what -> { node; height; shard = None; what }) fmt
 
 (* Ancestor chains: the topmost instance of [id], then its parent's
    topmost instance, etc., up to the root, with a cycle guard. Returns
@@ -28,9 +41,13 @@ let ancestors ov id =
 (* One instance's clauses of Definition 3.1 (self-chain, attachment,
    occupancy, children coherence, MBR exactness, cover optimality) —
    the per-(process, height) unit both the global {!check} and the
-   targeted {!check_at} are built from. Global facts (root uniqueness,
-   reachability) live in {!check} only. *)
-let check_level ~m ~big_m ~read ~add p s h =
+   targeted {!check_at} are built from, plus the forest's shard-
+   disjointness clauses (a link may never cross trees — vacuous at one
+   shard, where [home] is constantly 0). Global facts (per-shard root
+   uniqueness, reachability) live in {!check} only. [pid] prints
+   referenced processes — shard-annotated in an actual forest, the
+   bare pre-forest id otherwise. *)
+let check_level ~m ~big_m ~read ~add ~pid ~home p s h =
   let top = State.top s in
   match State.level s h with
   | None -> add (violation p h "gap in the self-chain (inactive level)")
@@ -42,8 +59,12 @@ let check_level ~m ~big_m ~read ~add p s h =
       (if h = top && not (Node_id.equal l.State.parent p) then
          match read l.State.parent with
          | None -> add (violation p h "parent is dead or unknown")
-         | Some spar -> (
-             match State.level spar (h + 1) with
+         | Some spar ->
+             (if home l.State.parent <> home p then
+                add
+                  (violation p h "parent %a homed on another shard" pid
+                     l.State.parent));
+             (match State.level spar (h + 1) with
              | None -> add (violation p h "parent inactive at the level above")
              | Some lpar ->
                  if not (Node_id.Set.mem p lpar.State.children) then
@@ -70,20 +91,20 @@ let check_level ~m ~big_m ~read ~add p s h =
               match read c with
               | None -> add (violation p h "dead child in children set")
               | Some sc ->
+                  if home c <> home p then
+                    add (violation p h "child %a homed on another shard" pid c);
                   if not (State.is_active sc (h - 1)) then
                     add
-                      (violation p h "child %a inactive at member height"
-                         Node_id.pp c)
+                      (violation p h "child %a inactive at member height" pid c)
                   else if
                     not
                       (Node_id.equal
                          (State.level_exn sc (h - 1)).State.parent p)
-                  then
-                    add (violation p h "child %a has another parent" Node_id.pp c)
+                  then add (violation p h "child %a has another parent" pid c)
                   else if State.top sc <> h - 1 then
                     add
                       (violation p h "child %a is active above its member height"
-                         Node_id.pp c))
+                         pid c))
           l.State.children;
         (* MBR correctness. *)
         let expected =
@@ -119,8 +140,7 @@ let check_level ~m ~big_m ~read ~add p s h =
                   | Some r ->
                       if Rect.area r > own_area then
                         add
-                          (violation p h "member %a offers a better cover"
-                             Node_id.pp c)
+                          (violation p h "member %a offers a better cover" pid c)
                   | None -> ())
               | None -> ())
           l.State.children
@@ -130,84 +150,121 @@ let check_level ~m ~big_m ~read ~add p s h =
         not (Rect.equal l.State.mbr (State.filter s))
       then add (violation p h "leaf MBR differs from the filter")
 
+(* The shard printers/stampers: a single-tree overlay — [Single], or
+   [Sharded] with one shard — decorates nothing, so its violations
+   (records and rendered strings alike) are byte-identical to the
+   pre-forest checker's, which the forest differential demands. *)
+let forest_ctx ov =
+  let net = Overlay.access ov in
+  let home id = Access.home_of net id in
+  let decorate = Access.shard_count net > 1 in
+  let pid ppf id =
+    if decorate then Format.fprintf ppf "%a(s%d)" Node_id.pp id (home id)
+    else Node_id.pp ppf id
+  in
+  let stamp p v =
+    if decorate then { v with shard = Some (home p) } else v
+  in
+  (home, pid, stamp, decorate)
+
 let check ov =
   let cfg = Overlay.cfg ov in
   let m = cfg.Config.min_fill and big_m = cfg.Config.max_fill in
+  let home, pid, stamp, decorate = forest_ctx ov in
   let violations = ref [] in
   let add v = violations := v :: !violations in
   let read id = if Overlay.is_alive ov id then Overlay.state ov id else None in
-  (* Root uniqueness. *)
-  let claimants =
-    List.filter
-      (fun id ->
-        match read id with
-        | Some s -> State.is_root s (State.top s)
-        | None -> false)
-      (Overlay.alive_ids ov)
-  in
-  (match claimants with
-  | [] ->
-      if Overlay.size ov > 0 then
-        add (violation (-1) (-1) "no live process claims the root")
-  | [ _ ] -> ()
-  | _ :: _ :: _ ->
-      List.iter
-        (fun id -> add (violation id (-1) "multiple root claimants"))
-        claimants);
-  let root = match claimants with [ r ] -> Some r | _ -> None in
+  (* Root uniqueness and coverage, per shard: every populated shard
+     has exactly one claimant — its tree's root. One shard = the
+     pre-forest global root-uniqueness check, list orders included. *)
+  let shards = Overlay.shard_count ov in
+  let claimants_by = Array.make shards [] in
+  let population = Array.make shards 0 in
+  List.iter
+    (fun id ->
+      match read id with
+      | Some s ->
+          let sh = home id in
+          population.(sh) <- population.(sh) + 1;
+          if State.is_root s (State.top s) then
+            claimants_by.(sh) <- id :: claimants_by.(sh)
+      | None -> ())
+    (Overlay.alive_ids ov);
+  let roots = Array.make shards None in
+  for sh = 0 to shards - 1 do
+    let stamp_sh v = if decorate then { v with shard = Some sh } else v in
+    match List.rev claimants_by.(sh) with
+    | [] ->
+        if population.(sh) > 0 then
+          add (stamp_sh (violation (-1) (-1) "no live process claims the root"))
+    | [ r ] -> roots.(sh) <- Some r
+    | _ :: _ :: _ as cs ->
+        List.iter
+          (fun id -> add (stamp_sh (violation id (-1) "multiple root claimants")))
+          cs
+  done;
   (* Per-process structural checks. Under [Config.domains > 1] the
      sweep shards over contiguous blocks of the sorted live ids:
-     [check_level] only reads, shard accumulators are concatenated in
-     shard order at the barrier, so the violation list is identical to
+     [check_level] only reads, block accumulators are concatenated in
+     block order at the barrier, so the violation list is identical to
      the sequential sweep's (DESIGN.md §12). *)
   (match Overlay.pool ov with
   | Some pool ->
       let ids = Array.of_list (Overlay.alive_ids ov) in
-      let shards = Sim.Pool.domains pool in
-      let blocks = Sim.Pool.split ~shards (Array.length ids) in
-      let accs = Array.init shards (fun _ -> ref []) in
-      Sim.Pool.run pool (fun shard ->
-          let start, stop = blocks.(shard) in
-          let acc = accs.(shard) in
-          let add v = acc := v :: !acc in
+      let blocks_n = Sim.Pool.domains pool in
+      let blocks = Sim.Pool.split ~shards:blocks_n (Array.length ids) in
+      let accs = Array.init blocks_n (fun _ -> ref []) in
+      Sim.Pool.run pool (fun block ->
+          let start, stop = blocks.(block) in
+          let acc = accs.(block) in
           for i = start to stop - 1 do
             match Overlay.state ov ids.(i) with
             | Some s ->
+                let add v = acc := stamp ids.(i) v :: !acc in
                 for h = 0 to State.top s do
-                  check_level ~m ~big_m ~read ~add ids.(i) s h
+                  check_level ~m ~big_m ~read ~add ~pid ~home ids.(i) s h
                 done
             | None -> ()
           done);
       Array.iter (fun acc -> List.iter add (List.rev !acc)) accs
   | None ->
       Overlay.iter_states ov (fun p s ->
+          let add v = add (stamp p v) in
           for h = 0 to State.top s do
-            check_level ~m ~big_m ~read ~add p s h
+            check_level ~m ~big_m ~read ~add ~pid ~home p s h
           done));
-  (* Reachability from the root. *)
-  (match root with
-  | None -> ()
-  | Some r ->
-      let reached = ref Node_id.Set.empty in
-      (* Termination: [h] strictly decreases on every recursive call. *)
-      let rec visit id h =
-        reached := Node_id.Set.add id !reached;
-        match read id with
-        | None -> ()
-        | Some s ->
-            if h >= 1 && State.is_active s h then
-              Node_id.Set.iter
-                (fun c -> visit c (h - 1))
-                (State.level_exn s h).State.children
-      in
-      (match read r with
-      | Some sr -> visit r (State.top sr)
-      | None -> ());
-      List.iter
-        (fun id ->
+  (* Reachability: every live process reachable from its {e own}
+     shard's root (skipped for a shard whose root is not unique — the
+     claimant violations above already cover it). *)
+  let reached = ref Node_id.Set.empty in
+  (* Termination: [h] strictly decreases on every recursive call. *)
+  let rec visit id h =
+    reached := Node_id.Set.add id !reached;
+    match read id with
+    | None -> ()
+    | Some s ->
+        if h >= 1 && State.is_active s h then
+          Node_id.Set.iter
+            (fun c -> visit c (h - 1))
+            (State.level_exn s h).State.children
+  in
+  Array.iter
+    (fun root ->
+      match root with
+      | None -> ()
+      | Some r -> (
+          match read r with
+          | Some sr -> visit r (State.top sr)
+          | None -> ()))
+    roots;
+  List.iter
+    (fun id ->
+      match roots.(home id) with
+      | Some _ ->
           if not (Node_id.Set.mem id !reached) then
-            add (violation id (-1) "unreachable from the root"))
-        (Overlay.alive_ids ov));
+            add (stamp id (violation id (-1) "unreachable from the root"))
+      | None -> ())
+    (Overlay.alive_ids ov);
   List.rev !violations
 
 let is_legal ov = check ov = []
@@ -215,12 +272,13 @@ let is_legal ov = check ov = []
 let check_at ov p h =
   let cfg = Overlay.cfg ov in
   let m = cfg.Config.min_fill and big_m = cfg.Config.max_fill in
+  let home, pid, stamp, _ = forest_ctx ov in
   let violations = ref [] in
-  let add v = violations := v :: !violations in
+  let add v = violations := stamp p v :: !violations in
   let read id = if Overlay.is_alive ov id then Overlay.state ov id else None in
   (match read p with
   | Some s when h >= 0 && h <= State.top s ->
-      check_level ~m ~big_m ~read ~add p s h
+      check_level ~m ~big_m ~read ~add ~pid ~home p s h
   | Some _ | None -> ());
   List.rev !violations
 

@@ -12,11 +12,22 @@
 
     plus the structural facts the paper leaves implicit: a unique
     root, every live process reachable from it, and intact self-chains
-    (a process is its own child at every level where it is active). *)
+    (a process is its own child at every level where it is active).
+
+    Under a sharded forest (DESIGN.md §14) every clause is scoped to
+    the process's home shard: root uniqueness and reachability hold
+    per shard, and two cross-shard clauses are added — no parent edge
+    and no child membership may cross a shard boundary. With one shard
+    these extra clauses are vacuous and the output is byte-identical
+    to the single-tree checker's. *)
 
 type violation = {
   node : Sim.Node_id.t;
   height : int;
+  shard : int option;
+      (** Home shard of [node]; [None] on a single-tree overlay
+          (forest [Single] or one shard), keeping pre-forest output
+          unchanged. *)
   what : string;
 }
 

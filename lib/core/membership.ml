@@ -345,7 +345,13 @@ let leave_handover (net : Access.net) id =
                       let dst =
                         match survivor with
                         | Some p -> Some p
-                        | None -> Access.oracle net ~exclude:id
+                        | None ->
+                            (* The root's own shard: the orphaned
+                               subtree re-enters the tree it was in
+                               (its members share the home by
+                               construction). *)
+                            Access.oracle net ~shard:(Access.home_of net id)
+                              ~exclude:id
                       in
                       match dst with
                       | Some dst ->

@@ -22,6 +22,10 @@ let size = Access.size
 let iter_states = Access.iter_states
 let designated_root = Access.designated_root
 let height = Access.height
+let shard_count = Access.shard_count
+let shard_of = Access.home_of
+let shard_roots = Access.shard_roots
+let rendezvous (ov : t) = ov.Access.rdv
 let telemetry (ov : t) = ov.Access.tele
 let access (ov : t) : Access.net = ov
 let new_event_id (ov : t) = Telemetry.fresh_event_id ov.Access.tele
@@ -111,8 +115,8 @@ let join_async (ov : t) filter =
   in
   Access.add_state ov s;
   Access.mark ov id 0;
-  (match Access.oracle ov ~exclude:id with
-  | None -> () (* first subscriber: it is the root *)
+  (match Access.oracle ov ~shard:(Access.home_of ov id) ~exclude:id with
+  | None -> () (* first subscriber of its shard: it is that tree's root *)
   | Some contact ->
       Engine.inject ov.Access.engine ~dst:contact
         (Message.Join

@@ -12,10 +12,13 @@ let create ?cfg ?domain ~schema ~seed () =
   | Some d when Geometry.Rect.dims d <> Filter.Schema.dims schema ->
       invalid_arg "Pubsub.create: domain dimensionality mismatch"
   | Some _ | None -> ());
+  (* The declared domain doubles as the rendezvous space: under a
+     sharded forest the Z-order grid partitions it, so shard regions
+     line up with where subscriptions can actually live. *)
   let overlay =
     match cfg with
-    | Some cfg -> Overlay.create ~cfg ~seed ()
-    | None -> Overlay.create ~seed ()
+    | Some cfg -> Overlay.create ?space:domain ~cfg ~seed ()
+    | None -> Overlay.create ?space:domain ~seed ()
   in
   { schema; overlay; domain; subscriptions = Node_id.Table.create 256 }
 

@@ -23,7 +23,9 @@ val create :
     every subscription rectangle to a finite domain restores tight
     MBRs. Every published event must lie inside the domain
     ({!publish} raises otherwise) — this keeps the zero-false-negative
-    guarantee intact.
+    guarantee intact. The domain also becomes the overlay's rendezvous
+    space, so a sharded forest ({!Config.forest}) partitions exactly
+    the region subscriptions are clipped to.
     @raise Invalid_argument if the domain dimensionality differs from
     the schema's. *)
 

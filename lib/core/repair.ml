@@ -138,9 +138,19 @@ let check_children v h =
   let sp = Access.self v in
   if h >= 1 && State.is_active sp h then begin
     let p = State.id sp in
+    let net = Access.network v in
+    let home = Access.home_of net p in
     let l = State.level_exn sp h in
+    (* A child homed on another shard is evicted even if it claims us:
+       without this guard a doubly-corrupted — but mutually coherent —
+       cross-shard edge would be a stable illegal state (the
+       disjointness condition of Invariant.check). [home_of] is
+       probe-free and constant under [Single], so the keep-test's
+       observable reads are exactly the pre-forest ones. *)
     let keep c =
-      Node_id.equal c p || Access.claims_parent v ~child:c ~h:(h - 1)
+      Node_id.equal c p
+      || (Access.claims_parent v ~child:c ~h:(h - 1)
+         && Access.home_of net c = home)
     in
     let kept = Node_id.Set.filter keep l.State.children in
     (* The holder is recursively its own child (§3): restore the
@@ -175,7 +185,13 @@ let check_parent v h =
       end
     end
     else if not (Node_id.equal l.State.parent p) then begin
-      let attached = Access.attached_to v ~parent:l.State.parent ~h:(h + 1) in
+      (* An other-shard parent counts as not attached (the dual of the
+         check_children eviction guard): the instance self-parents and
+         re-joins through its {e home} shard's oracle. *)
+      let attached =
+        Access.attached_to v ~parent:l.State.parent ~h:(h + 1)
+        && Access.home_of net l.State.parent = Access.home_of net p
+      in
       if not attached then begin
         l.State.parent <- p;
         Access.mark net p h;
@@ -254,9 +270,14 @@ let audit_children v h =
   (not (h >= 1 && State.is_active sp h))
   ||
   let p = State.id sp in
+  let net = Access.network v in
+  let home = Access.home_of net p in
   let l = State.level_exn sp h in
+  (* mirrors check_children's keep-test, shard guard included *)
   let keep c =
-    Node_id.equal c p || Access.claims_parent v ~child:c ~h:(h - 1)
+    Node_id.equal c p
+    || (Access.claims_parent v ~child:c ~h:(h - 1)
+       && Access.home_of net c = home)
   in
   let kept = Node_id.Set.add p (Node_id.Set.filter keep l.State.children) in
   Node_id.Set.equal kept l.State.children
@@ -272,11 +293,13 @@ let audit_parent v h =
   (not (State.is_active sp h))
   ||
   let p = State.id sp in
+  let net = Access.network v in
   let l = State.level_exn sp h in
   if h < State.top sp then Node_id.equal l.State.parent p
   else
     Node_id.equal l.State.parent p
-    || Access.attached_to v ~parent:l.State.parent ~h:(h + 1)
+    || (Access.attached_to v ~parent:l.State.parent ~h:(h + 1)
+       && Access.home_of net l.State.parent = Access.home_of net p)
 
 let audit_cover v h =
   let sp = Access.self v in

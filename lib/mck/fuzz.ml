@@ -96,7 +96,8 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
   let cfg =
     Drtree.Config.make ~min_fill:tr.Trace.min_fill ~max_fill:tr.Trace.max_fill
       ~cover_sweep:tr.Trace.cover_sweep ~scheduler:tr.Trace.scheduler
-      ~layout:tr.Trace.layout ~detector:tr.Trace.detector ~domains ()
+      ~layout:tr.Trace.layout ~detector:tr.Trace.detector
+      ~forest:tr.Trace.forest ~domains ()
   in
   let transport =
     match tr.Trace.transport with
@@ -128,6 +129,13 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
      stabilization repairs. So immediate checks apply under FIFO
      only. *)
   let strict = (not faulty) && tr.Trace.sched = Schedule.Fifo in
+  (* lib/agg attaches its query tree to one root, so in-network
+     aggregates cover one tree of the forest only: exactness against
+     the whole-population oracle is asserted on single-tree overlays
+     (forest-wide aggregation is a ROADMAP item). Publish exactness
+     is NOT so gated — cross-shard fan-out (DESIGN.md §14) keeps the
+     zero-false-negative guarantee forest-wide. *)
+  let multi_shard = O.shard_count ov > 1 in
   (* Attached on the first Agg_query op; traces without one never pay
      for the aggregation runtime. *)
   let agg = lazy (Agg.Runtime.attach ov) in
@@ -271,8 +279,10 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
                     Agg.Runtime.run_epoch rt;
                     (* Exactness (tct = 0) is a legal-state, reliable-
                        FIFO property, like the publish oracle. *)
-                    if strict && (not !dirty) && Inv.is_legal ov then
-                      check_agg at rt qid))
+                    if
+                      strict && (not !dirty) && (not multi_shard)
+                      && Inv.is_legal ov
+                    then check_agg at rt qid))
       end)
     tr.Trace.ops;
   (* Convergence within the round budget, then the structural bounds and
@@ -363,7 +373,8 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
                is legal and delivery reliable: one repair pass (query
                anti-entropy + cache reconciliation), a fresh epoch of
                readings, then tree vs brute force. *)
-            if Lazy.is_val agg && n > 0 && !failure = None then begin
+            if Lazy.is_val agg && n > 0 && (not multi_shard) && !failure = None
+            then begin
               let rt = Lazy.force agg in
               Agg.Runtime.repair rt;
               agg_inject_readings rt (tr.Trace.seed lxor 0xa99);
@@ -568,6 +579,53 @@ let run_domains_differential ?probes ?(domain_counts = [ 1; 2; 4 ])
       in
       compare_rest rest
 
+(* {2 Forest differential}
+
+   [Sharded] with one shard must be the single tree: the whole forest
+   machinery — the rendezvous grid, the per-shard claimant caches, the
+   shard-scoped oracle/election/repair guards, the cross-shard publish
+   fan-out — must reduce to exactly the pre-forest code path at one
+   shard. The comparison is the layout differential's standard: exact
+   verdict, exact shape, exact counter fingerprint, on every trace,
+   faulty or hostile included. The forest touches no RNG draw and no
+   schedule decision at one shard (the only oracle draw filters a
+   one-shard population, i.e. everyone), so any divergence is a
+   rendezvous-abstraction bug (DESIGN.md §14). *)
+
+let run_forest_differential ?probes ?domains (tr : Trace.t) =
+  let of_forest forest = { tr with Trace.forest } in
+  let o_s, s_s, f_s =
+    run_trace_full ?probes ?domains (of_forest Drtree.Config.Single)
+  in
+  let o_1, s_1, f_1 =
+    run_trace_full ?probes ?domains
+      (of_forest (Drtree.Config.Sharded { shards = 1 }))
+  in
+  let describe = function
+    | Passed -> "pass"
+    | Failed f -> Format.asprintf "fail at %a: %s" pp_location f.at f.what
+  in
+  let outcomes_equal =
+    match (o_s, o_1) with
+    | Passed, Passed -> true
+    | Failed a, Failed b -> a.at = b.at && a.what = b.what
+    | Passed, Failed _ | Failed _, Passed -> false
+  in
+  if not outcomes_equal then
+    Error
+      (Printf.sprintf "forest verdicts differ: single=%s sharded:1=%s"
+         (describe o_s) (describe o_1))
+  else if s_s <> s_1 then
+    Error
+      (Format.asprintf "forest shapes differ: single=%a sharded:1=%a"
+         pp_summary s_s pp_summary s_1)
+  else if f_s <> f_1 then
+    Error
+      (Format.asprintf
+         "forest fingerprints differ:@ single=%a@ sharded:1=%a" pp_fingerprint
+         f_s pp_fingerprint f_1)
+  else Ok (o_s, s_s)
+
 (* {2 Random traces} *)
 
 let random_rect rng =
@@ -594,7 +652,8 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     ?(dup = 0.0) ?(cover_sweep = true)
     ?(scheduler = Drtree.Config.Full_sweep)
     ?(layout = Drtree.Config.Flat)
-    ?(detector = Drtree.Config.Oracle) () =
+    ?(detector = Drtree.Config.Oracle)
+    ?(forest = Drtree.Config.Single) () =
   let seed = 1 + Rng.int rng 1_000_000 in
   let n_pre = 3 + Rng.int rng (max 1 (nodes - 2)) in
   {
@@ -610,6 +669,7 @@ let random_trace rng ?(nodes = 8) ?(ops = 10) ?(mode = Trace.Shared)
     scheduler;
     layout;
     detector;
+    forest;
     prelude = List.init n_pre (fun _ -> random_rect rng);
     ops = List.init ops (fun _ -> random_op rng);
   }

@@ -147,6 +147,22 @@ val run_domains_differential :
     shape.
     @raise Invalid_argument on an empty [domain_counts]. *)
 
+val run_forest_differential :
+  ?probes:int -> ?domains:int -> Trace.t -> (outcome * summary, string) result
+(** Run the trace twice — under [Config.Single] and
+    [Config.Sharded {shards = 1}] (overriding its [forest] field) —
+    and require bit-identical observables on {e every} trace, faulty
+    or hostile included: exact verdict (failure location and message),
+    exact final shape including height, and exact {!fingerprint} down
+    to the byte accounting — the layout differential's standard. A
+    one-shard forest runs the whole rendezvous machinery (grid,
+    per-shard claimant caches, shard-scoped election and repair
+    guards, cross-shard fan-out loops) yet must reduce to exactly the
+    pre-forest single tree; the forest touches no RNG draw and no
+    schedule decision at one shard, so any [Error] is a
+    rendezvous-abstraction bug (DESIGN.md §14). [Ok] carries the
+    single run's outcome and shape. *)
+
 val random_rect : Sim.Rng.t -> Geometry.Rect.t
 (** Uniform filter in the default \[0,100\]² space, extent 1–10 per
     axis. *)
@@ -164,6 +180,7 @@ val random_trace :
   ?scheduler:Drtree.Config.scheduler ->
   ?layout:Drtree.Config.layout ->
   ?detector:Drtree.Config.detector ->
+  ?forest:Drtree.Config.forest ->
   unit ->
   Trace.t
 (** A random trace: a prelude of 3 to [nodes] joins, then [ops]

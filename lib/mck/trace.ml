@@ -41,6 +41,7 @@ type t = {
   scheduler : Drtree.Config.scheduler;
   layout : Drtree.Config.layout;
   detector : Drtree.Config.detector;
+  forest : Drtree.Config.forest;
   prelude : R.t list;
   ops : op list;
 }
@@ -60,7 +61,7 @@ let pp_op ppf = function
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>seed=%d mode=%s transport=%s m=%d M=%d sched=%a drop=%g dup=%g \
-     cover_sweep=%b scheduler=%s layout=%s detector=%s@,\
+     cover_sweep=%b scheduler=%s layout=%s detector=%s forest=%s@,\
      prelude (%d joins):@,%a@,ops (%d):@,%a@]"
     t.seed (mode_to_string t.mode)
     (transport_to_string t.transport)
@@ -68,6 +69,7 @@ let pp ppf t =
     (Drtree.Config.scheduler_to_string t.scheduler)
     (Drtree.Config.layout_to_string t.layout)
     (Drtree.Config.detector_to_string t.detector)
+    (Drtree.Config.forest_to_string t.forest)
     (List.length t.prelude)
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf r ->
          Format.fprintf ppf "  join %a" R.pp r))
@@ -119,6 +121,7 @@ let to_string t =
   line "scheduler %s" (Drtree.Config.scheduler_to_string t.scheduler);
   line "layout %s" (Drtree.Config.layout_to_string t.layout);
   line "detector %s" (Drtree.Config.detector_to_string t.detector);
+  line "forest %s" (Drtree.Config.forest_to_string t.forest);
   List.iter (fun r -> line "prelude %s" (rect_str r)) t.prelude;
   List.iter (fun o -> line "%s" (op_str o)) t.ops;
   line "end";
@@ -138,6 +141,7 @@ let default =
     scheduler = Drtree.Config.Full_sweep;
     layout = Drtree.Config.Flat;
     detector = Drtree.Config.Oracle;
+    forest = Drtree.Config.Single;
     prelude = [];
     ops = [];
   }
@@ -236,6 +240,10 @@ let of_string s =
             | [ "detector"; v ] -> (
                 match Drtree.Config.detector_of_string v with
                 | Ok d -> t := { !t with detector = d }
+                | Error e -> fail "%s: %s" ctx e)
+            | [ "forest"; v ] -> (
+                match Drtree.Config.forest_of_string v with
+                | Ok f -> t := { !t with forest = f }
                 | Error e -> fail "%s: %s" ctx e)
             | "prelude" :: rest -> prelude := parse_rect ctx rest :: !prelude
             | "op" :: rest -> ops := parse_op ctx rest :: !ops

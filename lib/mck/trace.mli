@@ -72,6 +72,14 @@ type t = {
           the fuzzer attaches [Fd.Runtime], injects [Crash] ops {e
           silently} ({!Drtree.Overlay.crash_silent}) and additionally
           asserts the crash-convergence property — see {!Fuzz}. *)
+  forest : Drtree.Config.forest;
+      (** which rendezvous forest the replayed overlay runs
+          (DESIGN.md §14); traces without a [forest] line parse as
+          [Single] (backward-compatible — the pre-forest single tree,
+          which [Sharded] with one shard matches bit-for-bit, enforced
+          by the forest differential). Under shards [> 1] the
+          aggregation-exactness assert is skipped: [lib/agg] attaches
+          to one tree only. *)
   prelude : Geometry.Rect.t list;
   ops : op list;
 }
@@ -79,7 +87,7 @@ type t = {
 val default : t
 (** Seed 1, shared mode, inproc transport, [m = 2], [M = 4], FIFO
     schedule, no faults, cover sweep on, full-sweep scheduler, flat
-    layout, oracle detector, empty prelude and ops. *)
+    layout, oracle detector, single forest, empty prelude and ops. *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

@@ -208,6 +208,7 @@ let exemplar =
     scheduler = Drtree.Config.Incremental;
     layout = Drtree.Config.Hashed;
     detector = Drtree.Config.Oracle;
+    forest = Drtree.Config.Sharded { shards = 3 };
     prelude = [ rect 1.5 2.25 8.75 9.125; rect 0.1 0.2 0.3 0.4 ];
     ops =
       [
