@@ -1,8 +1,10 @@
 (* In-network aggregation experiments (lib/agg): traffic vs a
    per-producer flooding baseline under the TiNA temporal coherency
-   tolerance (E24), and aggregate error under churn + message loss
-   with exact recovery after stabilization (E25). Registration lives
-   in [Experiments.register]. *)
+   tolerance (E24), aggregate error under churn + message loss with
+   exact recovery after stabilization (E25), and forest-native
+   aggregation — exactness and cross-shard merge traffic vs shard
+   count (E30, DESIGN.md §15). Registration lives in
+   [Experiments.register]. *)
 
 module R = Geometry.Rect
 module P = Geometry.Point
@@ -297,3 +299,136 @@ let e25 () =
     qids;
   Table.print table;
   Format.printf "  legal after recovery: %b@." (Inv.is_legal ov)
+
+(* --- E30: forest-native aggregation, exactness and traffic vs shards ------ *)
+
+type agg_measure = {
+  m_sent : int;  (* tree partials over the whole run *)
+  m_merges : int;  (* cross-shard Agg_merge partials over the run *)
+  m_suppressed : int;
+  m_tree_ep : float;  (* partials + merges + results, per epoch *)
+  m_mean_err : float;
+  m_max_err : float;
+  m_stale : int;
+}
+
+(* One E24-style measurement (uniform workload, wire transport, the
+   four standard queries, random-walk producers at filter centers) at
+   a given forest configuration. Same seeds and constants as E24, so
+   at N=256 the [Single] measurement reproduces E24's tct=0 row. *)
+let agg_measure ~forest ~n ~epochs ~tct =
+  let cfg = Drtree.Config.make ~forest () in
+  let rng = Rng.make 2401 in
+  let rects = Sg.uniform () space rng n in
+  let ov =
+    build_overlay ~cfg ~transport:Drtree.Message.Codec.transport ~seed:24
+      rects
+  in
+  let ids_points =
+    List.map (fun id ->
+        match O.state ov id with
+        | Some s -> (id, R.center (Drtree.State.filter s))
+        | None -> (id, P.make2 50.0 50.0))
+      (O.alive_ids ov)
+  in
+  let rt = Agg.Runtime.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qids = std_queries rt ~owner ~tct in
+  let prod = producers_make ~seed:2402 ids_points in
+  let err_sum = ref 0.0 and err_max = ref 0.0 and err_n = ref 0 in
+  let stale_n = ref 0 in
+  for _ = 1 to epochs do
+    producers_emit prod rt ov;
+    Agg.Runtime.run_epoch rt;
+    List.iter
+      (fun qid ->
+        let e, st = query_error rt qid in
+        err_sum := !err_sum +. e;
+        err_max := max !err_max e;
+        if st then incr stale_n;
+        incr err_n)
+      qids
+  done;
+  let tele = O.telemetry ov in
+  let nq = List.length qids in
+  let m =
+    {
+      m_sent = Tele.agg_sent tele;
+      m_merges = Tele.agg_merges tele;
+      m_suppressed = Tele.agg_suppressed tele;
+      m_tree_ep =
+        float_of_int (Tele.agg_sent tele + Tele.agg_merges tele + (nq * epochs))
+        /. float_of_int epochs;
+      m_mean_err = !err_sum /. float_of_int (max 1 !err_n);
+      m_max_err = !err_max;
+      m_stale = !stale_n;
+    }
+  in
+  Agg.Runtime.detach rt;
+  m
+
+let e30 () =
+  let sizes = sizes_of_env "DRTREE_E30_SIZES" ~default:[ 256 ] in
+  let epochs = 50 and tct = 0.0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E30  forest-native aggregation: exactness and merge traffic vs \
+            shard count (tct=0, %d epochs, 4 queries, wire transport; same \
+            seeds as E24, so shards=1 at N=256 reproduces E24's tct=0 row)"
+           epochs)
+      ~columns:
+        [ "N"; "shards"; "tree msgs/ep"; "merges/ep"; "suppr/ep";
+          "mean |err|"; "max |err|"; "stale" ]
+  in
+  List.iter
+    (fun n ->
+      let single = ref None in
+      List.iter
+        (fun shards ->
+          let forest =
+            if shards = 1 then Drtree.Config.Single
+            else Drtree.Config.Sharded { shards }
+          in
+          let m = agg_measure ~forest ~n ~epochs ~tct in
+          if shards = 1 then single := Some m;
+          (* tct = 0 keeps every query exact at any shard count: the
+             subscription fan-out covers every producer's home shard
+             (the zero-false-negative argument, E29's dual). *)
+          if m.m_max_err <> 0.0 then
+            failwith
+              (Printf.sprintf "E30: nonzero error %g at N=%d shards=%d"
+                 m.m_max_err n shards);
+          if m.m_stale > 0 then
+            failwith
+              (Printf.sprintf "E30: %d stale result(s) at N=%d shards=%d"
+                 m.m_stale n shards);
+          if (shards = 1) <> (m.m_merges = 0) then
+            failwith
+              (Printf.sprintf
+                 "E30: merge plane %s at N=%d shards=%d (%d merges)"
+                 (if shards = 1 then "ran under a single tree"
+                  else "never ran under a forest")
+                 n shards m.m_merges);
+          Table.add_rowf table "%d|%d|%.1f|%.2f|%.1f|%.3f|%.3f|%d" n shards
+            m.m_tree_ep
+            (float_of_int m.m_merges /. float_of_int epochs)
+            (float_of_int m.m_suppressed /. float_of_int epochs)
+            m.m_mean_err m.m_max_err m.m_stale)
+        [ 1; 2; 4 ];
+      (* Sharded {shards = 1} must measure bit-identically to Single:
+         the forest differential, asserted at the bench level too. *)
+      let m1 =
+        agg_measure
+          ~forest:(Drtree.Config.Sharded { shards = 1 })
+          ~n ~epochs ~tct
+      in
+      match !single with
+      | Some m when m = m1 -> ()
+      | Some _ ->
+          failwith
+            (Printf.sprintf "E30: Sharded{1} diverges from Single at N=%d" n)
+      | None -> ())
+    sizes;
+  Table.print table

@@ -56,4 +56,6 @@ let register () =
   Harness.register "E28" "heartbeat failure detection: latency and overhead"
     E_fd.e28;
   Harness.register "E29" "rendezvous forest: per-root load vs shard count"
-    E_forest.e29
+    E_forest.e29;
+  Harness.register "E30" "forest-native aggregation: exactness and merges"
+    E_agg.e30

@@ -540,11 +540,6 @@ let aggregate_cmd =
     let cfg = make_cfg ~scheduler ~domains ~forest min_fill max_fill split in
     let ov, rng = build_overlay ~cfg ~transport ~seed ~n ~workload in
     print_shape ov;
-    if O.shard_count ov > 1 then
-      Printf.printf
-        "note        : aggregation runs over the designated root's own \
-         shard; the oracle covers all %d shards (DESIGN.md §14)\n"
-        (O.shard_count ov);
     let rt = Agg.Runtime.attach ov in
     let owner = List.hd (O.alive_ids ov) in
     let rect = Geometry.Rect.make2 ~x0 ~y0 ~x1 ~y1 in
@@ -552,6 +547,21 @@ let aggregate_cmd =
     Printf.printf "\nquery       : %s over [%g,%g]x[%g,%g], tct=%g\n"
       (Agg.Aggregate.fn_to_string fn)
       x0 x1 y0 y1 tct;
+    if O.shard_count ov > 1 then begin
+      (* The query's shard coverage and merge owner (DESIGN.md §15):
+         the fan-out/merge set is a pure function of the grid. *)
+      let cover =
+        Drtree.Rendezvous.intersecting_shards (O.rendezvous ov) rect
+      in
+      Printf.printf "coverage    : %d/%d shard(s) [%s] — %s\n"
+        (List.length cover) (O.shard_count ov)
+        (String.concat "," (List.map string_of_int cover))
+        (if List.length cover = 1 then
+           Printf.sprintf "single-shard, no cross-shard merge"
+         else
+           Printf.sprintf "partials merged at the shard-%d root"
+             (List.hd cover))
+    end;
     (* One integer-valued reading per node per epoch at its filter
        center, random-walking in occasional steps (the slowly-changing
        signal the suppression exploits). *)
@@ -609,12 +619,15 @@ let aggregate_cmd =
         err r.Drtree.Telemetry.partials_sent r.Drtree.Telemetry.suppressed
     done;
     let sent = Drtree.Telemetry.agg_sent tele
-    and suppr = Drtree.Telemetry.agg_suppressed tele in
-    let tree = sent + epochs and flood = n * epochs in
+    and suppr = Drtree.Telemetry.agg_suppressed tele
+    and merges = Drtree.Telemetry.agg_merges tele in
+    let tree = sent + merges + epochs and flood = n * epochs in
     Printf.printf
-      "\ntotals      : %d partials sent, %d suppressed, %d stale-dropped\n"
+      "\ntotals      : %d partials sent, %d suppressed, %d stale-dropped, %d \
+       cross-shard merge(s)\n"
       sent suppr
-      (Drtree.Telemetry.agg_stale_dropped tele);
+      (Drtree.Telemetry.agg_stale_dropped tele)
+      merges;
     Printf.printf "traffic     : %d msgs vs %d flooding (%.1f%% reduction)\n"
       tree flood
       (100.0 *. (1.0 -. (float_of_int tree /. float_of_int flood)))

@@ -21,6 +21,18 @@ type node_state = {
   sent : (int, Node_id.t * Aggregate.t) Hashtbl.t;
       (* query_id -> (parent, partial) this process last reported —
          the suppression reference *)
+  merge_rx : (int * int, int * Aggregate.t) Hashtbl.t;
+      (* (query_id, peer shard) -> (epoch, partial): a merge owner's
+         cache of peer shard roots' last partials (DESIGN.md §15) —
+         reused when a peer suppresses; keyed by shard, so a
+         re-announce replaces, never double-counts. Empty at one
+         shard. *)
+  merge_sent : (int, Node_id.t * Aggregate.t) Hashtbl.t;
+      (* query_id -> (owner root, partial) this shard root last
+         reported cross-shard — the merge plane's suppression
+         reference. Keyed to the owner root it was sent to, so a
+         shard-root election invalidates it (the new owner has an
+         empty cache and must be re-announced). Empty at one shard. *)
 }
 
 type t = {
@@ -49,7 +61,8 @@ let node_state t id =
   | None ->
       let ns =
         { queries = Hashtbl.create 8; pending = Hashtbl.create 8;
-          rx = Hashtbl.create 16; sent = Hashtbl.create 8 }
+          rx = Hashtbl.create 16; sent = Hashtbl.create 8;
+          merge_rx = Hashtbl.create 8; merge_sent = Hashtbl.create 8 }
       in
       Node_id.Table.replace t.nodes id ns;
       ns
@@ -103,6 +116,23 @@ let handle t ctx s msg =
       match Hashtbl.find_opt t.results query_id with
       | Some (e, _) when e > epoch -> ()
       | Some _ | None -> Hashtbl.replace t.results query_id (epoch, value))
+  | Msg.Agg_merge { query_id; epoch; shard; partial } ->
+      (* A peer shard root's partial for the epoch (DESIGN.md §15).
+         The recipient may have lost the merge-owner-root role
+         mid-flight — cache anyway (keyed by shard, so nothing can
+         double-count) and let the repair pass purge misplaced
+         entries; an unknown query is unusable and dropped. *)
+      let ns = node_state t (State.id s) in
+      if not (Hashtbl.mem ns.queries query_id) then
+        Tele.record_agg_stale (tele t)
+      else begin
+        match Hashtbl.find_opt ns.merge_rx (query_id, shard) with
+        | Some (e, _) when e > epoch ->
+            (* an out-of-order duplicate from a finished epoch *)
+            Tele.record_agg_stale (tele t)
+        | Some _ | None ->
+            Hashtbl.replace ns.merge_rx (query_id, shard) (epoch, partial)
+      end
   | _ -> ()
 
 (* {2 Epoch driver} *)
@@ -132,6 +162,36 @@ let combined ns s qid =
   done;
   !acc
 
+(* {2 The forest-wide merge plane} (DESIGN.md §15)
+
+   A query's coverage is every shard whose Z-range intersects its
+   rectangle — the dual of the publish fan-out, and a pure function of
+   the grid. Producers report readings at points of their own filter
+   (home = the Z-cell of the filter's center), so a matching
+   producer's home shard always lies in the coverage: fanning the
+   subscription out to the covered shards only loses nothing. *)
+let coverage t q = Access.intersecting_shards t.net q.Query.q_rect
+
+(* The process that finalizes a query this epoch: the designated root
+   of the lowest-numbered covered shard that has one (the merge-owner
+   rule is grid-pure; skipping rootless — i.e. empty — shards is the
+   only schedule-dependent part, and it is computed sequentially by
+   the driver). When every covered shard is empty no covered producer
+   exists either, and the global fallback root finalizes the identity
+   partial so COUNT/SUM still deliver their zero. *)
+let merge_owner_root t q =
+  let rec pick = function
+    | [] -> (
+        match Access.designated_root t.net with
+        | Some r -> Some (Access.home_of t.net r, r)
+        | None -> None)
+    | sh :: rest -> (
+        match Access.designated_root_in t.net sh with
+        | Some r -> Some (sh, r)
+        | None -> pick rest)
+  in
+  pick (coverage t q)
+
 let report_up t id s =
   let ns = node_state t id in
   let top = State.top s in
@@ -139,12 +199,18 @@ let report_up t id s =
     (fun qid ->
       let q = Hashtbl.find ns.queries qid in
       let c = combined ns s qid in
-      if State.is_root s top then
-        (* finalize at the root; one result message per query/epoch *)
-        Engine.inject t.net.Access.engine ~dst:q.Query.q_owner
-          (Msg.Agg_result
-             { query_id = qid; epoch = t.epoch;
-               value = Aggregate.finalize q.Query.q_fn c })
+      if State.is_root s top then begin
+        (* At one shard the root finalizes here — the pre-forest path,
+           bit-identical under [Config.forest = Single]. Under a
+           forest, finalization moves to the cross-shard merge step
+           after the height waves (the owner root must combine every
+           covered shard's partial first). *)
+        if Access.shard_count t.net = 1 then
+          Engine.inject t.net.Access.engine ~dst:q.Query.q_owner
+            (Msg.Agg_result
+               { query_id = qid; epoch = t.epoch;
+                 value = Aggregate.finalize q.Query.q_fn c })
+      end
       else
         let parent = (State.level_exn s top).State.parent in
         if not (Node_id.equal parent id) then begin
@@ -217,6 +283,74 @@ let run_epoch t =
       ids;
     O.run t.ov
   done;
+  (* Cross-shard merge step (DESIGN.md §15), only under a forest: each
+     covered peer shard root announces its tree's partial to the
+     query's merge owner (suppressed within the tolerance, like tree
+     partials), then the owner combines its own tree with every
+     covered peer's cached partial and finalizes. At one shard the
+     root already finalized inside [report_up] — this block never
+     runs, keeping [Config.forest = Single] (and [Sharded {shards =
+     1}]) bit-identical to the pre-forest system. *)
+  if Access.shard_count t.net > 1 then begin
+    let qids = sorted_query_ids t.registry in
+    List.iter
+      (fun qid ->
+        let q = Hashtbl.find t.registry qid in
+        match merge_owner_root t q with
+        | None -> ()
+        | Some (osh, oroot) ->
+            List.iter
+              (fun sh ->
+                if sh <> osh then
+                  match Access.designated_root_in t.net sh with
+                  | None -> ()
+                  | Some r -> (
+                      let ns = node_state t r in
+                      match O.state t.ov r with
+                      | Some s when Hashtbl.mem ns.queries qid -> (
+                          let c = combined ns s qid in
+                          match Hashtbl.find_opt ns.merge_sent qid with
+                          | Some (prev_root, prev)
+                            when Node_id.equal prev_root oroot
+                                 && Aggregate.delta prev c <= q.Query.q_tct
+                            ->
+                              Tele.record_agg_suppressed (tele t)
+                          | Some _ | None ->
+                              Hashtbl.replace ns.merge_sent qid (oroot, c);
+                              Tele.record_agg_merge (tele t);
+                              Engine.inject t.net.Access.engine ~dst:oroot
+                                (Msg.Agg_merge
+                                   { query_id = qid; epoch = t.epoch;
+                                     shard = sh; partial = c }))
+                      | Some _ | None -> ()))
+              (coverage t q))
+      qids;
+    O.run t.ov;
+    List.iter
+      (fun qid ->
+        let q = Hashtbl.find t.registry qid in
+        match merge_owner_root t q with
+        | None -> ()
+        | Some (osh, oroot) -> (
+            let ns = node_state t oroot in
+            match O.state t.ov oroot with
+            | Some s when Hashtbl.mem ns.queries qid ->
+                let acc = ref (combined ns s qid) in
+                List.iter
+                  (fun sh ->
+                    if sh <> osh then
+                      match Hashtbl.find_opt ns.merge_rx (qid, sh) with
+                      | Some (_, part) -> acc := Aggregate.merge !acc part
+                      | None -> ())
+                  (coverage t q);
+                Engine.inject t.net.Access.engine ~dst:q.Query.q_owner
+                  (Msg.Agg_result
+                     { query_id = qid; epoch = t.epoch;
+                       value = Aggregate.finalize q.Query.q_fn !acc })
+            | Some _ | None -> ()))
+      qids;
+    O.run t.ov
+  end;
   (* next epoch starts its leaf folds from scratch *)
   Node_id.Table.iter (fun _ ns -> Hashtbl.reset ns.pending) t.nodes;
   Tele.end_agg_epoch (tele t)
@@ -231,12 +365,30 @@ let register t ?(tct = 0.0) ~owner ~rect fn =
       q_owner = owner }
   in
   Hashtbl.replace t.registry qid q;
-  (match Access.designated_root t.net with
-  | Some root ->
+  (* Fan the subscription out: at one shard the designated root (the
+     pre-forest path, bit-identical under [Single]); under a forest
+     every covered shard's root — the dual of the publish fan-out —
+     falling back to the global root when no covered shard is rooted
+     (it then finalizes the identity partial, DESIGN.md §15). *)
+  let targets =
+    if Access.shard_count t.net = 1 then
+      match Access.designated_root t.net with Some r -> [ r ] | None -> []
+    else
+      match
+        List.filter_map
+          (fun sh -> Access.designated_root_in t.net sh)
+          (coverage t q)
+      with
+      | [] -> (
+          match Access.designated_root t.net with Some r -> [ r ] | None -> [])
+      | roots -> roots
+  in
+  List.iter
+    (fun root ->
       Engine.inject t.net.Access.engine ~dst:root
-        (Msg.Agg_subscribe { query = q; hops = 0 });
-      O.run t.ov
-  | None -> ());
+        (Msg.Agg_subscribe { query = q; hops = 0 }))
+    targets;
+  if targets <> [] then O.run t.ov;
   qid
 
 let query t qid = Hashtbl.find_opt t.registry qid
@@ -327,20 +479,113 @@ let repair t =
               ns.sent []
           in
           List.iter (fun qid -> Hashtbl.remove ns.sent qid) invalid);
+  (* Merge-plane reconciliation (DESIGN.md §15), forest only: purge
+     cached cross-shard partials from any process that is not the
+     query's current merge owner (a root election moved the role, or
+     the coverage key is nonsense), and drop suppression references
+     whose owner root changed or whose partial the owner no longer
+     caches — the next epoch re-announces the full partial instead of
+     silently under- or double-counting. *)
+  (if Access.shard_count t.net > 1 then
+     let owner_of qid =
+       match Hashtbl.find_opt t.registry qid with
+       | None -> None
+       | Some q -> merge_owner_root t q
+     in
+     O.iter_states ov (fun id _s ->
+         match Node_id.Table.find_opt t.nodes id with
+         | None -> ()
+         | Some ns ->
+             let my_shard = Access.home_of t.net id in
+             let misplaced =
+               Hashtbl.fold
+                 (fun ((qid, sh) as key) _ acc ->
+                   let keep =
+                     match owner_of qid with
+                     | Some (osh, oroot) ->
+                         Node_id.equal oroot id && sh <> osh
+                         && (match Hashtbl.find_opt t.registry qid with
+                            | Some q -> List.mem sh (coverage t q)
+                            | None -> false)
+                     | None -> false
+                   in
+                   if keep then acc else key :: acc)
+                 ns.merge_rx []
+             in
+             List.iter
+               (fun key ->
+                 Hashtbl.remove ns.merge_rx key;
+                 Tele.record_agg_stale (tele t))
+               misplaced;
+             let invalid =
+               Hashtbl.fold
+                 (fun qid (oroot, part) acc ->
+                   let stale =
+                     (* only a shard's current designated root reports
+                        cross-shard *)
+                     (match Access.designated_root_in t.net my_shard with
+                     | Some r when Node_id.equal r id -> false
+                     | Some _ | None -> true)
+                     ||
+                     match owner_of qid with
+                     | Some (_, cur) when Node_id.equal cur oroot -> (
+                         match Node_id.Table.find_opt t.nodes oroot with
+                         | None -> true
+                         | Some ons -> (
+                             match
+                               Hashtbl.find_opt ons.merge_rx (qid, my_shard)
+                             with
+                             | Some (_, cached) ->
+                                 not (Aggregate.equal cached part)
+                             | None -> true))
+                     | Some _ | None -> true
+                   in
+                   if stale then qid :: acc else acc)
+                 ns.merge_sent []
+             in
+             List.iter (fun qid -> Hashtbl.remove ns.merge_sent qid) invalid));
   (* Query anti-entropy: lost Agg_subscribe floods and freshly joined
      processes converge by copying queries down the repaired tree —
-     the client registry seeds the designated root, parents seed their
-     children (descending top order makes one pass propagate a query
-     down an entire path). *)
-  (match Access.designated_root t.net with
-  | Some root when O.is_alive ov root ->
-      let rns = node_state t root in
-      Hashtbl.iter
-        (fun qid q ->
-          if not (Hashtbl.mem rns.queries qid) then
-            Hashtbl.replace rns.queries qid q)
-        t.registry
-  | Some _ | None -> ());
+     the client registry seeds the roots, parents seed their children
+     (descending top order makes one pass propagate a query down an
+     entire path). At one shard the seed target is the designated
+     root, verbatim the pre-forest path; under a forest every covered
+     shard's root (or the global fallback when none is rooted) — the
+     same targets [register] fans out to. *)
+  (if Access.shard_count t.net = 1 then
+     match Access.designated_root t.net with
+     | Some root when O.is_alive ov root ->
+         let rns = node_state t root in
+         Hashtbl.iter
+           (fun qid q ->
+             if not (Hashtbl.mem rns.queries qid) then
+               Hashtbl.replace rns.queries qid q)
+           t.registry
+     | Some _ | None -> ()
+   else
+     List.iter
+       (fun qid ->
+         let q = Hashtbl.find t.registry qid in
+         let roots =
+           match
+             List.filter_map
+               (fun sh -> Access.designated_root_in t.net sh)
+               (coverage t q)
+           with
+           | [] -> (
+               match Access.designated_root t.net with
+               | Some r -> [ r ]
+               | None -> [])
+           | roots -> roots
+         in
+         List.iter
+           (fun root ->
+             if O.is_alive ov root then
+               let rns = node_state t root in
+               if not (Hashtbl.mem rns.queries qid) then
+                 Hashtbl.replace rns.queries qid q)
+           roots)
+       (sorted_query_ids t.registry));
   let by_top =
     List.sort
       (fun (_, a) (_, b) -> compare (State.top b) (State.top a))
@@ -420,3 +665,21 @@ let debug_sent t id =
         (Hashtbl.fold
            (fun qid (parent, part) acc -> (qid, parent, part) :: acc)
            ns.sent [])
+
+let debug_merge_rx t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> []
+  | Some ns ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun (qid, sh) (e, part) acc -> (qid, sh, e, part) :: acc)
+           ns.merge_rx [])
+
+let debug_merge_sent t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> []
+  | Some ns ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun qid (root, part) acc -> (qid, root, part) :: acc)
+           ns.merge_sent [])

@@ -8,8 +8,16 @@
     climbs the tree in height waves: every process combines its own
     fold with its children's cached partials and reports one merged
     partial to the parent of its topmost instance — O(tree edges)
-    messages per query per epoch instead of one message per producer —
-    and the designated root finalizes the value to the query owner.
+    messages per query per epoch instead of one message per producer.
+    At one shard the designated root then finalizes the value to the
+    query owner. Under [Config.forest = Sharded] each covered shard
+    (every shard whose Z-range intersects the query rectangle, the
+    dual of the publish fan-out) climbs to its own root, peer shard
+    roots announce their partials to the query's {e merge owner} — the
+    root of the lowest-numbered covered shard, a pure function of the
+    grid — in one [Agg_merge] message each, and the owner combines and
+    finalizes (DESIGN.md §15). At one shard no merge message is ever
+    sent, keeping [Single] bit-identical to the pre-forest system.
 
     A report is {e suppressed} when it is within the query's temporal
     coherency tolerance [tct] of what the parent already caches
@@ -23,9 +31,15 @@
     discards partials from processes that left the children set,
     invalidates suppression references after [adjust_parent] role
     moves or lost reports (forcing a re-pull), and anti-entropies the
-    query table down the repaired tree. Correctness under churn and
-    loss is judged against {!oracle}, a brute-force recomputation from
-    the raw reading log. *)
+    query table down the repaired tree. The merge plane gets the same
+    treatment: cached cross-shard partials are purged from any process
+    that is not the query's current merge owner (root elections move
+    the role), and a shard root's cross-shard suppression reference is
+    dropped when the owner root changed or no longer caches the
+    recorded partial, so the next epoch re-announces instead of under-
+    or double-counting. Correctness under churn and loss is judged
+    against {!oracle}, a brute-force recomputation from the raw
+    reading log. *)
 
 type t
 
@@ -48,9 +62,11 @@ val register :
   Aggregate.fn ->
   int
 (** Register a standing query (returns its id) and flood the
-    subscription from the designated root. [owner] (a live process)
-    receives one [Agg_result] per epoch. [tct] defaults to [0]. Lost
-    subscriptions converge through {!repair}'s anti-entropy. *)
+    subscription from the designated root — from every covered shard's
+    root under a forest (falling back to the global root when no
+    covered shard is rooted). [owner] (a live process) receives one
+    [Agg_result] per epoch. [tct] defaults to [0]. Lost subscriptions
+    converge through {!repair}'s anti-entropy. *)
 
 val query : t -> int -> Query.t option
 val queries : t -> Query.t list
@@ -62,8 +78,9 @@ val inject : t -> from:Sim.Node_id.t -> Geometry.Point.t -> float -> unit
 
 val run_epoch : t -> unit
 (** Evaluate one epoch over the readings injected since the last one:
-    leaf folds, height-wave climb with suppression, root finalization.
-    Drains the engine between waves; brackets the epoch's telemetry
+    leaf folds, height-wave climb with suppression, root finalization
+    (preceded, under a forest, by the cross-shard merge step). Drains
+    the engine between waves; brackets the epoch's telemetry
     ({!Drtree.Telemetry.agg_epochs}). *)
 
 val result : t -> int -> (int * float option) option
@@ -93,3 +110,12 @@ val debug_rx : t -> Sim.Node_id.t ->
 val debug_sent : t -> Sim.Node_id.t -> (int * Sim.Node_id.t * Aggregate.t) list
 (** One process's suppression references: [(query_id, parent,
     partial)], sorted. *)
+
+val debug_merge_rx : t -> Sim.Node_id.t -> (int * int * int * Aggregate.t) list
+(** A merge owner's cross-shard partial cache: [(query_id, shard,
+    epoch, partial)], sorted. Always empty at one shard. *)
+
+val debug_merge_sent :
+  t -> Sim.Node_id.t -> (int * Sim.Node_id.t * Aggregate.t) list
+(** A shard root's cross-shard suppression references: [(query_id,
+    owner root, partial)], sorted. Always empty at one shard. *)

@@ -221,6 +221,15 @@ let home_of net id =
 
 let shard_count net = Array.length net.claimants
 
+(* The fan-out set of a rectangle, and the merge-owner rule of the
+   aggregation plane (DESIGN.md §15): both pure functions of the grid
+   — no probe, no RNG draw — so every process, layout and domain
+   count agrees on them without coordination. [intersecting_shards]
+   is never empty (a dimension mismatch returns every shard), so the
+   owner is total. *)
+let intersecting_shards net r = Rendezvous.intersecting_shards net.rdv r
+let merge_owner_shard net r = List.hd (intersecting_shards net r)
+
 let claimant_table net id = net.claimants.(home_of net id)
 
 let refresh_claimant net id =

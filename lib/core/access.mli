@@ -151,6 +151,20 @@ val shard_size : net -> int -> int
 val shard_roots : net -> Sim.Node_id.t option list
 (** Each shard's designated root, by shard number. *)
 
+val intersecting_shards : net -> Geometry.Rect.t -> int list
+(** Every shard whose Z-range overlaps the rectangle, through
+    {!Rendezvous.intersecting_shards}: the publish/subscribe fan-out
+    set, and the coverage of a standing aggregate query (DESIGN.md
+    §15). Sorted ascending, duplicate-free, [[0]] under [Single]; a
+    pure function of the grid — no probe, no RNG draw. *)
+
+val merge_owner_shard : net -> Geometry.Rect.t -> int
+(** The merge-owner rule of the forest-wide aggregation plane
+    (DESIGN.md §15): the lowest-numbered intersecting shard. A pure
+    function of the grid, so every process — and every layout and
+    domain count — agrees on the owner without coordination; [0]
+    under [Single]. *)
+
 (** {2 Direct neighbor reads} *)
 
 val mbr_of : net -> int -> Sim.Node_id.t -> Geometry.Rect.t option

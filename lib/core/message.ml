@@ -87,6 +87,12 @@ type t =
       partial : agg_partial;
     }
   | Agg_result of { query_id : int; epoch : int; value : float option }
+  | Agg_merge of {
+      query_id : int;
+      epoch : int;
+      shard : int;
+      partial : agg_partial;
+    }
   | Heartbeat of { from : Node_id.t; seq : int }
   | Suspect of { suspect : Node_id.t; by : Node_id.t; seq : int }
 
@@ -107,6 +113,7 @@ let tag = function
   | Agg_subscribe _ -> "AGG_SUBSCRIBE"
   | Agg_partial _ -> "AGG_PARTIAL"
   | Agg_result _ -> "AGG_RESULT"
+  | Agg_merge _ -> "AGG_MERGE"
   | Heartbeat _ -> "HEARTBEAT"
   | Suspect _ -> "SUSPECT"
 
@@ -441,6 +448,12 @@ module Codec = struct
         | Some v ->
             add_bool b true;
             add_float b v)
+    | Agg_merge { query_id; epoch; shard; partial } ->
+        put_char b '\018';
+        add_varint b query_id;
+        add_varint b epoch;
+        add_varint b shard;
+        add_partial b partial
     | Heartbeat { from; seq } ->
         put_char b '\016';
         add_id b from;
@@ -516,6 +529,12 @@ module Codec = struct
         let by = read_id s pos in
         let seq = read_varint s pos in
         Suspect { suspect; by; seq }
+    | 18 ->
+        let query_id = read_varint s pos in
+        let epoch = read_varint s pos in
+        let shard = read_varint s pos in
+        let partial = read_partial s pos in
+        Agg_merge { query_id; epoch; shard; partial }
     | t -> err "unknown message tag %d" t
 
   let encode msg =
@@ -583,6 +602,9 @@ let pp ppf = function
   | Agg_result { query_id; epoch; value } ->
       Format.fprintf ppf "AGG_RESULT(q%d,e%d,%s)" query_id epoch
         (match value with None -> "none" | Some v -> Format.sprintf "%g" v)
+  | Agg_merge { query_id; epoch; shard; partial } ->
+      Format.fprintf ppf "AGG_MERGE(q%d,e%d,shard %d,n=%d)" query_id epoch
+        shard partial.a_count
   | Heartbeat { from; seq } ->
       Format.fprintf ppf "HEARTBEAT(from %a,seq=%d)" Node_id.pp from seq
   | Suspect { suspect; by; seq } ->

@@ -122,6 +122,17 @@ type t =
   | Agg_result of { query_id : int; epoch : int; value : float option }
       (** finalized aggregate, root to query owner; [None] when no
           event matched (MIN/MAX/AVG of an empty set) *)
+  | Agg_merge of {
+      query_id : int;
+      epoch : int;
+      shard : int;  (** the sender's home shard — the cache key, so a
+                        re-announce replaces rather than accumulates *)
+      partial : agg_partial;
+    }
+      (** one shard's combined partial for the epoch, sent by a peer
+          shard root to the query's merge-owner shard root under
+          [Config.forest = Sharded] (DESIGN.md §15); never sent at one
+          shard *)
   | Heartbeat of { from : Sim.Node_id.t; seq : int }
       (** [lib/fd]: "I am alive" — sent each detector period to the
           sender's monitored peers (tree neighbors plus fallback-ring

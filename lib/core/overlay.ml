@@ -90,7 +90,7 @@ let handle (ov : t) ctx msg =
               Dissemination.handle_publish ov ctx sp ~event_id ~point ~at
                 ~from_child ~going_up ~hops
           | Message.Agg_subscribe _ | Message.Agg_partial _
-          | Message.Agg_result _ -> (
+          | Message.Agg_result _ | Message.Agg_merge _ -> (
               (* Aggregation is an optional subsystem layered on top of
                  the overlay (lib/agg); without a runtime attached its
                  messages are inert. *)

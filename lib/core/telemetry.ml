@@ -79,6 +79,9 @@ type t = {
   mutable agg_sent : int;
   mutable agg_suppressed : int;
   mutable agg_stale : int;
+  mutable agg_merges : int;
+      (* cross-shard Agg_merge partials sent (DESIGN.md §15); 0 under
+         a single tree *)
   mutable agg_epochs : agg_epoch_report list; (* newest first *)
   mutable agg_mark : (int * (int * int * int)) option;
   mutable fd_suspicions : int;
@@ -109,6 +112,7 @@ let create () =
     agg_sent = 0;
     agg_suppressed = 0;
     agg_stale = 0;
+    agg_merges = 0;
     agg_epochs = [];
     agg_mark = None;
     fd_suspicions = 0;
@@ -211,6 +215,8 @@ let round_total_repairs (r : round_report) = Array.fold_left ( + ) 0 r.repairs
 let record_agg_sent t = t.agg_sent <- t.agg_sent + 1
 let record_agg_suppressed t = t.agg_suppressed <- t.agg_suppressed + 1
 let record_agg_stale t = t.agg_stale <- t.agg_stale + 1
+let record_agg_merge t = t.agg_merges <- t.agg_merges + 1
+let agg_merges t = t.agg_merges
 let agg_sent t = t.agg_sent
 let agg_suppressed t = t.agg_suppressed
 let agg_stale_dropped t = t.agg_stale
@@ -239,6 +245,7 @@ let reset_agg t =
   t.agg_sent <- 0;
   t.agg_suppressed <- 0;
   t.agg_stale <- 0;
+  t.agg_merges <- 0;
   t.agg_epochs <- [];
   t.agg_mark <- None
 

@@ -142,9 +142,18 @@ type agg_epoch_report = {
 val record_agg_sent : t -> unit
 val record_agg_suppressed : t -> unit
 val record_agg_stale : t -> unit
+
+val record_agg_merge : t -> unit
+(** One cross-shard [Agg_merge] partial actually sent by a peer shard
+    root to a query's merge owner (DESIGN.md §15). Always [0] under
+    [Config.forest = Single] — the merge plane never runs at one
+    shard. Suppressed merges count through {!record_agg_suppressed},
+    like tree partials. *)
+
 val agg_sent : t -> int
 val agg_suppressed : t -> int
 val agg_stale_dropped : t -> int
+val agg_merges : t -> int
 
 val begin_agg_epoch : t -> epoch:int -> unit
 val end_agg_epoch : t -> unit

@@ -129,15 +129,11 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
      stabilization repairs. So immediate checks apply under FIFO
      only. *)
   let strict = (not faulty) && tr.Trace.sched = Schedule.Fifo in
-  (* lib/agg attaches its query tree to one root, so in-network
-     aggregates cover one tree of the forest only: exactness against
-     the whole-population oracle is asserted on single-tree overlays
-     (forest-wide aggregation is a ROADMAP item). Publish exactness
-     is NOT so gated — cross-shard fan-out (DESIGN.md §14) keeps the
-     zero-false-negative guarantee forest-wide. *)
-  let multi_shard = O.shard_count ov > 1 in
   (* Attached on the first Agg_query op; traces without one never pay
-     for the aggregation runtime. *)
+     for the aggregation runtime. Aggregation exactness is asserted
+     forest-wide: lib/agg fans subscriptions out to every covered
+     shard and merge-owns the finalize (DESIGN.md §15), so the
+     whole-population oracle applies at any shard count. *)
   let agg = lazy (Agg.Runtime.attach ov) in
   (* Heartbeat traces run the failure detector: Crash ops turn silent
      (nobody is told — the detector must notice), and the run
@@ -172,16 +168,22 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
   in
   (* One integer-valued reading per live process, from a sub-seed:
      sums are then exact under any merge order, so tree-vs-oracle
-     equality is a protocol property, not a rounding accident. *)
+     equality is a protocol property, not a rounding accident. Each
+     process reads at its own filter's center — the sensor model E24
+     and the CLI use — which is also what makes sharded exactness
+     well-posed: a reading inside a query rectangle then implies the
+     producer homes on a covered shard (the center lies in its home
+     cell), so the subscription fan-out misses no producer. *)
   let agg_inject_readings rt sub_seed =
     let arng = Rng.make sub_seed in
     List.iter
       (fun id ->
-        Agg.Runtime.inject rt ~from:id
-          (P.make2
-             (float_of_int (Rng.int arng 100))
-             (float_of_int (Rng.int arng 100)))
-          (float_of_int (Rng.int arng 100)))
+        match O.state ov id with
+        | Some s ->
+            Agg.Runtime.inject rt ~from:id
+              (Geometry.Rect.center (Drtree.State.filter s))
+              (float_of_int (Rng.int arng 100))
+        | None -> ())
       (O.alive_ids ov)
   in
   let value_str = function
@@ -279,10 +281,8 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
                     Agg.Runtime.run_epoch rt;
                     (* Exactness (tct = 0) is a legal-state, reliable-
                        FIFO property, like the publish oracle. *)
-                    if
-                      strict && (not !dirty) && (not multi_shard)
-                      && Inv.is_legal ov
-                    then check_agg at rt qid))
+                    if strict && (not !dirty) && Inv.is_legal ov then
+                      check_agg at rt qid))
       end)
     tr.Trace.ops;
   (* Convergence within the round budget, then the structural bounds and
@@ -373,8 +373,7 @@ let run_trace_full ?(probes = 3) ?(domains = 1) (tr : Trace.t) =
                is legal and delivery reliable: one repair pass (query
                anti-entropy + cache reconciliation), a fresh epoch of
                readings, then tree vs brute force. *)
-            if Lazy.is_val agg && n > 0 && (not multi_shard) && !failure = None
-            then begin
+            if Lazy.is_val agg && n > 0 && !failure = None then begin
               let rt = Lazy.force agg in
               Agg.Runtime.repair rt;
               agg_inject_readings rt (tr.Trace.seed lxor 0xa99);

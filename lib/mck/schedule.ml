@@ -53,7 +53,7 @@ let is_repair (m : Drtree.Message.t) =
       true
   | Query _ | Report _ | Join _ | Add_child _ | Leave _
   | Initiate_new_connection _ | Publish _ | Agg_subscribe _ | Agg_partial _
-  | Agg_result _ | Heartbeat _ | Suspect _ ->
+  | Agg_result _ | Agg_merge _ | Heartbeat _ | Suspect _ ->
       false
 
 (* The view is in (time, sequence) order and never empty, so index 0 is

@@ -1,8 +1,11 @@
 (* Tests for in-network aggregation (lib/agg): the partial-aggregate
    algebra, end-to-end exactness against the brute-force oracle,
    TiNA-style suppression and its tct error bound, query
-   anti-entropy, and soft-state repair under churn and corruption
-   (DESIGN.md §8, experiments E24/E25). *)
+   anti-entropy, soft-state repair under churn and corruption
+   (DESIGN.md §8, experiments E24/E25), and the forest-wide merge
+   plane — shard-partition order-insensitivity, sharded exactness,
+   and re-announce after a merge-owner root election (DESIGN.md §15,
+   E30). *)
 
 module R = Geometry.Rect
 module P = Geometry.Point
@@ -35,6 +38,20 @@ let build ~seed n =
   (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
   | Some _ -> ()
   | None -> Alcotest.fail "overlay did not stabilize");
+  ov
+
+let build_sharded ~seed ~shards n =
+  let cfg =
+    Drtree.Config.make ~forest:(Drtree.Config.Sharded { shards }) ()
+  in
+  let rng = Rng.make (seed * 31) in
+  let ov = O.create ~cfg ~seed () in
+  for _ = 1 to n do
+    ignore (O.join ov (random_rect rng))
+  done;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> Alcotest.fail "forest did not stabilize");
   ov
 
 (* Each live process produces at its filter center. *)
@@ -106,23 +123,59 @@ let algebra_monoid =
       && A.equal (A.merge a A.identity) a
       && A.equal (A.merge A.identity a) a)
 
+(* Brute force over raw integer values — the algebra-level oracle. *)
+let brute fn vs =
+  let fs = List.map float_of_int vs in
+  let sum = List.fold_left ( +. ) 0.0 fs in
+  match (fn, fs) with
+  | A.Count, _ -> Some (float_of_int (List.length fs))
+  | A.Sum, _ -> Some sum
+  | (A.Min | A.Max | A.Avg), [] -> None
+  | A.Min, _ -> Some (List.fold_left Float.min infinity fs)
+  | A.Max, _ -> Some (List.fold_left Float.max neg_infinity fs)
+  | A.Avg, _ -> Some (sum /. float_of_int (List.length fs))
+
 let algebra_finalize =
   QCheck2.Test.make ~name:"finalize matches direct computation" ~count:200
     gen_vals
     (fun vs ->
       let p = partial_of_list vs in
-      let fs = List.map float_of_int vs in
-      let sum = List.fold_left ( +. ) 0.0 fs in
-      let direct fn =
-        match (fn, fs) with
-        | A.Count, _ -> Some (float_of_int (List.length fs))
-        | A.Sum, _ -> Some sum
-        | (A.Min | A.Max | A.Avg), [] -> None
-        | A.Min, _ -> Some (List.fold_left Float.min infinity fs)
-        | A.Max, _ -> Some (List.fold_left Float.max neg_infinity fs)
-        | A.Avg, _ -> Some (sum /. float_of_int (List.length fs))
+      List.for_all (fun fn -> A.finalize fn p = brute fn vs) A.all_fns)
+
+(* The merge plane's algebraic footing (DESIGN.md §15): split a
+   population over shards any way at all, merge the per-shard partials
+   in any order, and both the partial and every finalized value match
+   the whole population. *)
+let algebra_shard_partition =
+  QCheck2.Test.make
+    ~name:"random shard partitions: any merge order = whole population"
+    ~count:300
+    QCheck2.Gen.(
+      int_range 1 6 >>= fun shards ->
+      pair (pure shards)
+        (list_size (int_range 0 30)
+           (pair (int_range (-50) 100) (int_range 0 (shards - 1)))))
+    (fun (shards, tagged) ->
+      let vs = List.map fst tagged in
+      let whole = partial_of_list vs in
+      let parts =
+        List.init shards (fun s ->
+            partial_of_list
+              (List.filter_map
+                 (fun (v, t) -> if t = s then Some v else None)
+                 tagged))
       in
-      List.for_all (fun fn -> A.finalize fn p = direct fn) A.all_fns)
+      let fold ps = List.fold_left A.merge A.identity ps in
+      let rot k =
+        let arr = Array.of_list parts in
+        let n = Array.length arr in
+        List.init n (fun i -> arr.((i + k) mod n))
+      in
+      let orders = List.rev parts :: List.init shards rot in
+      List.for_all (fun ps -> A.equal (fold ps) whole) orders
+      && List.for_all
+           (fun fn -> A.finalize fn (fold parts) = brute fn vs)
+           A.all_fns)
 
 let algebra_delta =
   QCheck2.Test.make ~name:"delta: zero iff equal, |v-w| on singletons"
@@ -335,6 +388,84 @@ let test_sent_cache_names_current_parent () =
   alco_exact rt qid;
   Rt.detach rt
 
+(* --- The forest-wide merge plane (DESIGN.md §15) --------------------------------- *)
+
+let test_sharded_exact_all_fns () =
+  let ov = build_sharded ~seed:50 ~shards:4 72 in
+  let rt = Rt.attach ov in
+  let owner = List.hd (O.alive_ids ov) in
+  let qids =
+    List.map (fun fn -> Rt.register rt ~owner ~rect:full fn) A.all_fns
+  in
+  (* a corner query covering fewer shards must stay exact too *)
+  let corner = Rt.register rt ~owner ~rect:(rect 0.0 0.0 30.0 30.0) A.Sum in
+  emit rt ~seed:501;
+  Rt.run_epoch rt;
+  List.iter (alco_exact rt) (corner :: qids);
+  check_bool "cross-shard merge partials flowed" true
+    (Tele.agg_merges (O.telemetry ov) > 0);
+  emit rt ~seed:502;
+  Rt.run_epoch rt;
+  List.iter (alco_exact rt) (corner :: qids);
+  Rt.detach rt
+
+let test_merge_reannounce_after_owner_crash () =
+  (* Mid-stream, the merge-owner shard's root crashes and a new root
+     is elected. Peer shard roots hold suppression references keyed to
+     the dead owner: the repair pass must drop them so the next epoch
+     re-announces the (unchanged) partials to the new owner instead of
+     suppressing into its empty cache — the signal is static, so any
+     missing re-announce shows up as an inexact result. *)
+  let ov = build_sharded ~seed:49 ~shards:4 64 in
+  let rt = Rt.attach ov in
+  let tele = O.telemetry ov in
+  let rooted () = List.filter_map Fun.id (O.shard_roots ov) in
+  check_bool "needs at least two rooted shards" true
+    (List.length (rooted ()) >= 2);
+  (* the query owner must survive the crash below, so pick a non-root *)
+  let owner =
+    List.find
+      (fun id -> not (List.exists (Sim.Node_id.equal id) (rooted ())))
+      (O.alive_ids ov)
+  in
+  let qid = Rt.register rt ~owner ~rect:full A.Sum in
+  (* a fixed per-process signal, replayable across the crash *)
+  let readings =
+    List.mapi
+      (fun i (id, p) -> (id, p, float_of_int (i * 13 mod 101)))
+      (centers ov)
+  in
+  let emit_static () =
+    List.iter (fun (id, p, v) -> Rt.inject rt ~from:id p v) readings
+  in
+  emit_static ();
+  Rt.run_epoch rt;
+  alco_exact rt qid;
+  let m1 = Tele.agg_merges tele in
+  check_bool "cross-shard partials announced" true (m1 > 0);
+  (* steady state: a static signal suppresses the merge announcements *)
+  emit_static ();
+  Rt.run_epoch rt;
+  alco_exact rt qid;
+  check_int "static signal suppresses merges" m1 (Tele.agg_merges tele);
+  (* crash the merge owner (full rect covers every shard, so it is the
+     root of the lowest rooted shard) and let the overlay re-elect *)
+  let owner_root =
+    match rooted () with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no rooted shard"
+  in
+  O.crash ov owner_root;
+  (match O.stabilize ~max_rounds:100 ~legal:Inv.is_legal ov with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not re-stabilize");
+  emit_static ();
+  Rt.run_epoch rt;
+  alco_exact rt qid;
+  check_bool "peers re-announced to the new owner" true
+    (Tele.agg_merges tele > m1);
+  Rt.detach rt
+
 (* --- Differential: tct=0 exactness survives churn + corruption ------------------ *)
 
 let churn_exactness =
@@ -390,7 +521,10 @@ let () =
     [
       ( "algebra",
         List.map QCheck_alcotest.to_alcotest
-          [ algebra_monoid; algebra_finalize; algebra_delta ] );
+          [
+            algebra_monoid; algebra_finalize; algebra_delta;
+            algebra_shard_partition;
+          ] );
       ( "exactness",
         [
           Alcotest.test_case "all five functions vs oracle" `Quick
@@ -412,6 +546,13 @@ let () =
             test_rx_purged_after_crash;
           Alcotest.test_case "sent cache tracks the parent" `Quick
             test_sent_cache_names_current_parent;
+        ] );
+      ( "forest",
+        [
+          Alcotest.test_case "sharded exactness, all functions" `Quick
+            test_sharded_exact_all_fns;
+          Alcotest.test_case "re-announce after owner root election" `Quick
+            test_merge_reannounce_after_owner_crash;
         ] );
       ( "differential",
         [ QCheck_alcotest.to_alcotest churn_exactness ] );

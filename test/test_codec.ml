@@ -124,7 +124,7 @@ let gen_height = Gen.int_range 0 12
 let gen_hops = Gen.int_range 0 128
 
 (* Every variant, roughly evenly: the round-trip property must cover
-   all 18 tags, and the shrinker benefits from the simple ones. *)
+   all 19 tags, and the shrinker benefits from the simple ones. *)
 let gen_message =
   let open Gen in
   oneof
@@ -168,6 +168,11 @@ let gen_message =
       ( int_range 0 1000 >>= fun query_id ->
         int_range 0 10_000 >>= fun epoch ->
         option gen_coord >|= fun value -> M.Agg_result { query_id; epoch; value } );
+      ( int_range 0 1000 >>= fun query_id ->
+        int_range 0 10_000 >>= fun epoch ->
+        int_range 0 16 >>= fun shard ->
+        gen_partial >|= fun partial ->
+        M.Agg_merge { query_id; epoch; shard; partial } );
       ( gen_id >>= fun from ->
         int_range 0 10_000 >|= fun seq -> M.Heartbeat { from; seq } );
       ( gen_id >>= fun suspect ->
@@ -252,8 +257,8 @@ let test_rejects_garbage () =
   check_bool "short prefix" true (err "\x00\x00");
   check_bool "prefix without body" true (err "\x00\x00\x00\x05");
   check_bool "length overclaims" true (err "\x00\x00\x00\xff\x05\x03");
-  (* tag 18 is unassigned: length 1, tag byte \x12 *)
-  check_bool "unknown tag" true (err "\x00\x00\x00\x01\x12");
+  (* tag 19 is unassigned: length 1, tag byte \x13 *)
+  check_bool "unknown tag" true (err "\x00\x00\x00\x01\x13");
   (* Check_mbr with a count-bomb in place of a varint is impossible
      (fixed shape), but a Report advertising 2^60 levels must be
      rejected by the remaining-bytes bound, not attempted. *)
@@ -324,6 +329,7 @@ let test_tags_unique_and_total () =
       M.Agg_subscribe { query = q; hops = 0 };
       M.Agg_partial { query_id = 1; epoch = 0; child = 1; at = 0; partial };
       M.Agg_result { query_id = 1; epoch = 0; value = None };
+      M.Agg_merge { query_id = 1; epoch = 0; shard = 0; partial };
       M.Heartbeat { from = 1; seq = 0 };
       M.Suspect { suspect = 1; by = 2; seq = 0 };
     ]
@@ -347,9 +353,10 @@ let test_tags_unique_and_total () =
     | M.Agg_result _ -> 15
     | M.Heartbeat _ -> 16
     | M.Suspect _ -> 17
+    | M.Agg_merge _ -> 18
   in
   let covered = List.sort_uniq compare (List.map ctor_index exemplars) in
-  check_int "one exemplar per constructor" 18 (List.length covered);
+  check_int "one exemplar per constructor" 19 (List.length covered);
   (* The tag byte sits right after the u32 length prefix. *)
   let tags = List.map (fun m -> (M.Codec.encode m).[4]) exemplars in
   check_int "tag bytes pairwise unique" (List.length exemplars)
